@@ -1,0 +1,52 @@
+// Ablation — GLT dispatch overhead (paper §III-B claims the extra GLT
+// layer is negligible thanks to header-only static inlining; our GLT uses
+// runtime dispatch, so this measures the worst case of that claim).
+//
+// Compares ULT create+join through the GLT API against calling the abt
+// backend directly.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "abt/abt.hpp"
+#include "glt/glt.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_sink{0};
+
+void work(void* p) {
+  g_sink.fetch_add(reinterpret_cast<std::uintptr_t>(p) + 1,
+                   std::memory_order_relaxed);
+}
+
+void bench_glt_dispatch(benchmark::State& state) {
+  glto::glt::Config cfg;
+  cfg.impl = glto::glt::Impl::abt;
+  cfg.num_threads = 2;
+  cfg.bind_threads = false;
+  glto::glt::init(cfg);
+  for (auto _ : state) {
+    auto* u = glto::glt::ult_create(work, nullptr);
+    glto::glt::ult_join(u);
+  }
+  glto::glt::finalize();
+}
+BENCHMARK(bench_glt_dispatch);
+
+void bench_abt_direct(benchmark::State& state) {
+  glto::abt::Config cfg;
+  cfg.num_xstreams = 2;
+  cfg.bind_threads = false;
+  glto::abt::init(cfg);
+  for (auto _ : state) {
+    auto* u = glto::abt::ult_create(work, nullptr);
+    glto::abt::join(u);
+  }
+  glto::abt::finalize();
+}
+BENCHMARK(bench_abt_direct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

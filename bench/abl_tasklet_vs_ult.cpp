@@ -1,0 +1,82 @@
+// Ablation — tasklets vs ULTs (paper §III-B: tasklets skip the stack and
+// context, so stackless work should spawn/finish faster).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "abt/abt.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_sink{0};
+
+void work(void*) { g_sink.fetch_add(1, std::memory_order_relaxed); }
+
+void bench_ult(benchmark::State& state) {
+  glto::abt::Config cfg;
+  cfg.num_xstreams = 2;
+  cfg.bind_threads = false;
+  glto::abt::init(cfg);
+  for (auto _ : state) {
+    auto* u = glto::abt::ult_create(work, nullptr);
+    glto::abt::join(u);
+  }
+  glto::abt::finalize();
+}
+BENCHMARK(bench_ult);
+
+void bench_tasklet(benchmark::State& state) {
+  glto::abt::Config cfg;
+  cfg.num_xstreams = 2;
+  cfg.bind_threads = false;
+  glto::abt::init(cfg);
+  for (auto _ : state) {
+    auto* t = glto::abt::tasklet_create(work, nullptr);
+    glto::abt::join(t);
+  }
+  glto::abt::finalize();
+}
+BENCHMARK(bench_tasklet);
+
+/// Batched variants: create N, then join N (amortizes the join latency,
+/// isolating creation cost — where the stack/context difference lives).
+void bench_ult_batch(benchmark::State& state) {
+  glto::abt::Config cfg;
+  cfg.num_xstreams = 2;
+  cfg.bind_threads = false;
+  glto::abt::init(cfg);
+  constexpr int kBatch = 256;
+  std::vector<glto::abt::WorkUnit*> us(kBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      us[static_cast<std::size_t>(i)] = glto::abt::ult_create(work, nullptr);
+    }
+    for (auto* u : us) glto::abt::join(u);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  glto::abt::finalize();
+}
+BENCHMARK(bench_ult_batch);
+
+void bench_tasklet_batch(benchmark::State& state) {
+  glto::abt::Config cfg;
+  cfg.num_xstreams = 2;
+  cfg.bind_threads = false;
+  glto::abt::init(cfg);
+  constexpr int kBatch = 256;
+  std::vector<glto::abt::WorkUnit*> ts(kBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      ts[static_cast<std::size_t>(i)] =
+          glto::abt::tasklet_create(work, nullptr);
+    }
+    for (auto* t : ts) glto::abt::join(t);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  glto::abt::finalize();
+}
+BENCHMARK(bench_tasklet_batch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every figure/table binary sweeps (runtime × threads × workload knob),
+// repeats each cell, and prints a fixed-width table of mean ± stddev —
+// the same series the paper plots. Knobs:
+//   GLTO_BENCH_THREADS  comma list, default "1,2,4,8,18,36"
+//                       (the paper's x-axes go to 72; default trimmed for
+//                        container-scale runs — export the full list for
+//                        paper-scale sweeps)
+//   GLTO_BENCH_REPS     repetitions per cell (default figure-specific)
+//   GLTO_BENCH_SCALE    workload scale multiplier (default 1)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "omp/omp.hpp"
+
+namespace glto::bench {
+
+inline std::vector<int> thread_sweep() {
+  std::vector<int> out;
+  const std::string s =
+      common::env_str("GLTO_BENCH_THREADS").value_or("1,2,4,8,18,36");
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const int v = std::atoi(s.substr(pos, comma - pos).c_str());
+    if (v > 0) out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+inline int reps(int dflt) {
+  return static_cast<int>(common::env_i64("GLTO_BENCH_REPS", dflt));
+}
+
+inline double scale() {
+  const auto s = common::env_i64("GLTO_BENCH_SCALE", 1);
+  return s > 0 ? static_cast<double>(s) : 1.0;
+}
+
+/// Times @p fn @p n times; returns per-run seconds.
+template <typename Fn>
+common::RunStats time_runs(int n, Fn&& fn) {
+  common::RunStats stats;
+  for (int i = 0; i < n; ++i) {
+    common::Timer t;
+    fn();
+    stats.add(t.elapsed_sec());
+  }
+  return stats;
+}
+
+/// Selects a runtime with the paper's environment settings
+/// (OMP_NESTED=true, OMP_PROC_BIND=true analog, wait policy per scenario).
+inline void select_runtime(omp::RuntimeKind kind, int threads,
+                           bool active_wait = true, int task_cutoff = 256,
+                           bool shared_queues = false) {
+  omp::SelectOptions opts;
+  opts.num_threads = threads;
+  opts.nested = true;
+  opts.bind_threads = true;
+  opts.active_wait = active_wait;
+  opts.task_cutoff = task_cutoff;
+  opts.shared_queues = shared_queues;
+  omp::select(kind, opts);
+}
+
+inline void print_header(const char* title, const char* extra_col = nullptr) {
+  std::printf("\n== %s ==\n", title);
+  if (extra_col != nullptr) {
+    std::printf("%-10s %8s %8s  %-12s %-12s %-10s\n", "runtime", "threads",
+                extra_col, "mean_s", "stddev_s", "runs");
+  } else {
+    std::printf("%-10s %8s  %-12s %-12s %-10s\n", "runtime", "threads",
+                "mean_s", "stddev_s", "runs");
+  }
+}
+
+inline void print_row(const char* runtime, int threads,
+                      const common::RunStats& st) {
+  std::printf("%-10s %8d  %-12.6f %-12.6f %zu\n", runtime, threads, st.mean(),
+              st.stddev(), st.count());
+}
+
+inline void print_row_extra(const char* runtime, int threads, long long extra,
+                            const common::RunStats& st) {
+  std::printf("%-10s %8d %8lld  %-12.6f %-12.6f %zu\n", runtime, threads,
+              extra, st.mean(), st.stddev(), st.count());
+}
+
+}  // namespace glto::bench

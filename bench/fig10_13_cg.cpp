@@ -1,0 +1,52 @@
+// Figs. 10–13 — task-parallel CG, time vs #threads, one series per
+// granularity (rows/task ∈ {10, 20, 50, 100} → 1,488/744/298/149 tasks).
+//
+// Paper shape (GNU excluded, as in the paper):
+//   g=10, 20 : GLTO ≪ Intel (fine-grained tasks favour ULTs);
+//   g=50     : only GLTO(ABT) stays flat;
+//   g=100    : Intel wins coarse grain; GLTO(MTH) best at low threads.
+//   GLTO(ABT) flat in threads; QTH/MTH rise (FEB locks / steal contention).
+#include <cstdio>
+
+#include "apps/cg.hpp"
+#include "bench_common.hpp"
+
+namespace g = glto::apps::cg;
+namespace o = glto::omp;
+namespace b = glto::bench;
+
+int main() {
+  const int n = static_cast<int>(glto::common::env_i64(
+      "GLTO_CG_ROWS", static_cast<std::int64_t>(g::kPaperRows)));
+  const int iters = static_cast<int>(3 * b::scale());
+  const auto a = g::make_spd_pentadiagonal(n);
+  const std::vector<double> rhs(static_cast<std::size_t>(n), 1.0);
+  std::printf("Figs 10-13: task-parallel CG (n=%d, %d CG iterations per "
+              "sample)\n",
+              n, iters);
+  const int reps = b::reps(3);
+  const o::RuntimeKind kinds[] = {
+      o::RuntimeKind::intel, o::RuntimeKind::glto_abt,
+      o::RuntimeKind::glto_qth, o::RuntimeKind::glto_mth};
+
+  for (int gran : {10, 20, 50, 100}) {
+    std::printf("\n--- granularity %d rows/task (%d tasks per op) ---",
+                gran, g::tasks_for_granularity(n, gran));
+    b::print_header("CG time (s) vs threads");
+    for (auto kind : kinds) {
+      for (int nth : b::thread_sweep()) {
+        // Paper: OMP_WAIT_POLICY default (passive) for task parallelism.
+        b::select_runtime(kind, nth, /*active_wait=*/false);
+        const auto stats = b::time_runs(reps, [&] {
+          std::vector<double> x;
+          (void)g::solve_tasks(a, rhs, x, iters, 0.0, gran);
+        });
+        b::print_row(o::kind_name(kind), nth, stats);
+        o::shutdown();
+      }
+    }
+  }
+  std::printf("\npaper shape: GLTO wins fine grain (g=10,20); ABT flat "
+              "across threads; Intel wins coarse grain (g=100)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 14 — the Intel cut-off mechanism in isolation: a single producer
+// creates 4,000 tasks; the task-deque capacity is set to 16 / 256 (the
+// default) / 4,096.
+//
+// Paper shape: capacity 4,096 (everything queued) exposes contention —
+// time grows with threads; capacity 16 behaves near-sequential up to ~8
+// threads (most tasks executed undeferred), then the consumers outrun the
+// producer and contention appears.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace o = glto::omp;
+namespace b = glto::bench;
+
+namespace {
+
+void spin_work() {
+  volatile int x = 0;
+  for (int i = 0; i < 400; ++i) x = x + i;
+}
+
+}  // namespace
+
+int main() {
+  const int ntasks = static_cast<int>(4000 * b::scale());
+  std::printf("Fig 14: Intel task cut-off, single producer, %d tasks\n",
+              ntasks);
+  const int reps = b::reps(5);
+  std::printf("%-10s %8s %8s  %-12s %-12s %8s %10s\n", "cutoff", "threads",
+              "", "mean_s", "stddev_s", "runs", "queued%");
+  for (int cutoff : {16, 256, 4096}) {
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(o::RuntimeKind::intel, nth, /*active_wait=*/false,
+                        cutoff);
+      auto& rt = o::runtime();
+      rt.reset_counters();
+      const auto stats = b::time_runs(reps, [&] {
+        o::parallel([&](int, int) {
+          o::single([&] {
+            for (int i = 0; i < ntasks; ++i) {
+              o::task([] { spin_work(); });
+            }
+            o::taskwait();
+          });
+        });
+      });
+      const auto c = rt.counters();
+      const auto total = c.tasks_queued + c.tasks_immediate;
+      const double queued_pct =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(c.tasks_queued) /
+                           static_cast<double>(total);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%d", cutoff);
+      std::printf("%-10s %8d %8s  %-12.6f %-12.6f %8zu %9.1f%%\n", label,
+                  nth, "", stats.mean(), stats.stddev(), stats.count(),
+                  queued_pct);
+      o::shutdown();
+    }
+  }
+  std::printf("paper shape: 4096 = contention grows with threads; 16 = "
+              "near-sequential until ~8-16 threads\n");
+  return 0;
+}

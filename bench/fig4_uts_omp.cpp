@@ -1,0 +1,46 @@
+// Fig. 4 — UTS (T1XXL-like) over the five OpenMP runtimes, time vs
+// #threads.
+//
+// Paper shape: all runtimes within a band (OpenMP is only the environment
+// creator; the app manages work itself); GCC offset by compiler codegen
+// (not reproducible here — same compiler everywhere); GLTO(QTH) degrades
+// with thread count because of the Qthreads word-lock contention.
+#include <cstdio>
+
+#include "apps/uts.hpp"
+#include "bench_common.hpp"
+
+namespace u = glto::apps::uts;
+namespace o = glto::omp;
+namespace b = glto::bench;
+
+int main() {
+  u::Params p;
+  p.root_seed = 42;
+  p.b0 = 4.0;
+  p.gen_mx = 5 + static_cast<int>(b::scale());  // T1XXL-like shape, scaled
+  const auto seq = u::search_sequential(p);
+  std::printf("Fig 4: UTS over OpenMP runtimes "
+              "(b0=%.0f gen_mx=%d, %llu nodes)\n",
+              p.b0, p.gen_mx, static_cast<unsigned long long>(seq.nodes));
+  const int reps = b::reps(5);
+  b::print_header("UTS execution time (s) vs OpenMP threads");
+  for (auto kind : o::all_kinds()) {
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(kind, nth, /*active_wait=*/true);
+      const auto stats = b::time_runs(reps, [&] {
+        const auto r = u::search_omp(p);
+        if (r.nodes != seq.nodes) {
+          std::fprintf(stderr, "UTS mismatch: %llu != %llu\n",
+                       static_cast<unsigned long long>(r.nodes),
+                       static_cast<unsigned long long>(seq.nodes));
+        }
+      });
+      b::print_row(o::kind_name(kind), nth, stats);
+      o::shutdown();
+    }
+  }
+  std::printf("paper shape: near-equal curves; GLTO(QTH) degrades with "
+              "threads (word-lock contention)\n");
+  return 0;
+}

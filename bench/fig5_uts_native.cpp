@@ -1,0 +1,49 @@
+// Fig. 5 — UTS hand-ported to raw pthreads and to the native LWT APIs
+// (no OpenMP layer): shows the Fig. 4 Qthreads degradation is the library
+// itself, not the GLTO runtime.
+#include <cstdio>
+
+#include "apps/uts.hpp"
+#include "bench_common.hpp"
+
+namespace u = glto::apps::uts;
+namespace b = glto::bench;
+
+int main() {
+  u::Params p;
+  p.root_seed = 42;
+  p.b0 = 4.0;
+  p.gen_mx = 5 + static_cast<int>(b::scale());
+  const auto seq = u::search_sequential(p);
+  std::printf("Fig 5: UTS on pthreads and native LWT APIs "
+              "(b0=%.0f gen_mx=%d, %llu nodes)\n",
+              p.b0, p.gen_mx, static_cast<unsigned long long>(seq.nodes));
+  const int reps = b::reps(5);
+
+  struct Variant {
+    const char* name;
+    u::Result (*run)(const u::Params&, int);
+  };
+  const Variant variants[] = {
+      {"pthreads", u::search_pthreads},
+      {"abt", u::search_abt_native},
+      {"qth", u::search_qth_native},
+      {"mth", u::search_mth_native},
+  };
+
+  b::print_header("UTS native execution time (s) vs threads");
+  for (const auto& v : variants) {
+    for (int nth : b::thread_sweep()) {
+      const auto stats = b::time_runs(reps, [&] {
+        const auto r = v.run(p, nth);
+        if (r.nodes != seq.nodes) {
+          std::fprintf(stderr, "UTS mismatch on %s\n", v.name);
+        }
+      });
+      b::print_row(v.name, nth, stats);
+    }
+  }
+  std::printf("paper shape: pthreads/abt/mth comparable; qth slows with "
+              "thread count (per-word mutex protection)\n");
+  return 0;
+}

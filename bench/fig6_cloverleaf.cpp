@@ -1,0 +1,41 @@
+// Fig. 6 — CloverLeaf-mini (compute-bound work-sharing loops), time vs
+// #threads over the five runtimes.
+//
+// Paper shape: the pthread runtimes (GCC/ICC) win — their work-assignment
+// broadcast is cheaper than GLTO's per-region ULT creation, and the cost
+// repeats for every one of the 114 regions × steps.
+#include <cstdio>
+
+#include "apps/clover.hpp"
+#include "bench_common.hpp"
+
+namespace c = glto::apps::clover;
+namespace o = glto::omp;
+namespace b = glto::bench;
+
+int main() {
+  c::Config cfg;
+  cfg.nx = 48;
+  cfg.ny = 48;
+  const int steps = static_cast<int>(5 * b::scale());
+  std::printf("Fig 6: CloverLeaf-mini (%dx%d, %d steps, 114 parallel-for "
+              "regions/step)\n",
+              cfg.nx, cfg.ny, steps);
+  const int reps = b::reps(3);
+  b::print_header("CloverLeaf time (s) vs OpenMP threads");
+  for (auto kind : o::all_kinds()) {
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(kind, nth, /*active_wait=*/true);
+      const auto stats = b::time_runs(reps, [&] {
+        c::Clover sim(cfg);
+        sim.init_state();
+        sim.run(steps);
+      });
+      b::print_row(o::kind_name(kind), nth, stats);
+      o::shutdown();
+    }
+  }
+  std::printf("paper shape: gnu/intel fastest (cheap work assignment); "
+              "GLTO pays ULT creation per region\n");
+  return 0;
+}

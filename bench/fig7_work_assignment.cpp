@@ -1,0 +1,40 @@
+// Fig. 7 — the work-assignment mechanism in isolation: time to fork+join
+// an *empty* parallel region, vs #threads, per runtime.
+//
+// This is the per-region overhead that CloverLeaf pays 336,870 times.
+// Paper shape: GCC/ICC cheapest (pool broadcast); GLTO above them (one
+// GLT_ult created per member per region).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace o = glto::omp;
+namespace b = glto::bench;
+
+int main() {
+  const int regions = static_cast<int>(200 * b::scale());
+  std::printf("Fig 7: work-assignment overhead "
+              "(%d empty parallel regions per sample)\n",
+              regions);
+  const int reps = b::reps(5);
+  b::print_header("time per empty parallel region (s)");
+  for (auto kind : o::all_kinds()) {
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(kind, nth, /*active_wait=*/true);
+      // Warm the pools (first region creates the team threads).
+      o::parallel([](int, int) {});
+      auto stats = b::time_runs(reps, [&] {
+        for (int i = 0; i < regions; ++i) {
+          o::parallel([](int, int) {});
+        }
+      });
+      glto::common::RunStats per_region;
+      for (double s : stats.samples()) per_region.add(s / regions);
+      b::print_row(o::kind_name(kind), nth, per_region);
+      o::shutdown();
+    }
+  }
+  std::printf("paper shape: gnu/intel cheapest; GLTO pays per-member ULT "
+              "creation\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fig. 8 — nested parallelism microbenchmark, outer loop = 100 iterations.
+#include "nested_bench.hpp"
+
+int main() {
+  glto::bench::run_nested_bench("Fig 8", 100);
+  return 0;
+}

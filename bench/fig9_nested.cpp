@@ -1,0 +1,12 @@
+// Fig. 9 — nested parallelism microbenchmark, outer loop = 1,000
+// iterations (10× the Fig. 8 thread-creation volume).
+//
+// GLTO_BENCH_SCALE scales the iteration count down/up; default keeps the
+// paper's 1,000.
+#include "nested_bench.hpp"
+
+int main() {
+  const int outer = static_cast<int>(1000 * glto::bench::scale());
+  glto::bench::run_nested_bench("Fig 9", outer);
+  return 0;
+}

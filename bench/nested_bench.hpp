@@ -1,0 +1,50 @@
+// Shared driver for Figs. 8 & 9 — the paper's Listing 1: an empty nested
+// parallel-for measuring pure management overhead.
+//
+//   #pragma omp parallel for          // outer: N iterations
+//     #pragma omp parallel for        // inner: N iterations, empty body
+//
+// Paper shape: pthread runtimes ≥10× slower than GLTO(ABT/QTH) — GNU
+// spawns a fresh inner team per outer iteration (oversubscription), Intel
+// reuses threads but still pays team management; GLTO creates only ULTs.
+// GLTO(MTH) is hurt by the pinned-main design issue (§IV-G).
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace glto::bench {
+
+inline void run_nested_bench(const char* title, int outer_iters) {
+  namespace o = glto::omp;
+  const auto n = static_cast<std::int64_t>(outer_iters);
+  std::printf("%s: empty nested parallel-for, outer=inner=%d iterations\n",
+              title, outer_iters);
+  const int reps = glto::bench::reps(outer_iters <= 100 ? 5 : 2);
+  print_header("nested-parallelism management time (s)");
+  for (auto kind : o::all_kinds()) {
+    for (int nth : thread_sweep()) {
+      select_runtime(kind, nth, /*active_wait=*/true);
+      const auto stats = time_runs(reps, [&] {
+        o::parallel([&](int, int) {
+          o::for_loop(0, n, o::Schedule::Static, 0,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          o::parallel([&](int, int) {
+                            o::for_loop(0, n, o::Schedule::Static, 0,
+                                        [&](std::int64_t, std::int64_t) {});
+                          });
+                        }
+                      });
+        });
+      });
+      print_row(o::kind_name(kind), nth, stats);
+      o::shutdown();
+    }
+  }
+  std::printf("paper shape: gnu/intel >= 10x slower than glto-abt/qth; "
+              "glto-mth degraded by pinned master (SIV-G)\n");
+}
+
+}  // namespace glto::bench

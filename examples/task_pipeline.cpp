@@ -1,0 +1,73 @@
+// Task pipeline — the paper's §VI-E producer/consumer pattern at
+// application scale: one thread produces work items as OpenMP tasks while
+// the team consumes them, with the task granularity as the tuning knob.
+//
+//   $ ./task_pipeline              # sweeps granularities on two runtimes
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "common/time.hpp"
+#include "omp/omp.hpp"
+
+namespace o = glto::omp;
+
+namespace {
+
+/// A work item: smooth a block of a signal (stand-in for any per-block
+/// kernel — image tiles, rows of a matrix, chunks of a log).
+void smooth_block(std::vector<double>& signal, int lo, int hi) {
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = std::max(1, lo);
+         i < std::min<int>(static_cast<int>(signal.size()) - 1, hi); ++i) {
+      signal[static_cast<std::size_t>(i)] =
+          0.25 * signal[static_cast<std::size_t>(i) - 1] +
+          0.5 * signal[static_cast<std::size_t>(i)] +
+          0.25 * signal[static_cast<std::size_t>(i) + 1];
+    }
+  }
+}
+
+double run_pipeline(int n, int block) {
+  std::vector<double> signal(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    signal[static_cast<std::size_t>(i)] = i % 2 == 0 ? 1.0 : -1.0;
+  }
+  glto::common::Timer t;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int lo = 0; lo < n; lo += block) {
+        const int hi = std::min(n, lo + block);
+        o::task([&signal, lo, hi] { smooth_block(signal, lo, hi); });
+      }
+      o::taskwait();
+    });
+  });
+  return t.elapsed_sec();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kN = 1 << 18;
+  std::printf("Producer/consumer task pipeline over a %d-sample signal\n\n",
+              kN);
+  std::printf("%-12s %10s %12s %12s\n", "runtime", "block", "tasks",
+              "time_s");
+  for (auto kind : {o::RuntimeKind::intel, o::RuntimeKind::glto_abt}) {
+    for (int block : {256, 1024, 4096, 16384}) {
+      o::SelectOptions opts;
+      opts.num_threads = 4;
+      opts.bind_threads = false;
+      opts.active_wait = false;
+      o::select(kind, opts);
+      const double sec = run_pipeline(kN, block);
+      std::printf("%-12s %10d %12d %12.4f\n", o::kind_name(kind), block,
+                  (kN + block - 1) / block, sec);
+      o::shutdown();
+    }
+  }
+  std::printf("\nFine blocks (many tasks) favour GLTO; coarse blocks favour "
+              "the Intel-like runtime — the Figs. 10-13 crossover.\n");
+  return 0;
+}

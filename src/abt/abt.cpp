@@ -1,0 +1,408 @@
+#include "abt/abt.hpp"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "common/parker.hpp"
+#include "common/spin.hpp"
+#include "fctx/fcontext.hpp"
+#include "fctx/stack_pool.hpp"
+#include "sched/locked_queue.hpp"
+
+namespace glto::abt {
+
+namespace {
+
+enum class State : std::uint8_t { Ready, Running, Blocked, Done };
+enum class Kind : std::uint8_t { Ult, Tasklet, Main };
+enum class Dir : std::uint8_t { Resume, Yield, Block, Done };
+
+WorkUnit* const kJoinerSentinel = reinterpret_cast<WorkUnit*>(std::uintptr_t(1));
+
+}  // namespace
+
+struct WorkUnit {
+  WorkFn fn = nullptr;
+  void* arg = nullptr;
+  fctx::fcontext_t ctx = nullptr;
+  fctx::Stack stack;
+  std::atomic<State> state{State::Ready};
+  std::atomic<WorkUnit*> joiner{nullptr};
+  std::atomic<int> last_rank{-1};
+  int home_rank = 0;
+  Kind kind = Kind::Ult;
+  void* user_local = nullptr;  ///< see abt::self_local()
+};
+
+namespace {
+
+/// Message passed through a context switch from a suspending work unit to
+/// the scheduler that receives control.
+struct SwitchMsg {
+  Dir dir;
+  WorkUnit* self;
+  WorkUnit* target;  // join target for Dir::Block
+};
+
+struct Pool {
+  sched::LockedQueue<WorkUnit*> q;
+};
+
+struct Runtime {
+  Config cfg;
+  int n = 0;
+  std::vector<std::unique_ptr<Pool>> pools;
+  /// The primary (main) ULT is only ever scheduled by xstream 0, even
+  /// under a shared pool — otherwise a worker could resume main, and
+  /// finalize would tear the primary scheduler down from a foreign
+  /// thread while the real main thread still runs on its stack (the
+  /// same pin-the-main issue the paper hits with MassiveThreads, §IV-G).
+  Pool main_pool;
+  std::vector<std::thread> workers;
+  std::atomic<bool> shutdown{false};
+  common::Parker parker;
+  fctx::Stack primary_sched_stack;
+
+  std::atomic<std::uint64_t> ults_created{0};
+  std::atomic<std::uint64_t> tasklets_created{0};
+  std::atomic<std::uint64_t> yields{0};
+};
+
+Runtime* g_rt = nullptr;
+
+struct Tls {
+  int rank = -1;
+  WorkUnit* current = nullptr;        // unit whose stack we are running on
+  fctx::fcontext_t sched_ctx = nullptr;  // way back to this xstream's scheduler
+  WorkUnit* main_unit = nullptr;      // primary thread only
+};
+
+thread_local Tls tls;
+
+/// TLS accessor that defeats address caching across context switches: a
+/// ULT can resume on a different OS thread (shared pools), so any code
+/// that touches `tls` after a suspension point must recompute the
+/// thread-local address. The noinline + asm barrier forces GCC to
+/// re-evaluate %fs-relative addressing at the call site's *current*
+/// thread instead of reusing a pre-switch computation.
+__attribute__((noinline)) Tls& tls_now() {
+  asm volatile("");
+  return tls;
+}
+
+Pool& pool_for(int rank) {
+  return *g_rt->pools[g_rt->cfg.shared_pool ? 0 : static_cast<size_t>(rank)];
+}
+
+void push_ready(WorkUnit* wu) {
+  wu->state.store(State::Ready, std::memory_order_relaxed);
+  if (wu->kind == Kind::Main) {
+    g_rt->main_pool.q.push(wu);  // only xstream 0 schedules the primary
+  } else {
+    pool_for(wu->home_rank).q.push(wu);
+  }
+  g_rt->parker.unpark_all();
+}
+
+void complete(WorkUnit* wu) {
+  // Claim the joiner slot BEFORE publishing Done: the moment Done is
+  // visible, a polling joiner may return from join() and delete wu, so
+  // the Done store must be this function's last access to *wu.
+  WorkUnit* j =
+      wu->joiner.exchange(kJoinerSentinel, std::memory_order_acq_rel);
+  wu->state.store(State::Done, std::memory_order_release);
+  if (j != nullptr) push_ready(j);
+}
+
+/// Handles the message a suspending work unit sent when control came back
+/// to a scheduler. Shared by worker loops and the primary scheduler entry.
+void process_directive(fctx::transfer_t t) {
+  SwitchMsg msg = *static_cast<SwitchMsg*>(t.data);  // copy before any free
+  msg.self->ctx = t.from;
+  switch (msg.dir) {
+    case Dir::Yield:
+      push_ready(msg.self);
+      break;
+    case Dir::Block: {
+      WorkUnit* target = msg.target;
+      msg.self->state.store(State::Blocked, std::memory_order_relaxed);
+      WorkUnit* expected = nullptr;
+      const bool registered =
+          target->state.load(std::memory_order_acquire) != State::Done &&
+          target->joiner.compare_exchange_strong(expected, msg.self,
+                                                 std::memory_order_acq_rel);
+      if (!registered) push_ready(msg.self);  // target already finished
+      break;
+    }
+    case Dir::Done: {
+      WorkUnit* wu = msg.self;
+      fctx::StackPool::global().release(wu->stack);
+      wu->stack = fctx::Stack{};
+      complete(wu);
+      break;
+    }
+    case Dir::Resume:
+      GLTO_CHECK_MSG(false, "Resume is never sent to a scheduler");
+  }
+}
+
+void run_unit(WorkUnit* wu) {
+  wu->last_rank.store(tls.rank, std::memory_order_relaxed);
+  if (wu->kind == Kind::Tasklet) {
+    wu->state.store(State::Running, std::memory_order_relaxed);
+    wu->fn(wu->arg);
+    complete(wu);
+    return;
+  }
+  wu->state.store(State::Running, std::memory_order_relaxed);
+  tls.current = wu;
+  SwitchMsg resume{Dir::Resume, wu, nullptr};
+  fctx::transfer_t t = fctx::jump_fcontext(wu->ctx, &resume);
+  tls.current = nullptr;
+  process_directive(t);
+}
+
+/// Scheduler loop: drains this xstream's pool; parks briefly when idle.
+/// Workers exit on shutdown; the primary scheduler context never observes
+/// shutdown while running (finalize executes on the primary ULT).
+void sched_loop() {
+  Pool& pool = pool_for(tls.rank);
+  const bool primary = tls.rank == 0;
+  int idle = 0;
+  // The primary alternates fairly between its regular pool and the main
+  // slot: strict priority either way starves someone (main-first starves
+  // yielded-to pool work; pool-first starves main when a co-located ULT
+  // busy-waits for main at a barrier).
+  bool main_turn = false;
+  for (;;) {
+    std::optional<WorkUnit*> wu;
+    if (primary && main_turn) {
+      wu = g_rt->main_pool.q.pop();
+      if (!wu) wu = pool.q.pop();
+    } else {
+      wu = pool.q.pop();
+      if (!wu && primary) wu = g_rt->main_pool.q.pop();
+    }
+    main_turn = !main_turn;
+    if (wu) {
+      idle = 0;
+      run_unit(*wu);
+      continue;
+    }
+    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
+    if (++idle < 64) {
+      common::cpu_relax();
+    } else if (idle < 96) {
+      std::this_thread::yield();
+    } else {
+      g_rt->parker.park_for_us(200);
+    }
+  }
+}
+
+void worker_main(int rank) {
+  tls.rank = rank;
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  sched_loop();
+}
+
+/// Entry for the primary xstream's scheduler context (created lazily the
+/// first time the primary ULT suspends).
+void primary_sched_entry(fctx::transfer_t t) {
+  process_directive(t);
+  sched_loop();
+  GLTO_CHECK_MSG(false, "primary scheduler exited while runtime is alive");
+}
+
+/// Suspends the calling ULT with the given directive; returns when
+/// resumed. noinline: callers loop around this (join), and an inlined
+/// copy would let the compiler reuse a pre-switch TLS address after the
+/// ULT migrated to another OS thread.
+__attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
+  WorkUnit* self = tls.current;
+  GLTO_CHECK_MSG(self != nullptr, "suspend outside a ULT");
+  if (tls.sched_ctx == nullptr) {
+    // First suspension of the primary ULT: build the primary scheduler.
+    GLTO_CHECK(self->kind == Kind::Main);
+    fctx::Stack s = fctx::StackPool::global().acquire();
+    g_rt->primary_sched_stack = s;
+    tls.sched_ctx = fctx::make_fcontext(s.top, s.size, primary_sched_entry);
+  }
+  SwitchMsg msg{dir, self, target};
+  fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
+  // Resumed — possibly on a *different OS thread* (shared pools): the
+  // thread-local block must be re-resolved, never reused from above.
+  Tls& now = tls_now();
+  now.sched_ctx = t.from;
+  now.current = self;
+}
+
+/// Entry trampoline for freshly created ULTs.
+void ult_entry(fctx::transfer_t t) {
+  SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+  WorkUnit* self = in.self;
+  tls.sched_ctx = t.from;
+  tls.current = self;
+  self->fn(self->arg);
+  // fn may have suspended and resumed on a different OS thread: resolve
+  // the CURRENT thread's scheduler context, not the entry-time one.
+  SwitchMsg done{Dir::Done, self, nullptr};
+  fctx::jump_fcontext(tls_now().sched_ctx, &done);
+  GLTO_CHECK_MSG(false, "resumed a finished ULT");
+}
+
+WorkUnit* create_unit(Kind kind, int rank, WorkFn fn, void* arg) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "abt::init has not been called");
+  GLTO_CHECK(rank >= 0 && rank < g_rt->n);
+  auto* wu = new WorkUnit();
+  wu->fn = fn;
+  wu->arg = arg;
+  wu->home_rank = rank;
+  wu->kind = kind;
+  if (kind == Kind::Ult) {
+    wu->stack = fctx::StackPool::global().acquire();
+    wu->ctx = fctx::make_fcontext(wu->stack.top, wu->stack.size, ult_entry);
+    g_rt->ults_created.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_rt->tasklets_created.fetch_add(1, std::memory_order_relaxed);
+  }
+  pool_for(rank).q.push(wu);
+  g_rt->parker.unpark_all();
+  return wu;
+}
+
+int default_rank() { return tls.rank >= 0 ? tls.rank : 0; }
+
+}  // namespace
+
+void init(const Config& cfg_in) {
+  GLTO_CHECK_MSG(g_rt == nullptr, "abt::init called twice");
+  g_rt = new Runtime();
+  g_rt->cfg = cfg_in;
+  if (g_rt->cfg.num_xstreams <= 0) {
+    g_rt->cfg.num_xstreams = static_cast<int>(common::env_i64(
+        "ABT_NUM_XSTREAMS", common::hardware_concurrency()));
+  }
+  g_rt->n = g_rt->cfg.num_xstreams;
+  const int pool_count = g_rt->cfg.shared_pool ? 1 : g_rt->n;
+  for (int i = 0; i < pool_count; ++i) {
+    g_rt->pools.push_back(std::make_unique<Pool>());
+  }
+  // The caller becomes the primary ULT on xstream 0.
+  tls.rank = 0;
+  tls.sched_ctx = nullptr;
+  auto* main_unit = new WorkUnit();
+  main_unit->kind = Kind::Main;
+  main_unit->home_rank = 0;
+  main_unit->state.store(State::Running, std::memory_order_relaxed);
+  tls.main_unit = main_unit;
+  tls.current = main_unit;
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  for (int r = 1; r < g_rt->n; ++r) {
+    g_rt->workers.emplace_back(worker_main, r);
+  }
+}
+
+void finalize() {
+  GLTO_CHECK_MSG(g_rt != nullptr, "abt::finalize without init");
+  GLTO_CHECK_MSG(tls.main_unit != nullptr && tls.current == tls.main_unit,
+                 "finalize must run on the primary ULT");
+  g_rt->shutdown.store(true, std::memory_order_release);
+  g_rt->parker.unpark_all();
+  // Parked workers wake within their 200 us timeout even if the unpark
+  // raced, so plain joins terminate promptly.
+  for (auto& w : g_rt->workers) w.join();
+  fctx::StackPool::global().release(g_rt->primary_sched_stack);
+  delete tls.main_unit;
+  tls = Tls{};
+  delete g_rt;
+  g_rt = nullptr;
+}
+
+bool initialized() { return g_rt != nullptr; }
+
+int num_xstreams() { return g_rt ? g_rt->n : 0; }
+
+int self_rank() { return tls.rank; }
+
+bool in_ult() { return tls.current != nullptr; }
+
+WorkUnit* ult_create(WorkFn fn, void* arg) {
+  return create_unit(Kind::Ult, default_rank(), fn, arg);
+}
+
+WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg) {
+  return create_unit(Kind::Ult, rank, fn, arg);
+}
+
+WorkUnit* tasklet_create(WorkFn fn, void* arg) {
+  return create_unit(Kind::Tasklet, default_rank(), fn, arg);
+}
+
+WorkUnit* tasklet_create_on(int rank, WorkFn fn, void* arg) {
+  return create_unit(Kind::Tasklet, rank, fn, arg);
+}
+
+void join(WorkUnit* wu) {
+  GLTO_CHECK(wu != nullptr);
+  if (tls.current == nullptr) {
+    // Foreign thread (not an xstream): passive wait.
+    common::spin_until([&] {
+      return wu->state.load(std::memory_order_acquire) == State::Done;
+    });
+  } else {
+    while (wu->state.load(std::memory_order_acquire) != State::Done) {
+      suspend(Dir::Block, wu);
+    }
+  }
+  delete wu;
+}
+
+void yield() {
+  if (tls.current == nullptr) return;  // no-op outside ULTs
+  g_rt->yields.fetch_add(1, std::memory_order_relaxed);
+  suspend(Dir::Yield, nullptr);
+}
+
+bool is_done(const WorkUnit* wu) {
+  return wu->state.load(std::memory_order_acquire) == State::Done;
+}
+
+int executed_on(const WorkUnit* wu) {
+  return wu->last_rank.load(std::memory_order_relaxed);
+}
+
+namespace {
+thread_local void* g_foreign_local = nullptr;
+}
+
+void* self_local() {
+  return tls.current != nullptr ? tls.current->user_local : g_foreign_local;
+}
+
+void set_self_local(void* p) {
+  if (tls.current != nullptr) {
+    tls.current->user_local = p;
+  } else {
+    g_foreign_local = p;
+  }
+}
+
+Stats stats() {
+  Stats s;
+  if (g_rt != nullptr) {
+    s.ults_created = g_rt->ults_created.load(std::memory_order_relaxed);
+    s.tasklets_created = g_rt->tasklets_created.load(std::memory_order_relaxed);
+    s.yields = g_rt->yields.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace glto::abt

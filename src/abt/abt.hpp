@@ -1,0 +1,91 @@
+// abt — an Argobots-like lightweight-threading library.
+//
+// Model (mirrors Argobots, the paper's best-behaved GLT backend):
+//  * A fixed set of *execution streams* (xstreams): OS threads bound to
+//    cores. Xstream 0 is the *primary* xstream — the thread that called
+//    abt::init — and the calling context becomes the *primary ULT*.
+//  * Each xstream owns a private FIFO pool of work units. There is **no
+//    work stealing** between xstreams (the trait the paper credits for
+//    ABT's flat, contention-free task curves, Figs. 10–13). An optional
+//    single shared pool (Config::shared_pool) implements the
+//    GLT_SHARED_QUEUES behaviour of §IV-F.
+//  * Work units are either *ULTs* (own stack, can yield/block) or
+//    *tasklets* (stackless, run to completion on the scheduler's stack —
+//    natively supported here just as in Argobots, §III-B).
+//
+// Blocking is cooperative: a ULT joining another suspends itself and is
+// re-readied by the finisher, so scheduler threads never block in the
+// kernel while work exists.
+#pragma once
+
+#include <cstdint>
+
+namespace glto::abt {
+
+using WorkFn = void (*)(void*);
+
+struct Config {
+  int num_xstreams = 0;      ///< 0 → $ABT_NUM_XSTREAMS or hardware threads
+  bool shared_pool = false;  ///< one pool shared by all xstreams
+  bool bind_threads = true;  ///< pin xstream i to core i (best-effort)
+};
+
+/// Opaque handle to a ULT or tasklet.
+struct WorkUnit;
+
+/// Starts the runtime; the caller becomes the primary ULT on xstream 0.
+void init(const Config& cfg = {});
+
+/// Stops all xstreams. Pending work must have been joined already.
+void finalize();
+
+[[nodiscard]] bool initialized();
+[[nodiscard]] int num_xstreams();
+
+/// Rank of the xstream executing the caller (-1 on foreign threads).
+[[nodiscard]] int self_rank();
+
+/// True when the caller runs inside a ULT (including the primary ULT).
+[[nodiscard]] bool in_ult();
+
+/// Creates a ULT in the pool of the calling xstream (or the shared pool).
+WorkUnit* ult_create(WorkFn fn, void* arg);
+
+/// Creates a ULT in the pool of xstream @p rank.
+WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg);
+
+/// Creates a stackless tasklet (calling xstream's pool).
+WorkUnit* tasklet_create(WorkFn fn, void* arg);
+
+/// Creates a stackless tasklet in the pool of xstream @p rank.
+WorkUnit* tasklet_create_on(int rank, WorkFn fn, void* arg);
+
+/// Waits for completion and destroys the work unit.
+void join(WorkUnit* wu);
+
+/// Cooperatively yields the calling ULT back to its xstream's scheduler.
+void yield();
+
+/// True once @p wu has finished executing (join must still be called).
+[[nodiscard]] bool is_done(const WorkUnit* wu);
+
+/// Rank the work unit last executed on (for migration tests).
+[[nodiscard]] int executed_on(const WorkUnit* wu);
+
+/// Per-work-unit user pointer ("ULT-local storage"). Runtimes layered on
+/// abt (GLTO) hang their per-ULT execution context here; it travels with
+/// the ULT across suspensions. On a foreign thread it falls back to a
+/// thread-local slot.
+[[nodiscard]] void* self_local();
+void set_self_local(void* p);
+
+struct Stats {
+  std::uint64_t ults_created = 0;
+  std::uint64_t tasklets_created = 0;
+  std::uint64_t yields = 0;
+};
+
+/// Snapshot of global counters since init().
+[[nodiscard]] Stats stats();
+
+}  // namespace glto::abt

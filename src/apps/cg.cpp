@@ -1,0 +1,338 @@
+#include "apps/cg.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/debug.hpp"
+#include "omp/omp.hpp"
+
+namespace glto::apps::cg {
+
+Csr make_spd_pentadiagonal(int n) {
+  Csr a;
+  a.n = n;
+  a.rowptr.reserve(static_cast<std::size_t>(n) + 1);
+  a.rowptr.push_back(0);
+  for (int i = 0; i < n; ++i) {
+    for (int off : {-2, -1, 0, 1, 2}) {
+      const int j = i + off;
+      if (j < 0 || j >= n) continue;
+      a.col.push_back(j);
+      a.val.push_back(off == 0 ? 4.5 : -1.0);
+    }
+    a.rowptr.push_back(static_cast<int>(a.col.size()));
+  }
+  return a;
+}
+
+Csr make_spd_variable_diag(int n) {
+  Csr a = make_spd_pentadiagonal(n);
+  for (int i = 0; i < n; ++i) {
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == i) {
+        a.val[static_cast<std::size_t>(k)] = 4.5 + 0.5 * (i % 5);
+      }
+    }
+  }
+  return a;
+}
+
+void spmv_seq(const Csr& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  for (int i = 0; i < a.n; ++i) {
+    double acc = 0.0;
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+int tasks_for_granularity(int n, int rows_per_task) {
+  return (n + rows_per_task - 1) / rows_per_task;
+}
+
+namespace {
+
+void spmv_rows(const Csr& a, const std::vector<double>& x,
+               std::vector<double>& y, int lo, int hi) {
+  for (int i = lo; i < hi; ++i) {
+    double acc = 0.0;
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+double dot_seq(const std::vector<double>& a, const std::vector<double>& b,
+               int lo, int hi) {
+  double acc = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    acc += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result solve_worksharing(const Csr& a, const std::vector<double>& b,
+                         std::vector<double>& x, int max_iters, double tol) {
+  const int n = a.n;
+  std::vector<double> r(b), p(b), ap(static_cast<std::size_t>(n), 0.0);
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  auto par_dot = [&](const std::vector<double>& u,
+                     const std::vector<double>& v) {
+    std::atomic<double> total;
+    total.store(0.0);
+    omp::parallel([&](int, int) {
+      double local = 0.0;
+      omp::for_loop(0, n, omp::Schedule::Static, 0,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      local += dot_seq(u, v, static_cast<int>(lo),
+                                       static_cast<int>(hi));
+                    });
+      double cur = total.load(std::memory_order_relaxed);
+      while (!total.compare_exchange_weak(cur, cur + local,
+                                          std::memory_order_relaxed)) {
+      }
+    });
+    return total.load(std::memory_order_relaxed);
+  };
+
+  double rr = par_dot(r, r);
+  const double stop2 = tol * tol * rr;
+  Result out;
+  for (int it = 0; it < max_iters; ++it) {
+    omp::parallel([&](int, int) {
+      omp::for_loop(0, n, omp::Schedule::Static, 0,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      spmv_rows(a, p, ap, static_cast<int>(lo),
+                                static_cast<int>(hi));
+                    });
+    });
+    const double pap = par_dot(p, ap);
+    const double alpha = rr / pap;
+    omp::parallel([&](int, int) {
+      omp::for_loop(0, n, omp::Schedule::Static, 0,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        x[static_cast<std::size_t>(i)] +=
+                            alpha * p[static_cast<std::size_t>(i)];
+                        r[static_cast<std::size_t>(i)] -=
+                            alpha * ap[static_cast<std::size_t>(i)];
+                      }
+                    });
+    });
+    const double rr_new = par_dot(r, r);
+    out.iterations = it + 1;
+    if (rr_new <= stop2) {
+      out.converged = true;
+      out.residual_norm = std::sqrt(rr_new);
+      return out;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    omp::parallel([&](int, int) {
+      omp::for_loop(0, n, omp::Schedule::Static, 0,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        p[static_cast<std::size_t>(i)] =
+                            r[static_cast<std::size_t>(i)] +
+                            beta * p[static_cast<std::size_t>(i)];
+                      }
+                    });
+    });
+  }
+  out.residual_norm = std::sqrt(rr);
+  return out;
+}
+
+Result solve_tasks(const Csr& a, const std::vector<double>& b,
+                   std::vector<double>& x, int max_iters, double tol,
+                   int rows_per_task) {
+  const int n = a.n;
+  const int g = std::max(1, rows_per_task);
+  const int ntasks = tasks_for_granularity(n, g);
+  std::vector<double> r(b), p(b), ap(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> partial(static_cast<std::size_t>(ntasks), 0.0);
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  Result out;
+  double rr = 0.0, pap = 0.0, rr_new = 0.0;
+  bool done = false;
+  double stop2 = 0.0;
+
+  // One parallel region for the whole solve; the master produces tasks
+  // from inside `single` (the paper's producer/consumer transformation).
+  omp::parallel([&](int, int) {
+    // Producer-side helpers; only the single winner executes them.
+    auto task_blocks = [&](auto&& body) {
+      for (int t = 0; t < ntasks; ++t) {
+        const int lo = t * g;
+        const int hi = std::min(n, lo + g);
+        omp::task([&body, t, lo, hi] { body(t, lo, hi); });
+      }
+      omp::taskwait();
+    };
+    auto dot_tasks = [&](const std::vector<double>& u,
+                         const std::vector<double>& v) {
+      task_blocks([&](int t, int lo, int hi) {
+        partial[static_cast<std::size_t>(t)] = dot_seq(u, v, lo, hi);
+      });
+      double acc = 0.0;
+      for (int t = 0; t < ntasks; ++t) {
+        acc += partial[static_cast<std::size_t>(t)];
+      }
+      return acc;
+    };
+
+    omp::single([&] {
+      rr = dot_tasks(r, r);
+      stop2 = tol * tol * rr;
+      for (int it = 0; it < max_iters && !done; ++it) {
+        task_blocks([&](int, int lo, int hi) { spmv_rows(a, p, ap, lo, hi); });
+        pap = dot_tasks(p, ap);
+        const double alpha = rr / pap;
+        task_blocks([&](int, int lo, int hi) {
+          for (int i = lo; i < hi; ++i) {
+            x[static_cast<std::size_t>(i)] +=
+                alpha * p[static_cast<std::size_t>(i)];
+            r[static_cast<std::size_t>(i)] -=
+                alpha * ap[static_cast<std::size_t>(i)];
+          }
+        });
+        rr_new = dot_tasks(r, r);
+        out.iterations = it + 1;
+        if (rr_new <= stop2) {
+          done = true;
+          break;
+        }
+        const double beta = rr_new / rr;
+        rr = rr_new;
+        task_blocks([&](int, int lo, int hi) {
+          for (int i = lo; i < hi; ++i) {
+            p[static_cast<std::size_t>(i)] =
+                r[static_cast<std::size_t>(i)] +
+                beta * p[static_cast<std::size_t>(i)];
+          }
+        });
+      }
+    });
+  });
+  out.converged = done;
+  out.residual_norm = std::sqrt(done ? rr_new : rr);
+  return out;
+}
+
+Result solve_tasks_jacobi(const Csr& a, const std::vector<double>& b,
+                          std::vector<double>& x, int max_iters, double tol,
+                          int rows_per_task) {
+  const int n = a.n;
+  const int g = std::max(1, rows_per_task);
+  const int ntasks = tasks_for_granularity(n, g);
+  std::vector<double> inv_diag(static_cast<std::size_t>(n), 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == i) {
+        inv_diag[static_cast<std::size_t>(i)] =
+            1.0 / a.val[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  std::vector<double> r(b), z(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> p(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> ap(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> partial(static_cast<std::size_t>(ntasks), 0.0);
+  x.assign(static_cast<std::size_t>(n), 0.0);
+
+  Result out;
+  bool done = false;
+  double rr_final = 0.0;
+
+  omp::parallel([&](int, int) {
+    auto task_blocks = [&](auto&& body) {
+      for (int t = 0; t < ntasks; ++t) {
+        const int lo = t * g;
+        const int hi = std::min(n, lo + g);
+        omp::task([&body, t, lo, hi] { body(t, lo, hi); });
+      }
+      omp::taskwait();
+    };
+    auto dot_tasks = [&](const std::vector<double>& u,
+                         const std::vector<double>& v) {
+      task_blocks([&](int t, int lo, int hi) {
+        partial[static_cast<std::size_t>(t)] = dot_seq(u, v, lo, hi);
+      });
+      double acc = 0.0;
+      for (int t = 0; t < ntasks; ++t) {
+        acc += partial[static_cast<std::size_t>(t)];
+      }
+      return acc;
+    };
+
+    omp::single([&] {
+      task_blocks([&](int, int lo, int hi) {
+        for (int i = lo; i < hi; ++i) {
+          z[static_cast<std::size_t>(i)] =
+              inv_diag[static_cast<std::size_t>(i)] *
+              r[static_cast<std::size_t>(i)];
+          p[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)];
+        }
+      });
+      double rz = dot_tasks(r, z);
+      double rr = dot_tasks(r, r);
+      const double stop2 = tol * tol * rr;
+      for (int it = 0; it < max_iters && !done; ++it) {
+        task_blocks([&](int, int lo, int hi) { spmv_rows(a, p, ap, lo, hi); });
+        const double pap = dot_tasks(p, ap);
+        const double alpha = rz / pap;
+        task_blocks([&](int, int lo, int hi) {
+          for (int i = lo; i < hi; ++i) {
+            x[static_cast<std::size_t>(i)] +=
+                alpha * p[static_cast<std::size_t>(i)];
+            r[static_cast<std::size_t>(i)] -=
+                alpha * ap[static_cast<std::size_t>(i)];
+          }
+        });
+        rr = dot_tasks(r, r);
+        out.iterations = it + 1;
+        rr_final = rr;
+        if (rr <= stop2) {
+          done = true;
+          break;
+        }
+        task_blocks([&](int, int lo, int hi) {
+          for (int i = lo; i < hi; ++i) {
+            z[static_cast<std::size_t>(i)] =
+                inv_diag[static_cast<std::size_t>(i)] *
+                r[static_cast<std::size_t>(i)];
+          }
+        });
+        const double rz_new = dot_tasks(r, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        task_blocks([&](int, int lo, int hi) {
+          for (int i = lo; i < hi; ++i) {
+            p[static_cast<std::size_t>(i)] =
+                z[static_cast<std::size_t>(i)] +
+                beta * p[static_cast<std::size_t>(i)];
+          }
+        });
+      }
+    });
+  });
+  out.converged = done;
+  out.residual_norm = std::sqrt(rr_final);
+  return out;
+}
+
+}  // namespace glto::apps::cg

@@ -1,0 +1,79 @@
+// CG — conjugate gradient on a sparse SPD matrix; the paper's task-
+// parallel workload (§VI-E, Figs. 10–13, Table III).
+//
+// The paper takes the OpenMP CG of Aliaga et al., replaces its
+// `parallel for` regions with `task` directives, and runs it on the
+// SuiteSparse matrix bmwcra_1 restricted to 14,878 rows, sweeping the
+// task granularity (rows per task): 10/20/50/100 → 1,488/744/298/149
+// tasks per operation. A single producer (inside `single`) creates the
+// tasks; the remaining threads consume — the pattern that exposes the
+// Intel runtime's queue contention and cut-off behaviour.
+//
+// Substitutions (DESIGN.md): bmwcra_1 → synthetic pentadiagonal SPD
+// matrix with exactly 14,878 rows; MKL SpMV → own CSR SpMV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glto::apps::cg {
+
+/// Compressed sparse row matrix.
+struct Csr {
+  int n = 0;
+  std::vector<int> rowptr;  // n+1
+  std::vector<int> col;
+  std::vector<double> val;
+
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(val.size());
+  }
+};
+
+/// Symmetric positive definite pentadiagonal test matrix
+/// (4.5 on the diagonal, -1 at offsets ±1, ±2): diagonally dominant.
+Csr make_spd_pentadiagonal(int n);
+
+/// Same sparsity, but with a periodically varying diagonal (4.5 + (i mod 5)/2)
+/// so diagonal (Jacobi) preconditioning is non-trivial.
+Csr make_spd_variable_diag(int n);
+
+/// The paper's default row count (bmwcra_1 subset).
+inline constexpr int kPaperRows = 14878;
+
+/// y = A x (sequential reference).
+void spmv_seq(const Csr& a, const std::vector<double>& x,
+              std::vector<double>& y);
+
+struct Result {
+  int iterations = 0;
+  double residual_norm = 0.0;  // ‖b - Ax‖₂ at exit
+  bool converged = false;
+};
+
+/// Work-sharing CG: every vector op is a `parallel for` (the original
+/// Aliaga et al. structure). Uses the currently selected omp runtime.
+Result solve_worksharing(const Csr& a, const std::vector<double>& b,
+                         std::vector<double>& x, int max_iters, double tol);
+
+/// Task-parallel CG (the paper's transformation): every vector/SpMV
+/// operation is decomposed into row-block tasks of @p rows_per_task rows,
+/// created by a single producer inside `single` and executed by the
+/// consuming threads.
+Result solve_tasks(const Csr& a, const std::vector<double>& b,
+                   std::vector<double>& x, int max_iters, double tol,
+                   int rows_per_task);
+
+/// Jacobi-preconditioned task-parallel CG: same producer/consumer task
+/// structure with M = diag(A). On matrices with non-constant diagonals it
+/// converges in fewer iterations than plain CG (extension beyond the
+/// paper; same scheduling behaviour).
+Result solve_tasks_jacobi(const Csr& a, const std::vector<double>& b,
+                          std::vector<double>& x, int max_iters, double tol,
+                          int rows_per_task);
+
+/// Number of tasks one operation spawns for a granularity (paper: 1488 /
+/// 744 / 298 / 149 for g = 10 / 20 / 50 / 100 at n = 14,878).
+[[nodiscard]] int tasks_for_granularity(int n, int rows_per_task);
+
+}  // namespace glto::apps::cg

@@ -1,0 +1,118 @@
+// CloverLeaf-mini — a C++ port of the CloverLeaf hydrodynamics mini-app
+// structure, the paper's compute-bound work-sharing workload (§VI-C,
+// Figs. 6 & 7).
+//
+// What matters for the experiment is the *shape*: a staggered Cartesian
+// grid (energy/density/pressure at cell centres, velocities at cell
+// corners), advanced by an explicit scheme where every kernel is its own
+// `parallel for` region, and the whole kernel sequence repeats thousands
+// of times — CloverLeaf runs 114 parallel loops per step, 2,955 steps,
+// 336,870 work-sharing regions. The runtime's work-assignment overhead
+// (Fig. 7) is paid once per region, which is why pthread runtimes with a
+// broadcast-style fork win this scenario.
+//
+// The physics here is a simplified compressible-hydro scheme (ideal-gas
+// EOS, artificial viscosity, PdV energy update, corner acceleration,
+// first-order upwind advection) — honest enough to conserve mass and keep
+// fields finite, small enough to verify in unit tests. Substitution from
+// the Fortran original is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace glto::apps::clover {
+
+struct Config {
+  int nx = 64;
+  int ny = 64;
+  double gamma = 1.4;
+  double cfl = 0.5;
+  /// Extra no-op sub-kernel invocations per step so the per-step count of
+  /// work-sharing regions matches CloverLeaf's 114 (Fig. 6/7 fidelity).
+  bool pad_to_114_regions = true;
+};
+
+/// A 2-D field with one halo cell on each side, row-major.
+class Field {
+ public:
+  Field() = default;
+  Field(int nx, int ny, double init = 0.0)
+      : nx_(nx), ny_(ny), data_(static_cast<std::size_t>((nx + 2) * (ny + 2)),
+                                init) {}
+
+  [[nodiscard]] double& at(int i, int j) {
+    return data_[static_cast<std::size_t>((j + 1) * (nx_ + 2) + (i + 1))];
+  }
+  [[nodiscard]] double at(int i, int j) const {
+    return data_[static_cast<std::size_t>((j + 1) * (nx_ + 2) + (i + 1))];
+  }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+
+ private:
+  int nx_ = 0, ny_ = 0;
+  std::vector<double> data_;
+};
+
+/// The mini-app. Every kernel runs through the currently selected omp
+/// runtime; construct one after omp::select().
+class Clover {
+ public:
+  explicit Clover(const Config& cfg);
+
+  /// Sets the bm-style two-state initial condition: ambient gas plus a
+  /// dense, energetic square region in the lower-left corner.
+  void init_state();
+
+  /// Advances one explicit step (dt from a CFL-style stability bound).
+  void step();
+
+  /// Runs @p steps steps.
+  void run(int steps);
+
+  // Diagnostics (used by tests and the bench harness).
+  [[nodiscard]] double total_mass() const;
+  [[nodiscard]] double total_energy() const;
+  [[nodiscard]] double max_velocity() const;
+  [[nodiscard]] bool all_finite() const;
+  [[nodiscard]] double dt() const { return dt_; }
+
+  /// Number of `parallel for` regions issued per step (paper: 114).
+  [[nodiscard]] int regions_per_step() const { return regions_per_step_; }
+
+  /// Total regions issued so far.
+  [[nodiscard]] std::int64_t regions_issued() const {
+    return regions_issued_;
+  }
+
+ private:
+  void ideal_gas();
+  void viscosity_kernel();
+  void calc_dt();
+  void pdv(bool predict);
+  void lagrangian_copy();
+  void accelerate();
+  void flux_calc();
+  void advec_cell(int sweep);
+  void advec_mom(int sweep);
+  void reset_fields();
+  void pad_regions();
+
+  /// parallel_for over interior rows; bumps the region counter.
+  void rows(const std::function<void(int)>& row_body);
+
+  Config cfg_;
+  double dt_ = 1e-4;
+  int regions_per_step_ = 0;
+  std::int64_t regions_issued_ = 0;
+
+  Field density0_, density1_, energy0_, energy1_;
+  Field pressure_, viscosity_, soundspeed_;
+  Field xvel0_, xvel1_, yvel0_, yvel1_;  // corner-centred
+  Field vol_flux_x_, vol_flux_y_, mass_flux_x_, mass_flux_y_;
+  Field work_;
+};
+
+}  // namespace glto::apps::clover

@@ -1,0 +1,282 @@
+#include "apps/uts.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "abt/abt.hpp"
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "mth/mth.hpp"
+#include "omp/omp.hpp"
+#include "qth/qth.hpp"
+#include "sched/locked_queue.hpp"
+
+namespace glto::apps::uts {
+
+namespace {
+
+struct Node {
+  common::SplitRng rng{0};
+  int depth = 0;
+};
+
+/// Child count. GEO: the root always has ceil(b0) children (as in UTS, so
+/// the tree is never trivially empty); interior nodes draw from a
+/// geometric distribution with mean b0; nodes at gen_mx are leaves.
+/// BIN: a node is interior with probability q and then has exactly m
+/// children — a Galton–Watson process (subcritical when q·m < 1).
+int num_children(const Params& p, Node& n) {
+  switch (p.kind) {
+    case TreeKind::geometric: {
+      if (n.depth >= p.gen_mx) return 0;
+      if (n.depth == 0) return static_cast<int>(std::ceil(p.b0));
+      const double u = n.rng.next_double();
+      const double prob = 1.0 / (1.0 + p.b0);  // E[children] = b0
+      const double m = std::floor(std::log(1.0 - u) / std::log(1.0 - prob));
+      return static_cast<int>(std::min(m, 64.0));
+    }
+    case TreeKind::binomial: {
+      if (n.depth == 0) return p.bin_m;  // root is always interior (UTS)
+      return n.rng.next_double() < p.bin_q ? p.bin_m : 0;
+    }
+  }
+  return 0;
+}
+
+Node make_root(const Params& p) {
+  if (p.kind == TreeKind::binomial) {
+    GLTO_CHECK_MSG(p.bin_q * p.bin_m < 1.0,
+                   "binomial UTS tree must be subcritical (q*m < 1)");
+  }
+  Node root;
+  root.rng = common::SplitRng(p.root_seed);
+  root.depth = 0;
+  return root;
+}
+
+void expand(const Params& p, Node n, std::vector<Node>& out, Result& acc) {
+  acc.nodes++;
+  acc.max_depth = std::max(acc.max_depth, n.depth);
+  const int kids = num_children(p, n);
+  if (kids == 0) {
+    acc.leaves++;
+    return;
+  }
+  for (int i = 0; i < kids; ++i) {
+    Node child;
+    child.rng = n.rng.split(static_cast<std::uint64_t>(i));
+    child.depth = n.depth + 1;
+    out.push_back(child);
+  }
+}
+
+void merge(Result& into, const Result& part) {
+  into.nodes += part.nodes;
+  into.leaves += part.leaves;
+  into.max_depth = std::max(into.max_depth, part.max_depth);
+}
+
+/// Shared state of the app-level load-balancing protocol (one `parallel`
+/// region; the OpenMP runtime is only the environment creator).
+struct SearchShared {
+  explicit SearchShared(int nthreads) : nth(nthreads) {}
+  const int nth;
+  sched::LockedQueue<Node> release;   // surplus chunks offered for stealing
+  std::atomic<int> idle{0};
+  common::SpinLock result_lock;
+  Result total;
+};
+
+constexpr std::size_t kReleaseThreshold = 64;  // local depth before sharing
+constexpr std::size_t kChunk = 16;             // nodes moved per release
+
+/// Per-thread worker body; identical across the OpenMP and native ports.
+/// @p yield_fn lets each threading substrate donate the CPU its own way.
+template <typename YieldFn>
+void search_worker(const Params& p, SearchShared& sh, int tid,
+                   YieldFn&& yield_fn) {
+  std::vector<Node> local;
+  Result mine;
+  if (tid == 0) local.push_back(make_root(p));
+
+  bool counted_idle = false;
+  for (;;) {
+    if (!local.empty()) {
+      if (counted_idle) {
+        sh.idle.fetch_sub(1, std::memory_order_acq_rel);
+        counted_idle = false;
+      }
+      Node n = local.back();
+      local.pop_back();
+      expand(p, n, local, mine);
+      // Offer surplus work when the local stack grows deep.
+      if (local.size() > kReleaseThreshold) {
+        for (std::size_t i = 0; i < kChunk; ++i) {
+          sh.release.push(local.front());
+          // Move oldest (shallowest) nodes: biggest subtrees for thieves.
+          local.erase(local.begin());
+        }
+      }
+      continue;
+    }
+    if (auto n = sh.release.pop()) {
+      local.push_back(*n);
+      continue;
+    }
+    if (!counted_idle) {
+      sh.idle.fetch_add(1, std::memory_order_acq_rel);
+      counted_idle = true;
+    }
+    if (sh.idle.load(std::memory_order_acquire) == sh.nth &&
+        sh.release.empty()) {
+      break;  // global quiescence
+    }
+    yield_fn();
+  }
+  common::SpinGuard g(sh.result_lock);
+  merge(sh.total, mine);
+}
+
+}  // namespace
+
+Result search_sequential(const Params& p) {
+  std::vector<Node> stack;
+  Result acc;
+  stack.push_back(make_root(p));
+  while (!stack.empty()) {
+    Node n = stack.back();
+    stack.pop_back();
+    expand(p, n, stack, acc);
+  }
+  return acc;
+}
+
+Result search_omp(const Params& p) {
+  const int nth = omp::max_threads();
+  SearchShared sh(nth);
+  omp::parallel([&](int tid, int) {
+    // Idle threads must yield *through the runtime*: over GLTO this lets
+    // co-located ULTs (including a suspended master) make progress.
+    search_worker(p, sh, tid, [] { omp::taskyield(); });
+  });
+  return sh.total;
+}
+
+Result search_pthreads(const Params& p, int nthreads) {
+  SearchShared sh(nthreads);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      search_worker(p, sh, t, [] { std::this_thread::yield(); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  return sh.total;
+}
+
+Result search_abt_native(const Params& p, int nthreads) {
+  abt::Config cfg;
+  cfg.num_xstreams = nthreads;
+  cfg.bind_threads = false;
+  abt::init(cfg);
+  SearchShared sh(nthreads);
+  struct Arg {
+    const Params* p;
+    SearchShared* sh;
+    int tid;
+  };
+  std::vector<Arg> args;
+  args.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) args.push_back(Arg{&p, &sh, t});
+  std::vector<abt::WorkUnit*> ults;
+  for (int t = 0; t < nthreads; ++t) {
+    ults.push_back(abt::ult_create_on(
+        t,
+        [](void* q) {
+          auto* a = static_cast<Arg*>(q);
+          search_worker(*a->p, *a->sh, a->tid, [] { abt::yield(); });
+        },
+        &args[static_cast<std::size_t>(t)]));
+  }
+  for (auto* u : ults) abt::join(u);
+  abt::finalize();
+  return sh.total;
+}
+
+Result search_qth_native(const Params& p, int nthreads) {
+  qth::Config cfg;
+  cfg.num_shepherds = nthreads;
+  cfg.bind_threads = false;
+  qth::init(cfg);
+  SearchShared sh(nthreads);
+  struct Arg {
+    const Params* p;
+    SearchShared* sh;
+    int tid;
+    qth::aligned_t feb_lock;  // FEB word used as the qthreads-style mutex
+  };
+  // qthreads port detail: result merging synchronizes through FEB words
+  // (every native qthreads sync goes through the word-lock table).
+  std::vector<Arg> args;
+  args.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) args.push_back(Arg{&p, &sh, t, 0});
+  std::vector<qth::aligned_t> rets(static_cast<std::size_t>(nthreads), 0);
+  for (int t = 0; t < nthreads; ++t) {
+    qth::fork_to(
+        t,
+        [](void* q) -> qth::aligned_t {
+          auto* a = static_cast<Arg*>(q);
+          // Exercise the FEB table on the idle path, as the native
+          // qthreads scheduler does for its internal synchronization.
+          search_worker(*a->p, *a->sh, a->tid, [a] {
+            qth::aligned_t sink = 0;
+            qth::readFF(&sink, &a->feb_lock);
+            qth::yield();
+          });
+          return 0;
+        },
+        &args[static_cast<std::size_t>(t)], &rets[static_cast<std::size_t>(t)]);
+  }
+  qth::aligned_t sink = 0;
+  for (auto& r : rets) qth::readFF(&sink, &r);
+  qth::finalize();
+  return sh.total;
+}
+
+Result search_mth_native(const Params& p, int nthreads) {
+  mth::Config cfg;
+  cfg.num_workers = nthreads;
+  cfg.bind_threads = false;
+  mth::init(cfg);
+  SearchShared sh(nthreads);
+  struct Arg {
+    const Params* p;
+    SearchShared* sh;
+    int tid;
+  };
+  std::vector<Arg> args;
+  args.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) args.push_back(Arg{&p, &sh, t});
+  std::vector<mth::Strand*> strands;
+  for (int t = 0; t < nthreads; ++t) {
+    strands.push_back(mth::create(
+        [](void* q) {
+          auto* a = static_cast<Arg*>(q);
+          search_worker(*a->p, *a->sh, a->tid, [] { mth::yield(); });
+        },
+        &args[static_cast<std::size_t>(t)]));
+  }
+  for (auto* s : strands) mth::join(s);
+  mth::finalize();
+  return sh.total;
+}
+
+}  // namespace glto::apps::uts

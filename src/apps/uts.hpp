@@ -1,0 +1,68 @@
+// UTS — Unbalanced Tree Search (Olivier et al., LCPC'06), the paper's
+// "OpenMP as environment creator" workload (§VI-B, Figs. 4 & 5).
+//
+// The tree is built on the fly from a deterministic *splittable* RNG: a
+// node's child streams depend only on (parent stream, child index), so the
+// same tree is produced under any parallel schedule. The original uses
+// SHA-1; we use a SplitMix64 mixer (substitution documented in DESIGN.md).
+//
+// Geometric tree: a node at depth d < gen_mx has a geometrically
+// distributed child count with mean b0; deeper nodes are leaves. This is
+// the GEO "fixed branching" variant used by T1XXL (b0=4), with gen_mx
+// scaled to container-friendly sizes.
+//
+// Parallelization (§VI-B): the OpenMP runtime only creates the
+// environment — one `parallel` region around the whole search. Inside,
+// the *application* manages work: per-thread node stacks, a shared
+// release queue for load balancing, and an idle-count termination
+// protocol. This is a direct port of the UTS pthreads strategy.
+#pragma once
+
+#include <cstdint>
+
+namespace glto::apps::uts {
+
+enum class TreeKind {
+  geometric,  ///< GEO: geometric child count, depth-limited (T1XXL)
+  binomial,   ///< BIN: each node has m children with probability q, else 0
+};
+
+struct Params {
+  TreeKind kind = TreeKind::geometric;
+  std::uint64_t root_seed = 19;  ///< tree id (same seed → same tree)
+  double b0 = 4.0;               ///< expected branching factor (T1XXL: 4)
+  int gen_mx = 6;                ///< GEO: depth limit for interior nodes
+  int bin_m = 8;                 ///< BIN: children per interior node
+  double bin_q = 0.117;          ///< BIN: interior probability; the
+                                 ///< process must be subcritical (q·m < 1)
+                                 ///< or init aborts — supercritical trees
+                                 ///< are unbounded.
+};
+
+struct Result {
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  int max_depth = 0;
+
+  bool operator==(const Result& o) const {
+    return nodes == o.nodes && leaves == o.leaves && max_depth == o.max_depth;
+  }
+};
+
+/// Single-threaded reference traversal (ground truth for every variant).
+Result search_sequential(const Params& p);
+
+/// OpenMP-facade traversal: one parallel region, app-managed distribution.
+/// Runs on whatever omp runtime is currently selected.
+Result search_omp(const Params& p);
+
+/// Fig. 5 native variants: the same algorithm hand-ported to raw pthreads
+/// and to each native LWT API (no OpenMP layer involved). Each initializes
+/// and finalizes its own runtime; must not be called while another LWT
+/// runtime/OpenMP runtime is active.
+Result search_pthreads(const Params& p, int nthreads);
+Result search_abt_native(const Params& p, int nthreads);
+Result search_qth_native(const Params& p, int nthreads);
+Result search_mth_native(const Params& p, int nthreads);
+
+}  // namespace glto::apps::uts

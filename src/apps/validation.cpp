@@ -1,0 +1,816 @@
+#include "apps/validation.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/time.hpp"
+#include "omp/omp.hpp"
+
+namespace glto::apps::validation {
+
+namespace o = glto::omp;
+
+namespace {
+
+// ---- mode plumbing ---------------------------------------------------------
+
+using CheckFn = bool (*)();
+
+/// Orphan mode: route the check through a non-inlined call so the
+/// constructs execute outside any lexical context the caller controls.
+__attribute__((noinline)) bool orphan_call(CheckFn fn) {
+  // The volatile pointer defeats inlining/IPO of the target.
+  CheckFn volatile vp = fn;
+  return vp();
+}
+
+/// Cross mode: the whole check runs nested inside an enclosing parallel
+/// region; every enclosing member must succeed.
+bool cross_call(CheckFn fn) {
+  std::atomic<int> ok{0};
+  o::parallel(2, [&](int, int) {
+    if (fn()) ok.fetch_add(1);
+  });
+  return ok.load() == 2;
+}
+
+bool dispatch(Mode m, CheckFn fn) {
+  switch (m) {
+    case Mode::normal:
+      return fn();
+    case Mode::orphan:
+      return orphan_call(fn);
+    case Mode::cross:
+      return cross_call(fn);
+  }
+  return false;
+}
+
+/// Busy work long enough for other OS threads to get scheduled.
+void spin_us(std::int64_t us) {
+  const auto t0 = common::now_ns();
+  while (common::now_ns() - t0 < us * 1000) {
+  }
+}
+
+// ---- generic construct checks (run in all three modes) ---------------------
+
+bool chk_parallel_default() {
+  std::atomic<int> members{0};
+  int seen_nth = -1;
+  o::parallel([&](int, int nth) {
+    members.fetch_add(1);
+    seen_nth = nth;
+  });
+  return members.load() == seen_nth && members.load() >= 1;
+}
+
+bool chk_parallel_numthreads() {
+  std::atomic<int> members{0};
+  o::parallel(2, [&](int, int nth) {
+    if (nth == 2) members.fetch_add(1);
+  });
+  return members.load() == 2;
+}
+
+bool chk_parallel_repeated() {
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> members{0};
+    int nth_seen = 0;
+    o::parallel([&](int, int nth) {
+      members.fetch_add(1);
+      nth_seen = nth;
+    });
+    if (members.load() != nth_seen) return false;
+  }
+  return true;
+}
+
+bool chk_thread_num_bounds() {
+  std::atomic<std::uint64_t> mask{0};
+  std::atomic<bool> bad{false};
+  int nth_seen = 0;
+  o::parallel([&](int tid, int nth) {
+    nth_seen = nth;
+    if (tid < 0 || tid >= nth || tid >= 64) {
+      bad.store(true);
+      return;
+    }
+    const std::uint64_t bit = 1ULL << tid;
+    if (mask.fetch_or(bit) & bit) bad.store(true);  // duplicate id
+  });
+  return !bad.load() &&
+         mask.load() == (nth_seen >= 64 ? ~0ULL : (1ULL << nth_seen) - 1);
+}
+
+bool chk_num_threads_query() {
+  const int outside = o::num_threads();  // enclosing team (1 when serial)
+  std::atomic<bool> ok{true};
+  o::parallel(2, [&](int, int nth) {
+    if (o::num_threads() != nth) ok.store(false);
+  });
+  return ok.load() && o::num_threads() == outside;
+}
+
+bool chk_level_query() {
+  const int outside = o::level();
+  std::atomic<bool> ok{true};
+  o::parallel(2, [&](int, int) {
+    if (o::level() != outside + 1) ok.store(false);
+  });
+  return ok.load() && o::level() == outside;
+}
+
+bool chk_max_threads_query() { return o::max_threads() >= 1; }
+
+bool chk_for_static() {
+  constexpr std::int64_t kN = 128;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 0,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (auto& h : hits) {
+    if (h.load() != 1) return false;
+  }
+  return true;
+}
+
+bool chk_for_static_chunk() {
+  constexpr std::int64_t kN = 97;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 5,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (auto& h : hits) {
+    if (h.load() != 1) return false;
+  }
+  return true;
+}
+
+bool chk_for_dynamic() {
+  constexpr std::int64_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Dynamic, 3,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (auto& h : hits) {
+    if (h.load() != 1) return false;
+  }
+  return true;
+}
+
+bool chk_for_guided() {
+  constexpr std::int64_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Guided, 1,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (auto& h : hits) {
+    if (h.load() != 1) return false;
+  }
+  return true;
+}
+
+bool chk_for_consecutive() {
+  std::atomic<std::int64_t> sum{0};
+  o::parallel([&](int, int) {
+    for (int round = 0; round < 4; ++round) {
+      o::for_loop(0, 50, o::Schedule::Static, 0,
+                  [&](std::int64_t b, std::int64_t e) {
+                    sum.fetch_add(e - b);
+                  });
+      o::barrier();
+    }
+  });
+  return sum.load() == 4 * 50;
+}
+
+bool chk_for_sum_values() {
+  std::atomic<std::int64_t> sum{0};
+  o::parallel([&](int, int) {
+    o::for_loop(1, 101, o::Schedule::Dynamic, 7,
+                [&](std::int64_t b, std::int64_t e) {
+                  std::int64_t local = 0;
+                  for (std::int64_t i = b; i < e; ++i) local += i;
+                  sum.fetch_add(local);
+                });
+  });
+  return sum.load() == 5050;
+}
+
+bool chk_barrier_phase() {
+  std::atomic<int> before{0};
+  std::atomic<bool> ok{true};
+  o::parallel([&](int, int nth) {
+    before.fetch_add(1);
+    o::barrier();
+    if (before.load() != nth) ok.store(false);
+  });
+  return ok.load();
+}
+
+bool chk_barrier_repeated() {
+  std::atomic<int> counter{0};
+  std::atomic<bool> ok{true};
+  o::parallel([&](int, int nth) {
+    for (int k = 1; k <= 8; ++k) {
+      counter.fetch_add(1);
+      o::barrier();
+      if (counter.load() != k * nth) ok.store(false);
+      o::barrier();
+    }
+  });
+  return ok.load();
+}
+
+bool chk_single_one_winner() {
+  std::atomic<int> winners{0};
+  o::parallel([&](int, int) { o::single([&] { winners.fetch_add(1); }); });
+  return winners.load() == 1;
+}
+
+bool chk_single_repeated() {
+  std::atomic<int> winners{0};
+  o::parallel([&](int, int) {
+    for (int k = 0; k < 6; ++k) o::single([&] { winners.fetch_add(1); });
+  });
+  return winners.load() == 6;
+}
+
+bool chk_single_implies_barrier() {
+  std::atomic<int> value{0};
+  std::atomic<bool> ok{true};
+  o::parallel([&](int, int) {
+    o::single([&] { value.store(42); });
+    if (value.load() != 42) ok.store(false);  // visible after the barrier
+  });
+  return ok.load();
+}
+
+bool chk_master_thread0() {
+  std::atomic<int> who{-1};
+  o::parallel([&](int tid, int) {
+    o::master([&] { who.store(tid); });
+    o::barrier();
+  });
+  return who.load() == 0;
+}
+
+bool chk_master_once() {
+  std::atomic<int> runs{0};
+  o::parallel([&](int, int) {
+    o::master([&] { runs.fetch_add(1); });
+    o::barrier();
+  });
+  return runs.load() == 1;
+}
+
+bool chk_critical_counter() {
+  long long counter = 0;
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 300; ++i) {
+      o::critical([&] { counter += 1; });
+    }
+  });
+  return counter == 300LL * o::max_threads();
+}
+
+bool chk_critical_named() {
+  static int tag_a, tag_b;
+  long long a = 0, b = 0;
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 100; ++i) {
+      o::critical(&tag_a, [&] { a += 1; });
+      o::critical(&tag_b, [&] { b += 2; });
+    }
+  });
+  const long long n = o::max_threads();
+  return a == 100 * n && b == 200 * n;
+}
+
+bool chk_atomic_update() {
+  // atomic construct emulated with the unnamed critical (facade contract).
+  long long x = 0;
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 200; ++i) o::critical([&] { ++x; });
+  });
+  return x == 200LL * o::max_threads();
+}
+
+bool chk_reduction_sum() {
+  const double got =
+      o::reduce_sum(1, 101, [](std::int64_t i) { return double(i); });
+  return got == 5050.0;
+}
+
+bool chk_reduction_large() {
+  constexpr std::int64_t kN = 5000;
+  const double got = o::reduce_sum(
+      0, kN, [](std::int64_t i) { return double(i % 7); });
+  double expect = 0;
+  for (std::int64_t i = 0; i < kN; ++i) expect += double(i % 7);
+  return got == expect;
+}
+
+bool chk_nested_two_levels() {
+  std::atomic<int> inner{0};
+  o::parallel(2, [&](int, int) {
+    o::parallel(2, [&](int, int nth) {
+      if (nth == 2) inner.fetch_add(1);
+    });
+  });
+  return inner.load() == 4;
+}
+
+bool chk_nested_inner_size() {
+  std::atomic<bool> ok{true};
+  o::parallel(2, [&](int, int) {
+    o::parallel(3, [&](int tid, int nth) {
+      if (nth != 3 || tid < 0 || tid >= 3) ok.store(false);
+    });
+  });
+  return ok.load();
+}
+
+bool chk_nested_listing1() {
+  // The paper's Listing 1 at toy scale.
+  constexpr std::int64_t kN = 4;
+  std::atomic<int> leaf{0};
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 0,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    o::parallel(2, [&](int, int) {
+                      o::for_loop(0, kN, o::Schedule::Static, 0,
+                                  [&](std::int64_t ib, std::int64_t ie) {
+                                    leaf.fetch_add(
+                                        static_cast<int>(ie - ib));
+                                  });
+                    });
+                  }
+                });
+  });
+  return leaf.load() == kN * kN;
+}
+
+bool chk_task_basic() {
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task([&] { ran.fetch_add(1); });
+      o::taskwait();
+    });
+  });
+  return ran.load() == 1;
+}
+
+bool chk_task_many() {
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 64; ++i) o::task([&] { ran.fetch_add(1); });
+      o::taskwait();
+    });
+  });
+  return ran.load() == 64;
+}
+
+bool chk_task_data_capture() {
+  // firstprivate-style capture: each task owns its value at creation time.
+  std::atomic<std::int64_t> sum{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 1; i <= 32; ++i) {
+        const int v = i;  // captured by value (firstprivate)
+        o::task([&sum, v] { sum.fetch_add(v); });
+      }
+      o::taskwait();
+    });
+  });
+  return sum.load() == 32 * 33 / 2;
+}
+
+bool chk_task_nested() {
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task([&] {
+        for (int j = 0; j < 4; ++j) o::task([&] { ran.fetch_add(1); });
+        o::taskwait();
+      });
+      o::taskwait();
+    });
+  });
+  return ran.load() == 4;
+}
+
+bool chk_taskwait_ordering() {
+  std::atomic<int> done{0};
+  bool ok = false;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 16; ++i) {
+        o::task([&] {
+          spin_us(5);
+          done.fetch_add(1);
+        });
+      }
+      o::taskwait();
+      ok = done.load() == 16;  // all children complete at taskwait
+    });
+  });
+  return ok;
+}
+
+bool chk_task_barrier_completion() {
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 32; ++i) o::task([&] { done.fetch_add(1); });
+    });  // single's implicit barrier is the completion point
+  });
+  return done.load() == 32;
+}
+
+bool chk_task_if0() {
+  std::atomic<int> done{0};
+  bool immediate = false;
+  o::TaskFlags flags;
+  flags.if_clause = false;
+  o::parallel(1, [&](int, int) {
+    o::task([&] { done.fetch_add(1); }, flags);
+    immediate = done.load() == 1;
+  });
+  return immediate;
+}
+
+bool chk_task_from_all_members() {
+  std::atomic<int> done{0};
+  int nth_seen = 0;
+  o::parallel([&](int, int nth) {
+    nth_seen = nth;
+    for (int i = 0; i < 8; ++i) o::task([&] { done.fetch_add(1); });
+    o::taskwait();
+  });
+  return done.load() == 8 * nth_seen;
+}
+
+bool chk_taskwait_deep_tree() {
+  std::atomic<int> leaves{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task([&] {
+        o::task([&] {
+          o::task([&] { leaves.fetch_add(1); });
+          o::taskwait();
+          leaves.fetch_add(1);
+        });
+        o::taskwait();
+        leaves.fetch_add(1);
+      });
+      o::taskwait();
+    });
+  });
+  return leaves.load() == 3;
+}
+
+bool chk_guided_chunk_floor() {
+  // guided with a min-chunk: every dispatched range must be >= chunk
+  // except possibly the last.
+  std::atomic<bool> ok{true};
+  std::atomic<std::int64_t> covered{0};
+  o::parallel([&](int, int) {
+    o::for_loop(0, 200, o::Schedule::Guided, 8,
+                [&](std::int64_t b, std::int64_t e) {
+                  covered.fetch_add(e - b);
+                  if (e - b < 8 && e != 200) ok.store(false);
+                });
+  });
+  return ok.load() && covered.load() == 200;
+}
+
+// ---- single-mode checks -----------------------------------------------------
+
+bool chk_set_num_threads() {
+  const int before = o::max_threads();
+  o::set_num_threads(2);
+  std::atomic<int> members{0};
+  o::parallel([&](int, int) { members.fetch_add(1); });
+  o::set_num_threads(before);
+  return members.load() == 2;
+}
+
+bool chk_for_empty_range() {
+  bool entered = false;
+  o::parallel([&](int, int) {
+    o::for_loop(5, 5, o::Schedule::Dynamic, 1,
+                [&](std::int64_t, std::int64_t) { entered = true; });
+    o::for_loop(9, 3, o::Schedule::Static, 0,
+                [&](std::int64_t, std::int64_t) { entered = true; });
+  });
+  return !entered;
+}
+
+bool chk_nested_disabled() {
+  o::set_nested(false);
+  std::atomic<int> inner_nth{-1};
+  o::parallel(2, [&](int, int) {
+    o::parallel(3, [&](int, int nth) { inner_nth.store(nth); });
+  });
+  o::set_nested(true);
+  return inner_nth.load() == 1;
+}
+
+bool chk_producer_consumer() {
+  // The paper's CG pattern: one producer in single, everyone consumes.
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 100; ++i) {
+        o::task([&] {
+          spin_us(2);
+          done.fetch_add(1);
+        });
+      }
+      o::taskwait();
+    });
+  });
+  return done.load() == 100;
+}
+
+// ---- task-semantics tests (Table I differentiators) -------------------------
+
+struct MigrationStats {
+  int yields = 0;
+  int migrated = 0;
+};
+
+/// Creates tasks that record the executing thread before/after taskyield.
+MigrationStats measure_taskyield_migration(bool untied) {
+  std::atomic<int> yields{0};
+  std::atomic<int> migrated{0};
+  o::TaskFlags flags;
+  flags.untied = untied;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 32; ++i) {
+        o::task(
+            [&] {
+              for (int k = 0; k < 12; ++k) {
+                const int before = o::thread_num();
+                o::taskyield();
+                // Long enough for other OS workers to get a timeslice and
+                // steal the suspended tasks sitting in the deque.
+                spin_us(60);
+                const int after = o::thread_num();
+                yields.fetch_add(1);
+                if (after != before) migrated.fetch_add(1);
+              }
+            },
+            flags);
+      }
+      o::taskwait();
+    });
+  });
+  return MigrationStats{yields.load(), migrated.load()};
+}
+
+bool chk_taskyield_strict() {
+  // OpenUH-style: a taskyield should reschedule the task; the strict
+  // variant demands migration on the majority of yields. Every runtime in
+  // the paper fails this (tied tasks stay put; stealing is too rare).
+  const auto s = measure_taskyield_migration(false);
+  return s.yields > 0 && s.migrated * 2 >= s.yields;
+}
+
+bool chk_taskyield_lenient() {
+  // Orphan variant: at least one post-yield migration. Passes only where
+  // the scheduler steals suspended tasks (GLTO over MassiveThreads).
+  const auto s = measure_taskyield_migration(false);
+  return s.migrated > 0;
+}
+
+bool chk_untied_any_migration() {
+  const auto s = measure_taskyield_migration(true);
+  return s.migrated > 0;
+}
+
+bool chk_task_final_undeferred() {
+  // A `final` task must execute undeferred. GLTO runs final tasks inline;
+  // the pthread baselines enqueue them like any task (paper: the fifth
+  // GNU/Intel failure).
+  std::atomic<int> ran{0};
+  bool immediate = false;
+  o::TaskFlags flags;
+  flags.final = true;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task(
+          [&] {
+            spin_us(10);
+            ran.fetch_add(1);
+          },
+          flags);
+      immediate = ran.load() == 1;  // already done when task() returns?
+      o::taskwait();
+    });
+  });
+  return immediate;
+}
+
+// ---- suite assembly ---------------------------------------------------------
+
+struct GenericCheck {
+  const char* name;
+  const char* constructs;  // comma-separated construct tags
+  CheckFn fn;
+};
+
+const GenericCheck kGeneric[] = {
+    {"omp_parallel_default", "parallel,omp_get_num_threads,thread team",
+     chk_parallel_default},
+    {"omp_parallel_num_threads", "parallel num_threads,icv num-threads",
+     chk_parallel_numthreads},
+    {"omp_parallel_repeated", "parallel,fork-join,region reentry",
+     chk_parallel_repeated},
+    {"omp_get_thread_num", "omp_get_thread_num,thread ids",
+     chk_thread_num_bounds},
+    {"omp_in_parallel_team_size",
+     "omp_get_num_threads,implicit team,omp_in_parallel",
+     chk_num_threads_query},
+    {"omp_get_level", "omp_get_level,nesting level", chk_level_query},
+    {"omp_get_max_threads", "omp_get_max_threads", chk_max_threads_query},
+    {"omp_for_static", "for,schedule(static),work distribution",
+     chk_for_static},
+    {"omp_for_static_chunk", "for,schedule(static;chunk),chunk dispatch",
+     chk_for_static_chunk},
+    {"omp_for_dynamic", "for,schedule(dynamic)", chk_for_dynamic},
+    {"omp_for_guided", "for,schedule(guided)", chk_for_guided},
+    {"omp_for_consecutive", "for,nowait-sequence", chk_for_consecutive},
+    {"omp_for_values", "for,loop body,private", chk_for_sum_values},
+    {"omp_barrier", "barrier,flush(implied)", chk_barrier_phase},
+    {"omp_barrier_repeated", "barrier,phases", chk_barrier_repeated},
+    {"omp_single", "single", chk_single_one_winner},
+    {"omp_single_repeated", "single,arbitration", chk_single_repeated},
+    {"omp_single_barrier", "single,implicit barrier",
+     chk_single_implies_barrier},
+    {"omp_master", "master", chk_master_thread0},
+    {"omp_master_once", "master,uniqueness", chk_master_once},
+    {"omp_critical", "critical,mutual exclusion", chk_critical_counter},
+    {"omp_critical_named", "critical(name)", chk_critical_named},
+    {"omp_atomic", "atomic,shared update", chk_atomic_update},
+    {"omp_reduction", "reduction(+)", chk_reduction_sum},
+    {"omp_reduction_large", "reduction,partial sums", chk_reduction_large},
+    {"omp_nested_parallel", "nested parallel,omp_set_nested",
+     chk_nested_two_levels},
+    {"omp_nested_team_size", "nested parallel,num_threads",
+     chk_nested_inner_size},
+    {"omp_nested_parallel_for", "nested parallel,for",
+     chk_nested_listing1},
+    {"omp_task_basic", "task,task creation", chk_task_basic},
+    {"omp_task_many", "task,queueing", chk_task_many},
+    {"omp_task_firstprivate", "task,firstprivate,task data environment",
+     chk_task_data_capture},
+    {"omp_task_nested", "task,child tasks", chk_task_nested},
+    {"omp_taskwait", "taskwait,task scheduling point",
+     chk_taskwait_ordering},
+    {"omp_task_barrier", "task,barrier completion",
+     chk_task_barrier_completion},
+    {"omp_task_if", "task if(false),undeferred", chk_task_if0},
+    {"omp_task_all_members", "task,per-member queues,shared",
+     chk_task_from_all_members},
+    {"omp_taskwait_tree", "taskwait,nesting depth",
+     chk_taskwait_deep_tree},
+    {"omp_for_guided_chunk", "schedule(guided;chunk),chunk floor",
+     chk_guided_chunk_floor},
+};
+
+const GenericCheck kSingleMode[] = {
+    {"omp_set_num_threads", "omp_set_num_threads", chk_set_num_threads},
+    {"omp_for_empty", "for,empty range", chk_for_empty_range},
+    {"omp_nested_disabled", "omp_set_nested(false)", chk_nested_disabled},
+    {"omp_task_producer_consumer", "task,single producer",
+     chk_producer_consumer},
+};
+
+bool run_generic(Mode m, CheckFn fn) { return dispatch(m, fn); }
+
+std::vector<TestCase> build_suite() {
+  std::vector<TestCase> out;
+  for (const auto& g : kGeneric) {
+    for (Mode m : {Mode::normal, Mode::cross, Mode::orphan}) {
+      TestCase tc;
+      tc.name = g.name;
+      tc.construct = g.constructs;
+      tc.mode = m;
+      tc.fn = nullptr;  // filled by table lookup in run_case
+      out.push_back(tc);
+    }
+  }
+  for (const auto& g : kSingleMode) {
+    TestCase tc;
+    tc.name = g.name;
+    tc.construct = g.constructs;
+    tc.mode = Mode::normal;
+    out.push_back(tc);
+  }
+  // Task-semantics differentiators (the Table I story).
+  out.push_back({"omp_taskyield", "taskyield", Mode::normal, nullptr});
+  out.push_back({"omp_taskyield", "taskyield", Mode::orphan, nullptr});
+  out.push_back({"omp_task_untied", "task untied", Mode::normal, nullptr});
+  out.push_back({"omp_task_untied", "task untied", Mode::orphan, nullptr});
+  out.push_back({"omp_task_final", "task final", Mode::normal, nullptr});
+  return out;
+}
+
+CheckFn lookup(const std::string& name) {
+  for (const auto& g : kGeneric) {
+    if (name == g.name) return g.fn;
+  }
+  for (const auto& g : kSingleMode) {
+    if (name == g.name) return g.fn;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::normal:
+      return "normal";
+    case Mode::cross:
+      return "cross";
+    case Mode::orphan:
+      return "orphan";
+  }
+  return "?";
+}
+
+const std::vector<TestCase>& suite() {
+  static const std::vector<TestCase> s = build_suite();
+  return s;
+}
+
+int construct_count() {
+  std::set<std::string> tags;
+  for (const auto& tc : suite()) {
+    std::stringstream ss(tc.construct);
+    std::string tag;
+    while (std::getline(ss, tag, ',')) tags.insert(tag);
+  }
+  return static_cast<int>(tags.size());
+}
+
+bool run_case(const TestCase& tc) {
+  // Task-semantics specials first.
+  if (tc.name == "omp_taskyield") {
+    return tc.mode == Mode::normal ? chk_taskyield_strict()
+                                   : chk_taskyield_lenient();
+  }
+  if (tc.name == "omp_task_untied") return chk_untied_any_migration();
+  if (tc.name == "omp_task_final") return chk_task_final_undeferred();
+  CheckFn fn = lookup(tc.name);
+  if (fn == nullptr) return false;
+  return run_generic(tc.mode, fn);
+}
+
+SuiteResult run_suite() {
+  SuiteResult res;
+  for (const auto& tc : suite()) {
+    res.total++;
+    if (run_case(tc)) {
+      res.passed++;
+    } else {
+      res.failed_names.push_back(tc.name + std::string("(") +
+                                 mode_name(tc.mode) + ")");
+    }
+  }
+  return res;
+}
+
+}  // namespace glto::apps::validation

@@ -1,0 +1,33 @@
+#include "common/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace glto::common {
+
+int hardware_concurrency() {
+  int n = static_cast<int>(std::thread::hardware_concurrency());
+  return n > 0 ? n : 1;
+}
+
+bool bind_self_to_core(int rank) {
+  const int ncpu = hardware_concurrency();
+  if (ncpu <= 0 || rank < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(rank % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+void unbind_self() {
+  const int ncpu = hardware_concurrency();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int i = 0; i < ncpu; ++i) CPU_SET(static_cast<unsigned>(i), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+}  // namespace glto::common

@@ -1,0 +1,21 @@
+// CPU affinity helpers.
+//
+// The paper binds OS threads to cores (OMP_PROC_BIND=true, GLT_threads
+// "bound to CPU cores"). Binding is best-effort: in constrained containers
+// (or when fewer cores exist than threads) failures are silently ignored,
+// mirroring the round-robin oversubscribed placement of the original study.
+#pragma once
+
+namespace glto::common {
+
+/// Number of CPUs available to this process.
+int hardware_concurrency();
+
+/// Binds the calling OS thread to core (rank % num_cpus). Best-effort.
+/// Returns true if the affinity call succeeded.
+bool bind_self_to_core(int rank);
+
+/// Clears the calling thread's affinity mask (binds to all CPUs).
+void unbind_self();
+
+}  // namespace glto::common

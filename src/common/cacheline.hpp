@@ -1,0 +1,35 @@
+// Cache-line size constants and padded wrappers to avoid false sharing in
+// runtime-internal shared state (queue heads, barrier counters, ...).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace glto::common {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A value padded out to occupy (at least) one full cache line.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad[kCacheLine - (sizeof(T) % kCacheLine == 0 ? kCacheLine
+                                                     : sizeof(T) % kCacheLine)];
+};
+
+/// Padded atomic — each instance owns its own cache line.
+template <typename T>
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<T> value{};
+};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace glto::common

@@ -1,0 +1,32 @@
+// Runtime-internal assertion macros. GLTO_CHECK stays on in release builds:
+// scheduler invariants are cheap to test and catastrophic to violate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GLTO_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GLTO_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define GLTO_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GLTO_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define GLTO_DCHECK(cond) GLTO_CHECK(cond)
+#else
+#define GLTO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif

@@ -1,0 +1,44 @@
+// Idle-thread parking with bounded timeouts.
+//
+// Scheduler loops spin briefly when their pools drain, then park here. All
+// waits are timeout-bounded, so a missed notification costs at most one
+// timeout period instead of a hang; this keeps the wake protocol simple and
+// is the behaviour OMP_WAIT_POLICY=passive models.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace glto::common {
+
+class Parker {
+ public:
+  /// Blocks the caller for at most @p us microseconds or until unparked.
+  void park_for_us(std::int64_t us) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_for(lk, std::chrono::microseconds(us));
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Wakes all parked threads (cheap no-op when nobody is parked).
+  void unpark_all() {
+    if (waiters_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] int waiters() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<int> waiters_{0};
+};
+
+}  // namespace glto::common

@@ -1,0 +1,66 @@
+// Spinlocks with exponential backoff.
+//
+// Runtime internals (pools, FEB buckets, task queues) prefer spinlocks over
+// pthread mutexes: critical sections are tens of nanoseconds and must not
+// deschedule a ULT-carrying OS thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace glto::common {
+
+/// Test-and-test-and-set spinlock with bounded exponential backoff.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    std::uint32_t backoff = 1;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < 1024) backoff <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard for SpinLock (mirrors std::lock_guard without <mutex>).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) : lock_(l) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+/// Spin-wait helper with backoff; calls @p pred until it returns true.
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  std::uint32_t backoff = 1;
+  while (!pred()) {
+    for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
+    if (backoff < 4096) backoff <<= 1;
+  }
+}
+
+}  // namespace glto::common

@@ -1,0 +1,54 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace glto::common {
+
+void RunStats::add(double x) { samples_.push_back(x); }
+
+double RunStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double RunStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double RunStats::min() const {
+  double out = std::numeric_limits<double>::infinity();
+  for (double x : samples_) out = std::min(out, x);
+  return samples_.empty() ? 0.0 : out;
+}
+
+double RunStats::max() const {
+  double out = -std::numeric_limits<double>::infinity();
+  for (double x : samples_) out = std::max(out, x);
+  return samples_.empty() ? 0.0 : out;
+}
+
+double RunStats::median() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  const std::size_t n = s.size();
+  return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+std::string RunStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.6f ± %.6f [%.6f, %.6f] (n=%zu)", mean(),
+                stddev(), min(), max(), count());
+  return buf;
+}
+
+}  // namespace glto::common

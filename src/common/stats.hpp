@@ -1,0 +1,32 @@
+// Small online statistics helper used by bench harnesses to report the
+// mean / stddev / min / max of repeated executions (the paper reports
+// averages of 50 or 1,000 runs with error bars).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace glto::common {
+
+class RunStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double median() const;
+
+  /// "mean ± stddev [min, max] (n)" for human-readable bench tables.
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace glto::common

@@ -1,0 +1,93 @@
+#include "fctx/fcontext.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(GLTO_FCTX_UCONTEXT)
+#include <ucontext.h>
+
+#include <map>
+
+#include "common/spin.hpp"
+#endif
+
+namespace glto::fctx {
+
+extern "C" void glto_fctx_on_exit(void*) {
+  std::fprintf(stderr, "glto::fctx: context entry function returned\n");
+  std::abort();
+}
+
+#if !defined(GLTO_FCTX_UCONTEXT)
+
+extern "C" {
+transfer_t glto_jump_fcontext(fcontext_t to, void* data);
+fcontext_t glto_make_fcontext(void* sp, std::size_t size, entry_fn fn);
+}
+
+fcontext_t make_fcontext(void* sp, std::size_t size, entry_fn fn) {
+  return glto_make_fcontext(sp, size, fn);
+}
+
+transfer_t jump_fcontext(fcontext_t to, void* data) {
+  return glto_jump_fcontext(to, data);
+}
+
+#else  // ucontext fallback for non-x86-64 hosts (slower: syscall per switch).
+
+namespace {
+
+struct UctxRecord {
+  ucontext_t ctx;
+  entry_fn fn = nullptr;
+  transfer_t pending{};
+  bool fresh = false;
+};
+
+thread_local transfer_t g_incoming{};
+thread_local ucontext_t* g_current = nullptr;
+
+void trampoline(unsigned hi, unsigned lo) {
+  auto* rec = reinterpret_cast<UctxRecord*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  rec->fn(g_incoming);
+  glto_fctx_on_exit(nullptr);
+}
+
+}  // namespace
+
+fcontext_t make_fcontext(void* sp, std::size_t size, entry_fn fn) {
+  // Carve the record out of the top of the stack itself so that no separate
+  // allocation (and no leak) is needed — mirrors the asm implementation.
+  auto top = reinterpret_cast<std::uintptr_t>(sp);
+  top = (top - sizeof(UctxRecord)) & ~std::uintptr_t(63);
+  auto* rec = reinterpret_cast<UctxRecord*>(top);
+  new (rec) UctxRecord();
+  getcontext(&rec->ctx);
+  rec->ctx.uc_stack.ss_sp = static_cast<char*>(sp) - size;
+  rec->ctx.uc_stack.ss_size = top - reinterpret_cast<std::uintptr_t>(
+                                        static_cast<char*>(sp) - size);
+  rec->ctx.uc_link = nullptr;
+  rec->fn = fn;
+  rec->fresh = true;
+  const auto p = reinterpret_cast<std::uintptr_t>(rec);
+  makecontext(&rec->ctx, reinterpret_cast<void (*)()>(trampoline), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+  return rec;
+}
+
+transfer_t jump_fcontext(fcontext_t to, void* data) {
+  auto* target = static_cast<UctxRecord*>(to);
+  UctxRecord self;
+  g_incoming = transfer_t{&self, data};
+  ucontext_t* prev = g_current;
+  g_current = &target->ctx;
+  swapcontext(&self.ctx, &target->ctx);
+  g_current = prev;
+  return g_incoming;
+}
+
+#endif
+
+}  // namespace glto::fctx

@@ -1,0 +1,37 @@
+// Minimal fast user-level context switching, Boost.Context fcontext style.
+//
+// This is the mechanism that makes user-level threads (ULTs) "lightweight":
+// a switch saves/restores only the System V callee-saved registers plus the
+// FP control words — roughly 20 ns — versus microseconds for an OS thread
+// context switch through the kernel. All three LWT libraries in this repo
+// (abt, qth, mth) are built on these two primitives.
+#pragma once
+
+#include <cstddef>
+
+namespace glto::fctx {
+
+/// Opaque handle to a suspended context (points into its stack).
+using fcontext_t = void*;
+
+/// Value carried across a switch: the context we came from plus a payload.
+struct transfer_t {
+  fcontext_t from;  ///< context of the suspended side; resume it to go back
+  void* data;       ///< payload passed through jump_fcontext
+};
+
+/// Entry function type for a fresh context. Receives the transfer from the
+/// first jump into it. Must never return (finish by jumping elsewhere);
+/// returning aborts the process.
+using entry_fn = void (*)(transfer_t);
+
+/// Creates a context on the stack [sp - size, sp). @p sp is the *top*
+/// (highest address) of the stack. The context starts executing @p fn when
+/// first jumped to.
+fcontext_t make_fcontext(void* sp, std::size_t size, entry_fn fn);
+
+/// Suspends the current context and resumes @p to, passing @p data.
+/// Returns when somebody jumps back, with the peer's context and payload.
+transfer_t jump_fcontext(fcontext_t to, void* data);
+
+}  // namespace glto::fctx

@@ -1,0 +1,92 @@
+#include "fctx/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "common/debug.hpp"
+#include "common/spin.hpp"
+
+namespace glto::fctx {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up_pages(std::size_t n) {
+  const std::size_t ps = page_size();
+  return (n + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+struct StackPool::Impl {
+  glto::common::SpinLock lock;
+  std::vector<void*> free_bases;       // recycled stacks (base addresses)
+  std::vector<void*> all_bases;        // everything mapped, for teardown
+  std::atomic<std::uint64_t> mapped{0};
+};
+
+StackPool::StackPool(std::size_t stack_size)
+    : impl_(new Impl), stack_size_(round_up_pages(stack_size)) {}
+
+StackPool::~StackPool() {
+  const std::size_t total = stack_size_ + page_size();
+  for (void* base : impl_->all_bases) ::munmap(base, total);
+  delete impl_;
+}
+
+Stack StackPool::acquire() {
+  {
+    glto::common::SpinGuard g(impl_->lock);
+    if (!impl_->free_bases.empty()) {
+      void* base = impl_->free_bases.back();
+      impl_->free_bases.pop_back();
+      Stack s;
+      s.base = base;
+      s.size = stack_size_;
+      s.top = static_cast<char*>(base) + page_size() + stack_size_;
+      return s;
+    }
+  }
+  const std::size_t total = stack_size_ + page_size();
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  GLTO_CHECK_MSG(base != MAP_FAILED, "stack mmap failed");
+  // Guard page at the low end: stack overflow faults instead of corrupting
+  // a neighbouring stack.
+  GLTO_CHECK(::mprotect(base, page_size(), PROT_NONE) == 0);
+  impl_->mapped.fetch_add(1, std::memory_order_relaxed);
+  {
+    glto::common::SpinGuard g(impl_->lock);
+    impl_->all_bases.push_back(base);
+  }
+  Stack s;
+  s.base = base;
+  s.size = stack_size_;
+  s.top = static_cast<char*>(base) + page_size() + stack_size_;
+  return s;
+}
+
+void StackPool::release(Stack s) {
+  if (!s.valid()) return;
+  glto::common::SpinGuard g(impl_->lock);
+  impl_->free_bases.push_back(s.base);
+}
+
+std::uint64_t StackPool::total_mapped() const {
+  return impl_->mapped.load(std::memory_order_relaxed);
+}
+
+StackPool& StackPool::global() {
+  static StackPool* pool = new StackPool();  // immortal: ULTs may outlive main
+  return *pool;
+}
+
+}  // namespace glto::fctx

@@ -1,0 +1,56 @@
+// Pooled ULT stack allocation.
+//
+// Creating a ULT must be orders of magnitude cheaper than pthread_create;
+// the dominant cost is stack allocation, so stacks are mmap'ed once (with a
+// PROT_NONE guard page below) and recycled through a global lock-free-ish
+// freelist with per-thread caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace glto::fctx {
+
+struct Stack {
+  void* base = nullptr;   ///< lowest mapped address (guard page)
+  void* top = nullptr;    ///< highest usable address; pass to make_fcontext
+  std::size_t size = 0;   ///< usable size (excludes the guard page)
+
+  [[nodiscard]] bool valid() const { return base != nullptr; }
+};
+
+/// Process-wide stack pool. Thread-safe.
+class StackPool {
+ public:
+  /// @p stack_size is rounded up to whole pages. 64 KiB default matches
+  /// typical LWT library defaults (Argobots: 64 KiB).
+  explicit StackPool(std::size_t stack_size = kDefaultStackSize);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  /// Returns a guard-paged stack; recycles a previously released one when
+  /// available, otherwise mmaps a fresh one.
+  Stack acquire();
+
+  /// Returns a stack to the pool for reuse.
+  void release(Stack s);
+
+  [[nodiscard]] std::size_t stack_size() const { return stack_size_; }
+
+  /// Number of stacks ever mmap'ed (for tests / ablation counters).
+  [[nodiscard]] std::uint64_t total_mapped() const;
+
+  /// The process-wide default pool (64 KiB stacks).
+  static StackPool& global();
+
+  static constexpr std::size_t kDefaultStackSize = 64 * 1024;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t stack_size_;
+};
+
+}  // namespace glto::fctx

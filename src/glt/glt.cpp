@@ -1,0 +1,282 @@
+#include "glt/glt.hpp"
+
+#include <atomic>
+
+#include "abt/abt.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "mth/mth.hpp"
+#include "qth/qth.hpp"
+
+namespace glto::glt {
+
+namespace {
+
+struct GltState {
+  Config cfg;
+  std::atomic<std::uint64_t> ults_created{0};
+  std::atomic<std::uint64_t> tasklets_created{0};
+};
+
+GltState* g_state = nullptr;
+
+/// Heap wrapper for backends whose native spawn signature differs from
+/// WorkFn (qth returns aligned_t) or that need a join word (qth).
+struct QthUltRecord {
+  WorkFn fn;
+  void* arg;
+  qth::aligned_t ret = 0;
+};
+
+qth::aligned_t qth_trampoline(void* p) {
+  auto* rec = static_cast<QthUltRecord*>(p);
+  rec->fn(rec->arg);
+  return 0;
+}
+
+}  // namespace
+
+const char* impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::abt:
+      return "abt";
+    case Impl::qth:
+      return "qth";
+    case Impl::mth:
+      return "mth";
+  }
+  return "?";
+}
+
+std::optional<Impl> impl_from_string(std::string_view name) {
+  if (name == "abt" || name == "argobots") return Impl::abt;
+  if (name == "qth" || name == "qthreads") return Impl::qth;
+  if (name == "mth" || name == "massivethreads") return Impl::mth;
+  return std::nullopt;
+}
+
+Config config_from_env() {
+  Config cfg;
+  if (auto s = common::env_str("GLT_IMPL")) {
+    if (auto impl = impl_from_string(*s)) cfg.impl = *impl;
+  }
+  cfg.num_threads = static_cast<int>(common::env_i64("GLT_NUM_THREADS", 0));
+  cfg.shared_queues = common::env_bool("GLT_SHARED_QUEUES", false);
+  return cfg;
+}
+
+void init(const Config& cfg) {
+  GLTO_CHECK_MSG(g_state == nullptr, "glt::init called twice");
+  g_state = new GltState();
+  g_state->cfg = cfg;
+  switch (cfg.impl) {
+    case Impl::abt: {
+      abt::Config c;
+      c.num_xstreams = cfg.num_threads;
+      c.shared_pool = cfg.shared_queues;
+      c.bind_threads = cfg.bind_threads;
+      abt::init(c);
+      break;
+    }
+    case Impl::qth: {
+      qth::Config c;
+      c.num_shepherds = cfg.num_threads;
+      c.bind_threads = cfg.bind_threads;
+      qth::init(c);
+      break;
+    }
+    case Impl::mth: {
+      mth::Config c;
+      c.num_workers = cfg.num_threads;
+      c.bind_threads = cfg.bind_threads;
+      c.pin_main = cfg.pin_main;
+      mth::init(c);
+      break;
+    }
+  }
+}
+
+void finalize() {
+  GLTO_CHECK_MSG(g_state != nullptr, "glt::finalize without init");
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      abt::finalize();
+      break;
+    case Impl::qth:
+      qth::finalize();
+      break;
+    case Impl::mth:
+      mth::finalize();
+      break;
+  }
+  delete g_state;
+  g_state = nullptr;
+}
+
+bool initialized() { return g_state != nullptr; }
+
+Impl current_impl() {
+  GLTO_CHECK(g_state != nullptr);
+  return g_state->cfg.impl;
+}
+
+int num_threads() {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return abt::num_xstreams();
+    case Impl::qth:
+      return qth::num_shepherds();
+    case Impl::mth:
+      return mth::num_workers();
+  }
+  return 0;
+}
+
+int thread_num() {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return abt::self_rank();
+    case Impl::qth:
+      return qth::shep_rank();
+    case Impl::mth:
+      return mth::worker_rank();
+  }
+  return -1;
+}
+
+Ult* ult_create(WorkFn fn, void* arg) {
+  g_state->ults_created.fetch_add(1, std::memory_order_relaxed);
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return reinterpret_cast<Ult*>(abt::ult_create(fn, arg));
+    case Impl::qth: {
+      auto* rec = new QthUltRecord{fn, arg, 0};
+      qth::fork(qth_trampoline, rec, &rec->ret);
+      return reinterpret_cast<Ult*>(rec);
+    }
+    case Impl::mth:
+      return reinterpret_cast<Ult*>(mth::create(fn, arg));
+  }
+  return nullptr;
+}
+
+Ult* ult_create_to(int tid, WorkFn fn, void* arg) {
+  g_state->ults_created.fetch_add(1, std::memory_order_relaxed);
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return reinterpret_cast<Ult*>(abt::ult_create_on(tid, fn, arg));
+    case Impl::qth: {
+      auto* rec = new QthUltRecord{fn, arg, 0};
+      qth::fork_to(tid, qth_trampoline, rec, &rec->ret);
+      return reinterpret_cast<Ult*>(rec);
+    }
+    case Impl::mth:
+      // mth has no placement: work-first + stealing decide (documented).
+      return reinterpret_cast<Ult*>(mth::create(fn, arg));
+  }
+  return nullptr;
+}
+
+void ult_join(Ult* u) {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      abt::join(reinterpret_cast<abt::WorkUnit*>(u));
+      break;
+    case Impl::qth: {
+      auto* rec = reinterpret_cast<QthUltRecord*>(u);
+      qth::aligned_t sink = 0;
+      qth::readFF(&sink, &rec->ret);
+      delete rec;
+      break;
+    }
+    case Impl::mth:
+      mth::join(reinterpret_cast<mth::Strand*>(u));
+      break;
+  }
+}
+
+Tasklet* tasklet_create(WorkFn fn, void* arg) {
+  g_state->tasklets_created.fetch_add(1, std::memory_order_relaxed);
+  if (g_state->cfg.impl == Impl::abt) {
+    return reinterpret_cast<Tasklet*>(abt::tasklet_create(fn, arg));
+  }
+  // qth/mth: tasklets are emulated over ULTs (as in the original GLT).
+  auto* t = reinterpret_cast<Tasklet*>(ult_create(fn, arg));
+  // Keep the counters disjoint: the emulation ULT is reported as a tasklet.
+  g_state->ults_created.fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+Tasklet* tasklet_create_to(int tid, WorkFn fn, void* arg) {
+  g_state->tasklets_created.fetch_add(1, std::memory_order_relaxed);
+  if (g_state->cfg.impl == Impl::abt) {
+    return reinterpret_cast<Tasklet*>(abt::tasklet_create_on(tid, fn, arg));
+  }
+  auto* t = reinterpret_cast<Tasklet*>(ult_create_to(tid, fn, arg));
+  g_state->ults_created.fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+void tasklet_join(Tasklet* t) {
+  if (g_state->cfg.impl == Impl::abt) {
+    abt::join(reinterpret_cast<abt::WorkUnit*>(t));
+    return;
+  }
+  ult_join(reinterpret_cast<Ult*>(t));
+}
+
+void yield() {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      abt::yield();
+      break;
+    case Impl::qth:
+      qth::yield();
+      break;
+    case Impl::mth:
+      mth::yield();
+      break;
+  }
+}
+
+void* self_local() {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return abt::self_local();
+    case Impl::qth:
+      return qth::self_local();
+    case Impl::mth:
+      return mth::self_local();
+  }
+  return nullptr;
+}
+
+void set_self_local(void* p) {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      abt::set_self_local(p);
+      break;
+    case Impl::qth:
+      qth::set_self_local(p);
+      break;
+    case Impl::mth:
+      mth::set_self_local(p);
+      break;
+  }
+}
+
+bool supports_stealing() { return g_state->cfg.impl == Impl::mth; }
+
+bool supports_native_tasklets() { return g_state->cfg.impl == Impl::abt; }
+
+Stats stats() {
+  Stats s;
+  if (g_state != nullptr) {
+    s.ults_created = g_state->ults_created.load(std::memory_order_relaxed);
+    s.tasklets_created =
+        g_state->tasklets_created.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace glto::glt

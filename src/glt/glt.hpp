@@ -1,0 +1,96 @@
+// glt — Generic Lightweight Threads: one programming model over the three
+// LWT backends (abt, qth, mth), mirroring the GLT API of Castelló et al.
+//
+// The PM (paper §III-B, Fig. 1):
+//  * GLT_thread  — an OS thread bound to a core; fixed set created at init.
+//  * GLT_ult     — user-level thread; create/join/yield; may carry any work.
+//  * GLT_tasklet — stackless work unit; native on abt, emulated over ULTs
+//                  on qth and mth (exactly as in the original GLT).
+//  * GLT_scheduler — backend-specific; selecting a backend changes
+//                  performance, never results.
+//
+// A program written against this header runs unmodified over Argobots-,
+// Qthreads-, or MassiveThreads-style scheduling; the backend is chosen at
+// init() (programmatically or via $GLT_IMPL). $GLT_SHARED_QUEUES collapses
+// the per-thread pools into one shared queue (abt backend), neutralizing
+// load imbalance per §IV-F.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace glto::glt {
+
+enum class Impl : std::uint8_t { abt, qth, mth };
+
+[[nodiscard]] const char* impl_name(Impl impl);
+[[nodiscard]] std::optional<Impl> impl_from_string(std::string_view name);
+
+struct Config {
+  Impl impl = Impl::abt;
+  int num_threads = 0;        ///< GLT_threads; 0 → $GLT_NUM_THREADS or cores
+  bool shared_queues = false; ///< $GLT_SHARED_QUEUES (honoured by abt)
+  bool bind_threads = true;
+  bool pin_main = false;      ///< mth: never migrate main (GLTO §IV-G fix)
+};
+
+/// Reads Config from $GLT_IMPL, $GLT_NUM_THREADS, $GLT_SHARED_QUEUES.
+[[nodiscard]] Config config_from_env();
+
+void init(const Config& cfg = config_from_env());
+void finalize();
+[[nodiscard]] bool initialized();
+[[nodiscard]] Impl current_impl();
+
+[[nodiscard]] int num_threads();
+
+/// Rank of the GLT_thread executing the caller. Under the mth backend this
+/// can change across suspension points (stealing).
+[[nodiscard]] int thread_num();
+
+struct Ult;
+struct Tasklet;
+
+using WorkFn = void (*)(void*);
+
+/// Creates a ULT scheduled by the caller's GLT_thread (backend-dependent
+/// placement; mth runs it immediately, work-first).
+Ult* ult_create(WorkFn fn, void* arg);
+
+/// Creates a ULT destined for GLT_thread @p tid. Placement is exact on
+/// abt/qth (no stealing); advisory on mth (the thief decides).
+Ult* ult_create_to(int tid, WorkFn fn, void* arg);
+
+/// Waits for the ULT and destroys it.
+void ult_join(Ult* u);
+
+Tasklet* tasklet_create(WorkFn fn, void* arg);
+Tasklet* tasklet_create_to(int tid, WorkFn fn, void* arg);
+void tasklet_join(Tasklet* t);
+
+/// Cooperative yield to the underlying scheduler.
+void yield();
+
+/// Backend capability: can work units migrate between GLT_threads after
+/// creation? True only for mth — this is what decides the paper's Table I
+/// omp_task_untied / omp_taskyield outcomes.
+[[nodiscard]] bool supports_stealing();
+
+/// Backend capability: stackless tasklets without ULT emulation (abt).
+[[nodiscard]] bool supports_native_tasklets();
+
+/// Per-work-unit user pointer ("ULT-local storage"): follows the current
+/// ULT across yields, blocking joins, and (mth) steals. GLTO hangs its
+/// per-task OpenMP execution context here.
+[[nodiscard]] void* self_local();
+void set_self_local(void* p);
+
+struct Stats {
+  std::uint64_t ults_created = 0;     ///< Table II "Created GLT_ults"
+  std::uint64_t tasklets_created = 0;
+};
+
+[[nodiscard]] Stats stats();
+
+}  // namespace glto::glt

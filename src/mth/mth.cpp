@@ -1,0 +1,445 @@
+#include "mth/mth.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "common/parker.hpp"
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "fctx/fcontext.hpp"
+#include "fctx/stack_pool.hpp"
+#include "sched/chase_lev.hpp"
+#include "sched/locked_queue.hpp"
+
+namespace glto::mth {
+
+namespace {
+
+enum class Kind : std::uint8_t { Ult, Main };
+enum class Dir : std::uint8_t {
+  Resume,   // base loop resumed a strand; carries the base context
+  Spawn,    // parent jumped into a fresh child; child publishes parent
+  Yield,    // strand wants back in the run queue
+  Block,    // strand waits on a join target
+  Migrate,  // strand asks to be requeued on worker 0's pinned slot
+  Done,     // strand finished; clean it up
+};
+
+Strand* const kJoinerSentinel = reinterpret_cast<Strand*>(std::uintptr_t(1));
+
+}  // namespace
+
+struct Strand {
+  WorkFn fn = nullptr;
+  void* arg = nullptr;
+  fctx::fcontext_t ctx = nullptr;
+  fctx::Stack stack;
+  std::atomic<bool> done{false};
+  std::atomic<Strand*> joiner{nullptr};
+  std::atomic<int> last_rank{-1};
+  Kind kind = Kind::Ult;
+  void* user_local = nullptr;  ///< see mth::self_local()
+};
+
+namespace {
+
+struct SwitchMsg {
+  Dir dir;
+  Strand* self;    // the strand that produced the message
+  Strand* target;  // Spawn: the child; Block: the join target
+};
+
+struct Worker {
+  sched::ChaseLevDeque<Strand*> deque;
+  fctx::fcontext_t base_ctx = nullptr;  // valid while a strand chain runs
+  fctx::Stack base_stack;               // only worker 0 (lazily created)
+};
+
+struct Runtime {
+  Config cfg;
+  int n = 0;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+  sched::LockedQueue<Strand*> pinned0;  // strands that must run on worker 0
+  std::atomic<bool> shutdown{false};
+  common::Parker parker;
+
+  std::atomic<std::uint64_t> strands_created{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> main_migrations{0};
+};
+
+Runtime* g_rt = nullptr;
+
+struct Tls {
+  int rank = -1;
+  Strand* current = nullptr;
+  common::FastRng rng{0};
+};
+
+thread_local Tls tls;
+
+/// TLS accessor that defeats address caching across context switches:
+/// strands migrate between OS threads (work stealing), so code running
+/// after a suspension point must re-resolve the thread-local block. See
+/// abt::tls_now for the full rationale.
+__attribute__((noinline)) Tls& tls_now() {
+  asm volatile("");
+  return tls;
+}
+
+bool use_pinned_path(const Strand* s) {
+  return s->kind == Kind::Main && g_rt->cfg.pin_main;
+}
+
+/// Makes @p s runnable again. Owner-pushes onto the *current* worker's
+/// deque (callers are always on a worker thread), except pinned-main which
+/// goes through worker 0's shared slot.
+void make_ready(Strand* s) {
+  if (use_pinned_path(s)) {
+    g_rt->pinned0.push(s);
+  } else {
+    g_rt->workers[static_cast<std::size_t>(tls.rank)]->deque.push(s);
+  }
+  g_rt->parker.unpark_all();
+}
+
+void complete(Strand* s) {
+  // Order matters: once `done` is visible a joiner may free the strand,
+  // so the joiner slot must be claimed first (see abt::complete).
+  Strand* j = s->joiner.exchange(kJoinerSentinel, std::memory_order_acq_rel);
+  s->done.store(true, std::memory_order_release);
+  if (j != nullptr) make_ready(j);
+}
+
+/// Handles a non-Resume message delivered by a strand that transferred
+/// control to us. Runs on the receiving side (another strand's stack or a
+/// worker base loop), after the sender's context is fully saved in t.from.
+void process_directive(const SwitchMsg& msg, fctx::fcontext_t from) {
+  switch (msg.dir) {
+    case Dir::Yield:
+      msg.self->ctx = from;
+      make_ready(msg.self);
+      break;
+    case Dir::Migrate:
+      msg.self->ctx = from;
+      g_rt->pinned0.push(msg.self);
+      g_rt->parker.unpark_all();
+      break;
+    case Dir::Block: {
+      msg.self->ctx = from;
+      Strand* target = msg.target;
+      Strand* expected = nullptr;
+      const bool registered =
+          !target->done.load(std::memory_order_acquire) &&
+          target->joiner.compare_exchange_strong(expected, msg.self,
+                                                 std::memory_order_acq_rel);
+      if (!registered) make_ready(msg.self);  // target already finished
+      break;
+    }
+    case Dir::Done:
+      fctx::StackPool::global().release(msg.self->stack);
+      msg.self->stack = fctx::Stack{};
+      complete(msg.self);
+      break;
+    case Dir::Resume:
+    case Dir::Spawn:
+      GLTO_CHECK_MSG(false, "unexpected directive");
+  }
+}
+
+/// Landing routine for a strand that just got control: interprets the
+/// incoming transfer and refreshes TLS. Shared by suspend() and entry.
+/// noinline: runs right after a context switch, where the strand may be
+/// on a different OS thread than its caller's inlined code computed TLS
+/// addresses for.
+__attribute__((noinline)) void strand_landing(Strand* self,
+                                              fctx::transfer_t t) {
+  Tls& now = tls_now();
+  SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+  if (in.dir == Dir::Resume) {
+    // Resumed by a worker base loop: remember how to fall back to it.
+    g_rt->workers[static_cast<std::size_t>(now.rank)]->base_ctx = t.from;
+  } else {
+    process_directive(in, t.from);
+  }
+  now.current = self;
+  self->last_rank.store(now.rank, std::memory_order_relaxed);
+  if (self->kind == Kind::Main && now.rank != 0) {
+    g_rt->main_migrations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Picks the next runnable strand: own deque (work-first order), then a
+/// few random steal attempts. Returns nullptr when idle.
+Strand* find_next() {
+  Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
+  Strand* s = nullptr;
+  if (tls.rank == 0) {
+    if (auto p = g_rt->pinned0.pop()) return *p;
+  }
+  if (w.deque.pop(&s)) return s;
+  const int n = g_rt->n;
+  if (n > 1) {
+    for (int attempt = 0; attempt < 2 * n; ++attempt) {
+      const int victim =
+          static_cast<int>(tls.rng.next() % static_cast<std::uint64_t>(n));
+      if (victim == tls.rank) continue;
+      if (g_rt->workers[static_cast<std::size_t>(victim)]->deque.steal(&s)) {
+        g_rt->steals.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void base_loop();
+
+void base_entry(fctx::transfer_t t) {
+  // Worker 0's base context, created lazily at main's first suspension.
+  SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+  process_directive(in, t.from);
+  base_loop();
+  GLTO_CHECK_MSG(false, "worker base loop exited while suspended main exists");
+}
+
+/// Leaves the current strand with @p msg: transfers to the next runnable
+/// strand, or to the worker's base loop when idle. For Yield/Block the
+/// call returns when the strand is resumed; for Done it never returns.
+/// noinline: suspension point (see strand_landing).
+__attribute__((noinline)) void leave(SwitchMsg msg) {
+  Strand* self = msg.self;
+  for (;;) {
+    Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
+    fctx::fcontext_t to;
+    if (Strand* next = find_next()) {
+      to = next->ctx;
+    } else if (w.base_ctx != nullptr) {
+      to = w.base_ctx;
+      w.base_ctx = nullptr;  // one-shot: consumed by this jump
+    } else {
+      // Worker 0 only: the main OS thread entered the runtime running the
+      // main strand, so its base loop does not exist until first needed.
+      // (Workers >0 always have a live base: they start in base_loop.)
+      GLTO_CHECK(tls.rank == 0 && !w.base_stack.valid());
+      fctx::Stack s = fctx::StackPool::global().acquire();
+      w.base_stack = s;
+      to = fctx::make_fcontext(s.top, s.size, base_entry);
+    }
+    fctx::transfer_t t = fctx::jump_fcontext(to, &msg);
+    // Resumed (Yield/Block only; Done strands never come back).
+    strand_landing(self, t);
+    return;
+  }
+}
+
+void base_loop() {
+  int idle = 0;
+  for (;;) {
+    if (Strand* s = find_next()) {
+      idle = 0;
+      SwitchMsg resume{Dir::Resume, nullptr, nullptr};
+      fctx::transfer_t t = fctx::jump_fcontext(s->ctx, &resume);
+      // A strand fell back to us with a directive.
+      SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+      process_directive(in, t.from);
+      continue;
+    }
+    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
+    if (++idle < 64) {
+      common::cpu_relax();
+    } else if (idle < 96) {
+      std::this_thread::yield();
+    } else {
+      g_rt->parker.park_for_us(200);
+    }
+  }
+}
+
+void worker_main(int rank) {
+  tls.rank = rank;
+  tls.rng = common::FastRng(0x8BADF00D + static_cast<std::uint64_t>(rank));
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  base_loop();
+}
+
+void strand_entry(fctx::transfer_t t) {
+  // First activation, on the creating worker's OS thread. t carries the
+  // Spawn message; t.from is the parent's freshly saved continuation.
+  SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+  GLTO_CHECK(in.dir == Dir::Spawn);
+  Strand* self = in.target;
+  Strand* parent = in.self;
+  parent->ctx = t.from;
+  // Publish the parent's continuation: this is the work-first handoff that
+  // makes it stealable by idle workers (MassiveThreads semantics).
+  if (use_pinned_path(parent)) {
+    g_rt->pinned0.push(parent);
+  } else {
+    g_rt->workers[static_cast<std::size_t>(tls.rank)]->deque.push(parent);
+  }
+  g_rt->parker.unpark_all();
+
+  tls.current = self;
+  self->last_rank.store(tls.rank, std::memory_order_relaxed);
+  self->fn(self->arg);
+
+  SwitchMsg done{Dir::Done, self, nullptr};
+  leave(done);
+  GLTO_CHECK_MSG(false, "resumed a finished strand");
+}
+
+}  // namespace
+
+void init(const Config& cfg_in) {
+  GLTO_CHECK_MSG(g_rt == nullptr, "mth::init called twice");
+  g_rt = new Runtime();
+  g_rt->cfg = cfg_in;
+  if (g_rt->cfg.num_workers <= 0) {
+    g_rt->cfg.num_workers = static_cast<int>(
+        common::env_i64("MTH_NUM_WORKERS", common::hardware_concurrency()));
+  }
+  g_rt->n = g_rt->cfg.num_workers;
+  for (int i = 0; i < g_rt->n; ++i) {
+    g_rt->workers.push_back(std::make_unique<Worker>());
+  }
+  tls.rank = 0;
+  tls.rng = common::FastRng(0x8BADF00D);
+  auto* main_strand = new Strand();
+  main_strand->kind = Kind::Main;
+  tls.current = main_strand;
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  for (int r = 1; r < g_rt->n; ++r) {
+    g_rt->threads.emplace_back(worker_main, r);
+  }
+}
+
+void finalize() {
+  GLTO_CHECK_MSG(g_rt != nullptr, "mth::finalize without init");
+  Strand* self = tls.current;
+  GLTO_CHECK_MSG(self != nullptr && self->kind == Kind::Main,
+                 "finalize must run on the main strand");
+  // Main may have been stolen; ride the pinned slot back to worker 0's OS
+  // thread (the original main thread) so joining the workers is safe.
+  if (tls.rank != 0) {
+    SwitchMsg m{Dir::Migrate, self, nullptr};
+    leave(m);
+    GLTO_CHECK(tls.rank == 0);
+  }
+  g_rt->shutdown.store(true, std::memory_order_release);
+  g_rt->parker.unpark_all();
+  for (auto& th : g_rt->threads) th.join();
+  fctx::StackPool::global().release(g_rt->workers[0]->base_stack);
+  delete self;
+  tls = Tls{};
+  delete g_rt;
+  g_rt = nullptr;
+}
+
+bool initialized() { return g_rt != nullptr; }
+
+int num_workers() { return g_rt ? g_rt->n : 0; }
+
+int worker_rank() { return tls.rank; }
+
+bool in_strand() { return tls.current != nullptr; }
+
+Strand* create(WorkFn fn, void* arg) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "mth::init has not been called");
+  Strand* parent = tls.current;
+  GLTO_CHECK_MSG(parent != nullptr, "mth::create outside a strand");
+  auto* child = new Strand();
+  child->fn = fn;
+  child->arg = arg;
+  child->stack = fctx::StackPool::global().acquire();
+  child->ctx =
+      fctx::make_fcontext(child->stack.top, child->stack.size, strand_entry);
+  g_rt->strands_created.fetch_add(1, std::memory_order_relaxed);
+
+  // Work-first: run the child NOW; our continuation is published by the
+  // child (after this context is saved) and may be stolen meanwhile —
+  // strand_landing (noinline) re-resolves TLS on whatever OS thread
+  // resumes us.
+  SwitchMsg spawn{Dir::Spawn, parent, child};
+  fctx::transfer_t t = fctx::jump_fcontext(child->ctx, &spawn);
+  strand_landing(parent, t);
+  return child;
+}
+
+void join(Strand* s) {
+  GLTO_CHECK(s != nullptr);
+  Strand* self = tls.current;
+  if (self == nullptr) {
+    common::spin_until(
+        [&] { return s->done.load(std::memory_order_acquire); });
+  } else {
+    while (!s->done.load(std::memory_order_acquire)) {
+      SwitchMsg m{Dir::Block, self, s};
+      leave(m);
+    }
+  }
+  delete s;
+}
+
+void yield() {
+  Strand* self = tls.current;
+  if (self == nullptr) return;
+  // Cheap check: with nothing else runnable, yielding is a no-op.
+  Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
+  bool maybe_work = !w.deque.empty_approx();
+  if (!maybe_work && tls.rank == 0) maybe_work = !g_rt->pinned0.empty();
+  if (!maybe_work) {
+    for (int v = 0; v < g_rt->n && !maybe_work; ++v) {
+      maybe_work = v != tls.rank &&
+                   !g_rt->workers[static_cast<std::size_t>(v)]->deque
+                        .empty_approx();
+    }
+  }
+  if (!maybe_work) return;
+  SwitchMsg m{Dir::Yield, self, nullptr};
+  leave(m);
+}
+
+bool is_done(const Strand* s) {
+  return s->done.load(std::memory_order_acquire);
+}
+
+int executed_on(const Strand* s) {
+  return s->last_rank.load(std::memory_order_relaxed);
+}
+
+namespace {
+thread_local void* g_foreign_local = nullptr;
+}
+
+void* self_local() {
+  return tls.current != nullptr ? tls.current->user_local : g_foreign_local;
+}
+
+void set_self_local(void* p) {
+  if (tls.current != nullptr) {
+    tls.current->user_local = p;
+  } else {
+    g_foreign_local = p;
+  }
+}
+
+Stats stats() {
+  Stats s;
+  if (g_rt != nullptr) {
+    s.strands_created = g_rt->strands_created.load(std::memory_order_relaxed);
+    s.steals = g_rt->steals.load(std::memory_order_relaxed);
+    s.main_migrations =
+        g_rt->main_migrations.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace glto::mth

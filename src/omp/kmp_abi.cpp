@@ -1,0 +1,122 @@
+#include "omp/kmp_abi.hpp"
+
+#include <atomic>
+
+#include "omp/omp.hpp"
+
+namespace o = glto::omp;
+
+extern "C" {
+
+void glto_kmpc_fork_call(glto_kmpc_micro fn, void* shared) {
+  o::parallel([fn, shared](int tid, int) {
+    fn(static_cast<std::int32_t>(tid), static_cast<std::int32_t>(tid),
+       shared);
+  });
+}
+
+void glto_kmpc_fork_call_nt(std::int32_t num_threads, glto_kmpc_micro fn,
+                            void* shared) {
+  o::parallel(static_cast<int>(num_threads), [fn, shared](int tid, int) {
+    fn(static_cast<std::int32_t>(tid), static_cast<std::int32_t>(tid),
+       shared);
+  });
+}
+
+std::int32_t glto_kmpc_global_thread_num() {
+  return static_cast<std::int32_t>(o::thread_num());
+}
+
+std::int32_t glto_kmpc_team_size() {
+  return static_cast<std::int32_t>(o::num_threads());
+}
+
+std::int32_t glto_kmpc_for_static_init(std::int64_t lower,
+                                       std::int64_t upper,
+                                       std::int64_t chunk,
+                                       std::int64_t* plower,
+                                       std::int64_t* pupper,
+                                       std::int64_t* pstride) {
+  // Inclusive bounds, like the real ABI.
+  const std::int64_t n = upper - lower + 1;
+  if (n <= 0) return 0;
+  const auto tid = static_cast<std::int64_t>(o::thread_num());
+  const auto nth = static_cast<std::int64_t>(o::num_threads());
+  if (chunk <= 0) {
+    // One balanced block per thread.
+    const std::int64_t base = n / nth, rem = n % nth;
+    const std::int64_t b =
+        lower + tid * base + (tid < rem ? tid : rem);
+    const std::int64_t len = base + (tid < rem ? 1 : 0);
+    if (len <= 0) return 0;
+    *plower = b;
+    *pupper = b + len - 1;
+    *pstride = n;  // no second round
+    return 1;
+  }
+  // Chunked static: thread's first chunk; caller iterates by *pstride.
+  const std::int64_t b = lower + tid * chunk;
+  if (b > upper) return 0;
+  *plower = b;
+  *pupper = b + chunk - 1 > upper ? upper : b + chunk - 1;
+  *pstride = nth * chunk;
+  return 1;
+}
+
+void glto_kmpc_dispatch_init(std::int64_t lower, std::int64_t upper,
+                             std::int64_t chunk) {
+  o::runtime().loop_begin(lower, upper + 1, o::Schedule::Dynamic, chunk);
+}
+
+std::int32_t glto_kmpc_dispatch_next(std::int64_t* plower,
+                                     std::int64_t* pupper) {
+  std::int64_t b = 0, e = 0;
+  if (o::runtime().loop_next(&b, &e)) {
+    *plower = b;
+    *pupper = e - 1;  // ABI uses inclusive bounds
+    return 1;
+  }
+  o::runtime().loop_end();
+  return 0;
+}
+
+void glto_kmpc_barrier() { o::barrier(); }
+
+std::int32_t glto_kmpc_single() {
+  return o::runtime().single_try() ? 1 : 0;
+}
+
+void glto_kmpc_end_single() { o::runtime().single_done(); }
+
+std::int32_t glto_kmpc_master() { return o::thread_num() == 0 ? 1 : 0; }
+
+void glto_kmpc_critical(void** lock_slot) {
+  o::runtime().critical_enter(lock_slot);
+}
+
+void glto_kmpc_end_critical(void** lock_slot) {
+  o::runtime().critical_exit(lock_slot);
+}
+
+void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg) {
+  o::task([fn, arg] { fn(arg); });
+}
+
+void glto_kmpc_omp_taskwait() { o::taskwait(); }
+
+void glto_kmpc_omp_taskyield() { o::taskyield(); }
+
+void glto_kmpc_atomic_add_f64(double* target, double val) {
+  auto* a = reinterpret_cast<std::atomic<double>*>(target);
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + val,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void glto_kmpc_atomic_add_i64(std::int64_t* target, std::int64_t val) {
+  reinterpret_cast<std::atomic<std::int64_t>*>(target)->fetch_add(
+      val, std::memory_order_relaxed);
+}
+
+}  // extern "C"

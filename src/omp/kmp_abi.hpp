@@ -1,0 +1,79 @@
+// kmp_abi — a compiler-facing entry-point layer modeled on the LLVM/Intel
+// OpenMP runtime ABI (__kmpc_*), the interface GLTO inherits from BOLT.
+//
+// A compiler lowering `#pragma omp parallel for` emits calls like
+// __kmpc_fork_call / __kmpc_for_static_init / __kmpc_barrier; this shim
+// provides the same shapes (C linkage, outlined-function microtask,
+// explicit gtid) over whichever runtime omp::select() activated. It is
+// how pre-compiled object code would target this runtime without the C++
+// facade.
+//
+// Entry points are prefixed glto_kmpc_ (we cannot ship the reserved
+// __kmpc_ names next to a real libomp).
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+/// Outlined parallel-region body: (gtid, tid, shared) — gtid is the
+/// global thread id the runtime hands back, shared the captured frame.
+using glto_kmpc_micro = void (*)(std::int32_t gtid, std::int32_t tid,
+                                 void* shared);
+
+/// __kmpc_fork_call: run @p fn on a team of the default size.
+void glto_kmpc_fork_call(glto_kmpc_micro fn, void* shared);
+
+/// __kmpc_push_num_threads + fork: explicit team size.
+void glto_kmpc_fork_call_nt(std::int32_t num_threads, glto_kmpc_micro fn,
+                            void* shared);
+
+/// __kmpc_global_thread_num.
+std::int32_t glto_kmpc_global_thread_num();
+
+/// omp_get_num_threads via the ABI.
+std::int32_t glto_kmpc_team_size();
+
+/// __kmpc_for_static_init_8: computes this thread's [\*plower, \*pupper]
+/// (inclusive) slice of [lower, upper]; \*pstride is the round-robin
+/// stride for chunked static. Returns nonzero when the thread has work.
+std::int32_t glto_kmpc_for_static_init(std::int64_t lower,
+                                       std::int64_t upper,
+                                       std::int64_t chunk,
+                                       std::int64_t* plower,
+                                       std::int64_t* pupper,
+                                       std::int64_t* pstride);
+
+/// __kmpc_dispatch_init_8 / __kmpc_dispatch_next_8 (dynamic schedule).
+void glto_kmpc_dispatch_init(std::int64_t lower, std::int64_t upper,
+                             std::int64_t chunk);
+std::int32_t glto_kmpc_dispatch_next(std::int64_t* plower,
+                                     std::int64_t* pupper);
+
+/// __kmpc_barrier.
+void glto_kmpc_barrier();
+
+/// __kmpc_single / __kmpc_end_single. Returns nonzero for the winner.
+std::int32_t glto_kmpc_single();
+void glto_kmpc_end_single();
+
+/// __kmpc_master (nonzero on thread 0; no barrier implied).
+std::int32_t glto_kmpc_master();
+
+/// __kmpc_critical / __kmpc_end_critical with a named lock slot.
+void glto_kmpc_critical(void** lock_slot);
+void glto_kmpc_end_critical(void** lock_slot);
+
+/// __kmpc_omp_task_alloc + __kmpc_omp_task collapsed: defer fn(arg).
+using glto_kmpc_task_fn = void (*)(void* arg);
+void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg);
+
+/// __kmpc_omp_taskwait / __kmpc_omp_taskyield.
+void glto_kmpc_omp_taskwait();
+void glto_kmpc_omp_taskyield();
+
+/// __kmpc_reduce-style combine: atomically adds @p val into @p target.
+void glto_kmpc_atomic_add_f64(double* target, double val);
+void glto_kmpc_atomic_add_i64(std::int64_t* target, std::int64_t val);
+
+}  // extern "C"

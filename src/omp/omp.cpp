@@ -1,0 +1,335 @@
+#include "omp/omp.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "glto/glto_runtime.hpp"
+#include "pomp/pomp_runtime.hpp"
+
+namespace glto::omp {
+
+namespace {
+
+std::unique_ptr<Runtime> g_runtime;
+RuntimeKind g_kind = RuntimeKind::glto_abt;
+
+void parse_omp_schedule();
+
+}  // namespace
+
+const char* kind_name(RuntimeKind k) {
+  switch (k) {
+    case RuntimeKind::gnu:
+      return "gnu";
+    case RuntimeKind::intel:
+      return "intel";
+    case RuntimeKind::glto_abt:
+      return "glto-abt";
+    case RuntimeKind::glto_qth:
+      return "glto-qth";
+    case RuntimeKind::glto_mth:
+      return "glto-mth";
+  }
+  return "?";
+}
+
+std::optional<RuntimeKind> kind_from_string(std::string_view s) {
+  if (s == "gnu" || s == "gcc" || s == "gomp") return RuntimeKind::gnu;
+  if (s == "intel" || s == "icc" || s == "iomp") return RuntimeKind::intel;
+  if (s == "glto-abt" || s == "abt") return RuntimeKind::glto_abt;
+  if (s == "glto-qth" || s == "qth") return RuntimeKind::glto_qth;
+  if (s == "glto-mth" || s == "mth") return RuntimeKind::glto_mth;
+  return std::nullopt;
+}
+
+const std::vector<RuntimeKind>& all_kinds() {
+  static const std::vector<RuntimeKind> kinds = {
+      RuntimeKind::gnu, RuntimeKind::intel, RuntimeKind::glto_abt,
+      RuntimeKind::glto_qth, RuntimeKind::glto_mth};
+  return kinds;
+}
+
+void select(RuntimeKind kind, const SelectOptions& opts) {
+  GLTO_CHECK_MSG(!g_runtime, "omp::select while a runtime is active");
+  switch (kind) {
+    case RuntimeKind::gnu:
+    case RuntimeKind::intel: {
+      pomp::PompOptions p;
+      p.num_threads = opts.num_threads;
+      p.nested = opts.nested;
+      p.bind_threads = opts.bind_threads;
+      p.active_wait = opts.active_wait;
+      p.task_cutoff = opts.task_cutoff;
+      g_runtime = kind == RuntimeKind::gnu ? pomp::make_gnu_runtime(p)
+                                           : pomp::make_intel_runtime(p);
+      break;
+    }
+    case RuntimeKind::glto_abt:
+    case RuntimeKind::glto_qth:
+    case RuntimeKind::glto_mth: {
+      rt::GltoOptions g;
+      g.impl = kind == RuntimeKind::glto_abt   ? glt::Impl::abt
+               : kind == RuntimeKind::glto_qth ? glt::Impl::qth
+                                               : glt::Impl::mth;
+      g.num_threads = opts.num_threads;
+      g.nested = opts.nested;
+      g.bind_threads = opts.bind_threads;
+      g.shared_queues = opts.shared_queues;
+      g_runtime = rt::make_glto_runtime(g);
+      break;
+    }
+  }
+  g_kind = kind;
+  parse_omp_schedule();
+}
+
+void select_from_env() {
+  RuntimeKind kind = RuntimeKind::glto_abt;
+  if (auto s = common::env_str("OMP_RUNTIME")) {
+    if (auto k = kind_from_string(*s)) kind = *k;
+  }
+  SelectOptions opts;
+  opts.nested = common::env_bool("OMP_NESTED", true);
+  opts.active_wait =
+      common::env_str("OMP_WAIT_POLICY").value_or("active") == "active";
+  opts.shared_queues = common::env_bool("GLT_SHARED_QUEUES", false);
+  select(kind, opts);
+}
+
+
+void shutdown() {
+  GLTO_CHECK_MSG(g_runtime != nullptr, "omp::shutdown without select");
+  g_runtime.reset();
+}
+
+bool selected() { return g_runtime != nullptr; }
+
+RuntimeKind current_kind() { return g_kind; }
+
+Runtime& runtime() {
+  GLTO_CHECK_MSG(g_runtime != nullptr, "no OpenMP runtime selected");
+  return *g_runtime;
+}
+
+// ---- directives -----------------------------------------------------------
+
+void parallel(int num_threads, const std::function<void(int, int)>& body) {
+  runtime().parallel(num_threads, body);
+}
+
+void parallel(const std::function<void(int, int)>& body) {
+  runtime().parallel(0, body);
+}
+
+namespace {
+
+// OMP_SCHEDULE for schedule(runtime); parsed at select() time.
+Schedule g_env_sched = Schedule::Static;
+std::int64_t g_env_chunk = 0;
+
+void parse_omp_schedule() {
+  g_env_sched = Schedule::Static;
+  g_env_chunk = 0;
+  auto s = common::env_str("OMP_SCHEDULE");
+  if (!s) return;
+  std::string v = *s;
+  const auto comma = v.find(',');
+  std::string kind = comma == std::string::npos ? v : v.substr(0, comma);
+  if (comma != std::string::npos) {
+    g_env_chunk = std::atoll(v.c_str() + comma + 1);
+  }
+  if (kind == "dynamic") {
+    g_env_sched = Schedule::Dynamic;
+  } else if (kind == "guided") {
+    g_env_sched = Schedule::Guided;
+  } else {
+    g_env_sched = Schedule::Static;
+  }
+}
+
+/// Resolves auto/runtime schedules to a concrete kind+chunk.
+void resolve_schedule(Schedule* sched, std::int64_t* chunk) {
+  if (*sched == Schedule::Auto) {
+    *sched = Schedule::Static;
+    *chunk = 0;
+  } else if (*sched == Schedule::Runtime) {
+    *sched = g_env_sched;
+    *chunk = g_env_chunk;
+  }
+}
+
+}  // namespace
+
+void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
+              std::int64_t chunk,
+              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  Runtime& rt = runtime();
+  resolve_schedule(&sched, &chunk);
+  rt.loop_begin(lo, hi, sched, chunk);
+  std::int64_t b = 0, e = 0;
+  while (rt.loop_next(&b, &e)) body(b, e);
+  rt.loop_end();
+}
+
+void parallel_for(std::int64_t lo, std::int64_t hi,
+                  const std::function<void(std::int64_t)>& body) {
+  runtime().parallel(0, [&](int, int) {
+    for_loop(lo, hi, Schedule::Static, 0,
+             [&](std::int64_t b, std::int64_t e) {
+               for (std::int64_t i = b; i < e; ++i) body(i);
+             });
+  });
+}
+
+void parallel_for_ranges(
+    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  runtime().parallel(0, [&](int, int) { for_loop(lo, hi, sched, chunk, body); });
+}
+
+void barrier() { runtime().barrier(); }
+
+void single(const std::function<void()>& body) {
+  Runtime& rt = runtime();
+  if (rt.single_try()) {
+    body();
+    rt.single_done();
+  }
+  rt.barrier();  // implicit barrier at the end of single
+}
+
+void master(const std::function<void()>& body) {
+  if (runtime().thread_num() == 0) body();
+}
+
+void critical(const std::function<void()>& body) {
+  critical(nullptr, body);
+}
+
+void critical(const void* tag, const std::function<void()>& body) {
+  Runtime& rt = runtime();
+  rt.critical_enter(tag);
+  body();
+  rt.critical_exit(tag);
+}
+
+void task(std::function<void()> fn) { runtime().task(std::move(fn), {}); }
+
+void task(std::function<void()> fn, const TaskFlags& flags) {
+  runtime().task(std::move(fn), flags);
+}
+
+void taskwait() { runtime().taskwait(); }
+
+void taskyield() { runtime().taskyield(); }
+
+// ---- queries ----------------------------------------------------------------
+
+int thread_num() { return runtime().thread_num(); }
+int num_threads() { return runtime().team_size(); }
+int level() { return runtime().level(); }
+int max_threads() { return runtime().default_threads(); }
+void set_num_threads(int n) { runtime().set_default_threads(n); }
+void set_nested(bool enabled) { runtime().set_nested(enabled); }
+
+double reduce_sum(std::int64_t lo, std::int64_t hi,
+                  const std::function<double(std::int64_t)>& term) {
+  Runtime& rt = runtime();
+  std::atomic<double> total{0.0};
+  rt.parallel(0, [&](int, int) {
+    double local = 0.0;
+    for_loop(lo, hi, Schedule::Static, 0,
+             [&](std::int64_t b, std::int64_t e) {
+               for (std::int64_t i = b; i < e; ++i) local += term(i);
+             });
+    // One atomic combine per member (what reduction(+:x) compiles to).
+    double cur = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(cur, cur + local,
+                                        std::memory_order_relaxed)) {
+    }
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+void sections(const std::vector<std::function<void()>>& blocks) {
+  // Compiles to a dynamic loop over section indices (exactly how GCC
+  // lowers #pragma omp sections), one block per grab, barrier after.
+  Runtime& rt = runtime();
+  for_loop(0, static_cast<std::int64_t>(blocks.size()), Schedule::Dynamic, 1,
+           [&](std::int64_t b, std::int64_t e) {
+             for (std::int64_t i = b; i < e; ++i) {
+               blocks[static_cast<std::size_t>(i)]();
+             }
+           });
+  rt.barrier();
+}
+
+void taskgroup(const std::function<void()>& body) {
+  // Children of the current task complete at taskwait; grandchildren
+  // complete transitively (each task drains its own children before
+  // finishing in both runtime families).
+  body();
+  runtime().taskwait();
+}
+
+void Lock::set() {
+  Runtime& rt = runtime();
+  for (;;) {
+    if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    while (locked_.load(std::memory_order_relaxed)) rt.yield_hint();
+  }
+}
+
+bool Lock::test() {
+  return !locked_.load(std::memory_order_relaxed) &&
+         !locked_.exchange(true, std::memory_order_acquire);
+}
+
+void Lock::unset() { locked_.store(false, std::memory_order_release); }
+
+void NestLock::set() {
+  Runtime& rt = runtime();
+  const void* self = rt.task_identity();
+  for (;;) {
+    const void* cur = owner_.load(std::memory_order_acquire);
+    if (cur == self) {  // re-entry by the owning task
+      depth_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const void* expected = nullptr;
+    if (cur == nullptr &&
+        owner_.compare_exchange_weak(expected, self,
+                                     std::memory_order_acquire)) {
+      depth_.store(1, std::memory_order_relaxed);
+      return;
+    }
+    rt.yield_hint();
+  }
+}
+
+bool NestLock::test() {
+  Runtime& rt = runtime();
+  const void* self = rt.task_identity();
+  const void* cur = owner_.load(std::memory_order_acquire);
+  if (cur == self) {
+    depth_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const void* expected = nullptr;
+  if (cur == nullptr && owner_.compare_exchange_strong(
+                            expected, self, std::memory_order_acquire)) {
+    depth_.store(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void NestLock::unset() {
+  if (depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    owner_.store(nullptr, std::memory_order_release);
+  }
+}
+
+}  // namespace glto::omp

@@ -1,0 +1,176 @@
+// omp — the application-facing OpenMP-style API.
+//
+// Applications (UTS, CloverLeaf-mini, CG, the microbenchmarks, examples)
+// are written once against this facade and run unmodified over any of the
+// five runtime configurations the paper compares:
+//
+//     gnu        — libgomp-like pthread runtime        ("GCC" bars)
+//     intel      — Intel-like pthread runtime          ("ICC" bars)
+//     glto-abt   — GLTO over the Argobots-like backend ("GLTO(ABT)")
+//     glto-qth   — GLTO over the Qthreads-like backend ("GLTO(QTH)")
+//     glto-mth   — GLTO over the MassiveThreads-like   ("GLTO(MTH)")
+//
+// This mirrors the paper's methodology (§IV-A, Fig. 2): identical OpenMP
+// code, swappable runtime underneath. Select a runtime with omp::select()
+// or $OMP_RUNTIME; tear it down with omp::shutdown() before selecting
+// another.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "omp/runtime.hpp"
+
+namespace glto::omp {
+
+/// The five runtime configurations of the paper's evaluation.
+enum class RuntimeKind : std::uint8_t {
+  gnu,
+  intel,
+  glto_abt,
+  glto_qth,
+  glto_mth,
+};
+
+[[nodiscard]] const char* kind_name(RuntimeKind k);
+[[nodiscard]] std::optional<RuntimeKind> kind_from_string(std::string_view s);
+
+/// All five kinds, in the paper's plotting order (GCC, ICC, ABT, QTH, MTH).
+[[nodiscard]] const std::vector<RuntimeKind>& all_kinds();
+
+struct SelectOptions {
+  int num_threads = 0;        ///< 0 → $OMP_NUM_THREADS or hardware threads
+  bool nested = true;         ///< paper sets OMP_NESTED=true for all tests
+  bool bind_threads = true;   ///< OMP_PROC_BIND=true
+  bool active_wait = true;    ///< OMP_WAIT_POLICY (pthread runtimes)
+  bool shared_queues = false; ///< GLT_SHARED_QUEUES (GLTO)
+  int task_cutoff = 256;      ///< Intel task-deque capacity (Fig. 14 knob)
+};
+
+/// Instantiates and activates a runtime. Any previously selected runtime
+/// must have been shut down. Thread-affinity/binding is best-effort.
+void select(RuntimeKind kind, const SelectOptions& opts = {});
+
+/// Reads $OMP_RUNTIME (default "glto-abt") and selects it.
+void select_from_env();
+
+/// Tears the active runtime down. All parallel work must have completed.
+void shutdown();
+
+[[nodiscard]] bool selected();
+[[nodiscard]] RuntimeKind current_kind();
+
+/// The active runtime (asserts one is selected). Most code should prefer
+/// the free functions below.
+[[nodiscard]] Runtime& runtime();
+
+// ---- directives ---------------------------------------------------------
+
+/// #pragma omp parallel num_threads(n)
+void parallel(int num_threads, const std::function<void(int, int)>& body);
+
+/// #pragma omp parallel (default team size)
+void parallel(const std::function<void(int, int)>& body);
+
+/// #pragma omp for schedule(...) — must be called inside parallel by every
+/// team member; iterates @p body over chunks. No implicit barrier.
+void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
+              std::int64_t chunk,
+              const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// #pragma omp parallel for — fork + static loop + join in one call.
+void parallel_for(std::int64_t lo, std::int64_t hi,
+                  const std::function<void(std::int64_t)>& body);
+
+/// parallel_for with explicit schedule/chunk and a range body.
+void parallel_for_ranges(
+    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// #pragma omp barrier
+void barrier();
+
+/// #pragma omp single — runs @p body on one member; implicit barrier after.
+void single(const std::function<void()>& body);
+
+/// #pragma omp master — runs on thread 0 only; no barrier.
+void master(const std::function<void()>& body);
+
+/// #pragma omp critical [(tag)]
+void critical(const std::function<void()>& body);
+void critical(const void* tag, const std::function<void()>& body);
+
+/// #pragma omp task
+void task(std::function<void()> fn);
+void task(std::function<void()> fn, const TaskFlags& flags);
+
+/// #pragma omp taskwait / taskyield
+void taskwait();
+void taskyield();
+
+// ---- queries (omp_* library routines) -----------------------------------
+
+[[nodiscard]] int thread_num();     ///< omp_get_thread_num
+[[nodiscard]] int num_threads();    ///< omp_get_num_threads
+[[nodiscard]] int level();          ///< omp_get_level
+[[nodiscard]] int max_threads();    ///< omp_get_max_threads
+void set_num_threads(int n);        ///< omp_set_num_threads
+void set_nested(bool enabled);      ///< omp_set_nested
+
+/// Parallel sum-reduction helper (the pattern `reduction(+:acc)` expands
+/// to): each member accumulates privately; master receives the total.
+double reduce_sum(std::int64_t lo, std::int64_t hi,
+                  const std::function<double(std::int64_t)>& term);
+
+/// #pragma omp sections — distributes the given blocks over the team
+/// (dynamic dispatch, one block per grab); implicit barrier after.
+void sections(const std::vector<std::function<void()>>& blocks);
+
+/// #pragma omp taskgroup — runs @p body, then waits for the tasks it
+/// created (children of the current task; descendants complete
+/// transitively — see the runtime docs).
+void taskgroup(const std::function<void()>& body);
+
+// ---- locks (omp_lock_t / omp_nest_lock_t) -------------------------------
+
+/// omp_lock_t. Spin-acquires with runtime-appropriate waiting: ULTs yield
+/// to their scheduler, pthreads yield the core.
+class Lock {
+ public:
+  Lock() = default;
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+
+  void set();                  ///< omp_set_lock (blocks)
+  [[nodiscard]] bool test();   ///< omp_test_lock (non-blocking)
+  void unset();                ///< omp_unset_lock
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// omp_nest_lock_t: re-acquirable by the task that owns it.
+class NestLock {
+ public:
+  NestLock() = default;
+  NestLock(const NestLock&) = delete;
+  NestLock& operator=(const NestLock&) = delete;
+
+  void set();
+  [[nodiscard]] bool test();
+  void unset();
+  [[nodiscard]] int depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<const void*> owner_{nullptr};
+  std::atomic<int> depth_{0};
+};
+
+}  // namespace glto::omp

@@ -1,0 +1,105 @@
+// The runtime-neutral OpenMP execution interface.
+//
+// This plays the role the OpenMP ABI plays in the paper: the same
+// application binary runs over the Intel runtime (pthreads) or over GLTO
+// (LWTs) just by switching the linked runtime (paper Fig. 2). Here the
+// "ABI" is this abstract class; applications use the omp:: facade
+// (src/omp/omp.hpp) and never see concrete runtimes.
+//
+// Implementations:
+//   * pomp::GnuRuntime   — libgomp-like pthread baseline
+//   * pomp::IntelRuntime — Intel-like pthread baseline
+//   * rt::GltoRuntime    — GLTO over GLT over {abt,qth,mth}
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace glto::omp {
+
+enum class Schedule : std::uint8_t {
+  Static,
+  Dynamic,
+  Guided,
+  Auto,     ///< implementation-defined; resolves to Static here
+  Runtime,  ///< taken from OMP_SCHEDULE at runtime selection
+};
+
+struct TaskFlags {
+  bool untied = false;
+  bool final = false;
+  bool if_clause = true;  ///< if(false) → undeferred, executed inline
+};
+
+/// Counters every runtime maintains; basis for Tables II and III.
+struct Counters {
+  std::uint64_t os_threads_created = 0;  ///< pthreads / GLT_threads spawned
+  std::uint64_t os_threads_reused = 0;   ///< re-engaged from a pool (Intel)
+  std::uint64_t ults_created = 0;        ///< GLT_ults (GLTO only)
+  std::uint64_t tasks_queued = 0;        ///< deferred through a task queue
+  std::uint64_t tasks_immediate = 0;     ///< executed inline (cut-off, final)
+  std::uint64_t task_steals = 0;         ///< consumer-side steals (Intel)
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Fork/join parallel region. @p body runs once per team member with
+  /// (thread_num, team_size); an implicit barrier precedes the return.
+  /// @p nthreads <= 0 requests the runtime default (OMP_NUM_THREADS).
+  /// Nested calls create nested teams when nesting is enabled.
+  virtual void parallel(int nthreads,
+                        const std::function<void(int, int)>& body) = 0;
+
+  // --- team queries, relative to the innermost enclosing region ---------
+  [[nodiscard]] virtual int thread_num() = 0;
+  [[nodiscard]] virtual int team_size() = 0;
+  [[nodiscard]] virtual int level() = 0;
+
+  /// Default team size for future regions (omp_set_num_threads).
+  virtual void set_default_threads(int n) = 0;
+  [[nodiscard]] virtual int default_threads() = 0;
+
+  /// Enables/disables nested parallelism (OMP_NESTED).
+  virtual void set_nested(bool enabled) = 0;
+  [[nodiscard]] virtual bool nested() = 0;
+
+  // --- work-sharing loops (all team members must participate) -----------
+  virtual void loop_begin(std::int64_t lo, std::int64_t hi, Schedule sched,
+                          std::int64_t chunk) = 0;
+  /// Next chunk [*lo, *hi) for the calling member; false when exhausted.
+  virtual bool loop_next(std::int64_t* lo, std::int64_t* hi) = 0;
+  /// Ends the loop construct (no implicit barrier — call barrier()).
+  virtual void loop_end() = 0;
+
+  // --- synchronization ---------------------------------------------------
+  virtual void barrier() = 0;
+  /// True for exactly one member per single construct instance.
+  virtual bool single_try() = 0;
+  virtual void single_done() = 0;  ///< winner calls when leaving the block
+  virtual void critical_enter(const void* tag) = 0;
+  virtual void critical_exit(const void* tag) = 0;
+
+  // --- explicit tasks ----------------------------------------------------
+  virtual void task(std::function<void()> fn, const TaskFlags& flags) = 0;
+  virtual void taskwait() = 0;
+  virtual void taskyield() = 0;
+
+  /// Polite wait hint while spinning on user-level synchronization (omp
+  /// locks): GLTO yields the ULT; pthread runtimes yield the OS thread.
+  /// Unlike taskyield() this is NOT a task scheduling point.
+  virtual void yield_hint() = 0;
+
+  /// Stable identity of the calling task context (for nestable locks:
+  /// the owner of an omp nest lock is a *task*, not an OS thread).
+  [[nodiscard]] virtual const void* task_identity() = 0;
+
+  // --- instrumentation ---------------------------------------------------
+  [[nodiscard]] virtual Counters counters() = 0;
+  virtual void reset_counters() = 0;
+};
+
+}  // namespace glto::omp

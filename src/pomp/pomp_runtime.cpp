@@ -1,0 +1,634 @@
+#include "pomp/pomp_runtime.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "sched/locked_queue.hpp"
+
+namespace glto::pomp {
+
+namespace {
+
+using omp::Schedule;
+
+constexpr int kLoopRing = 8;
+
+struct LoopDesc {
+  std::int64_t lo = 0, hi = 0, chunk = 0;
+  Schedule sched = Schedule::Static;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::uint64_t> ready_seq{0};
+};
+
+struct TaskCtx;
+class PompRuntime;
+
+/// A deferred explicit task.
+struct TaskRec {
+  std::function<void()> fn;
+  TaskCtx* creator = nullptr;
+  struct PompTeam* team = nullptr;
+  bool untied = false;
+  bool final = false;
+};
+
+struct PompTeam {
+  int size = 1;
+  int level = 0;
+  PompTeam* parent = nullptr;
+  PompRuntime* rt = nullptr;
+
+  std::atomic<int> barrier_arrived{0};
+  std::atomic<std::uint64_t> barrier_epoch{0};
+  std::atomic<std::uint64_t> single_claimed{0};
+  LoopDesc loops[kLoopRing];
+  std::atomic<std::uint64_t> loops_inited{0};
+
+  /// Deferred tasks belonging to this region, not yet finished.
+  std::atomic<std::int64_t> tasks_outstanding{0};
+
+  // GNU: one shared task queue for the whole team.
+  sched::LockedQueue<TaskRec*> shared_queue;
+  // Intel: bounded per-member deques (created on demand by the runtime).
+  std::vector<std::unique_ptr<sched::BoundedDeque<TaskRec*>>> deques;
+};
+
+/// Execution context of an implicit or explicit task on a pthread.
+/// pthread-based runtimes never migrate running tasks, so a plain
+/// thread_local current pointer suffices.
+struct TaskCtx {
+  PompTeam* team = nullptr;
+  int tid = 0;
+  TaskCtx* parent = nullptr;
+  std::atomic<std::int64_t> children_outstanding{0};
+  std::uint64_t single_seq = 0;
+  std::uint64_t loop_seq = 0;
+  LoopDesc* loop = nullptr;
+  std::int64_t static_k = 0;
+  bool in_single = false;
+  bool in_master = false;
+};
+
+thread_local TaskCtx* t_ctx = nullptr;
+
+/// Work order handed to a pooled/spawned worker thread.
+struct Assignment {
+  PompTeam* team = nullptr;
+  int tid = 0;
+  const std::function<void(int, int)>* body = nullptr;
+  std::atomic<int>* remaining = nullptr;  // members still running
+};
+
+/// A pooled worker pthread. Parks between assignments.
+struct Worker {
+  std::thread thread;
+  std::mutex m;
+  std::condition_variable cv;
+  Assignment* assignment = nullptr;  // guarded by m
+  bool die = false;                  // guarded by m
+  int bind_rank = -1;
+};
+
+class PompRuntime : public omp::Runtime {
+ public:
+  explicit PompRuntime(const PompOptions& opts, bool reuse_nested_threads)
+      : reuse_nested_(reuse_nested_threads) {
+    default_threads_ =
+        opts.num_threads > 0
+            ? opts.num_threads
+            : static_cast<int>(common::env_i64(
+                  "OMP_NUM_THREADS", common::hardware_concurrency()));
+    nested_ = opts.nested;
+    bind_ = opts.bind_threads;
+    active_wait_ = opts.active_wait;
+    cutoff_ = opts.task_cutoff > 0 ? opts.task_cutoff : 256;
+
+    root_team_.size = 1;
+    root_team_.level = 0;
+    root_team_.rt = this;
+    root_ctx_.team = &root_team_;
+    root_ctx_.tid = 0;
+    t_ctx = &root_ctx_;
+  }
+
+  ~PompRuntime() override {
+    t_ctx = nullptr;
+    // Retire every pooled worker.
+    std::vector<std::unique_ptr<Worker>> all;
+    {
+      common::SpinGuard g(pool_lock_);
+      all.swap(free_workers_);
+    }
+    for (auto& w : all) retire(std::move(w));
+  }
+
+  // ---- region management -------------------------------------------------
+
+  void parallel(int nthreads,
+                const std::function<void(int, int)>& body) override {
+    TaskCtx* pctx = t_ctx;
+    int nth = nthreads > 0 ? nthreads : default_threads_;
+    const int new_level = pctx->team->level + 1;
+    if (!nested_ && new_level > 1) nth = 1;
+
+    PompTeam team;
+    team.size = nth;
+    team.level = new_level;
+    team.parent = pctx->team;
+    team.rt = this;
+    init_task_storage(team);
+
+    std::atomic<int> remaining{nth - 1};
+    std::vector<Assignment> assigns(static_cast<std::size_t>(nth));
+    std::vector<std::unique_ptr<Worker>> engaged;
+    const bool fresh_only = new_level > 1 && !reuse_nested_;
+    for (int i = 1; i < nth; ++i) {
+      auto& a = assigns[static_cast<std::size_t>(i)];
+      a = Assignment{&team, i, &body, &remaining};
+      engaged.push_back(engage_worker(&a, fresh_only, i));
+    }
+
+    run_member(&team, 0, body, pctx);
+
+    // Implicit barrier: wait for every member, helping with tasks.
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(&team)) wait_relax();
+    }
+    while (team.tasks_outstanding.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(&team)) wait_relax();
+    }
+
+    for (auto& w : engaged) {
+      if (fresh_only) {
+        retire(std::move(w));  // GNU nested: destroy, never reuse
+      } else {
+        common::SpinGuard g(pool_lock_);
+        free_workers_.push_back(std::move(w));
+      }
+    }
+  }
+
+  int thread_num() override { return t_ctx->tid; }
+  int team_size() override { return t_ctx->team->size; }
+  int level() override { return t_ctx->team->level; }
+
+  void set_default_threads(int n) override {
+    if (n > 0) default_threads_ = n;
+  }
+  int default_threads() override { return default_threads_; }
+  void set_nested(bool enabled) override { nested_ = enabled; }
+  bool nested() override { return nested_; }
+
+  // ---- work-sharing loops (same arbitration as GLTO) ----------------------
+
+  void loop_begin(std::int64_t lo, std::int64_t hi, Schedule sched,
+                  std::int64_t chunk) override {
+    TaskCtx* c = t_ctx;
+    PompTeam* t = c->team;
+    const std::uint64_t seq = c->loop_seq++;
+    LoopDesc& d = t->loops[seq % kLoopRing];
+    std::uint64_t expected = seq;
+    if (t->loops_inited.compare_exchange_strong(expected, seq + 1,
+                                                std::memory_order_acq_rel)) {
+      d.lo = lo;
+      d.hi = hi;
+      d.sched = sched;
+      d.chunk = chunk;
+      d.next.store(lo, std::memory_order_relaxed);
+      d.ready_seq.store(seq + 1, std::memory_order_release);
+    } else {
+      while (d.ready_seq.load(std::memory_order_acquire) < seq + 1) {
+        wait_relax();
+      }
+    }
+    c->loop = &d;
+    c->static_k = 0;
+  }
+
+  bool loop_next(std::int64_t* lo, std::int64_t* hi) override {
+    TaskCtx* c = t_ctx;
+    LoopDesc* d = c->loop;
+    GLTO_CHECK_MSG(d != nullptr, "loop_next outside a loop construct");
+    const std::int64_t n = d->hi - d->lo;
+    if (n <= 0) return false;
+    const int p = c->team->size;
+    switch (d->sched) {
+      case Schedule::Auto:
+      case Schedule::Runtime:  // resolved by the facade; fall back safely
+      case Schedule::Static: {
+        if (d->chunk <= 0) {
+          if (c->static_k > 0) return false;
+          const std::int64_t base = n / p, rem = n % p;
+          const std::int64_t b =
+              d->lo + c->tid * base + std::min<std::int64_t>(c->tid, rem);
+          const std::int64_t e = b + base + (c->tid < rem ? 1 : 0);
+          if (b >= e) return false;
+          *lo = b;
+          *hi = e;
+          c->static_k = 1;
+          return true;
+        }
+        const std::int64_t idx = c->tid + c->static_k * p;
+        const std::int64_t b = d->lo + idx * d->chunk;
+        if (b >= d->hi) return false;
+        *lo = b;
+        *hi = std::min(d->hi, b + d->chunk);
+        c->static_k++;
+        return true;
+      }
+      case Schedule::Dynamic: {
+        const std::int64_t step = d->chunk > 0 ? d->chunk : 1;
+        const std::int64_t b =
+            d->next.fetch_add(step, std::memory_order_relaxed);
+        if (b >= d->hi) return false;
+        *lo = b;
+        *hi = std::min(d->hi, b + step);
+        return true;
+      }
+      case Schedule::Guided: {
+        const std::int64_t min_chunk = d->chunk > 0 ? d->chunk : 1;
+        std::int64_t b = d->next.load(std::memory_order_relaxed);
+        for (;;) {
+          if (b >= d->hi) return false;
+          const std::int64_t remaining = d->hi - b;
+          const std::int64_t take =
+              std::max<std::int64_t>(min_chunk, remaining / (2 * p));
+          if (d->next.compare_exchange_weak(b, b + take,
+                                            std::memory_order_relaxed)) {
+            *lo = b;
+            *hi = std::min(d->hi, b + take);
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  void loop_end() override { t_ctx->loop = nullptr; }
+
+  // ---- synchronization ----------------------------------------------------
+
+  void barrier() override {
+    PompTeam* t = t_ctx->team;
+    if (t->size <= 1) return;
+    const std::uint64_t epoch =
+        t->barrier_epoch.load(std::memory_order_acquire);
+    if (t->barrier_arrived.fetch_add(1, std::memory_order_acq_rel) ==
+        t->size - 1) {
+      // Last arriver: drain this region's tasks, then release.
+      while (t->tasks_outstanding.load(std::memory_order_acquire) > 0) {
+        if (!try_run_one_task(t)) wait_relax();
+      }
+      t->barrier_arrived.store(0, std::memory_order_relaxed);
+      t->barrier_epoch.fetch_add(1, std::memory_order_release);
+    } else {
+      // OpenMP threads execute queued tasks while waiting at barriers.
+      while (t->barrier_epoch.load(std::memory_order_acquire) == epoch) {
+        if (!try_run_one_task(t)) wait_relax();
+      }
+    }
+  }
+
+  bool single_try() override {
+    TaskCtx* c = t_ctx;
+    const std::uint64_t mine = ++c->single_seq;
+    std::uint64_t expected = mine - 1;
+    if (c->team->single_claimed.compare_exchange_strong(
+            expected, mine, std::memory_order_acq_rel)) {
+      c->in_single = true;
+      return true;
+    }
+    return false;
+  }
+
+  void single_done() override { t_ctx->in_single = false; }
+
+  void critical_enter(const void* tag) override {
+    common::SpinLock* lock;
+    {
+      common::SpinGuard g(critical_map_lock_);
+      lock = &critical_locks_[tag];
+    }
+    while (!lock->try_lock()) wait_relax();
+  }
+
+  void critical_exit(const void* tag) override {
+    common::SpinGuard g(critical_map_lock_);
+    critical_locks_[tag].unlock();
+  }
+
+  // ---- tasks ---------------------------------------------------------------
+
+  void task(std::function<void()> fn, const omp::TaskFlags& flags) override {
+    TaskCtx* c = t_ctx;
+    if (!flags.if_clause) {
+      run_inline(c, std::move(fn));
+      return;
+    }
+    auto* rec = new TaskRec{std::move(fn), c, c->team, flags.untied,
+                            flags.final};
+    c->children_outstanding.fetch_add(1, std::memory_order_relaxed);
+    c->team->tasks_outstanding.fetch_add(1, std::memory_order_relaxed);
+    // Note: `final` tasks are enqueued like any other — neither baseline
+    // short-circuits them (the Table I omp_task_final failure).
+    if (!enqueue(c, rec)) {
+      // Intel cut-off: deque full → execute immediately (undeferred).
+      tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+      execute(rec);
+      return;
+    }
+    tasks_queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void taskwait() override {
+    TaskCtx* c = t_ctx;
+    while (c->children_outstanding.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(c->team)) wait_relax();
+    }
+  }
+
+  void taskyield() override {
+    // Tied pthread tasks cannot migrate; the best a baseline can do is run
+    // another queued task in place (GOMP/Intel behave the same way).
+    try_run_one_task(t_ctx->team);
+  }
+
+  void yield_hint() override { wait_relax(); }
+
+  const void* task_identity() override { return t_ctx; }
+
+  // ---- counters -------------------------------------------------------------
+
+  omp::Counters counters() override {
+    omp::Counters out;
+    out.os_threads_created =
+        threads_created_.load(std::memory_order_relaxed);
+    out.os_threads_reused = threads_reused_.load(std::memory_order_relaxed);
+    out.tasks_queued = tasks_queued_.load(std::memory_order_relaxed);
+    out.tasks_immediate = tasks_immediate_.load(std::memory_order_relaxed);
+    out.task_steals = task_steals_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void reset_counters() override {
+    threads_created_.store(0, std::memory_order_relaxed);
+    threads_reused_.store(0, std::memory_order_relaxed);
+    tasks_queued_.store(0, std::memory_order_relaxed);
+    tasks_immediate_.store(0, std::memory_order_relaxed);
+    task_steals_.store(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Subclass policy: set up the team's task storage.
+  virtual void init_task_storage(PompTeam& team) = 0;
+  /// Subclass policy: enqueue a deferred task; false → cut-off (run now).
+  virtual bool enqueue(TaskCtx* c, TaskRec* rec) = 0;
+  /// Subclass policy: dequeue + execute one task; false when none found.
+  virtual bool try_run_one_task(PompTeam* team) = 0;
+
+  void execute(TaskRec* rec) {
+    TaskCtx ctx;
+    ctx.team = rec->team;
+    ctx.tid = t_ctx != nullptr && t_ctx->team == rec->team ? t_ctx->tid : 0;
+    ctx.parent = rec->creator;
+    TaskCtx* saved = t_ctx;
+    t_ctx = &ctx;
+    rec->fn();
+    // A finished task must have no pending children of its own before its
+    // parent's taskwait can be satisfied; drain them here.
+    while (ctx.children_outstanding.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(rec->team)) wait_relax();
+    }
+    t_ctx = saved;
+    rec->creator->children_outstanding.fetch_sub(1,
+                                                 std::memory_order_release);
+    rec->team->tasks_outstanding.fetch_sub(1, std::memory_order_release);
+    delete rec;
+  }
+
+  void run_inline(TaskCtx* c, std::function<void()> fn) {
+    tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+    TaskCtx ctx;
+    ctx.team = c->team;
+    ctx.tid = c->tid;
+    ctx.parent = c;
+    TaskCtx* saved = t_ctx;
+    t_ctx = &ctx;
+    fn();
+    while (ctx.children_outstanding.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(c->team)) wait_relax();
+    }
+    t_ctx = saved;
+  }
+
+  void wait_relax() {
+    if (active_wait_) {
+      common::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  std::atomic<std::uint64_t> tasks_queued_{0};
+  std::atomic<std::uint64_t> tasks_immediate_{0};
+  std::atomic<std::uint64_t> task_steals_{0};
+  int cutoff_ = 256;
+
+ private:
+  static void run_member(PompTeam* team, int tid,
+                         const std::function<void(int, int)>& body,
+                         TaskCtx* parent) {
+    TaskCtx ctx;
+    ctx.team = team;
+    ctx.tid = tid;
+    ctx.parent = parent;
+    ctx.in_master = tid == 0;
+    TaskCtx* saved = t_ctx;
+    t_ctx = &ctx;
+    body(tid, team->size);
+    t_ctx = saved;
+  }
+
+  /// Hands @p a to a pooled worker (or a fresh pthread when @p fresh_only).
+  std::unique_ptr<Worker> engage_worker(Assignment* a, bool fresh_only,
+                                        int bind_rank) {
+    std::unique_ptr<Worker> w;
+    if (!fresh_only) {
+      common::SpinGuard g(pool_lock_);
+      if (!free_workers_.empty()) {
+        w = std::move(free_workers_.back());
+        free_workers_.pop_back();
+        threads_reused_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!w) {
+      w = std::make_unique<Worker>();
+      w->bind_rank = bind_ ? bind_rank : -1;
+      threads_created_.fetch_add(1, std::memory_order_relaxed);
+      Worker* wp = w.get();
+      PompRuntime* rt = this;
+      w->thread = std::thread([wp, rt] { rt->worker_loop(wp); });
+    }
+    {
+      std::lock_guard<std::mutex> lk(w->m);
+      w->assignment = a;
+    }
+    w->cv.notify_one();
+    return w;
+  }
+
+  void worker_loop(Worker* w) {
+    if (w->bind_rank >= 0) common::bind_self_to_core(w->bind_rank);
+    for (;;) {
+      Assignment* a = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(w->m);
+        w->cv.wait(lk, [&] { return w->assignment != nullptr || w->die; });
+        if (w->die) return;
+        a = w->assignment;
+        w->assignment = nullptr;
+      }
+      run_member(a->team, a->tid, *a->body, nullptr);
+      // Help drain this region's tasks before reporting completion.
+      while (a->team->tasks_outstanding.load(std::memory_order_acquire) >
+             0) {
+        if (!try_run_one_task(a->team)) wait_relax();
+      }
+      a->remaining->fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  void retire(std::unique_ptr<Worker> w) {
+    {
+      std::lock_guard<std::mutex> lk(w->m);
+      w->die = true;
+    }
+    w->cv.notify_one();
+    w->thread.join();
+  }
+
+  bool reuse_nested_;
+  int default_threads_ = 1;
+  bool nested_ = true;
+  bool bind_ = true;
+  bool active_wait_ = true;
+
+  PompTeam root_team_;
+  TaskCtx root_ctx_;
+
+  common::SpinLock pool_lock_;
+  std::vector<std::unique_ptr<Worker>> free_workers_;
+
+  std::atomic<std::uint64_t> threads_created_{0};
+  std::atomic<std::uint64_t> threads_reused_{0};
+
+  common::SpinLock critical_map_lock_;
+  std::map<const void*, common::SpinLock> critical_locks_;
+};
+
+/// libgomp-like: shared team task queue; nested regions never reuse
+/// threads.
+class GnuRuntime final : public PompRuntime {
+ public:
+  explicit GnuRuntime(const PompOptions& opts)
+      : PompRuntime(opts, /*reuse_nested_threads=*/false) {}
+
+  [[nodiscard]] const char* name() const override { return "gnu"; }
+
+ protected:
+  void init_task_storage(PompTeam&) override {}
+
+  bool enqueue(TaskCtx* c, TaskRec* rec) override {
+    c->team->shared_queue.push(rec);
+    return true;
+  }
+
+  bool try_run_one_task(PompTeam* team) override {
+    if (auto rec = team->shared_queue.pop()) {
+      execute(*rec);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Intel-like: hot-team reuse; bounded per-thread deques with stealing and
+/// the 256-entry cut-off.
+class IntelRuntime final : public PompRuntime {
+ public:
+  explicit IntelRuntime(const PompOptions& opts)
+      : PompRuntime(opts, /*reuse_nested_threads=*/true) {}
+
+  [[nodiscard]] const char* name() const override { return "intel"; }
+
+ protected:
+  void init_task_storage(PompTeam& team) override {
+    team.deques.resize(static_cast<std::size_t>(team.size));
+    for (auto& d : team.deques) {
+      d = std::make_unique<sched::BoundedDeque<TaskRec*>>(
+          static_cast<std::size_t>(cutoff_));
+    }
+  }
+
+  bool enqueue(TaskCtx* c, TaskRec* rec) override {
+    auto& deques = c->team->deques;
+    if (deques.empty()) {  // team of 1 without storage: run inline
+      return false;
+    }
+    const auto slot = static_cast<std::size_t>(c->tid) % deques.size();
+    return deques[slot]->try_push(rec);
+  }
+
+  bool try_run_one_task(PompTeam* team) override {
+    auto& deques = team->deques;
+    if (deques.empty()) return false;
+    const auto n = deques.size();
+    const auto self =
+        t_ctx != nullptr && t_ctx->team == team
+            ? static_cast<std::size_t>(t_ctx->tid) % n
+            : 0;
+    if (auto rec = deques[self]->pop_owner()) {
+      execute(*rec);
+      return true;
+    }
+    // Work stealing: random victim order (contention under many threads is
+    // the paper's §VI-E observation).
+    thread_local common::FastRng rng{0xC0FFEE};
+    const auto start = static_cast<std::size_t>(rng.next() % n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto v = (start + k) % n;
+      if (v == self) continue;
+      if (auto rec = deques[v]->steal()) {
+        task_steals_.fetch_add(1, std::memory_order_relaxed);
+        execute(*rec);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<omp::Runtime> make_gnu_runtime(const PompOptions& opts) {
+  return std::make_unique<GnuRuntime>(opts);
+}
+
+std::unique_ptr<omp::Runtime> make_intel_runtime(const PompOptions& opts) {
+  return std::make_unique<IntelRuntime>(opts);
+}
+
+}  // namespace glto::pomp

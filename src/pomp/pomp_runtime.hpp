@@ -1,0 +1,41 @@
+// pomp — pthread-based OpenMP baseline runtimes ("GCC" and "ICC" bars).
+//
+// Two runtimes with the policies the paper measures:
+//
+// GnuRuntime (libgomp-like):
+//  * Top-level teams reuse a persistent pool; **nested teams spawn fresh
+//    pthreads every region and destroy them at region end** — the source
+//    of the 3,536 created threads in Table II and the ≥10× nested slowdown
+//    of Figs. 8/9.
+//  * Tasks go through **one shared task queue per team** protected by a
+//    single lock.
+//
+// IntelRuntime (Intel OpenMP RT-like):
+//  * "Hot teams": workers return to a freelist at region end and are
+//    re-engaged by later (incl. nested) regions — Table II: 1,296 created
+//    / 2,240 reused.
+//  * Tasks go to **bounded per-thread deques with work stealing**; when a
+//    producer's deque is full (default capacity 256) the task executes
+//    immediately — the **cut-off mechanism** of §VI-E, Table III & Fig. 14.
+//
+// Both honour OMP_WAIT_POLICY: active (spin) or passive (park) waiting.
+#pragma once
+
+#include <memory>
+
+#include "omp/runtime.hpp"
+
+namespace glto::pomp {
+
+struct PompOptions {
+  int num_threads = 0;   ///< 0 → $OMP_NUM_THREADS or hardware threads
+  bool nested = true;    ///< OMP_NESTED
+  bool bind_threads = true;
+  bool active_wait = true;  ///< OMP_WAIT_POLICY=active
+  int task_cutoff = 256;    ///< Intel: per-thread task-deque capacity
+};
+
+std::unique_ptr<omp::Runtime> make_gnu_runtime(const PompOptions& opts);
+std::unique_ptr<omp::Runtime> make_intel_runtime(const PompOptions& opts);
+
+}  // namespace glto::pomp

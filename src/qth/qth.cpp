@@ -1,0 +1,537 @@
+#include "qth/qth.hpp"
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "common/parker.hpp"
+#include "common/spin.hpp"
+#include "fctx/fcontext.hpp"
+#include "fctx/stack_pool.hpp"
+#include "sched/locked_queue.hpp"
+
+namespace glto::qth {
+
+namespace {
+
+enum class Kind : std::uint8_t { Qthread, Main };
+enum class Dir : std::uint8_t { Resume, Yield, BlockFeb, Done };
+enum class FebOp : std::uint8_t { ReadFF, ReadFE, WriteEF };
+
+struct Thread {
+  QthFn fn = nullptr;
+  void* arg = nullptr;
+  aligned_t* ret = nullptr;
+  fctx::fcontext_t ctx = nullptr;
+  fctx::Stack stack;
+  int home_shep = 0;
+  Kind kind = Kind::Qthread;
+  void* user_local = nullptr;  ///< see qth::self_local()
+};
+
+/// A qthread parked on a FEB word.
+struct Waiter {
+  Thread* th;
+  FebOp op;
+  aligned_t* dst;  // ReadFF / ReadFE destination
+  aligned_t val;   // WriteEF value
+};
+
+/// Per-word full/empty state. A word with no table entry is *full* with no
+/// waiters (Qthreads' default: all memory starts full).
+struct FebEntry {
+  bool full = true;
+  std::deque<Waiter> waiters;
+};
+
+struct FebBucket {
+  common::SpinLock lock;
+  std::unordered_map<std::uintptr_t, FebEntry> words;
+};
+
+constexpr std::size_t kFebBuckets = 64;
+
+struct SwitchMsg {
+  Dir dir;
+  Thread* self;
+  // BlockFeb payload:
+  FebOp op;
+  aligned_t* addr;
+  aligned_t* dst;
+  aligned_t val;
+};
+
+struct Shepherd {
+  sched::LockedQueue<Thread*> q;
+};
+
+struct Runtime {
+  Config cfg;
+  int n = 0;
+  std::vector<std::unique_ptr<Shepherd>> sheps;
+  std::vector<std::thread> workers;
+  std::atomic<bool> shutdown{false};
+  std::atomic<std::uint64_t> rr_next{0};
+  common::Parker parker;
+  fctx::Stack primary_sched_stack;
+  FebBucket feb[kFebBuckets];
+
+  std::atomic<std::uint64_t> threads_created{0};
+  std::atomic<std::uint64_t> feb_ops{0};
+  std::atomic<std::uint64_t> feb_blocks{0};
+};
+
+Runtime* g_rt = nullptr;
+
+struct Tls {
+  int rank = -1;
+  Thread* current = nullptr;
+  fctx::fcontext_t sched_ctx = nullptr;
+  Thread* main_thread = nullptr;
+};
+
+thread_local Tls tls;
+
+FebBucket& bucket_for(const aligned_t* addr) {
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  // Mix the address so neighbouring words spread across buckets.
+  return g_rt->feb[(p >> 3) * 0x9e3779b97f4a7c15ULL >> 58 & (kFebBuckets - 1)];
+}
+
+void push_ready(Thread* th) {
+  g_rt->sheps[static_cast<std::size_t>(th->home_shep)]->q.push(th);
+  g_rt->parker.unpark_all();
+}
+
+/// Satisfies as many waiters as the word's state allows, FIFO-fair.
+/// Must be called with the bucket lock held; readied threads are collected
+/// into @p wake and pushed after the lock is dropped.
+void drain_waiters(FebEntry& e, aligned_t* addr, std::vector<Thread*>& wake) {
+  while (!e.waiters.empty()) {
+    Waiter& w = e.waiters.front();
+    bool satisfied = false;
+    switch (w.op) {
+      case FebOp::ReadFF:
+        if (e.full) {
+          if (w.dst != nullptr) *w.dst = *addr;
+          satisfied = true;
+        }
+        break;
+      case FebOp::ReadFE:
+        if (e.full) {
+          if (w.dst != nullptr) *w.dst = *addr;
+          e.full = false;
+          satisfied = true;
+        }
+        break;
+      case FebOp::WriteEF:
+        if (!e.full) {
+          *addr = w.val;
+          e.full = true;
+          satisfied = true;
+        }
+        break;
+    }
+    if (!satisfied) break;  // FIFO fairness: do not overtake a blocked head
+    wake.push_back(w.th);
+    e.waiters.pop_front();
+  }
+}
+
+/// Attempts a FEB operation immediately. Returns true when it completed;
+/// false when the caller must block. Never blocks itself.
+bool feb_try(FebOp op, aligned_t* addr, aligned_t* dst, aligned_t val) {
+  FebBucket& b = bucket_for(addr);
+  g_rt->feb_ops.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Thread*> wake;
+  bool done = false;
+  {
+    common::SpinGuard g(b.lock);
+    auto it = b.words.find(reinterpret_cast<std::uintptr_t>(addr));
+    const bool full = it == b.words.end() ? true : it->second.full;
+    switch (op) {
+      case FebOp::ReadFF:
+        if (full) {
+          if (dst != nullptr) *dst = *addr;
+          done = true;
+        }
+        break;
+      case FebOp::ReadFE:
+        if (full) {
+          if (dst != nullptr) *dst = *addr;
+          auto& e = it == b.words.end()
+                        ? b.words[reinterpret_cast<std::uintptr_t>(addr)]
+                        : it->second;
+          e.full = false;
+          // Emptying may unblock a pending writeEF (and transitively more).
+          drain_waiters(e, addr, wake);
+          done = true;
+        }
+        break;
+      case FebOp::WriteEF:
+        if (!full) {
+          *addr = val;
+          it->second.full = true;
+          drain_waiters(it->second, addr, wake);
+          done = true;
+        }
+        break;
+    }
+  }
+  for (Thread* th : wake) push_ready(th);
+  return done;
+}
+
+/// Registers @p th as a waiter — used by the scheduler after the thread's
+/// context is fully saved. Re-checks the condition under the lock; returns
+/// true if the op completed instead (thread must be re-readied).
+bool feb_register_or_complete(Thread* th, FebOp op, aligned_t* addr,
+                              aligned_t* dst, aligned_t val) {
+  FebBucket& b = bucket_for(addr);
+  g_rt->feb_ops.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Thread*> wake;
+  bool completed = false;
+  {
+    common::SpinGuard g(b.lock);
+    auto& e = b.words[reinterpret_cast<std::uintptr_t>(addr)];
+    switch (op) {
+      case FebOp::ReadFF:
+        if (e.full) {
+          if (dst != nullptr) *dst = *addr;
+          completed = true;
+        }
+        break;
+      case FebOp::ReadFE:
+        if (e.full) {
+          if (dst != nullptr) *dst = *addr;
+          e.full = false;
+          drain_waiters(e, addr, wake);
+          completed = true;
+        }
+        break;
+      case FebOp::WriteEF:
+        if (!e.full) {
+          *addr = val;
+          e.full = true;
+          drain_waiters(e, addr, wake);
+          completed = true;
+        }
+        break;
+    }
+    if (!completed) {
+      e.waiters.push_back(Waiter{th, op, dst, val});
+      g_rt->feb_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (Thread* t : wake) push_ready(t);
+  return completed;
+}
+
+void set_feb_state(aligned_t* addr, bool full) {
+  FebBucket& b = bucket_for(addr);
+  g_rt->feb_ops.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Thread*> wake;
+  {
+    common::SpinGuard g(b.lock);
+    auto& e = b.words[reinterpret_cast<std::uintptr_t>(addr)];
+    e.full = full;
+    drain_waiters(e, addr, wake);
+    if (e.full && e.waiters.empty()) {
+      // Full with nobody waiting == default state; reclaim the entry.
+      b.words.erase(reinterpret_cast<std::uintptr_t>(addr));
+    }
+  }
+  for (Thread* t : wake) push_ready(t);
+}
+
+void process_directive(fctx::transfer_t t) {
+  SwitchMsg msg = *static_cast<SwitchMsg*>(t.data);
+  msg.self->ctx = t.from;
+  switch (msg.dir) {
+    case Dir::Yield:
+      push_ready(msg.self);
+      break;
+    case Dir::BlockFeb:
+      if (feb_register_or_complete(msg.self, msg.op, msg.addr, msg.dst,
+                                   msg.val)) {
+        push_ready(msg.self);
+      }
+      break;
+    case Dir::Done: {
+      Thread* th = msg.self;
+      fctx::StackPool::global().release(th->stack);
+      delete th;  // qthreads are auto-freed; joins go through the ret FEB
+      break;
+    }
+    case Dir::Resume:
+      GLTO_CHECK_MSG(false, "Resume is never sent to a scheduler");
+  }
+}
+
+void run_thread(Thread* th) {
+  tls.current = th;
+  SwitchMsg resume{Dir::Resume, th, FebOp::ReadFF, nullptr, nullptr, 0};
+  fctx::transfer_t t = fctx::jump_fcontext(th->ctx, &resume);
+  tls.current = nullptr;
+  process_directive(t);
+}
+
+void sched_loop() {
+  Shepherd& shep = *g_rt->sheps[static_cast<std::size_t>(tls.rank)];
+  int idle = 0;
+  for (;;) {
+    if (auto th = shep.q.pop()) {
+      idle = 0;
+      run_thread(*th);
+      continue;
+    }
+    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
+    if (++idle < 64) {
+      common::cpu_relax();
+    } else if (idle < 96) {
+      std::this_thread::yield();
+    } else {
+      g_rt->parker.park_for_us(200);
+    }
+  }
+}
+
+void worker_main(int rank) {
+  tls.rank = rank;
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  sched_loop();
+}
+
+void primary_sched_entry(fctx::transfer_t t) {
+  process_directive(t);
+  sched_loop();
+  GLTO_CHECK_MSG(false, "primary scheduler exited while runtime is alive");
+}
+
+void suspend(SwitchMsg msg) {
+  Thread* self = tls.current;
+  GLTO_CHECK_MSG(self != nullptr, "qth: blocking op on a foreign thread");
+  if (tls.sched_ctx == nullptr) {
+    GLTO_CHECK(self->kind == Kind::Main);
+    fctx::Stack s = fctx::StackPool::global().acquire();
+    g_rt->primary_sched_stack = s;
+    tls.sched_ctx = fctx::make_fcontext(s.top, s.size, primary_sched_entry);
+  }
+  msg.self = self;
+  fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
+  tls.sched_ctx = t.from;
+  tls.current = self;
+}
+
+void qthread_entry(fctx::transfer_t t) {
+  SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+  Thread* self = in.self;
+  tls.sched_ctx = t.from;
+  tls.current = self;
+  const aligned_t result = self->fn(self->arg);
+  if (self->ret != nullptr) writeF(self->ret, result);
+  SwitchMsg done{Dir::Done, self, FebOp::ReadFF, nullptr, nullptr, 0};
+  fctx::jump_fcontext(tls.sched_ctx, &done);
+  GLTO_CHECK_MSG(false, "resumed a finished qthread");
+}
+
+}  // namespace
+
+void init(const Config& cfg_in) {
+  GLTO_CHECK_MSG(g_rt == nullptr, "qth::init called twice");
+  g_rt = new Runtime();
+  g_rt->cfg = cfg_in;
+  if (g_rt->cfg.num_shepherds <= 0) {
+    g_rt->cfg.num_shepherds = static_cast<int>(common::env_i64(
+        "QTH_NUM_SHEPHERDS", common::hardware_concurrency()));
+  }
+  g_rt->n = g_rt->cfg.num_shepherds;
+  for (int i = 0; i < g_rt->n; ++i) {
+    g_rt->sheps.push_back(std::make_unique<Shepherd>());
+  }
+  tls.rank = 0;
+  tls.sched_ctx = nullptr;
+  auto* main_th = new Thread();
+  main_th->kind = Kind::Main;
+  main_th->home_shep = 0;
+  tls.main_thread = main_th;
+  tls.current = main_th;
+  if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  for (int r = 1; r < g_rt->n; ++r) {
+    g_rt->workers.emplace_back(worker_main, r);
+  }
+}
+
+void finalize() {
+  GLTO_CHECK_MSG(g_rt != nullptr, "qth::finalize without init");
+  GLTO_CHECK_MSG(tls.current == tls.main_thread,
+                 "finalize must run on the main context");
+  g_rt->shutdown.store(true, std::memory_order_release);
+  g_rt->parker.unpark_all();
+  for (auto& w : g_rt->workers) w.join();
+  fctx::StackPool::global().release(g_rt->primary_sched_stack);
+  delete tls.main_thread;
+  tls = Tls{};
+  delete g_rt;
+  g_rt = nullptr;
+}
+
+bool initialized() { return g_rt != nullptr; }
+
+int num_shepherds() { return g_rt ? g_rt->n : 0; }
+
+int shep_rank() { return tls.rank; }
+
+bool in_qthread() { return tls.current != nullptr; }
+
+void fork_to(int shep, QthFn fn, void* arg, aligned_t* ret) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "qth::init has not been called");
+  GLTO_CHECK(shep >= 0 && shep < g_rt->n);
+  if (ret != nullptr) feb_empty(ret);
+  auto* th = new Thread();
+  th->fn = fn;
+  th->arg = arg;
+  th->ret = ret;
+  th->home_shep = shep;
+  th->stack = fctx::StackPool::global().acquire();
+  th->ctx = fctx::make_fcontext(th->stack.top, th->stack.size, qthread_entry);
+  g_rt->threads_created.fetch_add(1, std::memory_order_relaxed);
+  push_ready(th);
+}
+
+void fork(QthFn fn, void* arg, aligned_t* ret) {
+  const auto next = g_rt->rr_next.fetch_add(1, std::memory_order_relaxed);
+  fork_to(static_cast<int>(next % static_cast<std::uint64_t>(g_rt->n)), fn,
+          arg, ret);
+}
+
+void yield() {
+  if (tls.current == nullptr) return;
+  SwitchMsg msg{Dir::Yield, nullptr, FebOp::ReadFF, nullptr, nullptr, 0};
+  suspend(msg);
+}
+
+void feb_empty(aligned_t* addr) { set_feb_state(addr, false); }
+
+void feb_fill(aligned_t* addr) { set_feb_state(addr, true); }
+
+bool feb_is_full(aligned_t* addr) {
+  FebBucket& b = bucket_for(addr);
+  g_rt->feb_ops.fetch_add(1, std::memory_order_relaxed);
+  common::SpinGuard g(b.lock);
+  auto it = b.words.find(reinterpret_cast<std::uintptr_t>(addr));
+  return it == b.words.end() ? true : it->second.full;
+}
+
+namespace {
+
+void feb_op_blocking(FebOp op, aligned_t* addr, aligned_t* dst, aligned_t val) {
+  if (feb_try(op, addr, dst, val)) return;
+  if (tls.current == nullptr) {
+    // Foreign OS thread: spin politely until the fast path succeeds.
+    common::spin_until([&] { return feb_try(op, addr, dst, val); });
+    return;
+  }
+  SwitchMsg msg{Dir::BlockFeb, nullptr, op, addr, dst, val};
+  suspend(msg);
+  // The scheduler performed (or registered) the op; when we resume it has
+  // been satisfied by drain_waiters — nothing left to do.
+}
+
+}  // namespace
+
+void readFF(aligned_t* dst, aligned_t* src) {
+  feb_op_blocking(FebOp::ReadFF, src, dst, 0);
+}
+
+void readFE(aligned_t* dst, aligned_t* src) {
+  feb_op_blocking(FebOp::ReadFE, src, dst, 0);
+}
+
+void writeEF(aligned_t* dst, aligned_t val) {
+  feb_op_blocking(FebOp::WriteEF, dst, nullptr, val);
+}
+
+void writeF(aligned_t* dst, aligned_t val) {
+  FebBucket& b = bucket_for(dst);
+  g_rt->feb_ops.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Thread*> wake;
+  {
+    common::SpinGuard g(b.lock);
+    auto& e = b.words[reinterpret_cast<std::uintptr_t>(dst)];
+    *dst = val;
+    e.full = true;
+    drain_waiters(e, dst, wake);
+    if (e.waiters.empty()) {
+      b.words.erase(reinterpret_cast<std::uintptr_t>(dst));
+    }
+  }
+  for (Thread* t : wake) push_ready(t);
+  g_rt->parker.unpark_all();
+}
+
+namespace {
+thread_local void* g_foreign_local = nullptr;
+}
+
+void* self_local() {
+  return tls.current != nullptr ? tls.current->user_local : g_foreign_local;
+}
+
+void set_self_local(void* p) {
+  if (tls.current != nullptr) {
+    tls.current->user_local = p;
+  } else {
+    g_foreign_local = p;
+  }
+}
+
+Stats stats() {
+  Stats s;
+  if (g_rt != nullptr) {
+    s.threads_created = g_rt->threads_created.load(std::memory_order_relaxed);
+    s.feb_ops = g_rt->feb_ops.load(std::memory_order_relaxed);
+    s.feb_blocks = g_rt->feb_blocks.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+struct Sinc {
+  std::atomic<std::uint64_t> remaining{0};
+  aligned_t done_word = 0;  // FEB-empty until the last submission
+};
+
+Sinc* sinc_create(std::uint64_t expect) {
+  auto* s = new Sinc();
+  s->remaining.store(expect, std::memory_order_relaxed);
+  if (expect > 0) {
+    feb_empty(&s->done_word);
+  } else {
+    s->done_word = 1;  // trivially complete (word full by default)
+  }
+  return s;
+}
+
+void sinc_submit(Sinc* s) {
+  GLTO_CHECK_MSG(s->remaining.load(std::memory_order_relaxed) > 0,
+                 "sinc_submit beyond the expected count");
+  if (s->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    writeF(&s->done_word, 1);  // last submitter signals through the FEB
+  }
+}
+
+void sinc_wait(Sinc* s) {
+  aligned_t sink = 0;
+  readFF(&sink, &s->done_word);
+}
+
+void sinc_destroy(Sinc* s) { delete s; }
+
+}  // namespace glto::qth

@@ -1,0 +1,139 @@
+// Chase–Lev work-stealing deque (dynamic circular array).
+//
+// Owner pushes/pops at the bottom without locks; thieves steal from the top
+// with a CAS. This is the queue MassiveThreads-style schedulers use for
+// continuation stealing, and the Intel-like OpenMP baseline uses a bounded
+// variant for its per-thread task deques.
+//
+// Reference: Chase & Lev, "Dynamic Circular Work-Stealing Deque", SPAA'05,
+// with the C11 memory-order corrections of Lê et al. (PPoPP'13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace glto::sched {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(sizeof(T) <= sizeof(void*) && std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque stores small trivially-copyable handles");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : array_(new Array(round_pow2(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    Array* a = array_.load(std::memory_order_relaxed);
+    while (a != nullptr) {
+      Array* prev = a->prev;
+      delete a;
+      a = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner-only: push one element at the bottom.
+  void push(T item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom (LIFO). Returns false when empty.
+  bool pop(T* out) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty; restore
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *out = a->get(b);
+    if (t == b) {  // last element: race with thieves
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Thief: steal from the top (FIFO). Returns false when empty/lost race.
+  bool steal(T* out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Array* a = array_.load(std::memory_order_consume);
+    T item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = item;
+    return true;
+  }
+
+  /// Approximate size (racy; for heuristics and stats only).
+  [[nodiscard]] std::int64_t size_approx() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() <= 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap) : capacity(cap), mask(cap - 1),
+                                      slots(cap), prev(nullptr) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T>> slots;
+    Array* prev;  // retired arrays are kept until deque destruction
+
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 8 ? 8 : p;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    bigger->prev = old;
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(glto::common::kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(glto::common::kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  alignas(glto::common::kCacheLine) std::atomic<Array*> array_;
+};
+
+}  // namespace glto::sched

@@ -1,0 +1,106 @@
+// Bounded lock-free MPMC queue (Vyukov's algorithm).
+//
+// Used where many producers and many consumers touch the same queue at high
+// rate (the abt shared pool under GLT_SHARED_QUEUES). Each slot carries a
+// sequence number; producers and consumers claim slots with a single CAS on
+// their cursor, so contention is on two cache lines instead of one lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/debug.hpp"
+
+namespace glto::sched {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity_pow2 = 1024)
+      : capacity_(round_pow2(capacity_pow2)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Returns false when the queue is full.
+  bool try_push(T item) {
+    std::size_t pos = tail_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          s.item = item;
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> try_pop() {
+    std::size_t pos = head_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.value.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          T out = s.item;
+          s.seq.store(pos + capacity_, std::memory_order_release);
+          return out;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t size_approx() const {
+    const auto t = tail_.value.load(std::memory_order_relaxed);
+    const auto h = head_.value.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq;
+    T item;
+  };
+
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 4 ? 4 : p;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  glto::common::PaddedAtomic<std::size_t> head_;
+  glto::common::PaddedAtomic<std::size_t> tail_;
+};
+
+}  // namespace glto::sched

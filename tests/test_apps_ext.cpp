@@ -1,0 +1,201 @@
+// Extended workload features: binomial UTS trees, Jacobi-preconditioned
+// CG, variable-diagonal matrices, and the qth sinc primitive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "apps/uts.hpp"
+#include "omp/omp.hpp"
+#include "qth/qth.hpp"
+
+namespace u = glto::apps::uts;
+namespace g = glto::apps::cg;
+namespace o = glto::omp;
+namespace q = glto::qth;
+
+namespace {
+
+u::Params bin_tree() {
+  u::Params p;
+  p.kind = u::TreeKind::binomial;
+  p.root_seed = 77;
+  p.bin_m = 6;
+  p.bin_q = 0.12;  // subcritical: 0.72 expected children
+  return p;
+}
+
+}  // namespace
+
+TEST(UtsBinomial, Deterministic) {
+  const auto a = u::search_sequential(bin_tree());
+  const auto b = u::search_sequential(bin_tree());
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a.nodes, 7u) << "root always has bin_m children";
+}
+
+TEST(UtsBinomial, RootAlwaysInterior) {
+  auto p = bin_tree();
+  p.bin_q = 0.0;  // all non-root nodes are leaves
+  const auto r = u::search_sequential(p);
+  EXPECT_EQ(r.nodes, 1u + static_cast<std::uint64_t>(p.bin_m));
+  EXPECT_EQ(r.leaves, static_cast<std::uint64_t>(p.bin_m));
+  EXPECT_EQ(r.max_depth, 1);
+}
+
+TEST(UtsBinomial, HigherQGrowsTree) {
+  auto lo = bin_tree();
+  auto hi = bin_tree();
+  lo.bin_q = 0.05;
+  hi.bin_q = 0.15;
+  EXPECT_LE(u::search_sequential(lo).nodes, u::search_sequential(hi).nodes);
+}
+
+TEST(UtsBinomial, ParallelMatchesSequentialOnAllRuntimes) {
+  const auto p = bin_tree();
+  const auto seq = u::search_sequential(p);
+  for (auto kind : o::all_kinds()) {
+    o::SelectOptions opts;
+    opts.num_threads = 3;
+    opts.bind_threads = false;
+    o::select(kind, opts);
+    EXPECT_EQ(u::search_omp(p), seq) << o::kind_name(kind);
+    o::shutdown();
+  }
+}
+
+TEST(UtsBinomial, NativePortsMatch) {
+  const auto p = bin_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_pthreads(p, 2), seq);
+  EXPECT_EQ(u::search_abt_native(p, 2), seq);
+  EXPECT_EQ(u::search_qth_native(p, 2), seq);
+  EXPECT_EQ(u::search_mth_native(p, 2), seq);
+}
+
+TEST(CgVariableDiag, DiagonalVaries) {
+  const auto a = g::make_spd_variable_diag(10);
+  std::vector<double> diag(10, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == i) {
+        diag[static_cast<std::size_t>(i)] =
+            a.val[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(diag[0], 4.5);
+  EXPECT_DOUBLE_EQ(diag[3], 6.0);
+  EXPECT_NE(diag[0], diag[1]);
+}
+
+TEST(CgJacobi, SolvesToTolerance) {
+  o::SelectOptions opts;
+  opts.num_threads = 3;
+  opts.bind_threads = false;
+  o::select(o::RuntimeKind::glto_abt, opts);
+  const auto a = g::make_spd_variable_diag(400);
+  const std::vector<double> b(400, 1.0);
+  std::vector<double> x;
+  const auto res = g::solve_tasks_jacobi(a, b, x, 400, 1e-8, 25);
+  EXPECT_TRUE(res.converged);
+  // Verify against a direct residual computation.
+  std::vector<double> ax(400, 0.0);
+  g::spmv_seq(a, x, ax);
+  double rr = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double d = b[static_cast<std::size_t>(i)] -
+                     ax[static_cast<std::size_t>(i)];
+    rr += d * d;
+  }
+  EXPECT_LT(std::sqrt(rr), 1e-5);
+  o::shutdown();
+}
+
+TEST(CgJacobi, PreconditioningHelpsOnVariableDiag) {
+  o::SelectOptions opts;
+  opts.num_threads = 2;
+  opts.bind_threads = false;
+  o::select(o::RuntimeKind::glto_abt, opts);
+  const auto a = g::make_spd_variable_diag(600);
+  const std::vector<double> b(600, 1.0);
+  std::vector<double> x_plain, x_pcg;
+  const auto plain = g::solve_tasks(a, b, x_plain, 600, 1e-9, 50);
+  const auto pcg = g::solve_tasks_jacobi(a, b, x_pcg, 600, 1e-9, 50);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_LE(pcg.iterations, plain.iterations)
+      << "Jacobi must not hurt on a variable diagonal";
+  o::shutdown();
+}
+
+TEST(QthSinc, ZeroExpectIsImmediatelyComplete) {
+  q::Config cfg;
+  cfg.num_shepherds = 1;
+  cfg.bind_threads = false;
+  q::init(cfg);
+  auto* s = q::sinc_create(0);
+  q::sinc_wait(s);  // must not block
+  q::sinc_destroy(s);
+  q::finalize();
+}
+
+TEST(QthSinc, WaitBlocksUntilAllSubmissions) {
+  q::Config cfg;
+  cfg.num_shepherds = 2;
+  cfg.bind_threads = false;
+  q::init(cfg);
+  constexpr int kN = 50;
+  static q::Sinc* sinc;
+  static std::atomic<int> submitted;
+  sinc = q::sinc_create(kN);
+  submitted = 0;
+  std::vector<q::aligned_t> rets(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    q::fork(
+        [](void*) -> q::aligned_t {
+          submitted.fetch_add(1);
+          q::sinc_submit(sinc);
+          return 0;
+        },
+        nullptr, &rets[static_cast<std::size_t>(i)]);
+  }
+  q::sinc_wait(sinc);
+  EXPECT_EQ(submitted.load(), kN)
+      << "wait returned before all submissions";
+  q::aligned_t drain = 0;
+  for (auto& r : rets) q::readFF(&drain, &r);
+  q::sinc_destroy(sinc);
+  q::finalize();
+}
+
+TEST(QthSinc, FanInFromManyShepherds) {
+  q::Config cfg;
+  cfg.num_shepherds = 3;
+  cfg.bind_threads = false;
+  q::init(cfg);
+  constexpr int kPerShep = 20;
+  static q::Sinc* sinc;
+  sinc = q::sinc_create(3 * kPerShep);
+  std::vector<q::aligned_t> rets(3 * kPerShep, 0);
+  int idx = 0;
+  for (int shep = 0; shep < 3; ++shep) {
+    for (int i = 0; i < kPerShep; ++i) {
+      q::fork_to(
+          shep,
+          [](void*) -> q::aligned_t {
+            q::sinc_submit(sinc);
+            return 0;
+          },
+          nullptr, &rets[static_cast<std::size_t>(idx++)]);
+    }
+  }
+  q::sinc_wait(sinc);
+  q::aligned_t drain = 0;
+  for (auto& r : rets) q::readFF(&drain, &r);
+  q::sinc_destroy(sinc);
+  q::finalize();
+  SUCCEED();
+}

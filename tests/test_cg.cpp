@@ -1,0 +1,185 @@
+// CG workload tests: matrix properties, solver correctness, task-variant
+// equivalence across runtimes, and the paper's task-count arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "omp/omp.hpp"
+
+namespace g = glto::apps::cg;
+namespace o = glto::omp;
+
+namespace {
+
+std::vector<double> ones(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 1.0);
+}
+
+double residual(const g::Csr& a, const std::vector<double>& b,
+                const std::vector<double>& x) {
+  std::vector<double> ax(static_cast<std::size_t>(a.n), 0.0);
+  g::spmv_seq(a, x, ax);
+  double acc = 0.0;
+  for (int i = 0; i < a.n; ++i) {
+    const double d = b[static_cast<std::size_t>(i)] -
+                     ax[static_cast<std::size_t>(i)];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+TEST(CgMatrix, PentadiagonalStructure) {
+  const auto a = g::make_spd_pentadiagonal(10);
+  EXPECT_EQ(a.n, 10);
+  EXPECT_EQ(a.rowptr.size(), 11u);
+  // Interior rows have 5 entries; first/last rows 3; second rows 4.
+  EXPECT_EQ(a.rowptr[1] - a.rowptr[0], 3);
+  EXPECT_EQ(a.rowptr[2] - a.rowptr[1], 4);
+  EXPECT_EQ(a.rowptr[6] - a.rowptr[5], 5);
+  EXPECT_EQ(a.nnz(), 10 * 5 - 2 * 3);
+}
+
+TEST(CgMatrix, IsSymmetric) {
+  const auto a = g::make_spd_pentadiagonal(30);
+  // Check A[i][j] == A[j][i] by dense reconstruction.
+  std::vector<std::vector<double>> dense(
+      30, std::vector<double>(30, 0.0));
+  for (int i = 0; i < a.n; ++i) {
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      dense[static_cast<std::size_t>(i)]
+           [static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])] =
+               a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 30; ++j) {
+      EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(j)],
+                       dense[static_cast<std::size_t>(j)]
+                            [static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(CgMatrix, IsDiagonallyDominant) {
+  const auto a = g::make_spd_pentadiagonal(50);
+  for (int i = 0; i < a.n; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (int k = a.rowptr[static_cast<std::size_t>(i)];
+         k < a.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == i) {
+        diag = a.val[static_cast<std::size_t>(k)];
+      } else {
+        off += std::abs(a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << i;
+  }
+}
+
+TEST(CgMatrix, SpmvMatchesDenseOnKnownVector) {
+  const auto a = g::make_spd_pentadiagonal(6);
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y(6, 0.0);
+  g::spmv_seq(a, x, y);
+  // Row 2: -1*x0 -1*x1 +4.5*x2 -1*x3 -1*x4 = -1 -2 +13.5 -4 -5 = 1.5
+  EXPECT_DOUBLE_EQ(y[2], 1.5);
+  // Row 0: 4.5*1 -1*2 -1*3 = -0.5
+  EXPECT_DOUBLE_EQ(y[0], -0.5);
+}
+
+TEST(CgTaskCounts, MatchPaperArithmetic) {
+  // Paper §VI-E: granularities 10/20/50/100 on 14,878 rows give
+  // 1,488/744/298/149 tasks.
+  EXPECT_EQ(g::tasks_for_granularity(g::kPaperRows, 10), 1488);
+  EXPECT_EQ(g::tasks_for_granularity(g::kPaperRows, 20), 744);
+  EXPECT_EQ(g::tasks_for_granularity(g::kPaperRows, 50), 298);
+  EXPECT_EQ(g::tasks_for_granularity(g::kPaperRows, 100), 149);
+}
+
+class CgOmp : public ::testing::TestWithParam<o::RuntimeKind> {
+ protected:
+  void SetUp() override {
+    o::SelectOptions opts;
+    opts.num_threads = 3;
+    opts.bind_threads = false;
+    o::select(GetParam(), opts);
+  }
+  void TearDown() override { o::shutdown(); }
+};
+
+TEST_P(CgOmp, WorksharingSolvesToTolerance) {
+  const auto a = g::make_spd_pentadiagonal(500);
+  const auto b = ones(500);
+  std::vector<double> x;
+  const auto res = g::solve_worksharing(a, b, x, 500, 1e-8);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual(a, b, x), 1e-5);
+}
+
+TEST_P(CgOmp, TasksSolveToTolerance) {
+  const auto a = g::make_spd_pentadiagonal(500);
+  const auto b = ones(500);
+  std::vector<double> x;
+  const auto res = g::solve_tasks(a, b, x, 500, 1e-8, 25);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual(a, b, x), 1e-5);
+}
+
+TEST_P(CgOmp, TaskGranularityDoesNotChangeResult) {
+  const auto a = g::make_spd_pentadiagonal(300);
+  const auto b = ones(300);
+  std::vector<double> x10, x100;
+  const auto r10 = g::solve_tasks(a, b, x10, 300, 1e-10, 10);
+  const auto r100 = g::solve_tasks(a, b, x100, 300, 1e-10, 100);
+  EXPECT_TRUE(r10.converged);
+  EXPECT_TRUE(r100.converged);
+  EXPECT_EQ(r10.iterations, r100.iterations)
+      << "granularity is a scheduling knob, not a numerical one";
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NEAR(x10[static_cast<std::size_t>(i)],
+                x100[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST_P(CgOmp, TasksMatchWorksharing) {
+  const auto a = g::make_spd_pentadiagonal(300);
+  const auto b = ones(300);
+  std::vector<double> xw, xt;
+  const auto rw = g::solve_worksharing(a, b, xw, 300, 1e-10);
+  const auto rt = g::solve_tasks(a, b, xt, 300, 1e-10, 16);
+  EXPECT_TRUE(rw.converged);
+  EXPECT_TRUE(rt.converged);
+  EXPECT_EQ(rw.iterations, rt.iterations);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NEAR(xw[static_cast<std::size_t>(i)],
+                xt[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST_P(CgOmp, GranularityLargerThanMatrixIsOneTask) {
+  const auto a = g::make_spd_pentadiagonal(64);
+  const auto b = ones(64);
+  std::vector<double> x;
+  const auto res = g::solve_tasks(a, b, x, 200, 1e-8, 1000);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(g::tasks_for_granularity(64, 1000), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, CgOmp,
+    ::testing::Values(o::RuntimeKind::gnu, o::RuntimeKind::intel,
+                      o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                      o::RuntimeKind::glto_mth),
+    [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
+      std::string n = o::kind_name(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });

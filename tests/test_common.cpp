@@ -1,0 +1,181 @@
+// Unit tests for src/common utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/parker.hpp"
+#include "common/rng.hpp"
+#include "common/spin.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace gc = glto::common;
+
+TEST(Env, StrUnsetReturnsNullopt) {
+  gc::env_set("GLTO_TEST_UNSET", nullptr);
+  EXPECT_FALSE(gc::env_str("GLTO_TEST_UNSET").has_value());
+}
+
+TEST(Env, StrRoundTrip) {
+  gc::env_set("GLTO_TEST_STR", "hello");
+  auto v = gc::env_str("GLTO_TEST_STR");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello");
+  gc::env_set("GLTO_TEST_STR", nullptr);
+}
+
+TEST(Env, EmptyStringIsUnset) {
+  gc::env_set("GLTO_TEST_EMPTY", "");
+  EXPECT_FALSE(gc::env_str("GLTO_TEST_EMPTY").has_value());
+  gc::env_set("GLTO_TEST_EMPTY", nullptr);
+}
+
+TEST(Env, I64ParsesAndFallsBack) {
+  gc::env_set("GLTO_TEST_I64", "42");
+  EXPECT_EQ(gc::env_i64("GLTO_TEST_I64", 7), 42);
+  gc::env_set("GLTO_TEST_I64", "-13");
+  EXPECT_EQ(gc::env_i64("GLTO_TEST_I64", 7), -13);
+  gc::env_set("GLTO_TEST_I64", "junk");
+  EXPECT_EQ(gc::env_i64("GLTO_TEST_I64", 7), 7);
+  gc::env_set("GLTO_TEST_I64", nullptr);
+  EXPECT_EQ(gc::env_i64("GLTO_TEST_I64", 7), 7);
+}
+
+TEST(Env, BoolOpenMPConventions) {
+  for (const char* t : {"1", "true", "TRUE", "yes", "on"}) {
+    gc::env_set("GLTO_TEST_BOOL", t);
+    EXPECT_TRUE(gc::env_bool("GLTO_TEST_BOOL", false)) << t;
+  }
+  for (const char* f : {"0", "false", "no", "OFF"}) {
+    gc::env_set("GLTO_TEST_BOOL", f);
+    EXPECT_FALSE(gc::env_bool("GLTO_TEST_BOOL", true)) << f;
+  }
+  gc::env_set("GLTO_TEST_BOOL", nullptr);
+  EXPECT_TRUE(gc::env_bool("GLTO_TEST_BOOL", true));
+}
+
+TEST(Time, MonotonicAndPositive) {
+  const auto a = gc::now_ns();
+  const auto b = gc::now_ns();
+  EXPECT_GT(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Time, TimerMeasuresSleep) {
+  gc::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.elapsed_sec(), 0.005);
+  EXPECT_LT(t.elapsed_sec(), 5.0);
+}
+
+TEST(Spin, MutualExclusion) {
+  gc::SpinLock lock;
+  int counter = 0;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        gc::SpinGuard g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4 * kIters);
+}
+
+TEST(Spin, TryLock) {
+  gc::SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  gc::SplitRng a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.state(), c.state());
+}
+
+TEST(Rng, SplitIsIndependentOfDrawOrder) {
+  // The splittable property UTS relies on: a child stream depends only on
+  // (parent state, index), never on how many values a sibling consumed.
+  gc::SplitRng parent(999);
+  gc::SplitRng c0 = parent.split(0);
+  gc::SplitRng c1 = parent.split(1);
+  gc::SplitRng c0_again = parent.split(0);
+  (void)c1;
+  EXPECT_EQ(c0.state(), c0_again.state());
+  EXPECT_NE(c0.state(), c1.state());
+}
+
+TEST(Rng, SplitChildrenDiffer) {
+  gc::SplitRng parent(7);
+  std::set<std::uint64_t> states;
+  for (int i = 0; i < 100; ++i) states.insert(parent.split(i).state());
+  EXPECT_EQ(states.size(), 100u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  gc::SplitRng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  gc::SplitRng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Stats, BasicMoments) {
+  gc::RunStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  gc::RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+TEST(Parker, TimesOutWithoutUnpark) {
+  gc::Parker p;
+  const auto t0 = gc::now_ns();
+  p.park_for_us(2000);
+  EXPECT_GE(gc::now_ns() - t0, 1000000);
+}
+
+TEST(Parker, UnparkWakesSleeper) {
+  gc::Parker p;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    p.park_for_us(2'000'000);
+    woke.store(true);
+  });
+  while (p.waiters() == 0) std::this_thread::yield();
+  const auto t0 = gc::now_ns();
+  p.unpark_all();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_LT(gc::now_ns() - t0, 1'500'000'000) << "unpark took too long";
+}

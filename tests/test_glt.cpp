@@ -1,0 +1,243 @@
+// GLT conformance suite, parameterized over the three backends.
+//
+// The GLT promise (paper §III-B): a program written against the GLT API
+// runs unmodified over any backend with identical *results* (performance
+// may differ). Every test here therefore runs 3×: abt, qth, mth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "glt/glt.hpp"
+
+namespace gg = glto::glt;
+
+class GltBackend : public ::testing::TestWithParam<gg::Impl> {
+ protected:
+  void SetUp() override {
+    gg::Config cfg;
+    cfg.impl = GetParam();
+    cfg.num_threads = 3;
+    cfg.bind_threads = false;
+    gg::init(cfg);
+  }
+  void TearDown() override { gg::finalize(); }
+};
+
+TEST_P(GltBackend, InitReportsBackendAndThreads) {
+  EXPECT_TRUE(gg::initialized());
+  EXPECT_EQ(gg::current_impl(), GetParam());
+  EXPECT_EQ(gg::num_threads(), 3);
+  EXPECT_GE(gg::thread_num(), 0);
+}
+
+TEST_P(GltBackend, UltCreateJoin) {
+  std::atomic<int> x{0};
+  auto* u = gg::ult_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->store(11); }, &x);
+  gg::ult_join(u);
+  EXPECT_EQ(x.load(), 11);
+}
+
+TEST_P(GltBackend, ManyUltsAllRun) {
+  constexpr int kN = 300;
+  std::atomic<int> count{0};
+  std::vector<gg::Ult*> us;
+  us.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    us.push_back(gg::ult_create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  for (auto* u : us) gg::ult_join(u);
+  EXPECT_EQ(count.load(), kN);
+}
+
+TEST_P(GltBackend, UltCreateToAllThreads) {
+  std::atomic<int> count{0};
+  std::vector<gg::Ult*> us;
+  for (int t = 0; t < gg::num_threads(); ++t) {
+    for (int i = 0; i < 20; ++i) {
+      us.push_back(gg::ult_create_to(
+          t, [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+          &count));
+    }
+  }
+  for (auto* u : us) gg::ult_join(u);
+  EXPECT_EQ(count.load(), gg::num_threads() * 20);
+}
+
+TEST_P(GltBackend, PlacementIsExactWithoutStealing) {
+  if (gg::supports_stealing()) {
+    GTEST_SKIP() << "mth: placement is advisory under work stealing";
+  }
+  for (int t = 0; t < gg::num_threads(); ++t) {
+    std::atomic<int> ran_on{-1};
+    auto* u = gg::ult_create_to(
+        t,
+        [](void* p) {
+          static_cast<std::atomic<int>*>(p)->store(gg::thread_num());
+        },
+        &ran_on);
+    gg::ult_join(u);
+    EXPECT_EQ(ran_on.load(), t);
+  }
+}
+
+TEST_P(GltBackend, TaskletCreateJoin) {
+  std::atomic<int> x{0};
+  auto* t = gg::tasklet_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->store(21); }, &x);
+  gg::tasklet_join(t);
+  EXPECT_EQ(x.load(), 21);
+}
+
+TEST_P(GltBackend, TaskletsToSpecificThreads) {
+  std::atomic<int> count{0};
+  std::vector<gg::Tasklet*> ts;
+  for (int t = 0; t < gg::num_threads(); ++t) {
+    ts.push_back(gg::tasklet_create_to(
+        t, [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  for (auto* t : ts) gg::tasklet_join(t);
+  EXPECT_EQ(count.load(), gg::num_threads());
+}
+
+TEST_P(GltBackend, YieldFromMainIsSafe) {
+  for (int i = 0; i < 5; ++i) gg::yield();
+  SUCCEED();
+}
+
+TEST_P(GltBackend, NestedCreateJoinInsideUlt) {
+  std::atomic<int> total{0};
+  auto* u = gg::ult_create(
+      [](void* p) {
+        std::vector<gg::Ult*> kids;
+        for (int i = 0; i < 16; ++i) {
+          kids.push_back(gg::ult_create(
+              [](void* q) { static_cast<std::atomic<int>*>(q)->fetch_add(1); },
+              p));
+        }
+        for (auto* k : kids) gg::ult_join(k);
+        static_cast<std::atomic<int>*>(p)->fetch_add(100);
+      },
+      &total);
+  gg::ult_join(u);
+  EXPECT_EQ(total.load(), 116);
+}
+
+TEST_P(GltBackend, UltsCanYieldAndFinish) {
+  std::atomic<int> count{0};
+  std::vector<gg::Ult*> us;
+  for (int i = 0; i < 20; ++i) {
+    us.push_back(gg::ult_create(
+        [](void* p) {
+          for (int k = 0; k < 5; ++k) gg::yield();
+          static_cast<std::atomic<int>*>(p)->fetch_add(1);
+        },
+        &count));
+  }
+  for (auto* u : us) gg::ult_join(u);
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST_P(GltBackend, StatsTrackCreations) {
+  const auto before = gg::stats();
+  std::atomic<int> x{0};
+  auto* u = gg::ult_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); }, &x);
+  auto* t = gg::tasklet_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); }, &x);
+  gg::ult_join(u);
+  gg::tasklet_join(t);
+  const auto after = gg::stats();
+  EXPECT_EQ(after.ults_created, before.ults_created + 1);
+  EXPECT_EQ(after.tasklets_created, before.tasklets_created + 1);
+}
+
+TEST_P(GltBackend, CapabilitiesMatchBackend) {
+  switch (GetParam()) {
+    case gg::Impl::abt:
+      EXPECT_FALSE(gg::supports_stealing());
+      EXPECT_TRUE(gg::supports_native_tasklets());
+      break;
+    case gg::Impl::qth:
+      EXPECT_FALSE(gg::supports_stealing());
+      EXPECT_FALSE(gg::supports_native_tasklets());
+      break;
+    case gg::Impl::mth:
+      EXPECT_TRUE(gg::supports_stealing());
+      EXPECT_FALSE(gg::supports_native_tasklets());
+      break;
+  }
+}
+
+TEST_P(GltBackend, FanOutFanInPattern) {
+  // Map-reduce shape: N ULTs write disjoint slots; main reduces after join.
+  constexpr int kN = 128;
+  static std::vector<long long> slots;
+  slots.assign(kN, 0);
+  struct Arg {
+    int idx;
+  };
+  static Arg args[kN];
+  std::vector<gg::Ult*> us;
+  for (int i = 0; i < kN; ++i) {
+    args[i].idx = i;
+    us.push_back(gg::ult_create(
+        [](void* p) {
+          const int i = static_cast<Arg*>(p)->idx;
+          slots[static_cast<std::size_t>(i)] = 1LL * i * i;
+        },
+        &args[i]));
+  }
+  for (auto* u : us) gg::ult_join(u);
+  long long sum = 0;
+  for (auto v : slots) sum += v;
+  long long expect = 0;
+  for (int i = 0; i < kN; ++i) expect += 1LL * i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GltBackend,
+                         ::testing::Values(gg::Impl::abt, gg::Impl::qth,
+                                           gg::Impl::mth),
+                         [](const ::testing::TestParamInfo<gg::Impl>& info) {
+                           return gg::impl_name(info.param);
+                         });
+
+TEST(GltConfig, ImplNameRoundTrip) {
+  for (auto impl : {gg::Impl::abt, gg::Impl::qth, gg::Impl::mth}) {
+    auto parsed = gg::impl_from_string(gg::impl_name(impl));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, impl);
+  }
+  EXPECT_FALSE(gg::impl_from_string("pthreads").has_value());
+}
+
+TEST(GltConfig, LongNamesAccepted) {
+  EXPECT_EQ(*gg::impl_from_string("argobots"), gg::Impl::abt);
+  EXPECT_EQ(*gg::impl_from_string("qthreads"), gg::Impl::qth);
+  EXPECT_EQ(*gg::impl_from_string("massivethreads"), gg::Impl::mth);
+}
+
+TEST(GltConfig, EnvConfigParsing) {
+  namespace env = glto::common;
+  env::env_set("GLT_IMPL", "mth");
+  env::env_set("GLT_NUM_THREADS", "5");
+  env::env_set("GLT_SHARED_QUEUES", "1");
+  auto cfg = gg::config_from_env();
+  EXPECT_EQ(cfg.impl, gg::Impl::mth);
+  EXPECT_EQ(cfg.num_threads, 5);
+  EXPECT_TRUE(cfg.shared_queues);
+  env::env_set("GLT_IMPL", nullptr);
+  env::env_set("GLT_NUM_THREADS", nullptr);
+  env::env_set("GLT_SHARED_QUEUES", nullptr);
+  auto cfg2 = gg::config_from_env();
+  EXPECT_EQ(cfg2.impl, gg::Impl::abt) << "abt is the default backend";
+  EXPECT_EQ(cfg2.num_threads, 0);
+  EXPECT_FALSE(cfg2.shared_queues);
+}

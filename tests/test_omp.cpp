@@ -1,0 +1,444 @@
+// OpenMP facade conformance, parameterized over all five runtime
+// configurations of the paper (gnu, intel, glto-abt, glto-qth, glto-mth).
+//
+// Every construct the workloads rely on is exercised per runtime:
+// parallel, nesting, for (static/dynamic/guided), barrier, single, master,
+// critical, reductions, tasks, taskwait.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "omp/omp.hpp"
+
+namespace o = glto::omp;
+
+class OmpRuntime : public ::testing::TestWithParam<o::RuntimeKind> {
+ protected:
+  void SetUp() override {
+    o::SelectOptions opts;
+    opts.num_threads = 4;
+    opts.nested = true;
+    opts.bind_threads = false;
+    o::select(GetParam(), opts);
+  }
+  void TearDown() override { o::shutdown(); }
+};
+
+TEST_P(OmpRuntime, SelectExposesKind) {
+  EXPECT_TRUE(o::selected());
+  EXPECT_EQ(o::current_kind(), GetParam());
+  EXPECT_EQ(o::max_threads(), 4);
+}
+
+TEST_P(OmpRuntime, ParallelRunsEveryMemberOnce) {
+  std::vector<std::atomic<int>> hits(4);
+  o::parallel([&](int tid, int nth) {
+    EXPECT_EQ(nth, 4);
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, nth);
+    hits[static_cast<std::size_t>(tid)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(OmpRuntime, ParallelExplicitThreadCount) {
+  std::atomic<int> members{0};
+  o::parallel(2, [&](int, int nth) {
+    EXPECT_EQ(nth, 2);
+    members.fetch_add(1);
+  });
+  EXPECT_EQ(members.load(), 2);
+}
+
+TEST_P(OmpRuntime, SequentialBetweenRegions) {
+  // thread_num/num_threads outside any region: implicit team of one.
+  EXPECT_EQ(o::thread_num(), 0);
+  EXPECT_EQ(o::num_threads(), 1);
+  EXPECT_EQ(o::level(), 0);
+  o::parallel([&](int, int) { EXPECT_EQ(o::level(), 1); });
+  EXPECT_EQ(o::level(), 0);
+}
+
+TEST_P(OmpRuntime, RepeatedRegionsReuseCleanly) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> members{0};
+    o::parallel([&](int, int) { members.fetch_add(1); });
+    ASSERT_EQ(members.load(), 4) << "round " << round;
+  }
+}
+
+TEST_P(OmpRuntime, StaticForCoversRangeExactlyOnce) {
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 0,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(OmpRuntime, StaticChunkedRoundRobin) {
+  constexpr std::int64_t kN = 103;  // deliberately not divisible
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 7,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(OmpRuntime, DynamicForCoversRangeExactlyOnce) {
+  constexpr std::int64_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Dynamic, 3,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(OmpRuntime, GuidedForCoversRangeExactlyOnce) {
+  constexpr std::int64_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Guided, 2,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i) {
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+                  }
+                });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(OmpRuntime, EmptyLoopRangeIsSafe) {
+  o::parallel([&](int, int) {
+    o::for_loop(10, 10, o::Schedule::Dynamic, 1,
+                [&](std::int64_t, std::int64_t) { FAIL(); });
+    o::for_loop(10, 5, o::Schedule::Static, 0,
+                [&](std::int64_t, std::int64_t) { FAIL(); });
+  });
+}
+
+TEST_P(OmpRuntime, ConsecutiveLoopsInOneRegion) {
+  constexpr std::int64_t kN = 64;
+  std::atomic<long long> sum{0};
+  o::parallel([&](int, int) {
+    for (int round = 0; round < 10; ++round) {
+      o::for_loop(0, kN, o::Schedule::Static, 0,
+                  [&](std::int64_t b, std::int64_t e) {
+                    sum.fetch_add(e - b);
+                  });
+      o::barrier();
+    }
+  });
+  EXPECT_EQ(sum.load(), 10 * kN);
+}
+
+TEST_P(OmpRuntime, BarrierSynchronizesPhases) {
+  // Phase counter must never be observed torn across the barrier: all
+  // members increment in phase 1, then all verify in phase 2.
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  o::parallel([&](int, int nth) {
+    phase1.fetch_add(1);
+    o::barrier();
+    if (phase1.load() != nth) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(OmpRuntime, ManyBarriersInSequence) {
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  o::parallel([&](int, int nth) {
+    for (int k = 1; k <= 25; ++k) {
+      counter.fetch_add(1);
+      o::barrier();
+      if (counter.load() != k * nth) violated.store(true);
+      o::barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(OmpRuntime, SingleElectsExactlyOne) {
+  std::atomic<int> winners{0};
+  o::parallel([&](int, int) { o::single([&] { winners.fetch_add(1); }); });
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST_P(OmpRuntime, RepeatedSinglesEachElectOne) {
+  std::atomic<int> winners{0};
+  o::parallel([&](int, int) {
+    for (int k = 0; k < 10; ++k) {
+      o::single([&] { winners.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(winners.load(), 10);
+}
+
+TEST_P(OmpRuntime, MasterRunsOnThreadZeroOnly) {
+  std::atomic<int> runs{0};
+  std::atomic<int> master_tid{-1};
+  o::parallel([&](int tid, int) {
+    o::master([&] {
+      runs.fetch_add(1);
+      master_tid.store(tid);
+    });
+    o::barrier();
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(master_tid.load(), 0);
+}
+
+TEST_P(OmpRuntime, CriticalIsMutuallyExclusive) {
+  long long unprotected = 0;  // plain variable: torn without mutual exclusion
+  constexpr int kIters = 2000;
+  o::parallel([&](int, int) {
+    for (int i = 0; i < kIters; ++i) {
+      o::critical([&] { unprotected += 1; });
+    }
+  });
+  EXPECT_EQ(unprotected, 4LL * kIters);
+}
+
+TEST_P(OmpRuntime, NamedCriticalsAreIndependentLocks) {
+  long long a = 0, b = 0;
+  static int tag_a, tag_b;
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 500; ++i) {
+      o::critical(&tag_a, [&] { a += 1; });
+      o::critical(&tag_b, [&] { b += 1; });
+    }
+  });
+  EXPECT_EQ(a, 2000);
+  EXPECT_EQ(b, 2000);
+}
+
+TEST_P(OmpRuntime, ReduceSumMatchesClosedForm) {
+  constexpr std::int64_t kN = 10000;
+  const double got =
+      o::reduce_sum(1, kN + 1, [](std::int64_t i) { return double(i); });
+  EXPECT_DOUBLE_EQ(got, double(kN) * double(kN + 1) / 2.0);
+}
+
+TEST_P(OmpRuntime, TasksAllExecuteBeforeTaskwait) {
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < kTasks; ++i) {
+        o::task([&] { done.fetch_add(1); });
+      }
+      o::taskwait();
+      EXPECT_EQ(done.load(), kTasks);
+    });
+  });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST_P(OmpRuntime, TasksCompleteByRegionEnd) {
+  constexpr int kTasks = 100;
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < kTasks; ++i) o::task([&] { done.fetch_add(1); });
+    });  // implicit barrier of single is the completion point
+  });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST_P(OmpRuntime, EveryMemberCreatesTasks) {
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 25; ++i) o::task([&] { done.fetch_add(1); });
+    o::taskwait();
+  });
+  EXPECT_EQ(done.load(), 4 * 25);
+}
+
+TEST_P(OmpRuntime, NestedTaskTrees) {
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 8; ++i) {
+        o::task([&] {
+          for (int j = 0; j < 8; ++j) {
+            o::task([&] { done.fetch_add(1); });
+          }
+          o::taskwait();
+        });
+      }
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST_P(OmpRuntime, FinalTasksExecute) {
+  std::atomic<int> done{0};
+  o::TaskFlags flags;
+  flags.final = true;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 10; ++i) {
+        o::task([&] { done.fetch_add(1); }, flags);
+      }
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST_P(OmpRuntime, IfClauseFalseRunsUndeferred) {
+  std::atomic<int> done{0};
+  o::TaskFlags flags;
+  flags.if_clause = false;
+  o::parallel(1, [&](int, int) {
+    o::task([&] { done.fetch_add(1); }, flags);
+    EXPECT_EQ(done.load(), 1) << "if(false) tasks run immediately";
+  });
+}
+
+TEST_P(OmpRuntime, TaskyieldIsSafeAnywhere) {
+  std::atomic<int> done{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 20; ++i) {
+        o::task([&] {
+          o::taskyield();
+          done.fetch_add(1);
+        });
+      }
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST_P(OmpRuntime, NestedParallelCreatesInnerTeams) {
+  std::atomic<int> inner_total{0};
+  o::parallel(2, [&](int, int) {
+    EXPECT_EQ(o::level(), 1);
+    o::parallel(3, [&](int, int inner_nth) {
+      EXPECT_EQ(o::level(), 2);
+      EXPECT_EQ(inner_nth, 3);
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 2 * 3);
+}
+
+TEST_P(OmpRuntime, NestedDisabledSerializesInner) {
+  o::set_nested(false);
+  std::atomic<int> inner_total{0};
+  o::parallel(2, [&](int, int) {
+    o::parallel(3, [&](int, int inner_nth) {
+      EXPECT_EQ(inner_nth, 1) << "inner regions serialize when not nested";
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 2);
+  o::set_nested(true);
+}
+
+TEST_P(OmpRuntime, TripleNesting) {
+  std::atomic<int> leaf{0};
+  o::parallel(2, [&](int, int) {
+    o::parallel(2, [&](int, int) {
+      o::parallel(2, [&](int, int) { leaf.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 8);
+}
+
+TEST_P(OmpRuntime, NestedLoopDistribution) {
+  // The paper's Listing 1 shape: parallel-for over parallel-for.
+  constexpr std::int64_t kOuter = 8, kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  o::parallel([&](int, int) {
+    o::for_loop(0, kOuter, o::Schedule::Static, 0,
+                [&](std::int64_t ob, std::int64_t oe) {
+                  for (std::int64_t i = ob; i < oe; ++i) {
+                    o::parallel(2, [&](int, int) {
+                      o::for_loop(0, kInner, o::Schedule::Static, 0,
+                                  [&](std::int64_t ib, std::int64_t ie) {
+                                    for (std::int64_t j = ib; j < ie; ++j) {
+                                      hits[static_cast<std::size_t>(
+                                               i * kInner + j)]
+                                          .fetch_add(1);
+                                    }
+                                  });
+                    });
+                  }
+                });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(OmpRuntime, SetNumThreadsAffectsNextRegion) {
+  o::set_num_threads(2);
+  std::atomic<int> members{0};
+  o::parallel([&](int, int nth) {
+    EXPECT_EQ(nth, 2);
+    members.fetch_add(1);
+  });
+  EXPECT_EQ(members.load(), 2);
+  o::set_num_threads(4);
+}
+
+TEST_P(OmpRuntime, CountersTrackTasking) {
+  auto& rt = o::runtime();
+  rt.reset_counters();
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 50; ++i) o::task([] {});
+      o::taskwait();
+    });
+  });
+  const auto c = rt.counters();
+  EXPECT_EQ(c.tasks_queued + c.tasks_immediate, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, OmpRuntime,
+    ::testing::Values(o::RuntimeKind::gnu, o::RuntimeKind::intel,
+                      o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                      o::RuntimeKind::glto_mth),
+    [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
+      std::string n = o::kind_name(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(OmpKinds, NameParsing) {
+  for (auto k : o::all_kinds()) {
+    auto parsed = o::kind_from_string(o::kind_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_EQ(*o::kind_from_string("gcc"), o::RuntimeKind::gnu);
+  EXPECT_EQ(*o::kind_from_string("icc"), o::RuntimeKind::intel);
+  EXPECT_FALSE(o::kind_from_string("tbb").has_value());
+}
+
+TEST(OmpKinds, AllKindsHasFive) { EXPECT_EQ(o::all_kinds().size(), 5u); }

@@ -1,0 +1,173 @@
+// Baseline-runtime policy tests: the GNU/Intel mechanisms the paper's
+// Tables II & III and Fig. 14 depend on, asserted via runtime counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/time.hpp"
+#include "omp/omp.hpp"
+
+namespace o = glto::omp;
+
+namespace {
+
+void select(o::RuntimeKind k, int nth, int cutoff = 256) {
+  o::SelectOptions opts;
+  opts.num_threads = nth;
+  opts.bind_threads = false;
+  opts.active_wait = false;
+  opts.task_cutoff = cutoff;
+  o::select(k, opts);
+}
+
+}  // namespace
+
+TEST(PompGnu, TopLevelTeamsReuseThreads) {
+  select(o::RuntimeKind::gnu, 4);
+  o::runtime().reset_counters();
+  for (int i = 0; i < 5; ++i) o::parallel([](int, int) {});
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.os_threads_created, 3u)
+      << "one pool fill for the first region";
+  EXPECT_EQ(c.os_threads_reused, 4u * 3u) << "four later regions reuse";
+  o::shutdown();
+}
+
+TEST(PompGnu, NestedRegionsAlwaysCreateFreshThreads) {
+  select(o::RuntimeKind::gnu, 3);
+  o::runtime().reset_counters();
+  constexpr int kOuterIters = 4;
+  o::parallel(1, [&](int, int) {
+    for (int i = 0; i < kOuterIters; ++i) {
+      o::parallel(3, [](int, int) {});  // nested: level 2
+    }
+  });
+  const auto c = o::runtime().counters();
+  // Every nested region spawns 2 fresh pthreads, destroyed at region end.
+  EXPECT_EQ(c.os_threads_created, static_cast<std::uint64_t>(kOuterIters * 2))
+      << "GNU-like: no reuse for nested teams (Table II mechanism)";
+  o::shutdown();
+}
+
+TEST(PompIntel, NestedRegionsReuseFromPool) {
+  select(o::RuntimeKind::intel, 3);
+  o::runtime().reset_counters();
+  constexpr int kOuterIters = 4;
+  o::parallel(1, [&](int, int) {
+    for (int i = 0; i < kOuterIters; ++i) {
+      o::parallel(3, [](int, int) {});
+    }
+  });
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.os_threads_created, 2u)
+      << "Intel-like hot teams: first nested region creates, rest reuse";
+  EXPECT_EQ(c.os_threads_reused, static_cast<std::uint64_t>((kOuterIters - 1) * 2));
+  o::shutdown();
+}
+
+TEST(PompIntel, CutoffRunsTasksImmediatelyWhenDequeFull) {
+  select(o::RuntimeKind::intel, 1, /*cutoff=*/8);
+  o::runtime().reset_counters();
+  std::atomic<int> ran{0};
+  o::parallel(1, [&](int, int) {
+    // Single-threaded team: nobody drains the deque while producing, so
+    // tasks beyond the capacity MUST execute immediately (cut-off).
+    for (int i = 0; i < 32; ++i) o::task([&] { ran.fetch_add(1); });
+    o::taskwait();
+  });
+  EXPECT_EQ(ran.load(), 32);
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.tasks_queued, 8u) << "deque capacity";
+  EXPECT_EQ(c.tasks_immediate, 24u) << "overflow executed undeferred";
+  o::shutdown();
+}
+
+TEST(PompIntel, LargeCutoffQueuesEverything) {
+  select(o::RuntimeKind::intel, 1, /*cutoff=*/4096);
+  o::runtime().reset_counters();
+  std::atomic<int> ran{0};
+  o::parallel(1, [&](int, int) {
+    for (int i = 0; i < 100; ++i) o::task([&] { ran.fetch_add(1); });
+    o::taskwait();
+  });
+  EXPECT_EQ(ran.load(), 100);
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.tasks_queued, 100u);
+  EXPECT_EQ(c.tasks_immediate, 0u);
+  o::shutdown();
+}
+
+TEST(PompIntel, ConsumersStealFromProducerDeque) {
+  select(o::RuntimeKind::intel, 4);
+  o::runtime().reset_counters();
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      // Tasks must outlast an OS timeslice in aggregate, or on a 1-core
+      // box the producer drains its own deque before a consumer ever
+      // wakes (pop_owner, not a steal).
+      for (int i = 0; i < 64; ++i) {
+        o::task([&] {
+          const auto t0 = glto::common::now_ns();
+          while (glto::common::now_ns() - t0 < 1'000'000) {
+          }
+          ran.fetch_add(1);
+        });
+      }
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GT(o::runtime().counters().task_steals, 0u)
+      << "the consumer side of the producer pattern is work stealing";
+  o::shutdown();
+}
+
+TEST(PompGnu, SharedQueueHasNoStealCounter) {
+  select(o::RuntimeKind::gnu, 4);
+  o::runtime().reset_counters();
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 100; ++i) o::task([&] { ran.fetch_add(1); });
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(ran.load(), 100);
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.task_steals, 0u) << "one shared queue: nothing to steal";
+  EXPECT_EQ(c.tasks_queued, 100u) << "GNU-like queue is unbounded";
+  o::shutdown();
+}
+
+TEST(PompBoth, ActiveAndPassiveWaitBothCorrect) {
+  for (bool active : {true, false}) {
+    o::SelectOptions opts;
+    opts.num_threads = 3;
+    opts.bind_threads = false;
+    opts.active_wait = active;
+    o::select(o::RuntimeKind::intel, opts);
+    std::atomic<int> sum{0};
+    o::parallel([&](int, int) {
+      sum.fetch_add(1);
+      o::barrier();
+      sum.fetch_add(1);
+    });
+    EXPECT_EQ(sum.load(), 6);
+    o::shutdown();
+  }
+}
+
+TEST(PompGnu, TaskCountsAreExact) {
+  select(o::RuntimeKind::gnu, 2);
+  o::runtime().reset_counters();
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    for (int i = 0; i < 10; ++i) o::task([&] { ran.fetch_add(1); });
+    o::taskwait();
+  });
+  EXPECT_EQ(ran.load(), 20);
+  const auto c = o::runtime().counters();
+  EXPECT_EQ(c.tasks_queued + c.tasks_immediate, 20u);
+  o::shutdown();
+}

@@ -1,0 +1,204 @@
+// Unit + stress tests for the concurrent queue toolkit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev.hpp"
+#include "sched/locked_queue.hpp"
+#include "sched/mpmc_queue.hpp"
+
+namespace gs = glto::sched;
+
+TEST(ChaseLev, LifoOwnerOrder) {
+  gs::ChaseLevDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  int out = -1;
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_TRUE(d.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(d.pop(&out));
+}
+
+TEST(ChaseLev, FifoStealOrder) {
+  gs::ChaseLevDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  int out = -1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(d.steal(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(d.steal(&out));
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  gs::ChaseLevDeque<int> d(8);
+  for (int i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size_approx(), 1000);
+  int out;
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_TRUE(d.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(ChaseLev, OwnerPopVsThievesStress) {
+  gs::ChaseLevDeque<std::intptr_t> d;
+  constexpr std::intptr_t kItems = 50000;
+  constexpr int kThieves = 3;
+  std::atomic<std::intptr_t> sum{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::intptr_t v;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+      }
+      while (d.steal(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+    });
+  }
+  std::intptr_t v;
+  for (std::intptr_t i = 1; i <= kItems; ++i) {
+    d.push(i);
+    if (i % 7 == 0 && d.pop(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  while (d.pop(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2)
+      << "every pushed item must be consumed exactly once";
+}
+
+TEST(LockedQueue, FifoOrder) {
+  gs::LockedQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(LockedQueue, PushFrontJumpsQueue) {
+  gs::LockedQueue<int> q;
+  q.push(1);
+  q.push_front(0);
+  EXPECT_EQ(*q.pop(), 0);
+  EXPECT_EQ(*q.pop(), 1);
+}
+
+TEST(LockedQueue, PopBack) {
+  gs::LockedQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(*q.pop_back(), 2);
+  EXPECT_EQ(*q.pop_back(), 1);
+  EXPECT_FALSE(q.pop_back().has_value());
+}
+
+TEST(LockedQueue, ConcurrentProducersConsumers) {
+  gs::LockedQueue<int> q;
+  constexpr int kPerProducer = 20000;
+  constexpr int kProducers = 2, kConsumers = 2;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.pop()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(),
+            2LL * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(BoundedDeque, RejectsWhenFull) {
+  gs::BoundedDeque<int> d(2);
+  EXPECT_TRUE(d.try_push(1));
+  EXPECT_TRUE(d.try_push(2));
+  EXPECT_FALSE(d.try_push(3)) << "cut-off: full deque rejects";
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(BoundedDeque, OwnerLifoThiefFifo) {
+  gs::BoundedDeque<int> d(8);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(d.try_push(i));
+  EXPECT_EQ(*d.pop_owner(), 3) << "owner pops newest (locality)";
+  EXPECT_EQ(*d.steal(), 0) << "thief steals oldest";
+  EXPECT_EQ(*d.pop_owner(), 2);
+  EXPECT_EQ(*d.steal(), 1);
+  EXPECT_FALSE(d.pop_owner().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(Mpmc, FifoSingleThread) {
+  gs::MpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Mpmc, FullAndEmptyBoundaries) {
+  gs::MpmcQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "full queue rejects";
+  EXPECT_EQ(*q.try_pop(), 0);
+  EXPECT_TRUE(q.try_push(4)) << "slot freed by pop is reusable";
+}
+
+TEST(Mpmc, WrapsAroundManyTimes) {
+  gs::MpmcQueue<int> q(8);
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(round * 8 + i));
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(*q.try_pop(), round * 8 + i);
+  }
+}
+
+TEST(Mpmc, ConcurrentStress) {
+  gs::MpmcQueue<int> q(256);
+  constexpr int kPerProducer = 30000;
+  constexpr int kProducers = 2, kConsumers = 2;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        while (!q.try_push(i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.try_pop()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), 2LL * kPerProducer * (kPerProducer + 1) / 2);
+}

@@ -1,0 +1,133 @@
+// UTS workload tests: tree determinism, cross-runtime agreement, native
+// API ports.
+#include <gtest/gtest.h>
+
+#include "apps/uts.hpp"
+#include "omp/omp.hpp"
+
+namespace u = glto::apps::uts;
+namespace o = glto::omp;
+
+namespace {
+
+u::Params small_tree() {
+  u::Params p;
+  p.root_seed = 19;
+  p.b0 = 3.0;
+  p.gen_mx = 5;
+  return p;
+}
+
+}  // namespace
+
+TEST(UtsSequential, DeterministicAcrossRuns) {
+  const auto a = u::search_sequential(small_tree());
+  const auto b = u::search_sequential(small_tree());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.nodes, 0u);
+  EXPECT_GT(a.leaves, 0u);
+  EXPECT_LE(a.max_depth, small_tree().gen_mx);
+}
+
+TEST(UtsSequential, DifferentSeedsDifferentTrees) {
+  auto p1 = small_tree();
+  auto p2 = small_tree();
+  p2.root_seed = 20;
+  EXPECT_NE(u::search_sequential(p1).nodes, u::search_sequential(p2).nodes);
+}
+
+TEST(UtsSequential, LeafPlusInteriorEqualsNodes) {
+  const auto r = u::search_sequential(small_tree());
+  EXPECT_LE(r.leaves, r.nodes);
+  EXPECT_GE(r.leaves, 1u);
+}
+
+TEST(UtsSequential, DepthZeroTreeIsRootOnly) {
+  auto p = small_tree();
+  p.gen_mx = 0;
+  const auto r = u::search_sequential(p);
+  EXPECT_EQ(r.nodes, 1u);
+  EXPECT_EQ(r.leaves, 1u);
+  EXPECT_EQ(r.max_depth, 0);
+}
+
+TEST(UtsSequential, BiggerBranchingGrowsTree) {
+  auto p1 = small_tree();
+  auto p4 = small_tree();
+  p1.b0 = 1.0;
+  p4.b0 = 4.0;
+  EXPECT_LT(u::search_sequential(p1).nodes, u::search_sequential(p4).nodes);
+}
+
+class UtsOmp : public ::testing::TestWithParam<o::RuntimeKind> {
+ protected:
+  void SetUp() override {
+    o::SelectOptions opts;
+    opts.num_threads = 4;
+    opts.bind_threads = false;
+    o::select(GetParam(), opts);
+  }
+  void TearDown() override { o::shutdown(); }
+};
+
+TEST_P(UtsOmp, ParallelCountMatchesSequential) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  const auto par = u::search_omp(p);
+  EXPECT_EQ(par.nodes, seq.nodes)
+      << "deterministic splittable tree: any schedule, same count";
+  EXPECT_EQ(par.leaves, seq.leaves);
+  EXPECT_EQ(par.max_depth, seq.max_depth);
+}
+
+TEST_P(UtsOmp, RepeatedRunsStable) {
+  const auto p = small_tree();
+  const auto first = u::search_omp(p);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(u::search_omp(p), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, UtsOmp,
+    ::testing::Values(o::RuntimeKind::gnu, o::RuntimeKind::intel,
+                      o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                      o::RuntimeKind::glto_mth),
+    [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
+      std::string n = o::kind_name(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(UtsNative, PthreadsMatchesSequential) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_pthreads(p, 3), seq);
+}
+
+TEST(UtsNative, AbtMatchesSequential) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_abt_native(p, 3), seq);
+}
+
+TEST(UtsNative, QthMatchesSequential) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_qth_native(p, 3), seq);
+}
+
+TEST(UtsNative, MthMatchesSequential) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_mth_native(p, 3), seq);
+}
+
+TEST(UtsNative, SingleThreadVariantsWork) {
+  const auto p = small_tree();
+  const auto seq = u::search_sequential(p);
+  EXPECT_EQ(u::search_pthreads(p, 1), seq);
+  EXPECT_EQ(u::search_abt_native(p, 1), seq);
+  EXPECT_EQ(u::search_qth_native(p, 1), seq);
+  EXPECT_EQ(u::search_mth_native(p, 1), seq);
+}

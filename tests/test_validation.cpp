@@ -1,0 +1,128 @@
+// Validation-suite tests: suite structure, per-runtime pass/fail pattern
+// (the Table I reproduction), and the task-semantics differentiators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/validation.hpp"
+#include "omp/omp.hpp"
+
+namespace v = glto::apps::validation;
+namespace o = glto::omp;
+
+namespace {
+
+int count_failures_named(const v::SuiteResult& r, const std::string& stem) {
+  int n = 0;
+  for (const auto& f : r.failed_names) {
+    if (f.find(stem) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+v::SuiteResult run_with(o::RuntimeKind kind) {
+  o::SelectOptions opts;
+  opts.num_threads = 4;
+  opts.bind_threads = false;
+  opts.active_wait = false;
+  o::select(kind, opts);
+  auto res = v::run_suite();
+  o::shutdown();
+  return res;
+}
+
+}  // namespace
+
+TEST(ValidationSuite, Has123Tests) {
+  EXPECT_EQ(v::suite().size(), 123u) << "OpenUH suite 3.1 runs 123 tests";
+}
+
+TEST(ValidationSuite, CoversManyConstructs) {
+  EXPECT_GE(v::construct_count(), 50)
+      << "the suite spans the OpenMP 3.1 construct set (paper: 62)";
+}
+
+TEST(ValidationSuite, AllThreeModesPresent) {
+  std::set<v::Mode> modes;
+  for (const auto& tc : v::suite()) modes.insert(tc.mode);
+  EXPECT_EQ(modes.size(), 3u) << "normal, cross, orphan";
+}
+
+TEST(ValidationSuite, TaskSemanticsTestsPresent) {
+  int taskyield = 0, untied = 0, final_tests = 0;
+  for (const auto& tc : v::suite()) {
+    if (tc.name == "omp_taskyield") ++taskyield;
+    if (tc.name == "omp_task_untied") ++untied;
+    if (tc.name == "omp_task_final") ++final_tests;
+  }
+  EXPECT_EQ(taskyield, 2);
+  EXPECT_EQ(untied, 2);
+  EXPECT_EQ(final_tests, 1);
+}
+
+TEST(ValidationSuite, NamesAreUniquePerMode) {
+  std::set<std::pair<std::string, v::Mode>> seen;
+  for (const auto& tc : v::suite()) {
+    EXPECT_TRUE(seen.emplace(tc.name, tc.mode).second)
+        << tc.name << "/" << v::mode_name(tc.mode);
+  }
+}
+
+// --- the Table I pattern, runtime by runtime --------------------------------
+
+TEST(ValidationTableI, GnuFailsExactlyTheTaskSemanticsTests) {
+  const auto r = run_with(o::RuntimeKind::gnu);
+  EXPECT_EQ(r.total, 123);
+  EXPECT_EQ(r.total - r.passed, 5)
+      << "paper: GNU fails 5 (taskyield x2, untied x2, final)";
+  EXPECT_EQ(count_failures_named(r, "omp_taskyield"), 2);
+  EXPECT_EQ(count_failures_named(r, "omp_task_untied"), 2);
+  EXPECT_EQ(count_failures_named(r, "omp_task_final"), 1);
+}
+
+TEST(ValidationTableI, IntelFailsExactlyTheTaskSemanticsTests) {
+  const auto r = run_with(o::RuntimeKind::intel);
+  EXPECT_EQ(r.total - r.passed, 5)
+      << "paper: Intel fails 5 (taskyield x2, untied x2, final)";
+  EXPECT_EQ(count_failures_named(r, "omp_task_final"), 1);
+}
+
+TEST(ValidationTableI, GltoAbtPassesFinalFailsMigration) {
+  const auto r = run_with(o::RuntimeKind::glto_abt);
+  // GLTO executes final tasks undeferred (passes); no stealing → all four
+  // migration-dependent tests fail (paper reports 2; see EXPERIMENTS.md).
+  EXPECT_EQ(count_failures_named(r, "omp_task_final"), 0);
+  EXPECT_EQ(count_failures_named(r, "omp_taskyield"), 2);
+  EXPECT_EQ(count_failures_named(r, "omp_task_untied"), 2);
+  EXPECT_EQ(r.total - r.passed, 4);
+  EXPECT_GT(r.passed, 118) << "GLTO must beat the pthread baselines";
+}
+
+TEST(ValidationTableI, GltoQthMatchesAbtPattern) {
+  const auto r = run_with(o::RuntimeKind::glto_qth);
+  EXPECT_EQ(count_failures_named(r, "omp_task_final"), 0);
+  EXPECT_EQ(r.total - r.passed, 4);
+}
+
+TEST(ValidationTableI, GltoMthStealingPassesUntied) {
+  const auto r = run_with(o::RuntimeKind::glto_mth);
+  // Work stealing lets suspended tasks migrate: untied and the lenient
+  // taskyield pass; only strict taskyield fails (paper: MTH fails 1).
+  EXPECT_EQ(count_failures_named(r, "omp_task_untied"), 0)
+      << "mth steals suspended tasks";
+  EXPECT_EQ(count_failures_named(r, "omp_task_final"), 0);
+  EXPECT_LE(r.total - r.passed, 2);
+  EXPECT_GE(count_failures_named(r, "omp_taskyield"), 1)
+      << "strict taskyield (majority migration) fails everywhere";
+}
+
+TEST(ValidationTableI, GltoBeatsBaselinesEverywhere) {
+  // The paper's headline: GLTO passes more validation tests than both
+  // pthread runtimes on every backend.
+  const int gnu_passed = run_with(o::RuntimeKind::gnu).passed;
+  for (auto kind : {o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                    o::RuntimeKind::glto_mth}) {
+    EXPECT_GE(run_with(kind).passed, gnu_passed) << o::kind_name(kind);
+  }
+}
