@@ -1,15 +1,32 @@
-// Ablation — GLT dispatch overhead (paper §III-B claims the extra GLT
-// layer is negligible thanks to header-only static inlining; our GLT uses
-// runtime dispatch, so this measures the worst case of that claim).
+// Ablation — ULT dispatch throughput of the abt backend, locked-FIFO
+// baseline vs. the Chase–Lev work-stealing scheduler (PR 1 tentpole).
 //
-// Compares ULT create+join through the GLT API against calling the abt
-// backend directly.
-#include <benchmark/benchmark.h>
-
+// Two shapes per (dispatch × threads) cell:
+//  * burst  — create kBurst unpinned ULTs from the primary, then join them
+//             all: the fine-grained spawn storm of Figs. 4–5. The locked
+//             baseline serializes every push/pop on one spinlock and pays
+//             a heap allocation + stack-pool lock per spawn; the deque
+//             path is lock-free end to end (owner push, freelist pop,
+//             stack-cache hit) and idle xstreams steal the backlog.
+//  * pingpong — create+join one ULT at a time: dispatch latency, the
+//             worst case for any scheduler since there is no parallelism
+//             to win back.
+//
+// Also prints the GLT-layer equivalent of burst (glt::ult_create through
+// the runtime-dispatch facade) so the §III-B "GLT overhead is negligible"
+// claim stays measured. Emits JSONL per row via $GLTO_BENCH_JSON.
 #include <atomic>
+#include <cstdio>
+#include <vector>
 
 #include "abt/abt.hpp"
+#include "bench_common.hpp"
 #include "glt/glt.hpp"
+
+namespace ga = glto::abt;
+namespace gg = glto::glt;
+namespace b = glto::bench;
+namespace c = glto::common;
 
 namespace {
 
@@ -20,33 +37,106 @@ void work(void* p) {
                    std::memory_order_relaxed);
 }
 
-void bench_glt_dispatch(benchmark::State& state) {
-  glto::glt::Config cfg;
-  cfg.impl = glto::glt::Impl::abt;
-  cfg.num_threads = 2;
-  cfg.bind_threads = false;
-  glto::glt::init(cfg);
-  for (auto _ : state) {
-    auto* u = glto::glt::ult_create(work, nullptr);
-    glto::glt::ult_join(u);
-  }
-  glto::glt::finalize();
-}
-BENCHMARK(bench_glt_dispatch);
+constexpr int kBurst = 2048;
 
-void bench_abt_direct(benchmark::State& state) {
-  glto::abt::Config cfg;
-  cfg.num_xstreams = 2;
-  cfg.bind_threads = false;
-  glto::abt::init(cfg);
-  for (auto _ : state) {
-    auto* u = glto::abt::ult_create(work, nullptr);
-    glto::abt::join(u);
+struct AbtRun {
+  explicit AbtRun(int threads) {
+    ga::Config cfg;
+    cfg.num_xstreams = threads;
+    cfg.bind_threads = false;  // container cores < paper cores
+    ga::init(cfg);
   }
-  glto::abt::finalize();
+  ~AbtRun() { ga::finalize(); }
+};
+
+double run_burst_abt(int n_units) {
+  std::vector<ga::WorkUnit*> us;
+  us.reserve(static_cast<std::size_t>(n_units));
+  c::Timer t;
+  for (int i = 0; i < n_units; ++i) us.push_back(ga::ult_create(work, nullptr));
+  for (auto* u : us) ga::join(u);
+  return t.elapsed_sec();
 }
-BENCHMARK(bench_abt_direct);
+
+double run_pingpong_abt(int n_units) {
+  c::Timer t;
+  for (int i = 0; i < n_units; ++i) {
+    ga::join(ga::ult_create(work, nullptr));
+  }
+  return t.elapsed_sec();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const int reps = b::reps(10);
+  const int scale = static_cast<int>(b::scale());
+  const int burst = kBurst * scale;
+
+  std::printf("Ablation: abt dispatch — locked FIFO (seed baseline) vs "
+              "Chase–Lev work stealing\n");
+  std::printf("burst=%d ULTs, pingpong=%d create+join pairs, %d reps/cell\n",
+              burst, burst / 4, reps);
+
+  struct Mode {
+    const char* env;   // ABT_DISPATCH value
+    const char* name;  // row label
+  };
+  const Mode modes[] = {{"locked", "abt-locked"}, {"ws", "abt-ws"}};
+
+  b::print_header("abt dispatch: burst spawn+join (s)");
+  for (const Mode& m : modes) {
+    c::env_set("ABT_DISPATCH", m.env);
+    for (int nth : b::thread_sweep()) {
+      AbtRun rt(nth);
+      (void)run_burst_abt(burst);  // warm freelists / stack caches
+      auto st = b::time_runs(reps, [&] { (void)run_burst_abt(burst); });
+      b::print_row(m.name, nth, st);
+    }
+  }
+
+  b::print_header("abt dispatch: create+join pingpong (s)");
+  for (const Mode& m : modes) {
+    c::env_set("ABT_DISPATCH", m.env);
+    for (int nth : b::thread_sweep()) {
+      AbtRun rt(nth);
+      (void)run_pingpong_abt(burst / 4);
+      auto st = b::time_runs(reps, [&] { (void)run_pingpong_abt(burst / 4); });
+      b::print_row(m.name, nth, st);
+    }
+  }
+
+  // GLT facade on the same backend: measures the runtime-dispatch layer
+  // the paper claims is negligible (§III-B).
+  b::print_header("glt-over-abt: burst spawn+join (s)");
+  c::env_set("ABT_DISPATCH", "ws");
+  for (int nth : b::thread_sweep()) {
+    gg::Config cfg;
+    cfg.impl = gg::Impl::abt;
+    cfg.num_threads = nth;
+    cfg.bind_threads = false;
+    gg::init(cfg);
+    auto run_glt = [&] {
+      std::vector<gg::Ult*> us;
+      us.reserve(static_cast<std::size_t>(burst));
+      for (int i = 0; i < burst; ++i) {
+        us.push_back(gg::ult_create(work, nullptr));
+      }
+      for (auto* u : us) gg::ult_join(u);
+    };
+    run_glt();
+    auto st = b::time_runs(reps, run_glt);
+    b::print_row("glt-abt", nth, st);
+    const auto gs = gg::stats();
+    std::printf("    steals=%llu failed_steals=%llu stack_cache_hits=%llu\n",
+                static_cast<unsigned long long>(gs.steals),
+                static_cast<unsigned long long>(gs.failed_steals),
+                static_cast<unsigned long long>(gs.stack_cache_hits));
+    gg::finalize();
+  }
+  c::env_set("ABT_DISPATCH", nullptr);
+
+  std::printf("\nsink=%llu\n",
+              static_cast<unsigned long long>(g_sink.load()));
+  return 0;
+}

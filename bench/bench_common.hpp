@@ -9,6 +9,10 @@
 //                        paper-scale sweeps)
 //   GLTO_BENCH_REPS     repetitions per cell (default figure-specific)
 //   GLTO_BENCH_SCALE    workload scale multiplier (default 1)
+//   GLTO_BENCH_JSON     path to append machine-readable records to: one
+//                       {"bench","runtime","threads","mean_s","stddev_s",
+//                        "runs"} JSON object per line (JSONL), emitted for
+//                       every table row so CI can diff runs
 #pragma once
 
 #include <cstdio>
@@ -74,7 +78,39 @@ inline void select_runtime(omp::RuntimeKind kind, int threads,
   omp::select(kind, opts);
 }
 
+/// Title of the table currently being printed; used as the "bench" field
+/// of emitted JSON records.
+inline std::string& current_bench() {
+  static std::string name = "bench";
+  return name;
+}
+
+inline std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+/// Appends one JSONL record to $GLTO_BENCH_JSON (no-op when unset).
+inline void json_append(const char* bench, const char* runtime, int threads,
+                        const common::RunStats& st) {
+  const auto path = common::env_str("GLTO_BENCH_JSON");
+  if (!path) return;
+  std::FILE* f = std::fopen(path->c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, "
+               "\"mean_s\": %.9f, \"stddev_s\": %.9f, \"runs\": %zu}\n",
+               json_escape(bench).c_str(), json_escape(runtime).c_str(),
+               threads, st.mean(), st.stddev(), st.count());
+  std::fclose(f);
+}
+
 inline void print_header(const char* title, const char* extra_col = nullptr) {
+  current_bench() = title;
   std::printf("\n== %s ==\n", title);
   if (extra_col != nullptr) {
     std::printf("%-10s %8s %8s  %-12s %-12s %-10s\n", "runtime", "threads",
@@ -89,12 +125,14 @@ inline void print_row(const char* runtime, int threads,
                       const common::RunStats& st) {
   std::printf("%-10s %8d  %-12.6f %-12.6f %zu\n", runtime, threads, st.mean(),
               st.stddev(), st.count());
+  json_append(current_bench().c_str(), runtime, threads, st);
 }
 
 inline void print_row_extra(const char* runtime, int threads, long long extra,
                             const common::RunStats& st) {
   std::printf("%-10s %8d %8lld  %-12.6f %-12.6f %zu\n", runtime, threads,
               extra, st.mean(), st.stddev(), st.count());
+  json_append(current_bench().c_str(), runtime, threads, st);
 }
 
 }  // namespace glto::bench

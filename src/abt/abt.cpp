@@ -1,8 +1,12 @@
 #include "abt/abt.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -11,10 +15,13 @@
 #include "common/debug.hpp"
 #include "common/env.hpp"
 #include "common/parker.hpp"
+#include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
+#include "sched/chase_lev.hpp"
 #include "sched/locked_queue.hpp"
+#include "sched/overflow_queue.hpp"
 
 namespace glto::abt {
 
@@ -38,6 +45,7 @@ struct WorkUnit {
   std::atomic<int> last_rank{-1};
   int home_rank = 0;
   Kind kind = Kind::Ult;
+  bool pinned = false;  ///< created with *_create_on: never stolen
   void* user_local = nullptr;  ///< see abt::self_local()
 };
 
@@ -51,28 +59,65 @@ struct SwitchMsg {
   WorkUnit* target;  // join target for Dir::Block
 };
 
+/// Ready-unit storage of one xstream. Which members are live depends on
+/// the dispatch mode:
+///  * WorkStealing — `deque` holds unpinned units pushed by the owner
+///    (LIFO bottom for the owner, FIFO top for thieves); `fair` holds
+///    pinned, remote-submitted, and yielded units and is popped only by
+///    the owner (FIFO, so yield is a fairness point and pinned units
+///    cannot be stolen).
+///  * Locked — everything goes through `locked` (the seed's baseline
+///    behaviour, kept runtime-selectable for the §IV-F-style ablation).
 struct Pool {
-  sched::LockedQueue<WorkUnit*> q;
+  sched::ChaseLevDeque<WorkUnit*> deque{256};
+  sched::OverflowQueue<WorkUnit*> fair{1024};
+  sched::LockedQueue<WorkUnit*> locked;
 };
+
+/// Per-xstream counters, owner-written; one cache line each so the hot
+/// loop never bounces a shared stats line.
+struct alignas(common::kCacheLine) XsCounters {
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> failed_steals{0};
+};
+
+/// Per-xstream WorkUnit free list (owner-only; lock-free by ownership).
+/// Oversized lists spill half to a shared slab, which also feeds workers
+/// whose join/create balance runs negative and foreign threads.
+struct alignas(common::kCacheLine) FreeList {
+  std::vector<WorkUnit*> units;
+};
+
+constexpr std::size_t kFreeListSpillHigh = 512;
+constexpr std::size_t kFreeListRefillBatch = 32;
 
 struct Runtime {
   Config cfg;
+  bool ws = true;  ///< resolved dispatch mode (true → work stealing)
   int n = 0;
   std::vector<std::unique_ptr<Pool>> pools;
   /// The primary (main) ULT is only ever scheduled by xstream 0, even
-  /// under a shared pool — otherwise a worker could resume main, and
-  /// finalize would tear the primary scheduler down from a foreign
-  /// thread while the real main thread still runs on its stack (the
-  /// same pin-the-main issue the paper hits with MassiveThreads, §IV-G).
+  /// under a shared pool or stealing — otherwise a worker could resume
+  /// main, and finalize would tear the primary scheduler down from a
+  /// foreign thread while the real main thread still runs on its stack
+  /// (the same pin-the-main issue the paper hits with MassiveThreads,
+  /// §IV-G).
   Pool main_pool;
   std::vector<std::thread> workers;
   std::atomic<bool> shutdown{false};
   common::Parker parker;
   fctx::Stack primary_sched_stack;
 
+  std::vector<XsCounters> xs_counters;
+  std::vector<FreeList> free_lists;
+  common::SpinLock slab_lock;
+  std::vector<WorkUnit*> slab;  ///< shared WorkUnit overflow free list
+  std::atomic<std::size_t> slab_size{0};  ///< lock-free emptiness probe
+
   std::atomic<std::uint64_t> ults_created{0};
   std::atomic<std::uint64_t> tasklets_created{0};
   std::atomic<std::uint64_t> yields{0};
+  std::uint64_t stack_hits_at_init = 0;
 };
 
 Runtime* g_rt = nullptr;
@@ -87,8 +132,8 @@ struct Tls {
 thread_local Tls tls;
 
 /// TLS accessor that defeats address caching across context switches: a
-/// ULT can resume on a different OS thread (shared pools), so any code
-/// that touches `tls` after a suspension point must recompute the
+/// ULT can resume on a different OS thread (shared pools, stealing), so
+/// any code that touches `tls` after a suspension point must recompute the
 /// thread-local address. The noinline + asm barrier forces GCC to
 /// re-evaluate %fs-relative addressing at the call site's *current*
 /// thread instead of reusing a pre-switch computation.
@@ -101,24 +146,113 @@ Pool& pool_for(int rank) {
   return *g_rt->pools[g_rt->cfg.shared_pool ? 0 : static_cast<size_t>(rank)];
 }
 
-void push_ready(WorkUnit* wu) {
+// ------------------------------------------------------------------ alloc
+
+void reset_unit(WorkUnit* wu, Kind kind, int rank, bool pinned, WorkFn fn,
+                void* arg) {
+  wu->fn = fn;
+  wu->arg = arg;
+  wu->ctx = nullptr;
+  wu->state.store(State::Ready, std::memory_order_relaxed);
+  wu->joiner.store(nullptr, std::memory_order_relaxed);
+  wu->last_rank.store(-1, std::memory_order_relaxed);
+  wu->home_rank = rank;
+  wu->kind = kind;
+  wu->pinned = pinned;
+  wu->user_local = nullptr;
+}
+
+/// Pops a recycled record (per-xstream free list, batch-refilled from the
+/// shared slab) or heap-allocates a fresh one. Lock-free on xstreams
+/// unless the local list is empty.
+WorkUnit* alloc_unit() {
+  if (tls.rank >= 0) {
+    FreeList& fl = g_rt->free_lists[static_cast<std::size_t>(tls.rank)];
+    if (fl.units.empty() &&
+        g_rt->slab_size.load(std::memory_order_relaxed) > 0) {
+      common::SpinGuard g(g_rt->slab_lock);
+      const std::size_t take =
+          std::min(kFreeListRefillBatch, g_rt->slab.size());
+      fl.units.insert(fl.units.end(), g_rt->slab.end() - take,
+                      g_rt->slab.end());
+      g_rt->slab.resize(g_rt->slab.size() - take);
+      g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
+    }
+    if (!fl.units.empty()) {
+      WorkUnit* wu = fl.units.back();
+      fl.units.pop_back();
+      return wu;
+    }
+  }
+  return new WorkUnit();
+}
+
+/// Recycles a joined record. Owner-only fast path; foreign threads (and
+/// oversized local lists) go through the shared slab. Resolves TLS via
+/// tls_now(): the caller (join) reaches here after a suspension point,
+/// so the ULT may have resumed on a different OS thread and a cached
+/// %fs-relative address would index another xstream's owner-only list.
+void recycle_unit(WorkUnit* wu) {
+  if (g_rt == nullptr) {  // joined after finalize: nothing to recycle into
+    delete wu;
+    return;
+  }
+  Tls& now = tls_now();
+  if (now.rank >= 0) {
+    FreeList& fl = g_rt->free_lists[static_cast<std::size_t>(now.rank)];
+    fl.units.push_back(wu);
+    if (fl.units.size() > kFreeListSpillHigh) {
+      const std::size_t keep = kFreeListSpillHigh / 2;
+      common::SpinGuard g(g_rt->slab_lock);
+      g_rt->slab.insert(g_rt->slab.end(), fl.units.begin() + keep,
+                        fl.units.end());
+      g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
+      fl.units.resize(keep);
+    }
+    return;
+  }
+  common::SpinGuard g(g_rt->slab_lock);
+  g_rt->slab.push_back(wu);
+  g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- dispatch
+
+/// Re-readies a suspended unit. @p fifo routes through the fair FIFO side
+/// queue (yields — the unit must not immediately preempt deque work);
+/// otherwise a woken unpinned unit lands LIFO on the waker's own deque
+/// (cache-warm, stealable).
+void push_ready(WorkUnit* wu, bool fifo) {
   wu->state.store(State::Ready, std::memory_order_relaxed);
   if (wu->kind == Kind::Main) {
-    g_rt->main_pool.q.push(wu);  // only xstream 0 schedules the primary
+    // Only xstream 0 schedules the primary.
+    if (g_rt->ws) {
+      g_rt->main_pool.fair.push(wu);
+    } else {
+      g_rt->main_pool.locked.push(wu);
+    }
+  } else if (!g_rt->ws) {
+    pool_for(wu->home_rank).locked.push(wu);
+  } else if (g_rt->cfg.shared_pool) {
+    g_rt->pools[0]->fair.push(wu);
+  } else if (wu->pinned) {
+    pool_for(wu->home_rank).fair.push(wu);
+  } else if (tls.rank >= 0 && !fifo) {
+    pool_for(tls.rank).deque.push(wu);
   } else {
-    pool_for(wu->home_rank).q.push(wu);
+    pool_for(tls.rank >= 0 ? tls.rank : wu->home_rank).fair.push(wu);
   }
   g_rt->parker.unpark_all();
 }
 
 void complete(WorkUnit* wu) {
   // Claim the joiner slot BEFORE publishing Done: the moment Done is
-  // visible, a polling joiner may return from join() and delete wu, so
+  // visible, a polling joiner may return from join() and recycle wu, so
   // the Done store must be this function's last access to *wu.
   WorkUnit* j =
       wu->joiner.exchange(kJoinerSentinel, std::memory_order_acq_rel);
   wu->state.store(State::Done, std::memory_order_release);
-  if (j != nullptr) push_ready(j);
+  if (j != nullptr) push_ready(j, /*fifo=*/false);
 }
 
 /// Handles the message a suspending work unit sent when control came back
@@ -128,7 +262,7 @@ void process_directive(fctx::transfer_t t) {
   msg.self->ctx = t.from;
   switch (msg.dir) {
     case Dir::Yield:
-      push_ready(msg.self);
+      push_ready(msg.self, /*fifo=*/true);
       break;
     case Dir::Block: {
       WorkUnit* target = msg.target;
@@ -138,7 +272,9 @@ void process_directive(fctx::transfer_t t) {
           target->state.load(std::memory_order_acquire) != State::Done &&
           target->joiner.compare_exchange_strong(expected, msg.self,
                                                  std::memory_order_acq_rel);
-      if (!registered) push_ready(msg.self);  // target already finished
+      if (!registered) {
+        push_ready(msg.self, /*fifo=*/false);  // target already finished
+      }
       break;
     }
     case Dir::Done: {
@@ -156,8 +292,18 @@ void process_directive(fctx::transfer_t t) {
 void run_unit(WorkUnit* wu) {
   wu->last_rank.store(tls.rank, std::memory_order_relaxed);
   if (wu->kind == Kind::Tasklet) {
+    // Tasklets run on the scheduler's own stack. tls.current must point
+    // at the tasklet for the duration: on the primary xstream it still
+    // holds the *suspended main ULT*, and a tasklet that touched yield()
+    // or self_local() would otherwise act on main's identity — yield
+    // would "suspend" main from inside the scheduler context and jump
+    // through a dead fcontext. (Latent in the seed; first exposed by
+    // examples/glt_hello's yielding tasklets.)
+    WorkUnit* prev = tls.current;
+    tls.current = wu;
     wu->state.store(State::Running, std::memory_order_relaxed);
     wu->fn(wu->arg);
+    tls.current = prev;
     complete(wu);
     return;
   }
@@ -169,12 +315,74 @@ void run_unit(WorkUnit* wu) {
   process_directive(t);
 }
 
-/// Scheduler loop: drains this xstream's pool; parks briefly when idle.
-/// Workers exit on shutdown; the primary scheduler context never observes
-/// shutdown while running (finalize executes on the primary ULT).
+/// Owner-side pop from this xstream's pool. Work-first: the deque bottom
+/// (newest, cache-warm) goes first; the fair queue is checked first every
+/// 64th pop so pinned/yielded units cannot starve behind a spawn storm.
+WorkUnit* pop_local(Pool& pool, unsigned* tick) {
+  if (!g_rt->ws) {
+    if (auto wu = pool.locked.pop()) return *wu;
+    return nullptr;
+  }
+  const bool fair_first = (++*tick & 63u) == 0;
+  if (fair_first) {
+    if (auto wu = pool.fair.pop()) return *wu;
+  }
+  if (!g_rt->cfg.shared_pool) {
+    WorkUnit* wu = nullptr;
+    if (pool.deque.pop(&wu)) return wu;
+  }
+  if (!fair_first) {
+    if (auto wu = pool.fair.pop()) return *wu;
+  }
+  return nullptr;
+}
+
+WorkUnit* pop_main_slot() {
+  if (g_rt->ws) {
+    if (auto wu = g_rt->main_pool.fair.pop()) return *wu;
+    return nullptr;
+  }
+  if (auto wu = g_rt->main_pool.locked.pop()) return *wu;
+  return nullptr;
+}
+
+/// One randomized sweep over the other xstreams' deques. Victims are
+/// probed with relaxed loads first (empty_approx) so an idle fleet does
+/// not hammer seq_cst steal operations — and so failed_steals measures
+/// real contention (a victim that *looked* non-empty but yielded
+/// nothing: lost CAS race or drained between probe and steal), not
+/// idle-loop spinning.
+WorkUnit* try_steal(common::FastRng& rng) {
+  const int n = g_rt->n;
+  XsCounters& c = g_rt->xs_counters[static_cast<std::size_t>(tls.rank)];
+  const int start = static_cast<int>(rng.next() % static_cast<unsigned>(n));
+  for (int k = 0; k < n; ++k) {
+    const int victim = start + k < n ? start + k : start + k - n;
+    if (victim == tls.rank) continue;
+    auto& deque = g_rt->pools[static_cast<std::size_t>(victim)]->deque;
+    if (deque.empty_approx()) continue;
+    WorkUnit* wu = nullptr;
+    if (deque.steal(&wu)) {
+      c.steals.fetch_add(1, std::memory_order_relaxed);
+      return wu;
+    }
+    c.failed_steals.fetch_add(1, std::memory_order_relaxed);
+  }
+  return nullptr;
+}
+
+/// Scheduler loop: drains this xstream's pool, steals when idle, parks
+/// briefly when there is nothing to steal. Workers exit on shutdown; the
+/// primary scheduler context never observes shutdown while running
+/// (finalize executes on the primary ULT).
 void sched_loop() {
   Pool& pool = pool_for(tls.rank);
   const bool primary = tls.rank == 0;
+  const bool stealing =
+      g_rt->ws && !g_rt->cfg.shared_pool && g_rt->n > 1;
+  common::FastRng rng(common::mix64(
+      0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tls.rank)));
+  unsigned tick = 0;
   int idle = 0;
   // The primary alternates fairly between its regular pool and the main
   // slot: strict priority either way starves someone (main-first starves
@@ -182,18 +390,19 @@ void sched_loop() {
   // busy-waits for main at a barrier).
   bool main_turn = false;
   for (;;) {
-    std::optional<WorkUnit*> wu;
+    WorkUnit* wu = nullptr;
     if (primary && main_turn) {
-      wu = g_rt->main_pool.q.pop();
-      if (!wu) wu = pool.q.pop();
+      wu = pop_main_slot();
+      if (wu == nullptr) wu = pop_local(pool, &tick);
     } else {
-      wu = pool.q.pop();
-      if (!wu && primary) wu = g_rt->main_pool.q.pop();
+      wu = pop_local(pool, &tick);
+      if (wu == nullptr && primary) wu = pop_main_slot();
     }
     main_turn = !main_turn;
-    if (wu) {
+    if (wu == nullptr && stealing) wu = try_steal(rng);
+    if (wu != nullptr) {
       idle = 0;
-      run_unit(*wu);
+      run_unit(wu);
       continue;
     }
     if (g_rt->shutdown.load(std::memory_order_acquire)) break;
@@ -228,6 +437,9 @@ void primary_sched_entry(fctx::transfer_t t) {
 __attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
   WorkUnit* self = tls.current;
   GLTO_CHECK_MSG(self != nullptr, "suspend outside a ULT");
+  GLTO_CHECK_MSG(self->kind != Kind::Tasklet,
+                 "tasklets are stackless and cannot suspend (no yield-wait "
+                 "or blocking join inside a tasklet)");
   if (tls.sched_ctx == nullptr) {
     // First suspension of the primary ULT: build the primary scheduler.
     GLTO_CHECK(self->kind == Kind::Main);
@@ -237,8 +449,8 @@ __attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
   }
   SwitchMsg msg{dir, self, target};
   fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
-  // Resumed — possibly on a *different OS thread* (shared pools): the
-  // thread-local block must be re-resolved, never reused from above.
+  // Resumed — possibly on a *different OS thread* (shared pools or a
+  // steal): the thread-local block must be re-resolved, never reused.
   Tls& now = tls_now();
   now.sched_ctx = t.from;
   now.current = self;
@@ -258,14 +470,12 @@ void ult_entry(fctx::transfer_t t) {
   GLTO_CHECK_MSG(false, "resumed a finished ULT");
 }
 
-WorkUnit* create_unit(Kind kind, int rank, WorkFn fn, void* arg) {
+WorkUnit* create_unit(Kind kind, int rank, bool pinned, WorkFn fn,
+                      void* arg) {
   GLTO_CHECK_MSG(g_rt != nullptr, "abt::init has not been called");
   GLTO_CHECK(rank >= 0 && rank < g_rt->n);
-  auto* wu = new WorkUnit();
-  wu->fn = fn;
-  wu->arg = arg;
-  wu->home_rank = rank;
-  wu->kind = kind;
+  WorkUnit* wu = alloc_unit();
+  reset_unit(wu, kind, rank, pinned, fn, arg);
   if (kind == Kind::Ult) {
     wu->stack = fctx::StackPool::global().acquire();
     wu->ctx = fctx::make_fcontext(wu->stack.top, wu->stack.size, ult_entry);
@@ -273,12 +483,43 @@ WorkUnit* create_unit(Kind kind, int rank, WorkFn fn, void* arg) {
   } else {
     g_rt->tasklets_created.fetch_add(1, std::memory_order_relaxed);
   }
-  pool_for(rank).q.push(wu);
+  if (!g_rt->ws) {
+    pool_for(rank).locked.push(wu);
+  } else if (g_rt->cfg.shared_pool) {
+    g_rt->pools[0]->fair.push(wu);
+  } else if (pinned || tls.rank != rank) {
+    // Exact placement, or a submission from a foreign thread: the target
+    // xstream's owner-only FIFO (never stolen).
+    pool_for(rank).fair.push(wu);
+  } else {
+    // Hot path — unpinned spawn on the calling xstream: lock-free owner
+    // push; idle xstreams steal from the top.
+    pool_for(rank).deque.push(wu);
+  }
   g_rt->parker.unpark_all();
   return wu;
 }
 
 int default_rank() { return tls.rank >= 0 ? tls.rank : 0; }
+
+Dispatch resolve_dispatch(Dispatch d) {
+  if (d != Dispatch::Auto) return d;
+  if (auto s = common::env_str("ABT_DISPATCH")) {
+    std::string v = *s;
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (v == "locked") return Dispatch::Locked;
+    if (v != "ws" && v != "workstealing") {
+      // A silent fallback would mislabel an ablation run; say what won.
+      std::fprintf(stderr,
+                   "abt: unrecognized ABT_DISPATCH='%s' "
+                   "(expected 'ws' or 'locked'); using work stealing\n",
+                   s->c_str());
+    }
+  }
+  return Dispatch::WorkStealing;
+}
 
 }  // namespace
 
@@ -291,16 +532,21 @@ void init(const Config& cfg_in) {
         "ABT_NUM_XSTREAMS", common::hardware_concurrency()));
   }
   g_rt->n = g_rt->cfg.num_xstreams;
+  g_rt->ws = resolve_dispatch(g_rt->cfg.dispatch) == Dispatch::WorkStealing;
   const int pool_count = g_rt->cfg.shared_pool ? 1 : g_rt->n;
   for (int i = 0; i < pool_count; ++i) {
     g_rt->pools.push_back(std::make_unique<Pool>());
   }
+  g_rt->xs_counters = std::vector<XsCounters>(static_cast<std::size_t>(g_rt->n));
+  g_rt->free_lists = std::vector<FreeList>(static_cast<std::size_t>(g_rt->n));
+  g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   // The caller becomes the primary ULT on xstream 0.
   tls.rank = 0;
   tls.sched_ctx = nullptr;
   auto* main_unit = new WorkUnit();
   main_unit->kind = Kind::Main;
   main_unit->home_rank = 0;
+  main_unit->pinned = true;
   main_unit->state.store(State::Running, std::memory_order_relaxed);
   tls.main_unit = main_unit;
   tls.current = main_unit;
@@ -320,6 +566,10 @@ void finalize() {
   // raced, so plain joins terminate promptly.
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
+  for (FreeList& fl : g_rt->free_lists) {
+    for (WorkUnit* wu : fl.units) delete wu;
+  }
+  for (WorkUnit* wu : g_rt->slab) delete wu;
   delete tls.main_unit;
   tls = Tls{};
   delete g_rt;
@@ -332,22 +582,30 @@ int num_xstreams() { return g_rt ? g_rt->n : 0; }
 
 int self_rank() { return tls.rank; }
 
-bool in_ult() { return tls.current != nullptr; }
+bool in_ult() {
+  return tls.current != nullptr && tls.current->kind != Kind::Tasklet;
+}
+
+Dispatch dispatch_mode() {
+  if (g_rt == nullptr) return Dispatch::Auto;
+  return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
+}
 
 WorkUnit* ult_create(WorkFn fn, void* arg) {
-  return create_unit(Kind::Ult, default_rank(), fn, arg);
+  return create_unit(Kind::Ult, default_rank(), /*pinned=*/false, fn, arg);
 }
 
 WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg) {
-  return create_unit(Kind::Ult, rank, fn, arg);
+  return create_unit(Kind::Ult, rank, /*pinned=*/true, fn, arg);
 }
 
 WorkUnit* tasklet_create(WorkFn fn, void* arg) {
-  return create_unit(Kind::Tasklet, default_rank(), fn, arg);
+  return create_unit(Kind::Tasklet, default_rank(), /*pinned=*/false, fn,
+                     arg);
 }
 
 WorkUnit* tasklet_create_on(int rank, WorkFn fn, void* arg) {
-  return create_unit(Kind::Tasklet, rank, fn, arg);
+  return create_unit(Kind::Tasklet, rank, /*pinned=*/true, fn, arg);
 }
 
 void join(WorkUnit* wu) {
@@ -362,11 +620,13 @@ void join(WorkUnit* wu) {
       suspend(Dir::Block, wu);
     }
   }
-  delete wu;
+  recycle_unit(wu);
 }
 
 void yield() {
-  if (tls.current == nullptr) return;  // no-op outside ULTs
+  if (tls.current == nullptr || tls.current->kind == Kind::Tasklet) {
+    return;  // no-op outside ULTs; tasklets run to completion (§III-B)
+  }
   g_rt->yields.fetch_add(1, std::memory_order_relaxed);
   suspend(Dir::Yield, nullptr);
 }
@@ -401,6 +661,12 @@ Stats stats() {
     s.ults_created = g_rt->ults_created.load(std::memory_order_relaxed);
     s.tasklets_created = g_rt->tasklets_created.load(std::memory_order_relaxed);
     s.yields = g_rt->yields.load(std::memory_order_relaxed);
+    for (const XsCounters& c : g_rt->xs_counters) {
+      s.steals += c.steals.load(std::memory_order_relaxed);
+      s.failed_steals += c.failed_steals.load(std::memory_order_relaxed);
+    }
+    s.stack_cache_hits =
+        fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }
   return s;
 }

@@ -4,11 +4,21 @@
 //  * A fixed set of *execution streams* (xstreams): OS threads bound to
 //    cores. Xstream 0 is the *primary* xstream — the thread that called
 //    abt::init — and the calling context becomes the *primary ULT*.
-//  * Each xstream owns a private FIFO pool of work units. There is **no
-//    work stealing** between xstreams (the trait the paper credits for
-//    ABT's flat, contention-free task curves, Figs. 10–13). An optional
-//    single shared pool (Config::shared_pool) implements the
-//    GLT_SHARED_QUEUES behaviour of §IV-F.
+//  * Each xstream owns a lock-free Chase–Lev deque: the owner pushes and
+//    pops LIFO at the bottom (cache-warm, work-first), idle xstreams steal
+//    FIFO from the top with randomized victim selection. Only *unpinned*
+//    units (ult_create / tasklet_create) are stealable; units placed with
+//    ult_create_on / tasklet_create_on are pinned and always execute on
+//    their target xstream — the exact-placement contract the GLT layer
+//    documents and the paper's work-assignment studies (Fig. 7) rely on.
+//    Pinned, remote-submitted, and yielded units travel through a
+//    per-xstream MPMC side queue that is drained FIFO by its owner only.
+//    An optional single shared pool (Config::shared_pool) implements the
+//    GLT_SHARED_QUEUES behaviour of §IV-F over the same lock-free MPMC
+//    queue, so that ablation measures queue contention, not lock
+//    convoying. Config::dispatch (or $ABT_DISPATCH) can select the
+//    original mutex-guarded per-xstream FIFO pools ("locked") as a
+//    measurable baseline.
 //  * Work units are either *ULTs* (own stack, can yield/block) or
 //    *tasklets* (stackless, run to completion on the scheduler's stack —
 //    natively supported here just as in Argobots, §III-B).
@@ -24,10 +34,18 @@ namespace glto::abt {
 
 using WorkFn = void (*)(void*);
 
+/// Scheduling-core selection (the PR's ablation axis).
+enum class Dispatch : std::uint8_t {
+  Auto,          ///< $ABT_DISPATCH ("ws" | "locked"), default WorkStealing
+  WorkStealing,  ///< Chase–Lev deques + randomized stealing (lock-free)
+  Locked,        ///< mutex-guarded FIFO pools, no stealing (seed baseline)
+};
+
 struct Config {
   int num_xstreams = 0;      ///< 0 → $ABT_NUM_XSTREAMS or hardware threads
   bool shared_pool = false;  ///< one pool shared by all xstreams
   bool bind_threads = true;  ///< pin xstream i to core i (best-effort)
+  Dispatch dispatch = Dispatch::Auto;
 };
 
 /// Opaque handle to a ULT or tasklet.
@@ -48,16 +66,18 @@ void finalize();
 /// True when the caller runs inside a ULT (including the primary ULT).
 [[nodiscard]] bool in_ult();
 
-/// Creates a ULT in the pool of the calling xstream (or the shared pool).
+/// Creates a ULT in the deque of the calling xstream (or the shared
+/// pool). Unpinned: an idle xstream may steal it.
 WorkUnit* ult_create(WorkFn fn, void* arg);
 
-/// Creates a ULT in the pool of xstream @p rank.
+/// Creates a ULT pinned to xstream @p rank (exact placement, never
+/// stolen; advisory under a shared pool).
 WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg);
 
-/// Creates a stackless tasklet (calling xstream's pool).
+/// Creates a stackless tasklet (calling xstream's deque, stealable).
 WorkUnit* tasklet_create(WorkFn fn, void* arg);
 
-/// Creates a stackless tasklet in the pool of xstream @p rank.
+/// Creates a stackless tasklet pinned to xstream @p rank.
 WorkUnit* tasklet_create_on(int rank, WorkFn fn, void* arg);
 
 /// Waits for completion and destroys the work unit.
@@ -83,7 +103,13 @@ struct Stats {
   std::uint64_t ults_created = 0;
   std::uint64_t tasklets_created = 0;
   std::uint64_t yields = 0;
+  std::uint64_t steals = 0;           ///< units taken from another xstream
+  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
+  std::uint64_t stack_cache_hits = 0; ///< ULT stacks served lock-free
 };
+
+/// Dispatch mode the runtime is using (resolves Dispatch::Auto).
+[[nodiscard]] Dispatch dispatch_mode();
 
 /// Snapshot of global counters since init().
 [[nodiscard]] Stats stats();

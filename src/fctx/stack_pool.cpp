@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <vector>
@@ -31,28 +32,88 @@ struct StackPool::Impl {
   std::vector<void*> free_bases;       // recycled stacks (base addresses)
   std::vector<void*> all_bases;        // everything mapped, for teardown
   std::atomic<std::uint64_t> mapped{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  bool per_thread_cache = false;
 };
 
-StackPool::StackPool(std::size_t stack_size)
-    : impl_(new Impl), stack_size_(round_up_pages(stack_size)) {}
+namespace {
+
+/// Per-thread free-stack cache. Bound to at most one pool per thread (in
+/// practice: the immortal global() pool — the only one allowed to enable
+/// caching, so the spill in the destructor can never dangle).
+struct ThreadCache {
+  StackPool::Impl* owner = nullptr;
+  std::vector<void*> bases;
+
+  ~ThreadCache() {
+    if (owner == nullptr || bases.empty()) return;
+    glto::common::SpinGuard g(owner->lock);
+    owner->free_bases.insert(owner->free_bases.end(), bases.begin(),
+                             bases.end());
+  }
+};
+
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_size, bool per_thread_cache)
+    : impl_(new Impl), stack_size_(round_up_pages(stack_size)) {
+  impl_->per_thread_cache = per_thread_cache;
+}
 
 StackPool::~StackPool() {
+  // A caching pool must be immortal: per-thread caches hold a raw Impl*
+  // that they dereference from thread-exit destructors, so destroying
+  // the pool first would be a use-after-free. Fail loudly instead.
+  GLTO_CHECK_MSG(!impl_->per_thread_cache,
+                 "a StackPool with per_thread_cache enabled must never be "
+                 "destroyed (thread caches spill into it at thread exit)");
   const std::size_t total = stack_size_ + page_size();
   for (void* base : impl_->all_bases) ::munmap(base, total);
   delete impl_;
 }
 
+Stack StackPool::make_stack(void* base) const {
+  Stack s;
+  s.base = base;
+  s.size = stack_size_;
+  s.top = static_cast<char*>(base) + page_size() + stack_size_;
+  return s;
+}
+
 Stack StackPool::acquire() {
-  {
+  if (impl_->per_thread_cache &&
+      (t_cache.owner == impl_ || t_cache.owner == nullptr)) {
+    t_cache.owner = impl_;
+    if (!t_cache.bases.empty()) {
+      void* base = t_cache.bases.back();
+      t_cache.bases.pop_back();
+      impl_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return make_stack(base);
+    }
+    // Batch refill: one lock acquisition amortized over kCacheRefillBatch
+    // subsequent lock-free acquires.
+    {
+      glto::common::SpinGuard g(impl_->lock);
+      const std::size_t take =
+          std::min(kCacheRefillBatch, impl_->free_bases.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        t_cache.bases.push_back(impl_->free_bases.back());
+        impl_->free_bases.pop_back();
+      }
+    }
+    if (!t_cache.bases.empty()) {
+      void* base = t_cache.bases.back();
+      t_cache.bases.pop_back();
+      return make_stack(base);
+    }
+  } else {
     glto::common::SpinGuard g(impl_->lock);
     if (!impl_->free_bases.empty()) {
       void* base = impl_->free_bases.back();
       impl_->free_bases.pop_back();
-      Stack s;
-      s.base = base;
-      s.size = stack_size_;
-      s.top = static_cast<char*>(base) + page_size() + stack_size_;
-      return s;
+      return make_stack(base);
     }
   }
   const std::size_t total = stack_size_ + page_size();
@@ -67,15 +128,27 @@ Stack StackPool::acquire() {
     glto::common::SpinGuard g(impl_->lock);
     impl_->all_bases.push_back(base);
   }
-  Stack s;
-  s.base = base;
-  s.size = stack_size_;
-  s.top = static_cast<char*>(base) + page_size() + stack_size_;
-  return s;
+  return make_stack(base);
 }
 
 void StackPool::release(Stack s) {
   if (!s.valid()) return;
+  if (impl_->per_thread_cache &&
+      (t_cache.owner == impl_ || t_cache.owner == nullptr)) {
+    t_cache.owner = impl_;
+    t_cache.bases.push_back(s.base);
+    if (t_cache.bases.size() > kCacheSpillHigh) {
+      // Spill half back to the shared freelist in one lock acquisition so
+      // a join-heavy thread keeps feeding spawn-heavy ones.
+      const std::size_t keep = kCacheSpillHigh / 2;
+      glto::common::SpinGuard g(impl_->lock);
+      impl_->free_bases.insert(impl_->free_bases.end(),
+                               t_cache.bases.begin() + keep,
+                               t_cache.bases.end());
+      t_cache.bases.resize(keep);
+    }
+    return;
+  }
   glto::common::SpinGuard g(impl_->lock);
   impl_->free_bases.push_back(s.base);
 }
@@ -84,8 +157,13 @@ std::uint64_t StackPool::total_mapped() const {
   return impl_->mapped.load(std::memory_order_relaxed);
 }
 
+std::uint64_t StackPool::cache_hits() const {
+  return impl_->cache_hits.load(std::memory_order_relaxed);
+}
+
 StackPool& StackPool::global() {
-  static StackPool* pool = new StackPool();  // immortal: ULTs may outlive main
+  static StackPool* pool =  // immortal: ULTs may outlive main
+      new StackPool(kDefaultStackSize, /*per_thread_cache=*/true);
   return *pool;
 }
 

@@ -2,8 +2,12 @@
 //
 // Creating a ULT must be orders of magnitude cheaper than pthread_create;
 // the dominant cost is stack allocation, so stacks are mmap'ed once (with a
-// PROT_NONE guard page below) and recycled through a global lock-free-ish
-// freelist with per-thread caches.
+// PROT_NONE guard page below) and recycled. The global() pool additionally
+// keeps a per-thread cache of free stacks with batched refill/spill to the
+// shared freelist, so the acquire()/release() fast path on scheduler
+// threads touches no lock (a spawn-heavy xstream otherwise serializes on
+// the freelist spinlock — exactly the hot path the paper's create/join
+// microbenchmarks measure).
 #pragma once
 
 #include <cstddef>
@@ -24,7 +28,12 @@ class StackPool {
  public:
   /// @p stack_size is rounded up to whole pages. 64 KiB default matches
   /// typical LWT library defaults (Argobots: 64 KiB).
-  explicit StackPool(std::size_t stack_size = kDefaultStackSize);
+  ///
+  /// @p per_thread_cache enables the lock-free per-thread free-stack
+  /// caches. Only an *immortal* pool may enable it (thread caches spill
+  /// back on thread exit, which must not outlive the pool); global() does.
+  explicit StackPool(std::size_t stack_size = kDefaultStackSize,
+                     bool per_thread_cache = false);
   ~StackPool();
 
   StackPool(const StackPool&) = delete;
@@ -42,13 +51,23 @@ class StackPool {
   /// Number of stacks ever mmap'ed (for tests / ablation counters).
   [[nodiscard]] std::uint64_t total_mapped() const;
 
-  /// The process-wide default pool (64 KiB stacks).
+  /// acquire() calls served from a per-thread cache without locking.
+  [[nodiscard]] std::uint64_t cache_hits() const;
+
+  /// The process-wide default pool (64 KiB stacks, per-thread caches on).
   static StackPool& global();
 
   static constexpr std::size_t kDefaultStackSize = 64 * 1024;
+  /// Stacks moved shared→thread cache per refill (one lock acquisition).
+  static constexpr std::size_t kCacheRefillBatch = 16;
+  /// Cache size that triggers a spill of half the cache back to shared.
+  static constexpr std::size_t kCacheSpillHigh = 64;
+
+  struct Impl;  ///< opaque; public so the per-thread cache can point at it
 
  private:
-  struct Impl;
+  [[nodiscard]] Stack make_stack(void* base) const;
+
   Impl* impl_;
   std::size_t stack_size_;
 };

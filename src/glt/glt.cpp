@@ -275,6 +275,20 @@ Stats stats() {
     s.ults_created = g_state->ults_created.load(std::memory_order_relaxed);
     s.tasklets_created =
         g_state->tasklets_created.load(std::memory_order_relaxed);
+    switch (g_state->cfg.impl) {
+      case Impl::abt: {
+        const auto a = abt::stats();
+        s.steals = a.steals;
+        s.failed_steals = a.failed_steals;
+        s.stack_cache_hits = a.stack_cache_hits;
+        break;
+      }
+      case Impl::mth:
+        s.steals = mth::stats().steals;
+        break;
+      case Impl::qth:
+        break;
+    }
   }
   return s;
 }

@@ -45,8 +45,8 @@ void finalize();
 
 [[nodiscard]] int num_threads();
 
-/// Rank of the GLT_thread executing the caller. Under the mth backend this
-/// can change across suspension points (stealing).
+/// Rank of the GLT_thread executing the caller. Under the mth and abt
+/// backends this can change across suspension points (stealing).
 [[nodiscard]] int thread_num();
 
 struct Ult;
@@ -59,7 +59,8 @@ using WorkFn = void (*)(void*);
 Ult* ult_create(WorkFn fn, void* arg);
 
 /// Creates a ULT destined for GLT_thread @p tid. Placement is exact on
-/// abt/qth (no stealing); advisory on mth (the thief decides).
+/// abt (the unit is pinned, never stolen) and qth; advisory on mth (the
+/// thief decides).
 Ult* ult_create_to(int tid, WorkFn fn, void* arg);
 
 /// Waits for the ULT and destroys it.
@@ -72,9 +73,11 @@ void tasklet_join(Tasklet* t);
 /// Cooperative yield to the underlying scheduler.
 void yield();
 
-/// Backend capability: can work units migrate between GLT_threads after
-/// creation? True only for mth — this is what decides the paper's Table I
-/// omp_task_untied / omp_taskyield outcomes.
+/// Backend capability: is *placement advisory* — i.e. can a unit created
+/// with ult_create_to still migrate? True only for mth — this is what
+/// decides the paper's Table I omp_task_untied / omp_taskyield outcomes.
+/// (abt steals unpinned ult_create units internally for load balance, but
+/// honours ult_create_to exactly, so it reports false.)
 [[nodiscard]] bool supports_stealing();
 
 /// Backend capability: stackless tasklets without ULT emulation (abt).
@@ -89,6 +92,12 @@ void set_self_local(void* p);
 struct Stats {
   std::uint64_t ults_created = 0;     ///< Table II "Created GLT_ults"
   std::uint64_t tasklets_created = 0;
+  // Scheduler behaviour (Table III-style runs). abt and mth report
+  // steals; failed_steals and stack_cache_hits are abt-only (qth/mth
+  // report 0).
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steals = 0;
+  std::uint64_t stack_cache_hits = 0;
 };
 
 [[nodiscard]] Stats stats();

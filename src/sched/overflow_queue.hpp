@@ -1,0 +1,67 @@
+// Unbounded MPMC queue: lock-free fast path, locked overflow.
+//
+// The scheduler needs multi-producer queues that (a) never reject a push —
+// a ready ULT has nowhere else to go — and (b) stay lock-free at the rates
+// the paper measures. Vyukov's bounded MPMC ring (sched::MpmcQueue) gives
+// the lock-free fast path; a spinlock-guarded deque absorbs the overflow
+// when a burst outruns the ring. Consumers drain the overflow as soon as
+// it is non-empty, so overflowed items are never starved; ordering across
+// the ring/overflow boundary is approximate (FIFO within each), which is
+// fine for ready queues where order is a fairness heuristic, not a
+// correctness property.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+#include "sched/locked_queue.hpp"
+#include "sched/mpmc_queue.hpp"
+
+namespace glto::sched {
+
+template <typename T>
+class OverflowQueue {
+ public:
+  explicit OverflowQueue(std::size_t ring_capacity = 1024)
+      : ring_(ring_capacity) {}
+
+  OverflowQueue(const OverflowQueue&) = delete;
+  OverflowQueue& operator=(const OverflowQueue&) = delete;
+
+  /// Never fails. Lock-free unless the ring is full or the overflow is
+  /// already draining (pushing behind the overflow keeps items that
+  /// overflowed together from being reordered indefinitely).
+  void push(T item) {
+    if (overflow_count_.load(std::memory_order_acquire) == 0 &&
+        ring_.try_push(item)) {
+      return;
+    }
+    overflow_.push(item);
+    overflow_count_.fetch_add(1, std::memory_order_release);
+  }
+
+  std::optional<T> pop() {
+    if (overflow_count_.load(std::memory_order_acquire) > 0) {
+      if (auto v = overflow_.pop()) {
+        overflow_count_.fetch_sub(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+    return ring_.try_pop();
+  }
+
+  /// Racy; for idle heuristics and stats only.
+  [[nodiscard]] std::size_t size_approx() const {
+    return ring_.size_approx() +
+           static_cast<std::size_t>(
+               overflow_count_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  MpmcQueue<T> ring_;
+  LockedQueue<T> overflow_;
+  std::atomic<std::int64_t> overflow_count_{0};
+};
+
+}  // namespace glto::sched

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "abt/abt.hpp"
+#include "common/env.hpp"
 
 namespace ga = glto::abt;
 
@@ -57,7 +58,8 @@ TEST(Abt, ManyUltsAllExecute) {
 
 TEST(Abt, UltCreateOnTargetsXstream) {
   AbtScope s(3);
-  // Without stealing, a ULT created on rank r must execute on rank r.
+  // create_on pins: a ULT created on rank r must execute on rank r even
+  // with work stealing enabled (exact-placement contract).
   for (int r = 0; r < 3; ++r) {
     std::atomic<int> observed{-1};
     auto* u = ga::ult_create_on(
@@ -67,7 +69,7 @@ TEST(Abt, UltCreateOnTargetsXstream) {
         },
         &observed);
     ga::join(u);
-    EXPECT_EQ(observed.load(), r) << "abt has no work stealing";
+    EXPECT_EQ(observed.load(), r) << "pinned units are never stolen";
   }
 }
 
@@ -99,7 +101,11 @@ TEST(Abt, TaskletRunsWithoutStack) {
 TEST(Abt, YieldInterleavesUltsOnOneXstream) {
   AbtScope s(1);
   // Two ULTs on one xstream must interleave via yield: each appends its tag
-  // alternately. Proves cooperative scheduling works.
+  // alternately. Proves cooperative scheduling works and that yield is a
+  // fairness point (a yielded ULT goes to the FIFO side queue, so its peer
+  // runs next). Which tag goes first depends on the dispatch mode — the
+  // work-first deque pops the newest ULT first, the locked FIFO the oldest
+  // — so only strict alternation is asserted, not the starting tag.
   struct Shared {
     std::vector<int> order;
   } sh;
@@ -120,8 +126,11 @@ TEST(Abt, YieldInterleavesUltsOnOneXstream) {
   ga::join(u0);
   ga::join(u1);
   ASSERT_EQ(sh.order.size(), 6u);
-  // Perfect alternation 0,1,0,1,0,1 on a single FIFO pool.
-  for (int i = 0; i < 6; ++i) EXPECT_EQ(sh.order[i], i % 2) << "i=" << i;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(sh.order[static_cast<std::size_t>(i)], sh.order[i % 2])
+        << "i=" << i;
+  }
+  EXPECT_NE(sh.order[0], sh.order[1]) << "yield must interleave the ULTs";
 }
 
 TEST(Abt, UltJoinsAnotherUlt) {
@@ -255,4 +264,243 @@ TEST(Abt, ManyTaskletsInterleavedWithUlts) {
   }
   for (auto* w : ws) ga::join(w);
   EXPECT_EQ(count.load(), kN);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler surfaces (Chase–Lev dispatch, PR 1).
+// ---------------------------------------------------------------------------
+
+TEST(AbtSteal, IdleXstreamStealsUnpinnedWork) {
+  AbtScope s(2);
+  ASSERT_EQ(ga::dispatch_mode(), ga::Dispatch::WorkStealing);
+  // The primary ULT never suspends below, so xstream 0's scheduler never
+  // runs: the only way this unpinned ULT can execute is a steal by
+  // xstream 1. Deterministic forcing of the steal path.
+  std::atomic<int> ran_on{-1};
+  auto* u = ga::ult_create(
+      [](void* p) {
+        static_cast<std::atomic<int>*>(p)->store(ga::self_rank());
+      },
+      &ran_on);
+  while (!ga::is_done(u)) {
+    // Busy poll WITHOUT yielding: keeps the primary scheduler parked.
+  }
+  EXPECT_EQ(ran_on.load(), 1) << "unit must have been stolen by xstream 1";
+  EXPECT_EQ(ga::executed_on(u), 1);
+  EXPECT_GE(ga::stats().steals, 1u);
+  ga::join(u);
+}
+
+TEST(AbtSteal, PinnedPlacementExactUnderStealStorm) {
+  AbtScope s(4);
+  // A storm of stealable units plus pinned units to every rank: stealing
+  // must never move a pinned unit off its target xstream.
+  constexpr int kStorm = 400;
+  constexpr int kPinnedPerRank = 25;
+  std::atomic<int> storm_count{0};
+  std::vector<ga::WorkUnit*> storm;
+  storm.reserve(kStorm);
+  for (int i = 0; i < kStorm; ++i) {
+    storm.push_back(ga::ult_create(
+        [](void* p) {
+          ga::yield();  // churn: suspensions interleave with steals
+          static_cast<std::atomic<int>*>(p)->fetch_add(1);
+        },
+        &storm_count));
+  }
+  struct Observed {
+    std::atomic<int> rank{-1};
+  };
+  std::vector<Observed> seen(4 * kPinnedPerRank);
+  std::vector<ga::WorkUnit*> pinned;
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < kPinnedPerRank; ++i) {
+      pinned.push_back(ga::ult_create_on(
+          r,
+          [](void* p) {
+            static_cast<Observed*>(p)->rank.store(ga::self_rank());
+          },
+          &seen[static_cast<std::size_t>(r * kPinnedPerRank + i)]));
+    }
+  }
+  for (auto* u : pinned) ga::join(u);
+  for (auto* u : storm) ga::join(u);
+  EXPECT_EQ(storm_count.load(), kStorm);
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < kPinnedPerRank; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(r * kPinnedPerRank + i)]
+                    .rank.load(),
+                r)
+          << "pinned unit crossed xstreams";
+    }
+  }
+}
+
+TEST(AbtSteal, SelfLocalFollowsUnitAcrossSteals) {
+  AbtScope s(3);
+  // self_local is per-work-unit state: it must travel with the ULT even
+  // when yields let the unit migrate between xstreams.
+  constexpr int kN = 60;
+  std::atomic<int> bad{0};
+  std::vector<ga::WorkUnit*> us;
+  us.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    us.push_back(ga::ult_create(
+        [](void* p) {
+          int token = 0;
+          ga::set_self_local(&token);
+          for (int k = 0; k < 4; ++k) {
+            ga::yield();
+            if (ga::self_local() != &token) {
+              static_cast<std::atomic<int>*>(p)->fetch_add(1);
+              return;
+            }
+          }
+        },
+        &bad));
+  }
+  for (auto* u : us) ga::join(u);
+  EXPECT_EQ(bad.load(), 0) << "self_local detached from its work unit";
+}
+
+TEST(AbtSteal, StackCacheHitsCountRecycledStacks) {
+  AbtScope s(1);
+  // Single xstream → the stack released when the first ULT finishes lands
+  // in *this* thread's cache, so the second ULT's acquire must be a
+  // lock-free cache hit, visible as a strictly increasing counter.
+  std::atomic<int> x{0};
+  auto bump = [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); };
+  ga::join(ga::ult_create(bump, &x));
+  const auto hits_before = ga::stats().stack_cache_hits;
+  ga::join(ga::ult_create(bump, &x));
+  EXPECT_GE(ga::stats().stack_cache_hits, hits_before + 1)
+      << "recycled ULT stack must be served from the per-thread cache";
+  EXPECT_EQ(x.load(), 2);
+}
+
+TEST(AbtRecycle, WorkUnitRecordsAreReused) {
+  AbtScope s(1);
+  // Sequential create/join on one xstream must hit the per-worker free
+  // list: the second create returns the recycled record, not a fresh
+  // allocation.
+  std::atomic<int> x{0};
+  auto* a = ga::ult_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); }, &x);
+  ga::join(a);
+  auto* b = ga::ult_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); }, &x);
+  EXPECT_EQ(a, b) << "joined record should be recycled by the next create";
+  ga::join(b);
+  EXPECT_EQ(x.load(), 2);
+}
+
+TEST(AbtRecycle, RecycledUnitsStartClean) {
+  AbtScope s(2);
+  // A recycled record must not leak joiner/self_local state from its
+  // previous life (stale joiners would wake the wrong ULT).
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> x{0};
+    auto* u = ga::ult_create(
+        [](void* p) {
+          ga::set_self_local(p);  // dirty the slot on purpose
+          static_cast<std::atomic<int>*>(p)->fetch_add(1);
+        },
+        &x);
+    ga::join(u);
+    ASSERT_EQ(x.load(), 1) << "round " << round;
+  }
+}
+
+namespace {
+
+/// Scope running abt with the seed's mutex-guarded FIFO dispatch.
+struct LockedScope {
+  explicit LockedScope(int n, bool shared = false) {
+    ga::Config cfg;
+    cfg.num_xstreams = n;
+    cfg.shared_pool = shared;
+    cfg.bind_threads = false;
+    cfg.dispatch = ga::Dispatch::Locked;
+    ga::init(cfg);
+  }
+  ~LockedScope() { ga::finalize(); }
+};
+
+}  // namespace
+
+TEST(AbtLockedDispatch, BaselineModeStillWorks) {
+  LockedScope s(3);
+  ASSERT_EQ(ga::dispatch_mode(), ga::Dispatch::Locked);
+  constexpr int kN = 300;
+  std::atomic<int> count{0};
+  std::vector<ga::WorkUnit*> us;
+  us.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    us.push_back(ga::ult_create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  for (auto* u : us) ga::join(u);
+  EXPECT_EQ(count.load(), kN);
+  EXPECT_EQ(ga::stats().steals, 0u) << "locked dispatch never steals";
+}
+
+TEST(AbtLockedDispatch, EnvKnobSelectsBaseline) {
+  glto::common::env_set("ABT_DISPATCH", "locked");
+  {
+    AbtScope s(2);
+    EXPECT_EQ(ga::dispatch_mode(), ga::Dispatch::Locked);
+    std::atomic<int> x{0};
+    auto* u = ga::ult_create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->store(9); }, &x);
+    ga::join(u);
+    EXPECT_EQ(x.load(), 9);
+  }
+  glto::common::env_set("ABT_DISPATCH", nullptr);
+  {
+    AbtScope s(2);
+    EXPECT_EQ(ga::dispatch_mode(), ga::Dispatch::WorkStealing);
+  }
+}
+
+TEST(AbtTasklet, YieldingTaskletsAreSafeOnPrimary) {
+  // Regression: a tasklet runs on the scheduler's stack; on the primary
+  // xstream tls' "current unit" used to still point at the suspended main
+  // ULT, so yield() inside a tasklet suspended *main* from the scheduler
+  // context and jumped through a dead fcontext (crash first exposed by
+  // examples/glt_hello). Tasklet yield must be a no-op; the mixed
+  // yielding-ULT + yielding-tasklet workload below is glt_hello's shape.
+  AbtScope s(1);
+  std::atomic<long long> sum{0};
+  auto body = [](void* p) {
+    static_cast<std::atomic<long long>*>(p)->fetch_add(1);
+    ga::yield();  // ULT: fairness point; tasklet: must be a no-op
+    static_cast<std::atomic<long long>*>(p)->fetch_add(1);
+  };
+  std::vector<ga::WorkUnit*> us;
+  for (int i = 0; i < 100; ++i) us.push_back(ga::ult_create(body, &sum));
+  for (int i = 0; i < 100; ++i) us.push_back(ga::tasklet_create(body, &sum));
+  for (auto* u : us) ga::join(u);
+  EXPECT_EQ(sum.load(), 400);
+}
+
+TEST(AbtTasklet, SelfLocalIsPerTasklet) {
+  AbtScope s(1);
+  // self_local inside a tasklet must bind to the tasklet itself, not to
+  // the xstream's foreign-thread slot (or, worse, the suspended main).
+  std::atomic<int> bad{0};
+  auto body = [](void* p) {
+    int token = 0;
+    ga::set_self_local(&token);
+    if (ga::self_local() != &token) {
+      static_cast<std::atomic<int>*>(p)->fetch_add(1);
+    }
+  };
+  auto* t0 = ga::tasklet_create(body, &bad);
+  auto* t1 = ga::tasklet_create(body, &bad);
+  ga::join(t0);
+  ga::join(t1);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ga::self_local(), nullptr)
+      << "tasklet-local writes must not leak into the foreign slot";
 }

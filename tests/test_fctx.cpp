@@ -1,7 +1,9 @@
 // Unit tests for the fcontext switching core and the stack pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "fctx/fcontext.hpp"
@@ -147,4 +149,72 @@ TEST(StackPool, RoundsSizeToPages) {
   gf::StackPool pool(1000);  // < 1 page
   EXPECT_GE(pool.stack_size(), 1000u);
   EXPECT_EQ(pool.stack_size() % 4096, 0u);
+}
+
+TEST(StackPool, GuardPageFaultsOnOverflow) {
+  // The page below the usable range is PROT_NONE: a ULT overflowing its
+  // stack must fault immediately instead of silently corrupting the
+  // neighbouring mapping. Regression test for the guard-page contract.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  gf::StackPool pool(16 * 1024);
+  gf::Stack s = pool.acquire();
+  auto* guard = static_cast<volatile char*>(s.base);
+  EXPECT_DEATH({ guard[0] = 1; }, "");
+  // The page just above the guard is the stack's lowest usable byte.
+  auto* lowest = static_cast<char*>(s.top) - s.size;
+  lowest[0] = 1;  // must NOT fault
+  pool.release(s);
+}
+
+TEST(StackPoolCache, GlobalPoolServesFromThreadCache) {
+  auto& pool = gf::StackPool::global();
+  // Prime the cache, then measure: acquire after release must be a cache
+  // hit (lock-free path) and return the just-released stack.
+  gf::Stack a = pool.acquire();
+  void* base = a.base;
+  pool.release(a);
+  const auto hits_before = pool.cache_hits();
+  gf::Stack b = pool.acquire();
+  EXPECT_EQ(b.base, base) << "thread cache is LIFO: hottest stack first";
+  EXPECT_EQ(pool.cache_hits(), hits_before + 1);
+  pool.release(b);
+}
+
+TEST(StackPoolCache, RefillAndSpillUnderChurn) {
+  auto& pool = gf::StackPool::global();
+  // Hold more stacks than the spill threshold, release them all (forces a
+  // spill to the shared freelist), then re-acquire across threads (forces
+  // batch refills). Stacks must stay distinct and usable throughout.
+  constexpr std::size_t kHeld = gf::StackPool::kCacheSpillHigh + 40;
+  std::vector<gf::Stack> held;
+  held.reserve(kHeld);
+  for (std::size_t i = 0; i < kHeld; ++i) held.push_back(pool.acquire());
+  for (std::size_t i = 0; i < kHeld; ++i) {
+    for (std::size_t j = i + 1; j < kHeld; ++j) {
+      ASSERT_NE(held[i].base, held[j].base);
+    }
+  }
+  for (auto& s : held) pool.release(s);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 500; ++round) {
+        gf::Stack s = pool.acquire();
+        if (!s.valid()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Touch top and bottom of the usable range.
+        auto* lo = static_cast<char*>(s.top) - s.size;
+        lo[0] = static_cast<char>(round);
+        static_cast<char*>(s.top)[-1] = static_cast<char>(round);
+        pool.release(s);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(pool.cache_hits(), 0u);
 }

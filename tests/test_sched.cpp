@@ -9,6 +9,7 @@
 #include "sched/chase_lev.hpp"
 #include "sched/locked_queue.hpp"
 #include "sched/mpmc_queue.hpp"
+#include "sched/overflow_queue.hpp"
 
 namespace gs = glto::sched;
 
@@ -193,6 +194,105 @@ TEST(Mpmc, ConcurrentStress) {
     threads.emplace_back([&] {
       while (consumed.load() < kProducers * kPerProducer) {
         if (auto v = q.try_pop()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), 2LL * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(ChaseLev, StealStormWithGrowthUnderFire) {
+  // Small initial capacity forces grow() while thieves are actively
+  // stealing — the hardest Chase–Lev path (retired arrays must stay
+  // readable by in-flight steals).
+  gs::ChaseLevDeque<std::intptr_t> d(8);
+  constexpr std::intptr_t kItems = 80000;
+  constexpr int kThieves = 4;
+  std::atomic<std::intptr_t> sum{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::intptr_t v;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+      }
+      while (d.steal(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+    });
+  }
+  std::intptr_t v;
+  for (std::intptr_t i = 1; i <= kItems; ++i) {
+    d.push(i);
+    // Bursty owner pops: drain a few then push on, so bottom crosses top
+    // repeatedly (the last-element CAS race with thieves).
+    if (i % 13 == 0) {
+      for (int k = 0; k < 3 && d.pop(&v); ++k) {
+        sum.fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (d.pop(&v)) sum.fetch_add(v, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2)
+      << "every pushed item must be consumed exactly once";
+}
+
+TEST(OverflowQueue, FifoOnFastPath) {
+  gs::OverflowQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i) << "under ring capacity the queue is plain MPMC FIFO";
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(OverflowQueue, NeverRejectsPastRingCapacity) {
+  gs::OverflowQueue<int> q(4);
+  constexpr int kN = 1000;  // 250× the ring
+  for (int i = 0; i < kN; ++i) q.push(i);
+  EXPECT_EQ(q.size_approx(), static_cast<std::size_t>(kN));
+  long long sum = 0;
+  int got = 0;
+  while (auto v = q.pop()) {
+    sum += *v;
+    ++got;
+  }
+  EXPECT_EQ(got, kN);
+  EXPECT_EQ(sum, 1LL * kN * (kN - 1) / 2);
+}
+
+TEST(OverflowQueue, DrainsOverflowPromptly) {
+  gs::OverflowQueue<int> q(4);
+  for (int i = 0; i < 8; ++i) q.push(i);  // 4 in ring, 4 overflowed
+  // Consumers must see overflowed items without first emptying the ring
+  // completely *and* must never lose one.
+  std::vector<bool> seen(8, false);
+  while (auto v = q.pop()) seen[static_cast<std::size_t>(*v)] = true;
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+TEST(OverflowQueue, ConcurrentStressAcrossBoundary) {
+  gs::OverflowQueue<int> q(32);  // small ring: overflow engages constantly
+  constexpr int kPerProducer = 30000;
+  constexpr int kProducers = 2, kConsumers = 2;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.pop()) {
           sum.fetch_add(*v);
           consumed.fetch_add(1);
         }
