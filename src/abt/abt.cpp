@@ -79,7 +79,17 @@ struct Pool {
 struct alignas(common::kCacheLine) XsCounters {
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> failed_steals{0};
+  std::atomic<std::uint64_t> parks{0};
+  std::atomic<std::uint64_t> parked_us{0};
 };
+
+/// Adaptive idle parking: the first park is short (work often arrives
+/// within the old fixed 200 µs), each consecutive fruitless park doubles
+/// up to a 2 ms cap — a steal probe runs between parks (the scheduler
+/// loop re-polls pools and victims before every extension), so a long
+/// park can never strand runnable work for more than one wake latency.
+constexpr std::int64_t kParkMinUs = 200;
+constexpr std::int64_t kParkMaxUs = 2000;
 
 /// Per-xstream WorkUnit free list (owner-only; lock-free by ownership).
 /// Oversized lists spill half to a shared slab, which also feeds workers
@@ -382,8 +392,11 @@ void sched_loop() {
       g_rt->ws && !g_rt->cfg.shared_pool && g_rt->n > 1;
   common::FastRng rng(common::mix64(
       0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tls.rank)));
+  XsCounters& counters =
+      g_rt->xs_counters[static_cast<std::size_t>(tls.rank)];
   unsigned tick = 0;
   int idle = 0;
+  std::int64_t park_us = kParkMinUs;
   // The primary alternates fairly between its regular pool and the main
   // slot: strict priority either way starves someone (main-first starves
   // yielded-to pool work; pool-first starves main when a co-located ULT
@@ -402,6 +415,7 @@ void sched_loop() {
     if (wu == nullptr && stealing) wu = try_steal(rng);
     if (wu != nullptr) {
       idle = 0;
+      park_us = kParkMinUs;
       run_unit(wu);
       continue;
     }
@@ -411,7 +425,14 @@ void sched_loop() {
     } else if (idle < 96) {
       std::this_thread::yield();
     } else {
-      g_rt->parker.park_for_us(200);
+      // Adaptive park: exponential growth, reset on any work. The loop
+      // just ran a full pop + steal probe and found nothing, so extending
+      // the park is safe — and a push always unparks us early.
+      counters.parks.fetch_add(1, std::memory_order_relaxed);
+      counters.parked_us.fetch_add(static_cast<std::uint64_t>(park_us),
+                                   std::memory_order_relaxed);
+      g_rt->parker.park_for_us(park_us);
+      park_us = std::min<std::int64_t>(park_us * 2, kParkMaxUs);
     }
   }
 }
@@ -562,8 +583,8 @@ void finalize() {
                  "finalize must run on the primary ULT");
   g_rt->shutdown.store(true, std::memory_order_release);
   g_rt->parker.unpark_all();
-  // Parked workers wake within their 200 us timeout even if the unpark
-  // raced, so plain joins terminate promptly.
+  // Parked workers wake within their current timeout (2 ms cap) even if
+  // the unpark raced, so plain joins terminate promptly.
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
   for (FreeList& fl : g_rt->free_lists) {
@@ -664,6 +685,8 @@ Stats stats() {
     for (const XsCounters& c : g_rt->xs_counters) {
       s.steals += c.steals.load(std::memory_order_relaxed);
       s.failed_steals += c.failed_steals.load(std::memory_order_relaxed);
+      s.parks += c.parks.load(std::memory_order_relaxed);
+      s.parked_us += c.parked_us.load(std::memory_order_relaxed);
     }
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;

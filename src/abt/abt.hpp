@@ -106,6 +106,8 @@ struct Stats {
   std::uint64_t steals = 0;           ///< units taken from another xstream
   std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
   std::uint64_t stack_cache_hits = 0; ///< ULT stacks served lock-free
+  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;        ///< total requested park time, µs
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

@@ -281,6 +281,8 @@ Stats stats() {
         s.steals = a.steals;
         s.failed_steals = a.failed_steals;
         s.stack_cache_hits = a.stack_cache_hits;
+        s.parks = a.parks;
+        s.parked_us = a.parked_us;
         break;
       }
       case Impl::mth:

@@ -98,6 +98,8 @@ struct Stats {
   std::uint64_t steals = 0;
   std::uint64_t failed_steals = 0;
   std::uint64_t stack_cache_hits = 0;
+  std::uint64_t parks = 0;      ///< abt idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;  ///< abt total requested park time, µs
 };
 
 [[nodiscard]] Stats stats();

@@ -8,6 +8,8 @@
 #include "common/debug.hpp"
 #include "common/env.hpp"
 #include "common/spin.hpp"
+#include "omp/task_support.hpp"
+#include "taskdep/taskdep.hpp"
 
 namespace glto::rt {
 
@@ -28,6 +30,10 @@ struct LoopDesc {
 };
 
 struct TaskCtx;
+
+using omp::detail::DepPayload;
+using omp::detail::ReadyGate;
+using omp::detail::TgScope;
 
 /// A parallel team: fixed membership, barrier, single/loop bookkeeping.
 struct Team {
@@ -67,6 +73,12 @@ struct TaskCtx {
   // Outstanding child-task ULT handles (creator-owned; see header note).
   common::SpinLock child_lock;
   std::vector<glt::Ult*> children;
+  /// Dependent children the engine is still withholding: submitted, but
+  /// their ULT not yet created. join/taskwait must wait these out too —
+  /// the wake-up pushes the handle into `children` before decrementing.
+  std::atomic<std::int64_t> deferred{0};
+  /// Innermost active taskgroup of this task (nullptr outside groups).
+  TgScope* group = nullptr;
 
   // Per-member construct counters.
   std::uint64_t single_seq = 0;
@@ -88,9 +100,16 @@ struct MemberArg {
   const std::function<void(int, int)>* body;
 };
 
-struct TaskArg {
-  Team* team;
+class GltoRuntime;
+
+struct TaskArg : DepPayload {
+  TaskArg() : DepPayload{Kind::spawn} {}
+  Team* team = nullptr;
   std::function<void()> fn;
+  GltoRuntime* rt = nullptr;
+  TaskCtx* parent = nullptr;            ///< creator (outlives us: it joins)
+  TgScope* group = nullptr;             ///< enclosing taskgroup, if any
+  taskdep::TaskNode* node = nullptr;    ///< non-null for depend tasks
 };
 
 class GltoRuntime final : public omp::Runtime {
@@ -301,11 +320,23 @@ class GltoRuntime final : public omp::Runtime {
 
   void task(std::function<void()> fn, const omp::TaskFlags& flags) override {
     TaskCtx* c = cur();
+    const bool has_deps = !flags.depend.empty();
     if (!flags.if_clause || flags.final) {
       // Undeferred: run inline in a child context. GLTO executes `final`
       // tasks directly — the behaviour the validation suite rewards
-      // (Table I) and the pthread baselines lack.
+      // (Table I) and the pthread baselines lack. Depend clauses still
+      // order it: wait (yielding) until the engine opens the gate.
       tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+      taskdep::TaskNode* node = nullptr;
+      if (has_deps) {
+        ReadyGate gate;
+        auto sub = dep_engine_.submit(&gate, flags.depend.data(),
+                                      flags.depend.size());
+        node = sub.node;
+        if (!sub.ready) {
+          while (!gate.open.load(std::memory_order_acquire)) glt::yield();
+        }
+      }
       TaskCtx inline_ctx;
       inline_ctx.team = c->team;
       inline_ctx.tid = c->tid;
@@ -313,12 +344,36 @@ class GltoRuntime final : public omp::Runtime {
       inline_ctx.is_explicit_task = true;
       glt::set_self_local(&inline_ctx);
       fn();
+      // Release at task completion, before the child join — same rule as
+      // task_thunk: a child depending on this task's own dep object must
+      // be releasable here or the join would spin on it forever.
+      if (node != nullptr) dep_engine_.complete(node);
       join_children(&inline_ctx);
       glt::set_self_local(c);
       return;
     }
     tasks_queued_.fetch_add(1, std::memory_order_relaxed);
-    auto* arg = new TaskArg{c->team, std::move(fn)};
+    auto* arg = new TaskArg();
+    arg->team = c->team;
+    arg->fn = std::move(fn);
+    arg->rt = this;
+    arg->parent = c;
+    arg->group = c->group;
+    if (arg->group != nullptr) {
+      arg->group->pending.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (has_deps) {
+      // The ULT is NOT created yet: the engine withholds the task until
+      // its release counter hits zero, then the completing predecessor's
+      // thread spawns it straight onto its own work-stealing deque.
+      c->deferred.fetch_add(1, std::memory_order_relaxed);
+      auto sub =
+          dep_engine_.submit(arg, flags.depend.data(), flags.depend.size());
+      if (!sub.ready) return;  // wake-up owns arg from submit() onward
+      arg->node = sub.node;
+      spawn_dep_task(arg, /*producer_rr=*/c->in_single || c->in_master);
+      return;
+    }
     glt::Ult* u;
     if (c->in_single || c->in_master) {
       // Producer pattern (§IV-D): one context creates all tasks; dispatch
@@ -337,6 +392,27 @@ class GltoRuntime final : public omp::Runtime {
   }
 
   void taskwait() override { join_children(cur()); }
+
+  void taskgroup_begin() override {
+    TaskCtx* c = cur();
+    auto* g = new TgScope();
+    g->parent = c->group;
+    c->group = g;
+  }
+
+  void taskgroup_end() override {
+    TaskCtx* c = cur();
+    TgScope* g = c->group;
+    GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
+    // Wait only for this group's tasks; their ULT handles stay in
+    // c->children and are joined (already Done) at the next taskwait or
+    // the implicit region join.
+    while (g->pending.load(std::memory_order_acquire) > 0) glt::yield();
+    c->group = g->parent;
+    delete g;
+  }
+
+  omp::TaskStats task_stats() override { return dep_engine_.stats(); }
 
   void taskyield() override { glt::yield(); }
 
@@ -404,8 +480,59 @@ class GltoRuntime final : public omp::Runtime {
     ctx.is_explicit_task = true;
     glt::set_self_local(&ctx);
     a->fn();
+    // Dependences release at *task* completion (OpenMP's rule), before the
+    // transitive child join: children live in their own dependence domain,
+    // and a child depending on this task's own dep object must be
+    // releasable by this completion (joining first would deadlock on it).
+    if (a->node != nullptr) a->rt->dep_engine_.complete(a->node);
     join_children(&ctx);
+    if (a->group != nullptr) {
+      a->group->pending.fetch_sub(1, std::memory_order_release);
+    }
     delete a;
+  }
+
+  /// Creates the ULT of a depend task whose release counter reached zero
+  /// (at submit, or via the engine's wake-up on the thread that completed
+  /// the final predecessor — landing the task on that thread's own
+  /// work-stealing deque). Pushes the handle before decrementing
+  /// `deferred` so join_children cannot miss it.
+  void spawn_dep_task(TaskArg* arg, bool producer_rr) {
+    // Everything needed after the create goes to locals FIRST: work-first
+    // backends (mth) run the task to completion inside ult_create, and
+    // task_thunk deletes arg when it finishes.
+    TaskCtx* parent = arg->parent;
+    Team* team = arg->team;
+    glt::Ult* u;
+    if (producer_rr) {
+      const auto target =
+          team->task_rr.fetch_add(1, std::memory_order_relaxed);
+      u = glt::ult_create_to(
+          static_cast<int>(target %
+                           static_cast<std::uint64_t>(glt::num_threads())),
+          task_thunk, arg);
+    } else {
+      u = glt::ult_create(task_thunk, arg);
+    }
+    {
+      common::SpinGuard g(parent->child_lock);
+      parent->children.push_back(u);
+    }
+    parent->deferred.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Dependency-engine wake-up: runs on the thread that completed the
+  /// final predecessor, always inside a GLT context.
+  static void on_dep_ready(void* payload, taskdep::TaskNode* node) {
+    auto* pl = static_cast<DepPayload*>(payload);
+    if (pl->kind == DepPayload::Kind::gate) {
+      static_cast<ReadyGate*>(pl)->open.store(true,
+                                              std::memory_order_release);
+      return;
+    }
+    auto* arg = static_cast<TaskArg*>(pl);
+    arg->node = node;
+    arg->rt->spawn_dep_task(arg, /*producer_rr=*/false);
   }
 
   static void join_children(TaskCtx* c) {
@@ -415,8 +542,18 @@ class GltoRuntime final : public omp::Runtime {
         common::SpinGuard g(c->child_lock);
         grabbed.swap(c->children);
       }
-      if (grabbed.empty()) return;
-      for (auto* u : grabbed) glt::ult_join(u);
+      if (!grabbed.empty()) {
+        for (auto* u : grabbed) glt::ult_join(u);
+        continue;
+      }
+      if (c->deferred.load(std::memory_order_acquire) == 0) {
+        // A wake-up pushes the child handle *before* decrementing
+        // `deferred`, so after reading zero one locked re-check suffices.
+        common::SpinGuard g(c->child_lock);
+        if (c->children.empty()) return;
+        continue;
+      }
+      glt::yield();  // withheld children exist; let predecessors run
     }
   }
 
@@ -443,6 +580,7 @@ class GltoRuntime final : public omp::Runtime {
   std::uint64_t ults_at_reset_ = 0;
   std::atomic<std::uint64_t> tasks_queued_{0};
   std::atomic<std::uint64_t> tasks_immediate_{0};
+  taskdep::DepEngine dep_engine_{&GltoRuntime::on_dep_ready};
 
   common::SpinLock critical_map_lock_;
   std::map<const void*, common::SpinLock> critical_locks_;

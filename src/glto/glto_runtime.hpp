@@ -19,11 +19,19 @@
 //    GLT_thread, so the mth backend is initialized with pin_main and the
 //    master never yields across a steal boundary.
 //
+//  * Task dependences (`depend` clauses) run through the taskdep engine
+//    (src/taskdep): a task with unmet predecessors defers ULT creation
+//    until its release counter hits zero; the completing predecessor's
+//    thread then spawns it onto its own work-stealing deque.
+//
 // Deviation noted for reviewers: a task implicitly waits for its child
 // tasks when it finishes (transitive join). OpenMP lets children outlive
 // parents until the next barrier; the transitive join gives the same
 // region-barrier guarantee with creator-owned ULT handles and does not
-// change any pattern the paper measures.
+// change any pattern the paper measures. taskgroup is group-scoped: it
+// waits only for tasks created inside the group (plus their descendants,
+// transitively) — never for siblings created before it, even inside a
+// depend task.
 #pragma once
 
 #include <memory>

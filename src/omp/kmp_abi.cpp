@@ -102,9 +102,32 @@ void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg) {
   o::task([fn, arg] { fn(arg); });
 }
 
+void glto_kmpc_omp_task_with_deps(glto_kmpc_task_fn fn, void* arg,
+                                  std::int32_t ndeps,
+                                  const glto_kmpc_depend_info* dep_list) {
+  o::TaskFlags flags;
+  flags.depend.reserve(static_cast<std::size_t>(ndeps > 0 ? ndeps : 0));
+  for (std::int32_t i = 0; i < ndeps; ++i) {
+    const glto_kmpc_depend_info& d = dep_list[i];
+    // LLVM convention: bit 0 = in, bit 1 = out; out implies write ordering
+    // whether or not in is also set.
+    const auto kind = (d.flags & 0x2) != 0
+                          ? ((d.flags & 0x1) != 0
+                                 ? glto::taskdep::DepKind::inout
+                                 : glto::taskdep::DepKind::out)
+                          : glto::taskdep::DepKind::in;
+    flags.depend.push_back({d.base_addr, d.len, kind});
+  }
+  o::task([fn, arg] { fn(arg); }, flags);
+}
+
 void glto_kmpc_omp_taskwait() { o::taskwait(); }
 
 void glto_kmpc_omp_taskyield() { o::taskyield(); }
+
+void glto_kmpc_taskgroup() { o::runtime().taskgroup_begin(); }
+
+void glto_kmpc_end_taskgroup() { o::runtime().taskgroup_end(); }
 
 void glto_kmpc_atomic_add_f64(double* target, double val) {
   auto* a = reinterpret_cast<std::atomic<double>*>(target);

@@ -12,6 +12,7 @@
 // __kmpc_ names next to a real libomp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 extern "C" {
@@ -68,9 +69,25 @@ void glto_kmpc_end_critical(void** lock_slot);
 using glto_kmpc_task_fn = void (*)(void* arg);
 void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg);
 
+/// __kmpc_omp_task_with_deps: defer fn(arg) ordered after the listed
+/// dependences. @p flags follows the LLVM kmp_depend_info convention:
+/// bit 0 = in, bit 1 = out (both set = inout; out alone orders the same).
+struct glto_kmpc_depend_info {
+  void* base_addr;
+  std::size_t len;
+  std::uint8_t flags;
+};
+void glto_kmpc_omp_task_with_deps(glto_kmpc_task_fn fn, void* arg,
+                                  std::int32_t ndeps,
+                                  const glto_kmpc_depend_info* dep_list);
+
 /// __kmpc_omp_taskwait / __kmpc_omp_taskyield.
 void glto_kmpc_omp_taskwait();
 void glto_kmpc_omp_taskyield();
+
+/// __kmpc_taskgroup / __kmpc_end_taskgroup: group-scoped task wait.
+void glto_kmpc_taskgroup();
+void glto_kmpc_end_taskgroup();
 
 /// __kmpc_reduce-style combine: atomically adds @p val into @p target.
 void glto_kmpc_atomic_add_f64(double* target, double val);

@@ -225,6 +225,8 @@ void taskwait() { runtime().taskwait(); }
 
 void taskyield() { runtime().taskyield(); }
 
+TaskStats task_stats() { return runtime().task_stats(); }
+
 // ---- queries ----------------------------------------------------------------
 
 int thread_num() { return runtime().thread_num(); }
@@ -267,11 +269,14 @@ void sections(const std::vector<std::function<void()>>& blocks) {
 }
 
 void taskgroup(const std::function<void()>& body) {
-  // Children of the current task complete at taskwait; grandchildren
-  // complete transitively (each task drains its own children before
-  // finishing in both runtime families).
+  // Group-scoped wait: only tasks created inside the group are awaited
+  // (grandchildren complete transitively — each task drains its own
+  // children before finishing in both runtime families). Earlier siblings
+  // keep running; the old taskwait fallback over-waited them.
+  Runtime& rt = runtime();
+  rt.taskgroup_begin();
   body();
-  runtime().taskwait();
+  rt.taskgroup_end();
 }
 
 void Lock::set() {

@@ -109,9 +109,28 @@ void critical(const void* tag, const std::function<void()>& body);
 void task(std::function<void()> fn);
 void task(std::function<void()> fn, const TaskFlags& flags);
 
+/// depend-clause builders for TaskFlags::depend. The pointer is the
+/// OpenMP "list item": pass an object's address (size defaults to one
+/// byte — the handle idiom tiled codes use) or an explicit byte range;
+/// overlapping ranges conflict.
+[[nodiscard]] inline taskdep::Dep dep_in(const void* p, std::size_t size = 0) {
+  return {p, size, taskdep::DepKind::in};
+}
+[[nodiscard]] inline taskdep::Dep dep_out(const void* p,
+                                          std::size_t size = 0) {
+  return {p, size, taskdep::DepKind::out};
+}
+[[nodiscard]] inline taskdep::Dep dep_inout(const void* p,
+                                            std::size_t size = 0) {
+  return {p, size, taskdep::DepKind::inout};
+}
+
 /// #pragma omp taskwait / taskyield
 void taskwait();
 void taskyield();
+
+/// Dependency-engine counters of the active runtime.
+[[nodiscard]] TaskStats task_stats();
 
 // ---- queries (omp_* library routines) -----------------------------------
 
@@ -131,9 +150,10 @@ double reduce_sum(std::int64_t lo, std::int64_t hi,
 /// (dynamic dispatch, one block per grab); implicit barrier after.
 void sections(const std::vector<std::function<void()>>& blocks);
 
-/// #pragma omp taskgroup — runs @p body, then waits for the tasks it
-/// created (children of the current task; descendants complete
-/// transitively — see the runtime docs).
+/// #pragma omp taskgroup — runs @p body, then waits for the tasks the
+/// current task created *inside the group* (descendants complete
+/// transitively — see the runtime docs). Tasks created before the group —
+/// e.g. by an enclosing depend task — are NOT waited for.
 void taskgroup(const std::function<void()>& body);
 
 // ---- locks (omp_lock_t / omp_nest_lock_t) -------------------------------

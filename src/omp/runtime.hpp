@@ -14,6 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
+
+#include "taskdep/taskdep.hpp"
 
 namespace glto::omp {
 
@@ -29,7 +32,16 @@ struct TaskFlags {
   bool untied = false;
   bool final = false;
   bool if_clause = true;  ///< if(false) → undeferred, executed inline
+  /// depend(in/out/inout: ...) clauses. A task with unmet dependences is
+  /// *deferred*: it is withheld from the scheduler until every
+  /// predecessor completes, then enqueued by the releasing thread
+  /// (undeferred tasks with deps instead wait inline for their turn).
+  std::vector<taskdep::Dep> depend;
 };
+
+/// Dependency-engine counters (basis for the abl_taskdep ablation); all
+/// zero for a runtime that saw no depend clauses.
+using TaskStats = taskdep::Stats;
 
 /// Counters every runtime maintains; basis for Tables II and III.
 struct Counters {
@@ -84,9 +96,23 @@ class Runtime {
   virtual void critical_exit(const void* tag) = 0;
 
   // --- explicit tasks ----------------------------------------------------
+  /// Creates an explicit task. flags.depend orders it after conflicting
+  /// earlier tasks (see TaskFlags); taskwait also waits for dependent
+  /// tasks the engine is still withholding.
   virtual void task(std::function<void()> fn, const TaskFlags& flags) = 0;
   virtual void taskwait() = 0;
   virtual void taskyield() = 0;
+
+  /// taskgroup construct: end waits ONLY for tasks created between begin
+  /// and end by the *current* task (descendants complete transitively via
+  /// this runtime family's child-drain rule) — never for siblings created
+  /// before the group, even inside a depend task. The default end falls
+  /// back to taskwait (over-waits; both shipped runtimes override).
+  virtual void taskgroup_begin() {}
+  virtual void taskgroup_end() { taskwait(); }
+
+  /// Dependency-engine counters (deps registered/deferred, DAG wake-ups).
+  [[nodiscard]] virtual TaskStats task_stats() { return {}; }
 
   /// Polite wait hint while spinning on user-level synchronization (omp
   /// locks): GLTO yields the ULT; pthread runtimes yield the OS thread.

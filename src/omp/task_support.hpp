@@ -1,0 +1,34 @@
+// Internal task-machinery pieces shared by the runtime implementations
+// (glto_runtime.cpp and pomp_runtime.cpp). Not part of the public facade.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace glto::omp::detail {
+
+/// One taskgroup instance. Counts the unfinished tasks its owning task
+/// created inside the group — and only those — so taskgroup_end never
+/// over-waits earlier siblings (the transitive-join deviation exposure:
+/// a taskgroup nested in a depend task must not wait the depend task's
+/// pre-group children). Lives on the taskgroup frame; end waits pending
+/// to reach zero before popping it, so tasks never outlive their scope.
+struct TgScope {
+  std::atomic<std::int64_t> pending{0};
+  TgScope* parent = nullptr;
+};
+
+/// Discriminated payload header for the dependency engine's ready
+/// callback: deferred tasks get scheduled (runtime-specific), undeferred
+/// tasks with deps open an inline gate.
+struct DepPayload {
+  enum class Kind : std::uint8_t { spawn, gate } kind;
+};
+
+/// Gate an undeferred (if(false)/final) task with deps waits on inline.
+struct ReadyGate : DepPayload {
+  ReadyGate() : DepPayload{Kind::gate} {}
+  std::atomic<bool> open{false};
+};
+
+}  // namespace glto::omp::detail

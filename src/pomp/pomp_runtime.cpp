@@ -15,7 +15,9 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
+#include "omp/task_support.hpp"
 #include "sched/locked_queue.hpp"
+#include "taskdep/taskdep.hpp"
 
 namespace glto::pomp {
 
@@ -35,13 +37,20 @@ struct LoopDesc {
 struct TaskCtx;
 class PompRuntime;
 
+using omp::detail::DepPayload;
+using omp::detail::ReadyGate;
+using omp::detail::TgScope;
+
 /// A deferred explicit task.
-struct TaskRec {
+struct TaskRec : DepPayload {
+  TaskRec() : DepPayload{Kind::spawn} {}
   std::function<void()> fn;
   TaskCtx* creator = nullptr;
   struct PompTeam* team = nullptr;
   bool untied = false;
   bool final = false;
+  TgScope* group = nullptr;           ///< enclosing taskgroup, if any
+  taskdep::TaskNode* node = nullptr;  ///< non-null for depend tasks
 };
 
 struct PompTeam {
@@ -79,9 +88,14 @@ struct TaskCtx {
   std::int64_t static_k = 0;
   bool in_single = false;
   bool in_master = false;
+  TgScope* group = nullptr;  ///< innermost active taskgroup of this task
 };
 
 thread_local TaskCtx* t_ctx = nullptr;
+
+/// enqueue_ready's deque-full fallback state (see its comment).
+thread_local bool t_in_ready_fallback = false;
+thread_local std::vector<TaskRec*> t_ready_spill;
 
 /// Work order handed to a pooled/spawned worker thread.
 struct Assignment {
@@ -334,14 +348,47 @@ class PompRuntime : public omp::Runtime {
 
   void task(std::function<void()> fn, const omp::TaskFlags& flags) override {
     TaskCtx* c = t_ctx;
+    const bool has_deps = !flags.depend.empty();
     if (!flags.if_clause) {
+      if (has_deps) {
+        // Undeferred with deps: help run tasks until the gate opens, then
+        // execute inline (the pthread analog of GLTO's yielding gate).
+        ReadyGate gate;
+        auto sub = dep_engine_.submit(&gate, flags.depend.data(),
+                                      flags.depend.size());
+        if (!sub.ready) {
+          while (!gate.open.load(std::memory_order_acquire)) {
+            if (!try_run_one_task(c->team)) wait_relax();
+          }
+        }
+        run_inline(c, std::move(fn), sub.node);
+        return;
+      }
       run_inline(c, std::move(fn));
       return;
     }
-    auto* rec = new TaskRec{std::move(fn), c, c->team, flags.untied,
-                            flags.final};
+    auto* rec = new TaskRec();
+    rec->fn = std::move(fn);
+    rec->creator = c;
+    rec->team = c->team;
+    rec->untied = flags.untied;
+    rec->final = flags.final;
+    rec->group = c->group;
+    if (rec->group != nullptr) {
+      rec->group->pending.fetch_add(1, std::memory_order_relaxed);
+    }
     c->children_outstanding.fetch_add(1, std::memory_order_relaxed);
     c->team->tasks_outstanding.fetch_add(1, std::memory_order_relaxed);
+    if (has_deps) {
+      auto sub =
+          dep_engine_.submit(rec, flags.depend.data(), flags.depend.size());
+      // Unmet predecessors: the task is withheld from every queue (it is
+      // already counted in children/tasks_outstanding, so taskwait and
+      // barriers wait for it); the wake-up enqueues it natively and owns
+      // rec — including the node field — from submit() onward.
+      if (!sub.ready) return;
+      rec->node = sub.node;
+    }
     // Note: `final` tasks are enqueued like any other — neither baseline
     // short-circuits them (the Table I omp_task_final failure).
     if (!enqueue(c, rec)) {
@@ -359,6 +406,26 @@ class PompRuntime : public omp::Runtime {
       if (!try_run_one_task(c->team)) wait_relax();
     }
   }
+
+  void taskgroup_begin() override {
+    TaskCtx* c = t_ctx;
+    auto* g = new TgScope();
+    g->parent = c->group;
+    c->group = g;
+  }
+
+  void taskgroup_end() override {
+    TaskCtx* c = t_ctx;
+    TgScope* g = c->group;
+    GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
+    while (g->pending.load(std::memory_order_acquire) > 0) {
+      if (!try_run_one_task(c->team)) wait_relax();
+    }
+    c->group = g->parent;
+    delete g;
+  }
+
+  omp::TaskStats task_stats() override { return dep_engine_.stats(); }
 
   void taskyield() override {
     // Tied pthread tasks cannot migrate; the best a baseline can do is run
@@ -395,6 +462,8 @@ class PompRuntime : public omp::Runtime {
   /// Subclass policy: set up the team's task storage.
   virtual void init_task_storage(PompTeam& team) = 0;
   /// Subclass policy: enqueue a deferred task; false → cut-off (run now).
+  /// @p c may be null (dependency wake-up from a thread outside the
+  /// task's team); use rec->team for storage.
   virtual bool enqueue(TaskCtx* c, TaskRec* rec) = 0;
   /// Subclass policy: dequeue + execute one task; false when none found.
   virtual bool try_run_one_task(PompTeam* team) = 0;
@@ -407,19 +476,70 @@ class PompRuntime : public omp::Runtime {
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
     rec->fn();
+    // Dependences release at *task* completion (OpenMP's rule), before the
+    // child drain: a child depending on this task's own dep object must be
+    // releasable here, or the drain below would spin on it forever. The
+    // wake-up enqueues successors natively (executing inline on cut-off).
+    if (rec->node != nullptr) dep_engine_.complete(rec->node);
     // A finished task must have no pending children of its own before its
     // parent's taskwait can be satisfied; drain them here.
     while (ctx.children_outstanding.load(std::memory_order_acquire) > 0) {
       if (!try_run_one_task(rec->team)) wait_relax();
     }
     t_ctx = saved;
+    if (rec->group != nullptr) {
+      rec->group->pending.fetch_sub(1, std::memory_order_release);
+    }
     rec->creator->children_outstanding.fetch_sub(1,
                                                  std::memory_order_release);
     rec->team->tasks_outstanding.fetch_sub(1, std::memory_order_release);
     delete rec;
   }
 
-  void run_inline(TaskCtx* c, std::function<void()> fn) {
+  /// Dependency wake-up target: enqueue a released task through the
+  /// subclass's native path; deque-full falls back to executing it right
+  /// here (its deps are met by construction). The fallback is flattened:
+  /// executing a task completes it, which can wake the next link of a
+  /// chain into this same fallback — recursing would nest one stack
+  /// frame per chain link, so re-entrant wake-ups spill to a per-thread
+  /// list the outermost frame drains iteratively.
+  void enqueue_ready(TaskRec* rec) {
+    TaskCtx* c =
+        t_ctx != nullptr && t_ctx->team == rec->team ? t_ctx : nullptr;
+    if (enqueue(c, rec)) {
+      tasks_queued_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (t_in_ready_fallback) {
+      t_ready_spill.push_back(rec);
+      return;
+    }
+    t_in_ready_fallback = true;
+    tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+    execute(rec);
+    while (!t_ready_spill.empty()) {
+      TaskRec* next = t_ready_spill.back();
+      t_ready_spill.pop_back();
+      tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+      execute(next);
+    }
+    t_in_ready_fallback = false;
+  }
+
+  static void on_dep_ready(void* payload, taskdep::TaskNode* node) {
+    auto* pl = static_cast<DepPayload*>(payload);
+    if (pl->kind == DepPayload::Kind::gate) {
+      static_cast<ReadyGate*>(pl)->open.store(true,
+                                              std::memory_order_release);
+      return;
+    }
+    auto* rec = static_cast<TaskRec*>(pl);
+    rec->node = node;
+    rec->team->rt->enqueue_ready(rec);
+  }
+
+  void run_inline(TaskCtx* c, std::function<void()> fn,
+                  taskdep::TaskNode* node = nullptr) {
     tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
     TaskCtx ctx;
     ctx.team = c->team;
@@ -428,6 +548,10 @@ class PompRuntime : public omp::Runtime {
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
     fn();
+    // Release at task completion, before the child drain — same rule as
+    // execute(): a child depending on this task's own dep object must be
+    // releasable here or the drain would spin on it forever.
+    if (node != nullptr) dep_engine_.complete(node);
     while (ctx.children_outstanding.load(std::memory_order_acquire) > 0) {
       if (!try_run_one_task(c->team)) wait_relax();
     }
@@ -446,6 +570,7 @@ class PompRuntime : public omp::Runtime {
   std::atomic<std::uint64_t> tasks_immediate_{0};
   std::atomic<std::uint64_t> task_steals_{0};
   int cutoff_ = 256;
+  taskdep::DepEngine dep_engine_{&PompRuntime::on_dep_ready};
 
  private:
   static void run_member(PompTeam* team, int tid,
@@ -551,8 +676,8 @@ class GnuRuntime final : public PompRuntime {
  protected:
   void init_task_storage(PompTeam&) override {}
 
-  bool enqueue(TaskCtx* c, TaskRec* rec) override {
-    c->team->shared_queue.push(rec);
+  bool enqueue(TaskCtx*, TaskRec* rec) override {
+    rec->team->shared_queue.push(rec);
     return true;
   }
 
@@ -584,11 +709,12 @@ class IntelRuntime final : public PompRuntime {
   }
 
   bool enqueue(TaskCtx* c, TaskRec* rec) override {
-    auto& deques = c->team->deques;
+    auto& deques = rec->team->deques;
     if (deques.empty()) {  // team of 1 without storage: run inline
       return false;
     }
-    const auto slot = static_cast<std::size_t>(c->tid) % deques.size();
+    const auto slot =
+        c != nullptr ? static_cast<std::size_t>(c->tid) % deques.size() : 0;
     return deques[slot]->try_push(rec);
   }
 

@@ -1,0 +1,130 @@
+// taskdep — the task-dependency engine behind OpenMP `depend` clauses.
+//
+// The paper's tasking story (§IV-D) makes ULTs cheap enough that dataflow
+// patterns no longer need barrier-style taskwait forests — but only if the
+// runtime can express them. This engine supplies the missing piece: given
+// tasks annotated with in/out/inout address ranges, it builds the
+// producer→consumer DAG incrementally and tells the runtime the instant a
+// task's last predecessor finishes, so the runtime can enqueue it straight
+// onto the backend's work-stealing deques (GLTO) or task queues (pthread
+// baselines).
+//
+// Design:
+//  * A fixed-size hash table of *dependency cells*, keyed on 64-byte
+//    chunks of the address space (1 << $GLTO_TASKDEP_HASH_BITS buckets,
+//    default 10). A dep on range [addr, addr+size) registers against every
+//    chunk the range covers, so *overlapping* ranges conflict through
+//    their shared chunks — stricter than the OpenMP "identical list item"
+//    rule, never weaker.
+//  * Each cell remembers the last writer and the readers since that
+//    writer. Registration applies the classic rules: in → edge from the
+//    last writer; out/inout → edges from the last writer and every
+//    reader, then the cell's history is reset to the new writer.
+//  * Each task node carries an atomic *release counter* (predecessor
+//    edges + one registration guard). Completion of a predecessor
+//    decrements it; the transition to zero fires the runtime's ready
+//    callback exactly once.
+//  * Nodes are intrusively reference-counted (cells and successor lists
+//    hold references), so a completed task's record stays valid while a
+//    cell still names it as writer/reader and is reclaimed as soon as it
+//    is displaced.
+//
+// Scope deviation (documented): the engine matches dependences across
+// *all* tasks registered with it, not only siblings of one parent task as
+// OpenMP scopes them. Extra edges are conservative — they can only order
+// more, never less — and the producer-pattern workloads this runtime
+// targets (one context creating the whole DAG) are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+#include "common/spin.hpp"
+
+namespace glto::taskdep {
+
+enum class DepKind : std::uint8_t {
+  in,     ///< read  — concurrent with other `in`s on the same range
+  out,    ///< write — ordered after every earlier access
+  inout,  ///< read-write — same ordering as out
+};
+
+/// One `depend` clause: an address range and an access kind. size 0 is
+/// treated as 1 byte (the "list item as handle" idiom: depend(inout: A)
+/// passes &A with its natural size, tile codes pass the tile base).
+struct Dep {
+  const void* addr = nullptr;
+  std::size_t size = 0;
+  DepKind kind = DepKind::inout;
+};
+
+struct TaskNode;
+
+struct Stats {
+  std::uint64_t deps_registered = 0;  ///< depend clauses processed
+  std::uint64_t deps_deferred = 0;    ///< tasks parked on unmet predecessors
+  std::uint64_t dag_ready_hits = 0;   ///< wake-ups: deferred task released
+                                      ///< by its final completing predecessor
+};
+
+/// The dependency engine. One instance per runtime; all methods are
+/// thread-safe (per-bucket spinlocks + per-node spinlocks).
+class DepEngine {
+ public:
+  /// @p on_ready fires exactly once per deferred task, from the thread
+  /// executing its final predecessor's complete(); it receives the payload
+  /// given to submit() plus the task's node (the callback may fire before
+  /// the submitter even sees the node from Submit — pass it here so the
+  /// wake-up path never reads a not-yet-published field). Never fires for
+  /// tasks submit() reported ready.
+  using ReadyFn = void (*)(void* payload, TaskNode* node);
+
+  /// @p hash_bits 0 → $GLTO_TASKDEP_HASH_BITS (default 10 → 1024 buckets).
+  explicit DepEngine(ReadyFn on_ready, int hash_bits = 0);
+  ~DepEngine();
+
+  DepEngine(const DepEngine&) = delete;
+  DepEngine& operator=(const DepEngine&) = delete;
+
+  struct Submit {
+    TaskNode* node = nullptr;
+    bool ready = false;  ///< all predecessors already finished: run it now
+  };
+
+  /// Registers a task with its depend clauses. When `ready` is false the
+  /// engine owns the wake-up: on_ready(payload) will fire later. Either
+  /// way the caller must eventually call complete(node) after the task's
+  /// body (and, per this runtime's transitive-join rule, its children)
+  /// finish.
+  Submit submit(void* payload, const Dep* deps, std::size_t ndeps);
+
+  /// Marks the task finished, waking any successor whose release counter
+  /// hits zero (on_ready runs inline on this thread — the wake-up path
+  /// that feeds ready tasks straight to the caller's scheduler queue).
+  void complete(TaskNode* node);
+
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] int hash_bits() const { return hash_bits_; }
+
+ private:
+  struct Bucket;
+
+  void add_edge(TaskNode* pred, TaskNode* succ);
+  static void ref(TaskNode* n);
+  static void unref(TaskNode* n);
+
+  ReadyFn on_ready_;
+  int hash_bits_;
+  std::size_t nbuckets_;
+  Bucket* buckets_;
+  /// Serializes submit() (see the cycle note there); complete() is free.
+  common::SpinLock submit_lock_;
+
+  std::atomic<std::uint64_t> deps_registered_{0};
+  std::atomic<std::uint64_t> deps_deferred_{0};
+  std::atomic<std::uint64_t> dag_ready_hits_{0};
+};
+
+}  // namespace glto::taskdep
