@@ -180,25 +180,30 @@ void emit_factor_solve(double* A, double* y, int n, int t, const Sched& s) {
     s.fence();
   }
 
-  for (int i = 0; i < T; ++i) {
-    for (int j = 0; j < i; ++j) {
+  // Solve sweeps are emitted right-looking: once segment j is
+  // substituted, every update it feeds touches a *distinct* y segment, so
+  // the tasks between two fences never write the same memory — the
+  // taskwait schedule is race-free with per-step barriers, and the
+  // taskdep schedule gets the identical DAG through the same clauses.
+  for (int j = 0; j < T; ++j) {
+    s.run([A, y, n, t, j] { trsv_fwd(A, y, n, t, j); },
+          {o::dep_in(th(j, j)), o::dep_inout(yh(j))});
+    s.fence();
+    for (int i = j + 1; i < T; ++i) {
       s.run([A, y, n, t, i, j] { gemv_sub(A, y, n, t, i, j); },
             {o::dep_in(th(i, j)), o::dep_in(yh(j)), o::dep_inout(yh(i))});
     }
     s.fence();
-    s.run([A, y, n, t, i] { trsv_fwd(A, y, n, t, i); },
-          {o::dep_in(th(i, i)), o::dep_inout(yh(i))});
-    s.fence();
   }
 
-  for (int i = T - 1; i >= 0; --i) {
-    for (int j = i + 1; j < T; ++j) {
+  for (int j = T - 1; j >= 0; --j) {
+    s.run([A, y, n, t, j] { trsv_bwd(A, y, n, t, j); },
+          {o::dep_in(th(j, j)), o::dep_inout(yh(j))});
+    s.fence();
+    for (int i = j - 1; i >= 0; --i) {
       s.run([A, y, n, t, i, j] { gemv_t_sub(A, y, n, t, i, j); },
             {o::dep_in(th(j, i)), o::dep_in(yh(j)), o::dep_inout(yh(i))});
     }
-    s.fence();
-    s.run([A, y, n, t, i] { trsv_bwd(A, y, n, t, i); },
-          {o::dep_in(th(i, i)), o::dep_inout(yh(i))});
     s.fence();
   }
 }
@@ -387,6 +392,10 @@ Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
       su[ii] = p.ub[ii] - x[ii];
     }
   }
+
+  // The loop records iters before taking each step; a run that exhausts
+  // max_iters without converging still took max_iters full steps.
+  if (!res.converged) res.iters = max_iters;
 
   res.x = std::move(x);
   res.zl = std::move(zl);

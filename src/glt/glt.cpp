@@ -269,6 +269,8 @@ bool supports_stealing() { return g_state->cfg.impl == Impl::mth; }
 
 bool supports_native_tasklets() { return g_state->cfg.impl == Impl::abt; }
 
+bool local_spawn() { return g_state->cfg.impl != Impl::qth; }
+
 Stats stats() {
   Stats s;
   if (g_state != nullptr) {

@@ -83,6 +83,14 @@ void yield();
 /// Backend capability: stackless tasklets without ULT emulation (abt).
 [[nodiscard]] bool supports_native_tasklets();
 
+/// Backend capability: does ult_create place the unit on the *caller's*
+/// GLT_thread (abt: own deque, stealable; mth: work-first, runs inline)?
+/// False for qth, which round-robin-scatters plain forks across
+/// shepherds with no stealing to undo a bad placement — callers that
+/// need run-local placement (dependency wake-ups) must use
+/// ult_create_to(thread_num()) there.
+[[nodiscard]] bool local_spawn();
+
 /// Per-work-unit user pointer ("ULT-local storage"): follows the current
 /// ULT across yields, blocking joins, and (mth) steals. GLTO hangs its
 /// per-task OpenMP execution context here.

@@ -371,7 +371,9 @@ class GltoRuntime final : public omp::Runtime {
           dep_engine_.submit(arg, flags.depend.data(), flags.depend.size());
       if (!sub.ready) return;  // wake-up owns arg from submit() onward
       arg->node = sub.node;
-      spawn_dep_task(arg, /*producer_rr=*/c->in_single || c->in_master);
+      spawn_dep_task(arg, c->in_single || c->in_master
+                              ? SpawnVia::producer_rr
+                              : SpawnVia::backend);
       return;
     }
     glt::Ult* u;
@@ -492,25 +494,38 @@ class GltoRuntime final : public omp::Runtime {
     delete a;
   }
 
+  /// How a ready depend task's ULT is placed.
+  enum class SpawnVia {
+    backend,      ///< submit-time ready, worker context: backend default
+    producer_rr,  ///< submit-time ready, single/master producer: fan out
+    run_local,    ///< dependency wake-up: the completing thread's queue
+  };
+
   /// Creates the ULT of a depend task whose release counter reached zero
   /// (at submit, or via the engine's wake-up on the thread that completed
   /// the final predecessor — landing the task on that thread's own
   /// work-stealing deque). Pushes the handle before decrementing
   /// `deferred` so join_children cannot miss it.
-  void spawn_dep_task(TaskArg* arg, bool producer_rr) {
+  void spawn_dep_task(TaskArg* arg, SpawnVia via) {
     // Everything needed after the create goes to locals FIRST: work-first
     // backends (mth) run the task to completion inside ult_create, and
     // task_thunk deletes arg when it finishes.
     TaskCtx* parent = arg->parent;
     Team* team = arg->team;
     glt::Ult* u;
-    if (producer_rr) {
+    if (via == SpawnVia::producer_rr) {
       const auto target =
           team->task_rr.fetch_add(1, std::memory_order_relaxed);
       u = glt::ult_create_to(
           static_cast<int>(target %
                            static_cast<std::uint64_t>(glt::num_threads())),
           task_thunk, arg);
+    } else if (via == SpawnVia::run_local && !glt::local_spawn()) {
+      // qth round-robin-scatters plain forks and has no stealing to pull
+      // the task back, so every wake-up would bounce the dep chain to an
+      // idle shepherd and cost an OS reschedule per link under
+      // oversubscription. Pin it to the completing thread instead.
+      u = glt::ult_create_to(glt::thread_num(), task_thunk, arg);
     } else {
       u = glt::ult_create(task_thunk, arg);
     }
@@ -532,7 +547,7 @@ class GltoRuntime final : public omp::Runtime {
     }
     auto* arg = static_cast<TaskArg*>(pl);
     arg->node = node;
-    arg->rt->spawn_dep_task(arg, /*producer_rr=*/false);
+    arg->rt->spawn_dep_task(arg, SpawnVia::run_local);
   }
 
   static void join_children(TaskCtx* c) {

@@ -16,7 +16,7 @@
 #include <functional>
 #include <vector>
 
-#include "taskdep/taskdep.hpp"
+#include "taskdep/dep.hpp"
 
 namespace glto::omp {
 

@@ -713,8 +713,18 @@ class IntelRuntime final : public PompRuntime {
     if (deques.empty()) {  // team of 1 without storage: run inline
       return false;
     }
-    const auto slot =
-        c != nullptr ? static_cast<std::size_t>(c->tid) % deques.size() : 0;
+    // Out-of-team enqueues (dependency wake-ups fired by a thread outside
+    // the task's team) scatter across the deques instead of piling onto
+    // slot 0, so cross-team DAG release storms don't serialize.
+    // Seed from the thread_local's own address so concurrent threads
+    // draw different slot sequences instead of colliding in lockstep.
+    thread_local common::FastRng slot_rng{
+        0xD00DADu ^ static_cast<std::uint64_t>(
+                        reinterpret_cast<std::uintptr_t>(&slot_rng))};
+    const auto slot = c != nullptr
+                          ? static_cast<std::size_t>(c->tid) % deques.size()
+                          : static_cast<std::size_t>(slot_rng.next()) %
+                                deques.size();
     return deques[slot]->try_push(rec);
   }
 

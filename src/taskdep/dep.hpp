@@ -1,0 +1,37 @@
+// taskdep/dep.hpp — the dependency-clause vocabulary, and nothing else.
+//
+// This is the only taskdep header the public omp facade needs: TaskFlags
+// carries a list of Dep clauses and task_stats() returns Stats. Keeping
+// these PODs free of engine internals (hash table, spinlocks, atomics)
+// means omp.hpp consumers never couple to the engine; the engine itself
+// lives in taskdep.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace glto::taskdep {
+
+enum class DepKind : std::uint8_t {
+  in,     ///< read  — concurrent with other `in`s on the same range
+  out,    ///< write — ordered after every earlier access
+  inout,  ///< read-write — same ordering as out
+};
+
+/// One `depend` clause: an address range and an access kind. size 0 is
+/// treated as 1 byte (the "list item as handle" idiom: depend(inout: A)
+/// passes &A with its natural size, tile codes pass the tile base).
+struct Dep {
+  const void* addr = nullptr;
+  std::size_t size = 0;
+  DepKind kind = DepKind::inout;
+};
+
+struct Stats {
+  std::uint64_t deps_registered = 0;  ///< depend clauses processed
+  std::uint64_t deps_deferred = 0;    ///< tasks parked on unmet predecessors
+  std::uint64_t dag_ready_hits = 0;   ///< wake-ups: deferred task released
+                                      ///< by its final completing predecessor
+};
+
+}  // namespace glto::taskdep

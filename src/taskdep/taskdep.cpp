@@ -57,6 +57,11 @@ bool node_retired(const TaskNode* n) {
 struct DepEngine::Bucket {
   common::SpinLock lock;
   std::vector<Cell> cells;
+  /// Occupancy that triggers the next retired-cell sweep. Re-armed after
+  /// every sweep to twice the cells that *survived*, so a bucket full of
+  /// live (un-retired) cells — a wide in-flight DAG — doubles before it
+  /// pays another scan instead of re-scanning on every registration.
+  std::size_t gc_at = kGcWatermark;
 };
 
 DepEngine::DepEngine(ReadyFn on_ready, int hash_bits) : on_ready_(on_ready) {
@@ -131,10 +136,11 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
       // long-running solver), then find or create this chunk's cell. A
       // fully retired cell carries no ordering information: every edge
       // its occupants could induce is already satisfied. The sweep is
-      // amortized — it only runs once the bucket has grown past a
-      // watermark, so registration stays O(bucket occupancy) instead of
-      // paying the reader-scan on every clause.
-      if (b.cells.size() >= kGcWatermark) {
+      // amortized — it only runs once the bucket has grown past the
+      // re-armed watermark (see Bucket::gc_at), so registration stays
+      // O(bucket occupancy) instead of paying the reader-scan on every
+      // clause even when nothing is retirable.
+      if (b.cells.size() >= b.gc_at) {
         for (std::size_t i = 0; i < b.cells.size();) {
           Cell& c = b.cells[i];
           const bool readers_done =
@@ -142,12 +148,13 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
           if (node_retired(c.last_writer) && readers_done) {
             if (c.last_writer != nullptr) unref(c.last_writer);
             for (TaskNode* r : c.readers) unref(r);
-            c = std::move(b.cells.back());
+            if (&c != &b.cells.back()) c = std::move(b.cells.back());
             b.cells.pop_back();
             continue;  // re-examine the element swapped into slot i
           }
           ++i;
         }
+        b.gc_at = std::max(kGcWatermark, b.cells.size() * 2);
       }
       Cell* cell = nullptr;
       for (Cell& c : b.cells) {

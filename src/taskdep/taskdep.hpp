@@ -31,9 +31,18 @@
 //
 // Scope deviation (documented): the engine matches dependences across
 // *all* tasks registered with it, not only siblings of one parent task as
-// OpenMP scopes them. Extra edges are conservative — they can only order
-// more, never less — and the producer-pattern workloads this runtime
-// targets (one context creating the whole DAG) are unaffected.
+// OpenMP scopes them. Between unrelated tasks the extra edges only order
+// more, never less. Between an ancestor and its own descendants they are
+// a real hazard: a depend task whose child names one of the parent's own
+// dep objects gets an edge from the parent's still-incomplete node, so an
+// explicit taskwait in the parent for that child deadlocks (the child is
+// withheld until the parent completes; OpenMP scopes deps to siblings and
+// this code terminates). Dependences do release at task completion
+// *before* the transitive child join, so plain parent-exit is safe — the
+// hang needs the explicit in-body wait. The producer-pattern workloads
+// this runtime targets (one context creating the whole DAG, depend tasks
+// not spawning dep-annotated children) never hit it; per-parent dep
+// domains are the full fix (see ROADMAP open items).
 #pragma once
 
 #include <atomic>
@@ -41,32 +50,11 @@
 #include <cstddef>
 
 #include "common/spin.hpp"
+#include "taskdep/dep.hpp"
 
 namespace glto::taskdep {
 
-enum class DepKind : std::uint8_t {
-  in,     ///< read  — concurrent with other `in`s on the same range
-  out,    ///< write — ordered after every earlier access
-  inout,  ///< read-write — same ordering as out
-};
-
-/// One `depend` clause: an address range and an access kind. size 0 is
-/// treated as 1 byte (the "list item as handle" idiom: depend(inout: A)
-/// passes &A with its natural size, tile codes pass the tile base).
-struct Dep {
-  const void* addr = nullptr;
-  std::size_t size = 0;
-  DepKind kind = DepKind::inout;
-};
-
 struct TaskNode;
-
-struct Stats {
-  std::uint64_t deps_registered = 0;  ///< depend clauses processed
-  std::uint64_t deps_deferred = 0;    ///< tasks parked on unmet predecessors
-  std::uint64_t dag_ready_hits = 0;   ///< wake-ups: deferred task released
-                                      ///< by its final completing predecessor
-};
 
 /// The dependency engine. One instance per runtime; all methods are
 /// thread-safe (per-bucket spinlocks + per-node spinlocks).
