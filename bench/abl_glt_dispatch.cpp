@@ -12,9 +12,13 @@
 //             worst case for any scheduler since there is no parallelism
 //             to win back.
 //
-// Also prints the GLT-layer equivalent of burst (glt::ult_create through
-// the runtime-dispatch facade) so the §III-B "GLT overhead is negligible"
-// claim stays measured. Emits JSONL per row via $GLTO_BENCH_JSON.
+// A third section sweeps the same burst through the GLT facade for ALL
+// three backends × {locked, ws} — the dispatch-parity ablation: every
+// backend now runs the shared sched::WsCore, and $ABT_DISPATCH /
+// $QTH_DISPATCH / $MTH_DISPATCH select each backend's seed-style locked
+// baseline. (glt-over-abt doubles as the §III-B "GLT overhead is
+// negligible" check against the native abt rows.) Emits JSONL per row via
+// $GLTO_BENCH_JSON.
 #include <atomic>
 #include <cstdio>
 #include <vector>
@@ -106,35 +110,55 @@ int main() {
     }
   }
 
-  // GLT facade on the same backend: measures the runtime-dispatch layer
-  // the paper claims is negligible (§III-B).
-  b::print_header("glt-over-abt: burst spawn+join (s)");
-  c::env_set("ABT_DISPATCH", "ws");
-  for (int nth : b::thread_sweep()) {
-    gg::Config cfg;
-    cfg.impl = gg::Impl::abt;
-    cfg.num_threads = nth;
-    cfg.bind_threads = false;
-    gg::init(cfg);
-    auto run_glt = [&] {
-      std::vector<gg::Ult*> us;
-      us.reserve(static_cast<std::size_t>(burst));
-      for (int i = 0; i < burst; ++i) {
-        us.push_back(gg::ult_create(work, nullptr));
+  // Dispatch-parity sweep: the same burst through the GLT facade over all
+  // three backends × {locked, ws}. One run covers what used to need three
+  // GLT_IMPL invocations; glt-over-abt additionally measures the
+  // runtime-dispatch layer the paper claims is negligible (§III-B).
+  struct Backend {
+    gg::Impl impl;
+    const char* dispatch_env;  // the backend's *_DISPATCH variable
+  };
+  const Backend backends[] = {{gg::Impl::abt, "ABT_DISPATCH"},
+                              {gg::Impl::qth, "QTH_DISPATCH"},
+                              {gg::Impl::mth, "MTH_DISPATCH"}};
+
+  b::print_header("glt backend dispatch parity: burst spawn+join (s)");
+  for (const Backend& be : backends) {
+    for (const Mode& m : modes) {
+      c::env_set(be.dispatch_env, m.env);
+      for (int nth : b::thread_sweep()) {
+        gg::Config cfg;
+        cfg.impl = be.impl;
+        cfg.num_threads = nth;
+        cfg.bind_threads = false;
+        gg::init(cfg);
+        auto run_glt = [&] {
+          std::vector<gg::Ult*> us;
+          us.reserve(static_cast<std::size_t>(burst));
+          for (int i = 0; i < burst; ++i) {
+            us.push_back(gg::ult_create(work, nullptr));
+          }
+          for (auto* u : us) gg::ult_join(u);
+        };
+        run_glt();  // warm freelists / stack caches
+        auto st = b::time_runs(reps, run_glt);
+        char row[64];
+        std::snprintf(row, sizeof row, "%s-%s", gg::impl_name(be.impl),
+                      m.env);
+        b::print_row(row, nth, st);
+        const auto gs = gg::stats();
+        std::printf(
+            "    steals=%llu failed_steals=%llu stack_cache_hits=%llu "
+            "parks=%llu\n",
+            static_cast<unsigned long long>(gs.steals),
+            static_cast<unsigned long long>(gs.failed_steals),
+            static_cast<unsigned long long>(gs.stack_cache_hits),
+            static_cast<unsigned long long>(gs.parks));
+        gg::finalize();
       }
-      for (auto* u : us) gg::ult_join(u);
-    };
-    run_glt();
-    auto st = b::time_runs(reps, run_glt);
-    b::print_row("glt-abt", nth, st);
-    const auto gs = gg::stats();
-    std::printf("    steals=%llu failed_steals=%llu stack_cache_hits=%llu\n",
-                static_cast<unsigned long long>(gs.steals),
-                static_cast<unsigned long long>(gs.failed_steals),
-                static_cast<unsigned long long>(gs.stack_cache_hits));
-    gg::finalize();
+      c::env_set(be.dispatch_env, nullptr);
+    }
   }
-  c::env_set("ABT_DISPATCH", nullptr);
 
   std::printf("\nsink=%llu\n",
               static_cast<unsigned long long>(g_sink.load()));

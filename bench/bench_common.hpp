@@ -11,8 +11,12 @@
 //   GLTO_BENCH_SCALE    workload scale multiplier (default 1)
 //   GLTO_BENCH_JSON     path to append machine-readable records to: one
 //                       {"bench","runtime","threads","mean_s","stddev_s",
-//                        "runs"} JSON object per line (JSONL), emitted for
-//                       every table row so CI can diff runs
+//                        "min_s","median_s","runs"} JSON object per line
+//                       (JSONL), emitted for every table row so CI can
+//                       diff runs. min/median are the robust estimators
+//                       for dispatch microbenches on noisy shared hosts
+//                       (idle-park wakeup misses put multi-ms outliers in
+//                       the mean at low thread counts).
 #pragma once
 
 #include <cstdio>
@@ -103,9 +107,11 @@ inline void json_append(const char* bench, const char* runtime, int threads,
   if (f == nullptr) return;
   std::fprintf(f,
                "{\"bench\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, "
-               "\"mean_s\": %.9f, \"stddev_s\": %.9f, \"runs\": %zu}\n",
+               "\"mean_s\": %.9f, \"stddev_s\": %.9f, \"min_s\": %.9f, "
+               "\"median_s\": %.9f, \"runs\": %zu}\n",
                json_escape(bench).c_str(), json_escape(runtime).c_str(),
-               threads, st.mean(), st.stddev(), st.count());
+               threads, st.mean(), st.stddev(), st.min(), st.median(),
+               st.count());
   std::fclose(f);
 }
 
@@ -113,25 +119,27 @@ inline void print_header(const char* title, const char* extra_col = nullptr) {
   current_bench() = title;
   std::printf("\n== %s ==\n", title);
   if (extra_col != nullptr) {
-    std::printf("%-10s %8s %8s  %-12s %-12s %-10s\n", "runtime", "threads",
-                extra_col, "mean_s", "stddev_s", "runs");
+    std::printf("%-10s %8s %8s  %-12s %-12s %-12s %-10s\n", "runtime",
+                "threads", extra_col, "mean_s", "stddev_s", "median_s",
+                "runs");
   } else {
-    std::printf("%-10s %8s  %-12s %-12s %-10s\n", "runtime", "threads",
-                "mean_s", "stddev_s", "runs");
+    std::printf("%-10s %8s  %-12s %-12s %-12s %-10s\n", "runtime", "threads",
+                "mean_s", "stddev_s", "median_s", "runs");
   }
 }
 
 inline void print_row(const char* runtime, int threads,
                       const common::RunStats& st) {
-  std::printf("%-10s %8d  %-12.6f %-12.6f %zu\n", runtime, threads, st.mean(),
-              st.stddev(), st.count());
+  std::printf("%-10s %8d  %-12.6f %-12.6f %-12.6f %zu\n", runtime, threads,
+              st.mean(), st.stddev(), st.median(), st.count());
   json_append(current_bench().c_str(), runtime, threads, st);
 }
 
 inline void print_row_extra(const char* runtime, int threads, long long extra,
                             const common::RunStats& st) {
-  std::printf("%-10s %8d %8lld  %-12.6f %-12.6f %zu\n", runtime, threads,
-              extra, st.mean(), st.stddev(), st.count());
+  std::printf("%-10s %8d %8lld  %-12.6f %-12.6f %-12.6f %zu\n", runtime,
+              threads, extra, st.mean(), st.stddev(), st.median(),
+              st.count());
   json_append(current_bench().c_str(), runtime, threads, st);
 }
 

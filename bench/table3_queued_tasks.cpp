@@ -6,10 +6,11 @@
 // Paper: fine granularities at mid thread counts leave the queue partially
 // drained (80–97% queued); coarse granularity and high thread counts stay
 // at 100%.
-// A second section runs the same CG cells over GLTO(ABT) and reports the
-// scheduler-behaviour counters this PR added (steals / failed steals /
-// stack-cache hits), so Table III-style runs show *how* the scheduler
-// moved the tasks, not just how many were deferred.
+// A second section runs the same CG cells over GLTO(ABT), GLTO(QTH), and
+// GLTO(MTH) and reports the scheduler-behaviour counters (steals / failed
+// steals / stack-cache hits) — every backend dispatches through the shared
+// work-stealing core since the parity PR, so one run compares *how* each
+// runtime moved the tasks, not just how many were deferred.
 #include <cstdio>
 
 #include "apps/cg.hpp"
@@ -53,26 +54,30 @@ int main() {
   std::printf("\npaper shape: dips below 100%% at fine granularities / few "
               "threads (cut-off triggered); 100%% elsewhere\n");
 
-  std::printf("\nGLTO(ABT) scheduler behaviour on the same cells "
-              "(steals / failed steals / stack-cache hits)\n");
-  std::printf("%8s | %-22s %-22s %-22s %-22s\n", "threads", "gran=10",
-              "gran=20", "gran=50", "gran=100");
-  for (int nth : b::thread_sweep()) {
-    std::printf("%8d |", nth);
-    for (int gran : {10, 20, 50, 100}) {
-      b::select_runtime(o::RuntimeKind::glto_abt, nth, /*active_wait=*/false);
-      auto& rt = o::runtime();
-      rt.reset_counters();
-      std::vector<double> x;
-      (void)g::solve_tasks(a, rhs, x, iters, 0.0, gran);
-      const auto gs = glto::glt::stats();
-      std::printf(" %7llu/%-7llu%6llu",
-                  static_cast<unsigned long long>(gs.steals),
-                  static_cast<unsigned long long>(gs.failed_steals),
-                  static_cast<unsigned long long>(gs.stack_cache_hits));
-      o::shutdown();
+  for (auto kind : {o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                    o::RuntimeKind::glto_mth}) {
+    std::printf("\n%s scheduler behaviour on the same cells "
+                "(steals / failed steals / stack-cache hits)\n",
+                o::kind_name(kind));
+    std::printf("%8s | %-22s %-22s %-22s %-22s\n", "threads", "gran=10",
+                "gran=20", "gran=50", "gran=100");
+    for (int nth : b::thread_sweep()) {
+      std::printf("%8d |", nth);
+      for (int gran : {10, 20, 50, 100}) {
+        b::select_runtime(kind, nth, /*active_wait=*/false);
+        auto& rt = o::runtime();
+        rt.reset_counters();
+        std::vector<double> x;
+        (void)g::solve_tasks(a, rhs, x, iters, 0.0, gran);
+        const auto gs = glto::glt::stats();
+        std::printf(" %7llu/%-7llu%6llu",
+                    static_cast<unsigned long long>(gs.steals),
+                    static_cast<unsigned long long>(gs.failed_steals),
+                    static_cast<unsigned long long>(gs.stack_cache_hits));
+        o::shutdown();
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
   return 0;
 }

@@ -18,11 +18,12 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
 cmake --build build-asan -j \
-  --target test_taskdep test_bqp test_abt test_sched
+  --target test_taskdep test_bqp test_abt test_sched test_ws_core
 
 ./build-asan/test_taskdep --gtest_filter='*gnu*:*intel*'
 ./build-asan/test_bqp --gtest_filter='*gnu*:*intel*:Bqp.*'
 ./build-asan/test_sched
+./build-asan/test_ws_core
 ./build-asan/test_abt
 
 echo "asan_ctest: all sanitized suites passed"

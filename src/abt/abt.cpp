@@ -1,27 +1,19 @@
 #include "abt/abt.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <cctype>
-#include <cstdio>
 #include <memory>
-#include <optional>
-#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/affinity.hpp"
-#include "common/cacheline.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
-#include "common/parker.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
-#include "sched/chase_lev.hpp"
-#include "sched/locked_queue.hpp"
-#include "sched/overflow_queue.hpp"
+#include "sched/freelist.hpp"
+#include "sched/ws_core.hpp"
 
 namespace glto::abt {
 
@@ -59,70 +51,22 @@ struct SwitchMsg {
   WorkUnit* target;  // join target for Dir::Block
 };
 
-/// Ready-unit storage of one xstream. Which members are live depends on
-/// the dispatch mode:
-///  * WorkStealing — `deque` holds unpinned units pushed by the owner
-///    (LIFO bottom for the owner, FIFO top for thieves); `fair` holds
-///    pinned, remote-submitted, and yielded units and is popped only by
-///    the owner (FIFO, so yield is a fairness point and pinned units
-///    cannot be stolen).
-///  * Locked — everything goes through `locked` (the seed's baseline
-///    behaviour, kept runtime-selectable for the §IV-F-style ablation).
-struct Pool {
-  sched::ChaseLevDeque<WorkUnit*> deque{256};
-  sched::OverflowQueue<WorkUnit*> fair{1024};
-  sched::LockedQueue<WorkUnit*> locked;
-};
-
-/// Per-xstream counters, owner-written; one cache line each so the hot
-/// loop never bounces a shared stats line.
-struct alignas(common::kCacheLine) XsCounters {
-  std::atomic<std::uint64_t> steals{0};
-  std::atomic<std::uint64_t> failed_steals{0};
-  std::atomic<std::uint64_t> parks{0};
-  std::atomic<std::uint64_t> parked_us{0};
-};
-
-/// Adaptive idle parking: the first park is short (work often arrives
-/// within the old fixed 200 µs), each consecutive fruitless park doubles
-/// up to a 2 ms cap — a steal probe runs between parks (the scheduler
-/// loop re-polls pools and victims before every extension), so a long
-/// park can never strand runnable work for more than one wake latency.
-constexpr std::int64_t kParkMinUs = 200;
-constexpr std::int64_t kParkMaxUs = 2000;
-
-/// Per-xstream WorkUnit free list (owner-only; lock-free by ownership).
-/// Oversized lists spill half to a shared slab, which also feeds workers
-/// whose join/create balance runs negative and foreign threads.
-struct alignas(common::kCacheLine) FreeList {
-  std::vector<WorkUnit*> units;
-};
-
-constexpr std::size_t kFreeListSpillHigh = 512;
-constexpr std::size_t kFreeListRefillBatch = 32;
-
 struct Runtime {
   Config cfg;
   bool ws = true;  ///< resolved dispatch mode (true → work stealing)
   int n = 0;
-  std::vector<std::unique_ptr<Pool>> pools;
-  /// The primary (main) ULT is only ever scheduled by xstream 0, even
-  /// under a shared pool or stealing — otherwise a worker could resume
-  /// main, and finalize would tear the primary scheduler down from a
-  /// foreign thread while the real main thread still runs on its stack
-  /// (the same pin-the-main issue the paper hits with MassiveThreads,
-  /// §IV-G).
-  Pool main_pool;
+  /// The shared scheduling core (PR-1 fast path, hoisted to src/sched so
+  /// qth/mth dispatch through the identical engine). The primary (main)
+  /// ULT travels through the core's main slot: only xstream 0 ever
+  /// schedules it, even under a shared pool or stealing — otherwise a
+  /// worker could resume main, and finalize would tear the primary
+  /// scheduler down from a foreign thread while the real main thread
+  /// still runs on its stack (the same pin-the-main issue the paper hits
+  /// with MassiveThreads, §IV-G).
+  std::unique_ptr<sched::WsCore<WorkUnit*>> core;
+  std::unique_ptr<sched::Freelist<WorkUnit>> free;
   std::vector<std::thread> workers;
-  std::atomic<bool> shutdown{false};
-  common::Parker parker;
   fctx::Stack primary_sched_stack;
-
-  std::vector<XsCounters> xs_counters;
-  std::vector<FreeList> free_lists;
-  common::SpinLock slab_lock;
-  std::vector<WorkUnit*> slab;  ///< shared WorkUnit overflow free list
-  std::atomic<std::size_t> slab_size{0};  ///< lock-free emptiness probe
 
   std::atomic<std::uint64_t> ults_created{0};
   std::atomic<std::uint64_t> tasklets_created{0};
@@ -152,10 +96,6 @@ __attribute__((noinline)) Tls& tls_now() {
   return tls;
 }
 
-Pool& pool_for(int rank) {
-  return *g_rt->pools[g_rt->cfg.shared_pool ? 0 : static_cast<size_t>(rank)];
-}
-
 // ------------------------------------------------------------------ alloc
 
 void reset_unit(WorkUnit* wu, Kind kind, int rank, bool pinned, WorkFn fn,
@@ -172,33 +112,7 @@ void reset_unit(WorkUnit* wu, Kind kind, int rank, bool pinned, WorkFn fn,
   wu->user_local = nullptr;
 }
 
-/// Pops a recycled record (per-xstream free list, batch-refilled from the
-/// shared slab) or heap-allocates a fresh one. Lock-free on xstreams
-/// unless the local list is empty.
-WorkUnit* alloc_unit() {
-  if (tls.rank >= 0) {
-    FreeList& fl = g_rt->free_lists[static_cast<std::size_t>(tls.rank)];
-    if (fl.units.empty() &&
-        g_rt->slab_size.load(std::memory_order_relaxed) > 0) {
-      common::SpinGuard g(g_rt->slab_lock);
-      const std::size_t take =
-          std::min(kFreeListRefillBatch, g_rt->slab.size());
-      fl.units.insert(fl.units.end(), g_rt->slab.end() - take,
-                      g_rt->slab.end());
-      g_rt->slab.resize(g_rt->slab.size() - take);
-      g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
-    }
-    if (!fl.units.empty()) {
-      WorkUnit* wu = fl.units.back();
-      fl.units.pop_back();
-      return wu;
-    }
-  }
-  return new WorkUnit();
-}
-
-/// Recycles a joined record. Owner-only fast path; foreign threads (and
-/// oversized local lists) go through the shared slab. Resolves TLS via
+/// Recycles a joined record through the shared freelist. Resolves TLS via
 /// tls_now(): the caller (join) reaches here after a suspension point,
 /// so the ULT may have resumed on a different OS thread and a cached
 /// %fs-relative address would index another xstream's owner-only list.
@@ -207,52 +121,20 @@ void recycle_unit(WorkUnit* wu) {
     delete wu;
     return;
   }
-  Tls& now = tls_now();
-  if (now.rank >= 0) {
-    FreeList& fl = g_rt->free_lists[static_cast<std::size_t>(now.rank)];
-    fl.units.push_back(wu);
-    if (fl.units.size() > kFreeListSpillHigh) {
-      const std::size_t keep = kFreeListSpillHigh / 2;
-      common::SpinGuard g(g_rt->slab_lock);
-      g_rt->slab.insert(g_rt->slab.end(), fl.units.begin() + keep,
-                        fl.units.end());
-      g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
-      fl.units.resize(keep);
-    }
-    return;
-  }
-  common::SpinGuard g(g_rt->slab_lock);
-  g_rt->slab.push_back(wu);
-  g_rt->slab_size.store(g_rt->slab.size(), std::memory_order_relaxed);
+  g_rt->free->recycle(tls_now().rank, wu);
 }
 
 // --------------------------------------------------------------- dispatch
 
-/// Re-readies a suspended unit. @p fifo routes through the fair FIFO side
-/// queue (yields — the unit must not immediately preempt deque work);
-/// otherwise a woken unpinned unit lands LIFO on the waker's own deque
-/// (cache-warm, stealable).
+/// Re-readies a suspended unit through the core's routing policy; the
+/// primary ULT goes to the main slot.
 void push_ready(WorkUnit* wu, bool fifo) {
   wu->state.store(State::Ready, std::memory_order_relaxed);
   if (wu->kind == Kind::Main) {
-    // Only xstream 0 schedules the primary.
-    if (g_rt->ws) {
-      g_rt->main_pool.fair.push(wu);
-    } else {
-      g_rt->main_pool.locked.push(wu);
-    }
-  } else if (!g_rt->ws) {
-    pool_for(wu->home_rank).locked.push(wu);
-  } else if (g_rt->cfg.shared_pool) {
-    g_rt->pools[0]->fair.push(wu);
-  } else if (wu->pinned) {
-    pool_for(wu->home_rank).fair.push(wu);
-  } else if (tls.rank >= 0 && !fifo) {
-    pool_for(tls.rank).deque.push(wu);
+    g_rt->core->push_main(wu);
   } else {
-    pool_for(tls.rank >= 0 ? tls.rank : wu->home_rank).fair.push(wu);
+    g_rt->core->ready(tls.rank, wu->home_rank, wu->pinned, fifo, wu);
   }
-  g_rt->parker.unpark_all();
 }
 
 void complete(WorkUnit* wu) {
@@ -325,115 +207,18 @@ void run_unit(WorkUnit* wu) {
   process_directive(t);
 }
 
-/// Owner-side pop from this xstream's pool. Work-first: the deque bottom
-/// (newest, cache-warm) goes first; the fair queue is checked first every
-/// 64th pop so pinned/yielded units cannot starve behind a spawn storm.
-WorkUnit* pop_local(Pool& pool, unsigned* tick) {
-  if (!g_rt->ws) {
-    if (auto wu = pool.locked.pop()) return *wu;
-    return nullptr;
-  }
-  const bool fair_first = (++*tick & 63u) == 0;
-  if (fair_first) {
-    if (auto wu = pool.fair.pop()) return *wu;
-  }
-  if (!g_rt->cfg.shared_pool) {
-    WorkUnit* wu = nullptr;
-    if (pool.deque.pop(&wu)) return wu;
-  }
-  if (!fair_first) {
-    if (auto wu = pool.fair.pop()) return *wu;
-  }
-  return nullptr;
-}
-
-WorkUnit* pop_main_slot() {
-  if (g_rt->ws) {
-    if (auto wu = g_rt->main_pool.fair.pop()) return *wu;
-    return nullptr;
-  }
-  if (auto wu = g_rt->main_pool.locked.pop()) return *wu;
-  return nullptr;
-}
-
-/// One randomized sweep over the other xstreams' deques. Victims are
-/// probed with relaxed loads first (empty_approx) so an idle fleet does
-/// not hammer seq_cst steal operations — and so failed_steals measures
-/// real contention (a victim that *looked* non-empty but yielded
-/// nothing: lost CAS race or drained between probe and steal), not
-/// idle-loop spinning.
-WorkUnit* try_steal(common::FastRng& rng) {
-  const int n = g_rt->n;
-  XsCounters& c = g_rt->xs_counters[static_cast<std::size_t>(tls.rank)];
-  const int start = static_cast<int>(rng.next() % static_cast<unsigned>(n));
-  for (int k = 0; k < n; ++k) {
-    const int victim = start + k < n ? start + k : start + k - n;
-    if (victim == tls.rank) continue;
-    auto& deque = g_rt->pools[static_cast<std::size_t>(victim)]->deque;
-    if (deque.empty_approx()) continue;
-    WorkUnit* wu = nullptr;
-    if (deque.steal(&wu)) {
-      c.steals.fetch_add(1, std::memory_order_relaxed);
-      return wu;
-    }
-    c.failed_steals.fetch_add(1, std::memory_order_relaxed);
-  }
-  return nullptr;
-}
-
-/// Scheduler loop: drains this xstream's pool, steals when idle, parks
-/// briefly when there is nothing to steal. Workers exit on shutdown; the
-/// primary scheduler context never observes shutdown while running
-/// (finalize executes on the primary ULT).
+/// Scheduler loop: the shared core drains this xstream's pool, steals
+/// when idle, and parks briefly when there is nothing to steal. Workers
+/// exit on shutdown; the primary scheduler context never observes
+/// shutdown while running (finalize executes on the primary ULT).
 void sched_loop() {
-  Pool& pool = pool_for(tls.rank);
   const bool primary = tls.rank == 0;
-  const bool stealing =
-      g_rt->ws && !g_rt->cfg.shared_pool && g_rt->n > 1;
-  common::FastRng rng(common::mix64(
-      0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tls.rank)));
-  XsCounters& counters =
-      g_rt->xs_counters[static_cast<std::size_t>(tls.rank)];
-  unsigned tick = 0;
-  int idle = 0;
-  std::int64_t park_us = kParkMinUs;
-  // The primary alternates fairly between its regular pool and the main
-  // slot: strict priority either way starves someone (main-first starves
-  // yielded-to pool work; pool-first starves main when a co-located ULT
-  // busy-waits for main at a barrier).
-  bool main_turn = false;
+  sched::AcquireState st(0x9e3779b97f4a7c15ULL +
+                         static_cast<std::uint64_t>(tls.rank));
   for (;;) {
-    WorkUnit* wu = nullptr;
-    if (primary && main_turn) {
-      wu = pop_main_slot();
-      if (wu == nullptr) wu = pop_local(pool, &tick);
-    } else {
-      wu = pop_local(pool, &tick);
-      if (wu == nullptr && primary) wu = pop_main_slot();
-    }
-    main_turn = !main_turn;
-    if (wu == nullptr && stealing) wu = try_steal(rng);
-    if (wu != nullptr) {
-      idle = 0;
-      park_us = kParkMinUs;
-      run_unit(wu);
-      continue;
-    }
-    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
-    if (++idle < 64) {
-      common::cpu_relax();
-    } else if (idle < 96) {
-      std::this_thread::yield();
-    } else {
-      // Adaptive park: exponential growth, reset on any work. The loop
-      // just ran a full pop + steal probe and found nothing, so extending
-      // the park is safe — and a push always unparks us early.
-      counters.parks.fetch_add(1, std::memory_order_relaxed);
-      counters.parked_us.fetch_add(static_cast<std::uint64_t>(park_us),
-                                   std::memory_order_relaxed);
-      g_rt->parker.park_for_us(park_us);
-      park_us = std::min<std::int64_t>(park_us * 2, kParkMaxUs);
-    }
+    WorkUnit* wu = g_rt->core->acquire(tls.rank, st, primary);
+    if (wu == nullptr) break;
+    run_unit(wu);
   }
 }
 
@@ -495,7 +280,8 @@ WorkUnit* create_unit(Kind kind, int rank, bool pinned, WorkFn fn,
                       void* arg) {
   GLTO_CHECK_MSG(g_rt != nullptr, "abt::init has not been called");
   GLTO_CHECK(rank >= 0 && rank < g_rt->n);
-  WorkUnit* wu = alloc_unit();
+  WorkUnit* wu = g_rt->free->try_alloc(tls.rank);
+  if (wu == nullptr) wu = new WorkUnit();
   reset_unit(wu, kind, rank, pinned, fn, arg);
   if (kind == Kind::Ult) {
     wu->stack = fctx::StackPool::global().acquire();
@@ -504,43 +290,11 @@ WorkUnit* create_unit(Kind kind, int rank, bool pinned, WorkFn fn,
   } else {
     g_rt->tasklets_created.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!g_rt->ws) {
-    pool_for(rank).locked.push(wu);
-  } else if (g_rt->cfg.shared_pool) {
-    g_rt->pools[0]->fair.push(wu);
-  } else if (pinned || tls.rank != rank) {
-    // Exact placement, or a submission from a foreign thread: the target
-    // xstream's owner-only FIFO (never stolen).
-    pool_for(rank).fair.push(wu);
-  } else {
-    // Hot path — unpinned spawn on the calling xstream: lock-free owner
-    // push; idle xstreams steal from the top.
-    pool_for(rank).deque.push(wu);
-  }
-  g_rt->parker.unpark_all();
+  g_rt->core->submit(tls.rank, rank, pinned, wu);
   return wu;
 }
 
 int default_rank() { return tls.rank >= 0 ? tls.rank : 0; }
-
-Dispatch resolve_dispatch(Dispatch d) {
-  if (d != Dispatch::Auto) return d;
-  if (auto s = common::env_str("ABT_DISPATCH")) {
-    std::string v = *s;
-    for (char& c : v) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    if (v == "locked") return Dispatch::Locked;
-    if (v != "ws" && v != "workstealing") {
-      // A silent fallback would mislabel an ablation run; say what won.
-      std::fprintf(stderr,
-                   "abt: unrecognized ABT_DISPATCH='%s' "
-                   "(expected 'ws' or 'locked'); using work stealing\n",
-                   s->c_str());
-    }
-  }
-  return Dispatch::WorkStealing;
-}
 
 }  // namespace
 
@@ -548,18 +302,17 @@ void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "abt::init called twice");
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
-  if (g_rt->cfg.num_xstreams <= 0) {
-    g_rt->cfg.num_xstreams = static_cast<int>(common::env_i64(
-        "ABT_NUM_XSTREAMS", common::hardware_concurrency()));
-  }
+  g_rt->cfg.num_xstreams =
+      common::env_worker_count("ABT_NUM_XSTREAMS", cfg_in.num_xstreams);
   g_rt->n = g_rt->cfg.num_xstreams;
-  g_rt->ws = resolve_dispatch(g_rt->cfg.dispatch) == Dispatch::WorkStealing;
-  const int pool_count = g_rt->cfg.shared_pool ? 1 : g_rt->n;
-  for (int i = 0; i < pool_count; ++i) {
-    g_rt->pools.push_back(std::make_unique<Pool>());
-  }
-  g_rt->xs_counters = std::vector<XsCounters>(static_cast<std::size_t>(g_rt->n));
-  g_rt->free_lists = std::vector<FreeList>(static_cast<std::size_t>(g_rt->n));
+  g_rt->ws = sched::resolve_dispatch(g_rt->cfg.dispatch, "ABT_DISPATCH") ==
+             Dispatch::WorkStealing;
+  sched::WsCoreConfig core_cfg;
+  core_cfg.num_workers = g_rt->n;
+  core_cfg.shared_pool = g_rt->cfg.shared_pool;
+  core_cfg.work_stealing = g_rt->ws;
+  g_rt->core = std::make_unique<sched::WsCore<WorkUnit*>>(core_cfg);
+  g_rt->free = std::make_unique<sched::Freelist<WorkUnit>>(g_rt->n);
   g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   // The caller becomes the primary ULT on xstream 0.
   tls.rank = 0;
@@ -581,19 +334,12 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "abt::finalize without init");
   GLTO_CHECK_MSG(tls.main_unit != nullptr && tls.current == tls.main_unit,
                  "finalize must run on the primary ULT");
-  g_rt->shutdown.store(true, std::memory_order_release);
-  g_rt->parker.unpark_all();
-  // Parked workers wake within their current timeout (2 ms cap) even if
-  // the unpark raced, so plain joins terminate promptly.
+  g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
-  for (FreeList& fl : g_rt->free_lists) {
-    for (WorkUnit* wu : fl.units) delete wu;
-  }
-  for (WorkUnit* wu : g_rt->slab) delete wu;
   delete tls.main_unit;
   tls = Tls{};
-  delete g_rt;
+  delete g_rt;  // Freelist dtor frees all recycled WorkUnits
   g_rt = nullptr;
 }
 
@@ -682,12 +428,11 @@ Stats stats() {
     s.ults_created = g_rt->ults_created.load(std::memory_order_relaxed);
     s.tasklets_created = g_rt->tasklets_created.load(std::memory_order_relaxed);
     s.yields = g_rt->yields.load(std::memory_order_relaxed);
-    for (const XsCounters& c : g_rt->xs_counters) {
-      s.steals += c.steals.load(std::memory_order_relaxed);
-      s.failed_steals += c.failed_steals.load(std::memory_order_relaxed);
-      s.parks += c.parks.load(std::memory_order_relaxed);
-      s.parked_us += c.parked_us.load(std::memory_order_relaxed);
-    }
+    const auto cs = g_rt->core->stats();
+    s.steals = cs.steals;
+    s.failed_steals = cs.failed_steals;
+    s.parks = cs.parks;
+    s.parked_us = cs.parked_us;
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

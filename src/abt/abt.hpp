@@ -30,16 +30,15 @@
 
 #include <cstdint>
 
+#include "sched/dispatch.hpp"
+
 namespace glto::abt {
 
 using WorkFn = void (*)(void*);
 
-/// Scheduling-core selection (the PR's ablation axis).
-enum class Dispatch : std::uint8_t {
-  Auto,          ///< $ABT_DISPATCH ("ws" | "locked"), default WorkStealing
-  WorkStealing,  ///< Chase–Lev deques + randomized stealing (lock-free)
-  Locked,        ///< mutex-guarded FIFO pools, no stealing (seed baseline)
-};
+/// Scheduling-core selection (the ablation axis, resolved from
+/// $ABT_DISPATCH when Auto). Shared with qth/mth via sched::Dispatch.
+using Dispatch = sched::Dispatch;
 
 struct Config {
   int num_xstreams = 0;      ///< 0 → $ABT_NUM_XSTREAMS or hardware threads

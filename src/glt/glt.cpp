@@ -82,6 +82,7 @@ void init(const Config& cfg) {
       qth::Config c;
       c.num_shepherds = cfg.num_threads;
       c.bind_threads = cfg.bind_threads;
+      c.shared_pool = cfg.shared_queues;
       qth::init(c);
       break;
     }
@@ -90,6 +91,7 @@ void init(const Config& cfg) {
       c.num_workers = cfg.num_threads;
       c.bind_threads = cfg.bind_threads;
       c.pin_main = cfg.pin_main;
+      c.shared_pool = cfg.shared_queues;
       mth::init(c);
       break;
     }
@@ -269,7 +271,15 @@ bool supports_stealing() { return g_state->cfg.impl == Impl::mth; }
 
 bool supports_native_tasklets() { return g_state->cfg.impl == Impl::abt; }
 
-bool local_spawn() { return g_state->cfg.impl != Impl::qth; }
+bool local_spawn() {
+  // qth gained run-local plain forks with the shared work-stealing core;
+  // only its locked ablation baseline still round-robin-scatters them
+  // with no stealing to undo a bad placement.
+  if (g_state->cfg.impl == Impl::qth) {
+    return qth::dispatch_mode() == sched::Dispatch::WorkStealing;
+  }
+  return true;
+}
 
 Stats stats() {
   Stats s;
@@ -277,6 +287,9 @@ Stats stats() {
     s.ults_created = g_state->ults_created.load(std::memory_order_relaxed);
     s.tasklets_created =
         g_state->tasklets_created.load(std::memory_order_relaxed);
+    // All three backends dispatch through the shared sched::WsCore, so
+    // the scheduler-behaviour counters are uniformly meaningful — table3
+    // and abl_glt_dispatch sweep GLT_IMPL and compare them directly.
     switch (g_state->cfg.impl) {
       case Impl::abt: {
         const auto a = abt::stats();
@@ -287,11 +300,24 @@ Stats stats() {
         s.parked_us = a.parked_us;
         break;
       }
-      case Impl::mth:
-        s.steals = mth::stats().steals;
+      case Impl::mth: {
+        const auto m = mth::stats();
+        s.steals = m.steals;
+        s.failed_steals = m.failed_steals;
+        s.stack_cache_hits = m.stack_cache_hits;
+        s.parks = m.parks;
+        s.parked_us = m.parked_us;
         break;
-      case Impl::qth:
+      }
+      case Impl::qth: {
+        const auto q = qth::stats();
+        s.steals = q.steals;
+        s.failed_steals = q.failed_steals;
+        s.stack_cache_hits = q.stack_cache_hits;
+        s.parks = q.parks;
+        s.parked_us = q.parked_us;
         break;
+      }
     }
   }
   return s;

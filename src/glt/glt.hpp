@@ -11,9 +11,11 @@
 //
 // A program written against this header runs unmodified over Argobots-,
 // Qthreads-, or MassiveThreads-style scheduling; the backend is chosen at
-// init() (programmatically or via $GLT_IMPL). $GLT_SHARED_QUEUES collapses
-// the per-thread pools into one shared queue (abt backend), neutralizing
-// load imbalance per §IV-F.
+// init() (programmatically or via $GLT_IMPL). All three backends dispatch
+// through the shared work-stealing core (src/sched), so $GLT_SHARED_QUEUES
+// (collapse the per-thread pools into one shared queue, neutralizing load
+// imbalance per §IV-F) and the per-backend $*_DISPATCH=locked ablation
+// baseline are honoured uniformly.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +32,7 @@ enum class Impl : std::uint8_t { abt, qth, mth };
 struct Config {
   Impl impl = Impl::abt;
   int num_threads = 0;        ///< GLT_threads; 0 → $GLT_NUM_THREADS or cores
-  bool shared_queues = false; ///< $GLT_SHARED_QUEUES (honoured by abt)
+  bool shared_queues = false; ///< $GLT_SHARED_QUEUES (all backends)
   bool bind_threads = true;
   bool pin_main = false;      ///< mth: never migrate main (GLTO §IV-G fix)
 };
@@ -76,19 +78,19 @@ void yield();
 /// Backend capability: is *placement advisory* — i.e. can a unit created
 /// with ult_create_to still migrate? True only for mth — this is what
 /// decides the paper's Table I omp_task_untied / omp_taskyield outcomes.
-/// (abt steals unpinned ult_create units internally for load balance, but
-/// honours ult_create_to exactly, so it reports false.)
+/// (abt and qth steal unpinned ult_create units internally for load
+/// balance, but honour ult_create_to exactly, so they report false.)
 [[nodiscard]] bool supports_stealing();
 
 /// Backend capability: stackless tasklets without ULT emulation (abt).
 [[nodiscard]] bool supports_native_tasklets();
 
 /// Backend capability: does ult_create place the unit on the *caller's*
-/// GLT_thread (abt: own deque, stealable; mth: work-first, runs inline)?
-/// False for qth, which round-robin-scatters plain forks across
-/// shepherds with no stealing to undo a bad placement — callers that
-/// need run-local placement (dependency wake-ups) must use
-/// ult_create_to(thread_num()) there.
+/// GLT_thread (abt/qth: own deque, stealable; mth: work-first, runs
+/// inline)? False only for qth's locked ablation baseline, which
+/// round-robin-scatters plain forks across shepherds with no stealing to
+/// undo a bad placement — callers that need run-local placement
+/// (dependency wake-ups) must use ult_create_to(thread_num()) there.
 [[nodiscard]] bool local_spawn();
 
 /// Per-work-unit user pointer ("ULT-local storage"): follows the current
@@ -100,14 +102,14 @@ void set_self_local(void* p);
 struct Stats {
   std::uint64_t ults_created = 0;     ///< Table II "Created GLT_ults"
   std::uint64_t tasklets_created = 0;
-  // Scheduler behaviour (Table III-style runs). abt and mth report
-  // steals; failed_steals and stack_cache_hits are abt-only (qth/mth
-  // report 0).
+  // Scheduler behaviour (Table III-style runs). Every backend runs the
+  // shared sched::WsCore, so all counters are populated for abt, qth,
+  // and mth alike (zero under *_DISPATCH=locked / one thread).
   std::uint64_t steals = 0;
   std::uint64_t failed_steals = 0;
   std::uint64_t stack_cache_hits = 0;
-  std::uint64_t parks = 0;      ///< abt idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;  ///< abt total requested park time, µs
+  std::uint64_t parks = 0;      ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;  ///< total requested park time, µs
 };
 
 [[nodiscard]] Stats stats();

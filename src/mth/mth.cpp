@@ -9,13 +9,12 @@
 #include "common/cacheline.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
-#include "common/parker.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
-#include "sched/chase_lev.hpp"
-#include "sched/locked_queue.hpp"
+#include "sched/freelist.hpp"
+#include "sched/ws_core.hpp"
 
 namespace glto::mth {
 
@@ -55,24 +54,30 @@ struct SwitchMsg {
   Strand* target;  // Spawn: the child; Block: the join target
 };
 
-struct Worker {
-  sched::ChaseLevDeque<Strand*> deque;
+/// Per-worker base-context bookkeeping. The ready queues, freelists, and
+/// steal machinery live in the shared sched::WsCore — this is only the
+/// fcontext state a work-first scheduler needs on top of it.
+struct alignas(common::kCacheLine) Worker {
   fctx::fcontext_t base_ctx = nullptr;  // valid while a strand chain runs
   fctx::Stack base_stack;               // only worker 0 (lazily created)
 };
 
 struct Runtime {
   Config cfg;
+  bool ws = true;  ///< resolved dispatch mode (true → work stealing)
   int n = 0;
-  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<Worker> workers;
+  /// Shared scheduling core. Everything mth schedules is stealable (its
+  /// defining trait), so strands go through push_owner; the core's main
+  /// slot replaces the old `pinned0` queue for pin_main / Migrate — only
+  /// worker 0 pops it.
+  std::unique_ptr<sched::WsCore<Strand*>> core;
+  std::unique_ptr<sched::Freelist<Strand>> free;
   std::vector<std::thread> threads;
-  sched::LockedQueue<Strand*> pinned0;  // strands that must run on worker 0
-  std::atomic<bool> shutdown{false};
-  common::Parker parker;
 
   std::atomic<std::uint64_t> strands_created{0};
-  std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> main_migrations{0};
+  std::uint64_t stack_hits_at_init = 0;
 };
 
 Runtime* g_rt = nullptr;
@@ -80,6 +85,7 @@ Runtime* g_rt = nullptr;
 struct Tls {
   int rank = -1;
   Strand* current = nullptr;
+  unsigned tick = 0;  // fair-queue cadence for core pops outside base_loop
   common::FastRng rng{0};
 };
 
@@ -100,14 +106,13 @@ bool use_pinned_path(const Strand* s) {
 
 /// Makes @p s runnable again. Owner-pushes onto the *current* worker's
 /// deque (callers are always on a worker thread), except pinned-main which
-/// goes through worker 0's shared slot.
+/// goes through the core's worker-0-only main slot.
 void make_ready(Strand* s) {
   if (use_pinned_path(s)) {
-    g_rt->pinned0.push(s);
+    g_rt->core->push_main(s);
   } else {
-    g_rt->workers[static_cast<std::size_t>(tls.rank)]->deque.push(s);
+    g_rt->core->push_owner(tls.rank, s);
   }
-  g_rt->parker.unpark_all();
 }
 
 void complete(Strand* s) {
@@ -129,8 +134,7 @@ void process_directive(const SwitchMsg& msg, fctx::fcontext_t from) {
       break;
     case Dir::Migrate:
       msg.self->ctx = from;
-      g_rt->pinned0.push(msg.self);
-      g_rt->parker.unpark_all();
+      g_rt->core->push_main(msg.self);
       break;
     case Dir::Block: {
       msg.self->ctx = from;
@@ -165,7 +169,7 @@ __attribute__((noinline)) void strand_landing(Strand* self,
   SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
   if (in.dir == Dir::Resume) {
     // Resumed by a worker base loop: remember how to fall back to it.
-    g_rt->workers[static_cast<std::size_t>(now.rank)]->base_ctx = t.from;
+    g_rt->workers[static_cast<std::size_t>(now.rank)].base_ctx = t.from;
   } else {
     process_directive(in, t.from);
   }
@@ -176,28 +180,12 @@ __attribute__((noinline)) void strand_landing(Strand* self,
   }
 }
 
-/// Picks the next runnable strand: own deque (work-first order), then a
-/// few random steal attempts. Returns nullptr when idle.
+/// Picks the next runnable strand without idling: worker 0's main slot
+/// first, then the shared core's own pool (work-first order), then one
+/// randomized steal sweep. Returns nullptr when idle.
 Strand* find_next() {
-  Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
-  Strand* s = nullptr;
-  if (tls.rank == 0) {
-    if (auto p = g_rt->pinned0.pop()) return *p;
-  }
-  if (w.deque.pop(&s)) return s;
-  const int n = g_rt->n;
-  if (n > 1) {
-    for (int attempt = 0; attempt < 2 * n; ++attempt) {
-      const int victim =
-          static_cast<int>(tls.rng.next() % static_cast<std::uint64_t>(n));
-      if (victim == tls.rank) continue;
-      if (g_rt->workers[static_cast<std::size_t>(victim)]->deque.steal(&s)) {
-        g_rt->steals.fetch_add(1, std::memory_order_relaxed);
-        return s;
-      }
-    }
-  }
-  return nullptr;
+  return g_rt->core->try_next(tls.rank, &tls.tick, tls.rng,
+                              /*with_main=*/tls.rank == 0);
 }
 
 void base_loop();
@@ -217,7 +205,7 @@ void base_entry(fctx::transfer_t t) {
 __attribute__((noinline)) void leave(SwitchMsg msg) {
   Strand* self = msg.self;
   for (;;) {
-    Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
+    Worker& w = g_rt->workers[static_cast<std::size_t>(tls.rank)];
     fctx::fcontext_t to;
     if (Strand* next = find_next()) {
       to = next->ctx;
@@ -241,25 +229,16 @@ __attribute__((noinline)) void leave(SwitchMsg msg) {
 }
 
 void base_loop() {
-  int idle = 0;
+  sched::AcquireState st(0x8BADF00DULL +
+                         static_cast<std::uint64_t>(tls.rank));
   for (;;) {
-    if (Strand* s = find_next()) {
-      idle = 0;
-      SwitchMsg resume{Dir::Resume, nullptr, nullptr};
-      fctx::transfer_t t = fctx::jump_fcontext(s->ctx, &resume);
-      // A strand fell back to us with a directive.
-      SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
-      process_directive(in, t.from);
-      continue;
-    }
-    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
-    if (++idle < 64) {
-      common::cpu_relax();
-    } else if (idle < 96) {
-      std::this_thread::yield();
-    } else {
-      g_rt->parker.park_for_us(200);
-    }
+    Strand* s = g_rt->core->acquire(tls.rank, st, /*with_main=*/tls.rank == 0);
+    if (s == nullptr) break;
+    SwitchMsg resume{Dir::Resume, nullptr, nullptr};
+    fctx::transfer_t t = fctx::jump_fcontext(s->ctx, &resume);
+    // A strand fell back to us with a directive.
+    SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
+    process_directive(in, t.from);
   }
 }
 
@@ -280,12 +259,7 @@ void strand_entry(fctx::transfer_t t) {
   parent->ctx = t.from;
   // Publish the parent's continuation: this is the work-first handoff that
   // makes it stealable by idle workers (MassiveThreads semantics).
-  if (use_pinned_path(parent)) {
-    g_rt->pinned0.push(parent);
-  } else {
-    g_rt->workers[static_cast<std::size_t>(tls.rank)]->deque.push(parent);
-  }
-  g_rt->parker.unpark_all();
+  make_ready(parent);
 
   tls.current = self;
   self->last_rank.store(tls.rank, std::memory_order_relaxed);
@@ -302,15 +276,22 @@ void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "mth::init called twice");
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
-  if (g_rt->cfg.num_workers <= 0) {
-    g_rt->cfg.num_workers = static_cast<int>(
-        common::env_i64("MTH_NUM_WORKERS", common::hardware_concurrency()));
-  }
+  g_rt->cfg.num_workers =
+      common::env_worker_count("MTH_NUM_WORKERS", cfg_in.num_workers);
   g_rt->n = g_rt->cfg.num_workers;
-  for (int i = 0; i < g_rt->n; ++i) {
-    g_rt->workers.push_back(std::make_unique<Worker>());
-  }
+  g_rt->ws = sched::resolve_dispatch(g_rt->cfg.dispatch, "MTH_DISPATCH") ==
+             Dispatch::WorkStealing;
+  g_rt->workers = std::vector<Worker>(static_cast<std::size_t>(g_rt->n));
+  sched::WsCoreConfig core_cfg;
+  core_cfg.num_workers = g_rt->n;
+  core_cfg.shared_pool = g_rt->cfg.shared_pool;
+  core_cfg.work_stealing = g_rt->ws;
+  core_cfg.deque_capacity = 64;  // continuation chains stay shallow
+  g_rt->core = std::make_unique<sched::WsCore<Strand*>>(core_cfg);
+  g_rt->free = std::make_unique<sched::Freelist<Strand>>(g_rt->n);
+  g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   tls.rank = 0;
+  tls.tick = 0;
   tls.rng = common::FastRng(0x8BADF00D);
   auto* main_strand = new Strand();
   main_strand->kind = Kind::Main;
@@ -326,20 +307,19 @@ void finalize() {
   Strand* self = tls.current;
   GLTO_CHECK_MSG(self != nullptr && self->kind == Kind::Main,
                  "finalize must run on the main strand");
-  // Main may have been stolen; ride the pinned slot back to worker 0's OS
+  // Main may have been stolen; ride the main slot back to worker 0's OS
   // thread (the original main thread) so joining the workers is safe.
   if (tls.rank != 0) {
     SwitchMsg m{Dir::Migrate, self, nullptr};
     leave(m);
     GLTO_CHECK(tls.rank == 0);
   }
-  g_rt->shutdown.store(true, std::memory_order_release);
-  g_rt->parker.unpark_all();
+  g_rt->core->request_shutdown();
   for (auto& th : g_rt->threads) th.join();
-  fctx::StackPool::global().release(g_rt->workers[0]->base_stack);
+  fctx::StackPool::global().release(g_rt->workers[0].base_stack);
   delete self;
   tls = Tls{};
-  delete g_rt;
+  delete g_rt;  // Freelist dtor frees all recycled Strand records
   g_rt = nullptr;
 }
 
@@ -351,13 +331,24 @@ int worker_rank() { return tls.rank; }
 
 bool in_strand() { return tls.current != nullptr; }
 
+Dispatch dispatch_mode() {
+  if (g_rt == nullptr) return Dispatch::Auto;
+  return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
+}
+
 Strand* create(WorkFn fn, void* arg) {
   GLTO_CHECK_MSG(g_rt != nullptr, "mth::init has not been called");
   Strand* parent = tls.current;
   GLTO_CHECK_MSG(parent != nullptr, "mth::create outside a strand");
-  auto* child = new Strand();
+  Strand* child = g_rt->free->try_alloc(tls.rank);
+  if (child == nullptr) child = new Strand();
   child->fn = fn;
   child->arg = arg;
+  child->done.store(false, std::memory_order_relaxed);
+  child->joiner.store(nullptr, std::memory_order_relaxed);
+  child->last_rank.store(-1, std::memory_order_relaxed);
+  child->kind = Kind::Ult;
+  child->user_local = nullptr;
   child->stack = fctx::StackPool::global().acquire();
   child->ctx =
       fctx::make_fcontext(child->stack.top, child->stack.size, strand_entry);
@@ -385,24 +376,20 @@ void join(Strand* s) {
       leave(m);
     }
   }
-  delete s;
+  // Recycle through the shared freelist; the joiner may have migrated
+  // across OS threads above, so the rank is re-resolved (tls_now).
+  if (g_rt == nullptr) {
+    delete s;
+    return;
+  }
+  g_rt->free->recycle(tls_now().rank, s);
 }
 
 void yield() {
   Strand* self = tls.current;
   if (self == nullptr) return;
   // Cheap check: with nothing else runnable, yielding is a no-op.
-  Worker& w = *g_rt->workers[static_cast<std::size_t>(tls.rank)];
-  bool maybe_work = !w.deque.empty_approx();
-  if (!maybe_work && tls.rank == 0) maybe_work = !g_rt->pinned0.empty();
-  if (!maybe_work) {
-    for (int v = 0; v < g_rt->n && !maybe_work; ++v) {
-      maybe_work = v != tls.rank &&
-                   !g_rt->workers[static_cast<std::size_t>(v)]->deque
-                        .empty_approx();
-    }
-  }
-  if (!maybe_work) return;
+  if (!g_rt->core->maybe_work(tls.rank, /*with_main=*/tls.rank == 0)) return;
   SwitchMsg m{Dir::Yield, self, nullptr};
   leave(m);
 }
@@ -435,9 +422,15 @@ Stats stats() {
   Stats s;
   if (g_rt != nullptr) {
     s.strands_created = g_rt->strands_created.load(std::memory_order_relaxed);
-    s.steals = g_rt->steals.load(std::memory_order_relaxed);
     s.main_migrations =
         g_rt->main_migrations.load(std::memory_order_relaxed);
+    const auto cs = g_rt->core->stats();
+    s.steals = cs.steals;
+    s.failed_steals = cs.failed_steals;
+    s.parks = cs.parks;
+    s.parked_us = cs.parked_us;
+    s.stack_cache_hits =
+        fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }
   return s;
 }

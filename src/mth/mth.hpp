@@ -21,14 +21,23 @@
 
 #include <cstdint>
 
+#include "sched/dispatch.hpp"
+
 namespace glto::mth {
 
 using WorkFn = void (*)(void*);
+
+/// Scheduling-core selection (resolved from $MTH_DISPATCH when Auto).
+/// Locked mode replaces the Chase–Lev deques with mutex-guarded FIFOs and
+/// disables stealing — the ablation baseline; spawns stay work-first.
+using Dispatch = sched::Dispatch;
 
 struct Config {
   int num_workers = 0;   ///< 0 → $MTH_NUM_WORKERS or hardware threads
   bool bind_threads = true;
   bool pin_main = false; ///< GLTO §IV-G: main never migrates off worker 0
+  bool shared_pool = false;  ///< one pool for all workers (§IV-F ablation)
+  Dispatch dispatch = Dispatch::Auto;
 };
 
 /// Opaque handle to a user-level thread (strand).
@@ -72,7 +81,15 @@ struct Stats {
   std::uint64_t strands_created = 0;
   std::uint64_t steals = 0;           ///< successful continuation steals
   std::uint64_t main_migrations = 0;  ///< times main resumed off worker 0
+  // Shared-core scheduler behaviour (parity with abt/qth).
+  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
+  std::uint64_t stack_cache_hits = 0; ///< strand stacks served lock-free
+  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;        ///< total requested park time, µs
 };
+
+/// Dispatch mode the runtime is using (resolves Dispatch::Auto).
+[[nodiscard]] Dispatch dispatch_mode();
 
 [[nodiscard]] Stats stats();
 

@@ -11,11 +11,11 @@
 #include "common/cacheline.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
-#include "common/parker.hpp"
 #include "common/spin.hpp"
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
-#include "sched/locked_queue.hpp"
+#include "sched/freelist.hpp"
+#include "sched/ws_core.hpp"
 
 namespace glto::qth {
 
@@ -33,6 +33,7 @@ struct Thread {
   fctx::Stack stack;
   int home_shep = 0;
   Kind kind = Kind::Qthread;
+  bool pinned = false;  ///< fork_to: exact placement, never stolen
   void* user_local = nullptr;  ///< see qth::self_local()
 };
 
@@ -68,24 +69,25 @@ struct SwitchMsg {
   aligned_t val;
 };
 
-struct Shepherd {
-  sched::LockedQueue<Thread*> q;
-};
-
 struct Runtime {
   Config cfg;
+  bool ws = true;  ///< resolved dispatch mode (true → work stealing)
   int n = 0;
-  std::vector<std::unique_ptr<Shepherd>> sheps;
+  /// Shared scheduling core (same engine as abt/mth). The main context
+  /// travels through the core's main slot: only shepherd 0 — whose
+  /// scheduler runs on the main OS thread — ever resumes it, so finalize
+  /// always executes where init did.
+  std::unique_ptr<sched::WsCore<Thread*>> core;
+  std::unique_ptr<sched::Freelist<Thread>> free;
   std::vector<std::thread> workers;
-  std::atomic<bool> shutdown{false};
   std::atomic<std::uint64_t> rr_next{0};
-  common::Parker parker;
   fctx::Stack primary_sched_stack;
   FebBucket feb[kFebBuckets];
 
   std::atomic<std::uint64_t> threads_created{0};
   std::atomic<std::uint64_t> feb_ops{0};
   std::atomic<std::uint64_t> feb_blocks{0};
+  std::uint64_t stack_hits_at_init = 0;
 };
 
 Runtime* g_rt = nullptr;
@@ -99,15 +101,37 @@ struct Tls {
 
 thread_local Tls tls;
 
+/// TLS accessor that defeats address caching across context switches: with
+/// work stealing a blocked qthread can be woken onto another shepherd's
+/// deque and resume on a different OS thread, so any code that touches
+/// `tls` after a suspension point must recompute the thread-local address
+/// (see abt::tls_now for the full rationale).
+__attribute__((noinline)) Tls& tls_now() {
+  asm volatile("");
+  return tls;
+}
+
 FebBucket& bucket_for(const aligned_t* addr) {
   const auto p = reinterpret_cast<std::uintptr_t>(addr);
   // Mix the address so neighbouring words spread across buckets.
   return g_rt->feb[(p >> 3) * 0x9e3779b97f4a7c15ULL >> 58 & (kFebBuckets - 1)];
 }
 
-void push_ready(Thread* th) {
-  g_rt->sheps[static_cast<std::size_t>(th->home_shep)]->q.push(th);
-  g_rt->parker.unpark_all();
+/// Makes @p th runnable. The main context goes to the core's main slot;
+/// a woken unpinned qthread lands on the waker's own deque (cache-warm,
+/// stealable), pinned ones return to their home shepherd's fair queue.
+/// @p fifo routes through the fair queue instead (yields — a yielding
+/// qthread must not immediately preempt deque work). The caller's rank is
+/// resolved via tls_now(): wake paths (writeF from qthread_entry) can run
+/// after the calling qthread migrated OS threads, and an inlined copy
+/// could otherwise reuse a pre-switch TLS address — a stale rank here
+/// would owner-push onto another shepherd's single-producer deque.
+void push_ready(Thread* th, bool fifo) {
+  if (th->kind == Kind::Main) {
+    g_rt->core->push_main(th);
+  } else {
+    g_rt->core->ready(tls_now().rank, th->home_shep, th->pinned, fifo, th);
+  }
 }
 
 /// Satisfies as many waiters as the word's state allows, FIFO-fair.
@@ -185,7 +209,7 @@ bool feb_try(FebOp op, aligned_t* addr, aligned_t* dst, aligned_t val) {
         break;
     }
   }
-  for (Thread* th : wake) push_ready(th);
+  for (Thread* th : wake) push_ready(th, /*fifo=*/false);
   return done;
 }
 
@@ -230,7 +254,7 @@ bool feb_register_or_complete(Thread* th, FebOp op, aligned_t* addr,
       g_rt->feb_blocks.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  for (Thread* t : wake) push_ready(t);
+  for (Thread* t : wake) push_ready(t, /*fifo=*/false);
   return completed;
 }
 
@@ -248,7 +272,7 @@ void set_feb_state(aligned_t* addr, bool full) {
       b.words.erase(reinterpret_cast<std::uintptr_t>(addr));
     }
   }
-  for (Thread* t : wake) push_ready(t);
+  for (Thread* t : wake) push_ready(t, /*fifo=*/false);
 }
 
 void process_directive(fctx::transfer_t t) {
@@ -256,18 +280,22 @@ void process_directive(fctx::transfer_t t) {
   msg.self->ctx = t.from;
   switch (msg.dir) {
     case Dir::Yield:
-      push_ready(msg.self);
+      push_ready(msg.self, /*fifo=*/true);
       break;
     case Dir::BlockFeb:
       if (feb_register_or_complete(msg.self, msg.op, msg.addr, msg.dst,
                                    msg.val)) {
-        push_ready(msg.self);
+        push_ready(msg.self, /*fifo=*/false);
       }
       break;
     case Dir::Done: {
       Thread* th = msg.self;
       fctx::StackPool::global().release(th->stack);
-      delete th;  // qthreads are auto-freed; joins go through the ret FEB
+      th->stack = fctx::Stack{};
+      // Qthreads are auto-freed (joins go through the ret FEB); the record
+      // is recycled through the shared freelist instead of the seed's
+      // delete — schedulers never migrate, so tls.rank is stable here.
+      g_rt->free->recycle(tls.rank, th);
       break;
     }
     case Dir::Resume:
@@ -283,23 +311,17 @@ void run_thread(Thread* th) {
   process_directive(t);
 }
 
+/// Scheduler loop over the shared core: drains this shepherd's pool,
+/// steals when idle, parks when there is nothing to steal. Shepherd 0
+/// additionally serves the main slot.
 void sched_loop() {
-  Shepherd& shep = *g_rt->sheps[static_cast<std::size_t>(tls.rank)];
-  int idle = 0;
+  const bool primary = tls.rank == 0;
+  sched::AcquireState st(0x517cc1b727220a95ULL +
+                         static_cast<std::uint64_t>(tls.rank));
   for (;;) {
-    if (auto th = shep.q.pop()) {
-      idle = 0;
-      run_thread(*th);
-      continue;
-    }
-    if (g_rt->shutdown.load(std::memory_order_acquire)) break;
-    if (++idle < 64) {
-      common::cpu_relax();
-    } else if (idle < 96) {
-      std::this_thread::yield();
-    } else {
-      g_rt->parker.park_for_us(200);
-    }
+    Thread* th = g_rt->core->acquire(tls.rank, st, primary);
+    if (th == nullptr) break;
+    run_thread(th);
   }
 }
 
@@ -315,7 +337,11 @@ void primary_sched_entry(fctx::transfer_t t) {
   GLTO_CHECK_MSG(false, "primary scheduler exited while runtime is alive");
 }
 
-void suspend(SwitchMsg msg) {
+/// Suspends the calling qthread with the given directive; returns when
+/// resumed. noinline: callers loop around this, and an inlined copy would
+/// let the compiler reuse a pre-switch TLS address after the qthread
+/// migrated to another OS thread (a steal while FEB-blocked).
+__attribute__((noinline)) void suspend(SwitchMsg msg) {
   Thread* self = tls.current;
   GLTO_CHECK_MSG(self != nullptr, "qth: blocking op on a foreign thread");
   if (tls.sched_ctx == nullptr) {
@@ -326,8 +352,11 @@ void suspend(SwitchMsg msg) {
   }
   msg.self = self;
   fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
-  tls.sched_ctx = t.from;
-  tls.current = self;
+  // Resumed — possibly on a *different OS thread*: the thread-local block
+  // must be re-resolved, never reused.
+  Tls& now = tls_now();
+  now.sched_ctx = t.from;
+  now.current = self;
 }
 
 void qthread_entry(fctx::transfer_t t) {
@@ -337,8 +366,10 @@ void qthread_entry(fctx::transfer_t t) {
   tls.current = self;
   const aligned_t result = self->fn(self->arg);
   if (self->ret != nullptr) writeF(self->ret, result);
+  // fn (or writeF's FEB op) may have suspended and resumed on a different
+  // OS thread: resolve the CURRENT thread's scheduler context.
   SwitchMsg done{Dir::Done, self, FebOp::ReadFF, nullptr, nullptr, 0};
-  fctx::jump_fcontext(tls.sched_ctx, &done);
+  fctx::jump_fcontext(tls_now().sched_ctx, &done);
   GLTO_CHECK_MSG(false, "resumed a finished qthread");
 }
 
@@ -348,19 +379,24 @@ void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "qth::init called twice");
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
-  if (g_rt->cfg.num_shepherds <= 0) {
-    g_rt->cfg.num_shepherds = static_cast<int>(common::env_i64(
-        "QTH_NUM_SHEPHERDS", common::hardware_concurrency()));
-  }
+  g_rt->cfg.num_shepherds =
+      common::env_worker_count("QTH_NUM_SHEPHERDS", cfg_in.num_shepherds);
   g_rt->n = g_rt->cfg.num_shepherds;
-  for (int i = 0; i < g_rt->n; ++i) {
-    g_rt->sheps.push_back(std::make_unique<Shepherd>());
-  }
+  g_rt->ws = sched::resolve_dispatch(g_rt->cfg.dispatch, "QTH_DISPATCH") ==
+             Dispatch::WorkStealing;
+  sched::WsCoreConfig core_cfg;
+  core_cfg.num_workers = g_rt->n;
+  core_cfg.shared_pool = g_rt->cfg.shared_pool;
+  core_cfg.work_stealing = g_rt->ws;
+  g_rt->core = std::make_unique<sched::WsCore<Thread*>>(core_cfg);
+  g_rt->free = std::make_unique<sched::Freelist<Thread>>(g_rt->n);
+  g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   tls.rank = 0;
   tls.sched_ctx = nullptr;
   auto* main_th = new Thread();
   main_th->kind = Kind::Main;
   main_th->home_shep = 0;
+  main_th->pinned = true;
   tls.main_thread = main_th;
   tls.current = main_th;
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
@@ -373,13 +409,12 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "qth::finalize without init");
   GLTO_CHECK_MSG(tls.current == tls.main_thread,
                  "finalize must run on the main context");
-  g_rt->shutdown.store(true, std::memory_order_release);
-  g_rt->parker.unpark_all();
+  g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
   delete tls.main_thread;
   tls = Tls{};
-  delete g_rt;
+  delete g_rt;  // Freelist dtor frees all recycled Thread records
   g_rt = nullptr;
 }
 
@@ -391,25 +426,51 @@ int shep_rank() { return tls.rank; }
 
 bool in_qthread() { return tls.current != nullptr; }
 
-void fork_to(int shep, QthFn fn, void* arg, aligned_t* ret) {
+Dispatch dispatch_mode() {
+  if (g_rt == nullptr) return Dispatch::Auto;
+  return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
+}
+
+namespace {
+
+void fork_impl(int shep, bool pinned, QthFn fn, void* arg, aligned_t* ret) {
   GLTO_CHECK_MSG(g_rt != nullptr, "qth::init has not been called");
   GLTO_CHECK(shep >= 0 && shep < g_rt->n);
   if (ret != nullptr) feb_empty(ret);
-  auto* th = new Thread();
+  Thread* th = g_rt->free->try_alloc(tls.rank);
+  if (th == nullptr) th = new Thread();
   th->fn = fn;
   th->arg = arg;
   th->ret = ret;
+  th->ctx = nullptr;
   th->home_shep = shep;
+  th->kind = Kind::Qthread;
+  th->pinned = pinned;
+  th->user_local = nullptr;
   th->stack = fctx::StackPool::global().acquire();
   th->ctx = fctx::make_fcontext(th->stack.top, th->stack.size, qthread_entry);
   g_rt->threads_created.fetch_add(1, std::memory_order_relaxed);
-  push_ready(th);
+  g_rt->core->submit(tls.rank, shep, pinned, th);
+}
+
+}  // namespace
+
+void fork_to(int shep, QthFn fn, void* arg, aligned_t* ret) {
+  fork_impl(shep, /*pinned=*/true, fn, arg, ret);
 }
 
 void fork(QthFn fn, void* arg, aligned_t* ret) {
+  // Work stealing: a fork from a shepherd is run-local — it lands on the
+  // caller's deque where idle shepherds steal it (load balance without
+  // the seed's blind scatter). Foreign threads, and every fork in locked
+  // mode, keep the seed's round-robin placement.
+  if (g_rt->ws && tls.rank >= 0) {
+    fork_impl(tls.rank, /*pinned=*/false, fn, arg, ret);
+    return;
+  }
   const auto next = g_rt->rr_next.fetch_add(1, std::memory_order_relaxed);
-  fork_to(static_cast<int>(next % static_cast<std::uint64_t>(g_rt->n)), fn,
-          arg, ret);
+  fork_impl(static_cast<int>(next % static_cast<std::uint64_t>(g_rt->n)),
+            /*pinned=*/false, fn, arg, ret);
 }
 
 void yield() {
@@ -473,8 +534,7 @@ void writeF(aligned_t* dst, aligned_t val) {
       b.words.erase(reinterpret_cast<std::uintptr_t>(dst));
     }
   }
-  for (Thread* t : wake) push_ready(t);
-  g_rt->parker.unpark_all();
+  for (Thread* t : wake) push_ready(t, /*fifo=*/false);
 }
 
 namespace {
@@ -499,6 +559,13 @@ Stats stats() {
     s.threads_created = g_rt->threads_created.load(std::memory_order_relaxed);
     s.feb_ops = g_rt->feb_ops.load(std::memory_order_relaxed);
     s.feb_blocks = g_rt->feb_blocks.load(std::memory_order_relaxed);
+    const auto cs = g_rt->core->stats();
+    s.steals = cs.steals;
+    s.failed_steals = cs.failed_steals;
+    s.parks = cs.parks;
+    s.parked_us = cs.parked_us;
+    s.stack_cache_hits =
+        fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }
   return s;
 }

@@ -1,9 +1,15 @@
 // qth — a Qthreads-like lightweight-threading library.
 //
 // Model (mirrors Qthreads 1.10 as used in the paper):
-//  * A fixed set of *shepherds*: OS threads, each owning a FIFO work queue.
-//    No work stealing between shepherds (the paper's Table I attributes
-//    GLTO(QTH) task-migration failures to exactly this).
+//  * A fixed set of *shepherds*: OS threads, each owning a work queue.
+//    Since the dispatch-parity PR the shepherds run on the shared
+//    work-stealing core (sched::WsCore): a plain fork() from a shepherd
+//    lands on the caller's Chase–Lev deque where idle shepherds steal it,
+//    while fork_to() stays exact (owner-only fair queue, never stolen).
+//    $QTH_DISPATCH=locked restores the seed behaviour — round-robin
+//    scatter over mutex-guarded FIFOs with no stealing, the configuration
+//    whose task-migration failures the paper's Table I reports — as a
+//    measurable ablation baseline.
 //  * The signature synchronization primitive is the **FEB** (full/empty
 //    bit): every aligned 64-bit word can be read/written with blocking
 //    full/empty semantics (readFF, readFE, writeEF, writeF). FEB state
@@ -22,6 +28,8 @@
 
 #include <cstdint>
 
+#include "sched/dispatch.hpp"
+
 namespace glto::qth {
 
 /// The only word size FEB operations apply to (Qthreads' aligned_t).
@@ -29,9 +37,14 @@ using aligned_t = std::uint64_t;
 
 using QthFn = aligned_t (*)(void*);
 
+/// Scheduling-core selection (resolved from $QTH_DISPATCH when Auto).
+using Dispatch = sched::Dispatch;
+
 struct Config {
   int num_shepherds = 0;  ///< 0 → $QTH_NUM_SHEPHERDS or hardware threads
   bool bind_threads = true;
+  bool shared_pool = false;  ///< one pool for all shepherds (§IV-F ablation)
+  Dispatch dispatch = Dispatch::Auto;
 };
 
 void init(const Config& cfg = {});
@@ -46,12 +59,16 @@ void finalize();
 /// which becomes a schedulable context on first blocking op).
 [[nodiscard]] bool in_qthread();
 
-/// Spawns a qthread on the next shepherd (round-robin). If @p ret is
-/// non-null it is emptied now and filled with fn's return value on
-/// completion, so readFF(ret) is the join operation.
+/// Spawns a qthread. Under work stealing a fork from a shepherd lands on
+/// the caller's own deque (run-local, stealable by idle shepherds); forks
+/// from foreign threads — and every fork in locked mode — scatter
+/// round-robin as the seed did. If @p ret is non-null it is emptied now
+/// and filled with fn's return value on completion, so readFF(ret) is the
+/// join operation.
 void fork(QthFn fn, void* arg, aligned_t* ret);
 
-/// Spawns a qthread on shepherd @p shep.
+/// Spawns a qthread on shepherd @p shep (exact placement: the qthread is
+/// pinned and never stolen; advisory under a shared pool).
 void fork_to(int shep, QthFn fn, void* arg, aligned_t* ret);
 
 /// Cooperative yield to the shepherd's scheduler.
@@ -109,7 +126,16 @@ struct Stats {
   std::uint64_t threads_created = 0;
   std::uint64_t feb_ops = 0;        ///< lock-table acquisitions
   std::uint64_t feb_blocks = 0;     ///< times a qthread suspended on a FEB
+  // Shared-core scheduler behaviour (zero in locked mode / single shep).
+  std::uint64_t steals = 0;           ///< qthreads taken from another shep
+  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
+  std::uint64_t stack_cache_hits = 0; ///< stacks served lock-free
+  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;        ///< total requested park time, µs
 };
+
+/// Dispatch mode the runtime is using (resolves Dispatch::Auto).
+[[nodiscard]] Dispatch dispatch_mode();
 
 [[nodiscard]] Stats stats();
 

@@ -1,0 +1,375 @@
+// Shared work-stealing scheduler core for the three LWT backends.
+//
+// PR 1 built this machinery inside the abt backend: per-worker Chase–Lev
+// deques with randomized stealing, an owner-only "fair" FIFO side queue
+// for pinned/remote/yielded units, a locked-FIFO ablation baseline, a
+// single shared MPMC pool for the §IV-F GLT_SHARED_QUEUES study, adaptive
+// idle parking, and steal/park counters. This header hoists all of it into
+// one reusable engine so qth shepherds and mth workers dispatch through
+// the identical fast path — restoring the cross-backend comparison the
+// paper's Figs. 4–9 are about (one GLT API, three runtimes, no penalty).
+//
+// Queue discipline per worker (work-stealing mode):
+//  * `deque`  — unpinned units pushed by the owner; LIFO bottom for the
+//    owner (cache-warm, work-first), FIFO top for thieves.
+//  * `fair`   — pinned, remote-submitted, and yielded units; MPMC push,
+//    popped FIFO by the owner only, checked first every 64th pop so it
+//    cannot starve behind a spawn storm. Pinned units are never stolen —
+//    the exact-placement contract glt::ult_create_to documents.
+//  * `locked` — the seed's mutex-guarded FIFO, used exclusively when the
+//    core runs in Dispatch::Locked (the measurable baseline).
+// A separate *main slot* holds the primary context: only the worker-0
+// loop pops it, so a thief can never resume main and tear the runtime
+// down from a foreign OS thread (the §IV-G pin-the-main hazard).
+//
+// The core stores opaque handles (T is a pointer type); running, context
+// switching, and lifetime stay in the backend. Null (T{}) means "none".
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/parker.hpp"
+#include "common/rng.hpp"
+#include "sched/chase_lev.hpp"
+#include "sched/dispatch.hpp"
+#include "sched/locked_queue.hpp"
+#include "sched/overflow_queue.hpp"
+
+namespace glto::sched {
+
+struct WsCoreConfig {
+  int num_workers = 1;
+  bool shared_pool = false;   ///< one pool for all workers (§IV-F ablation)
+  bool work_stealing = true;  ///< false → Dispatch::Locked baseline
+  std::size_t deque_capacity = 256;
+  std::size_t fair_capacity = 1024;
+};
+
+struct WsCoreStats {
+  std::uint64_t steals = 0;         ///< units taken from another worker
+  std::uint64_t failed_steals = 0;  ///< empty / lost-race steal attempts
+  std::uint64_t parks = 0;          ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;      ///< total requested park time, µs
+};
+
+/// Adaptive idle parking: the first park is short (work often arrives
+/// within the old fixed 200 µs), each consecutive fruitless park doubles
+/// up to a 2 ms cap — a steal probe runs between parks, so a long park can
+/// never strand runnable work for more than one wake latency.
+inline constexpr std::int64_t kParkMinUs = 200;
+inline constexpr std::int64_t kParkMaxUs = 2000;
+
+/// Per-loop acquire state: pop-fairness tick, idle backoff, main-slot
+/// alternation, and the steal-victim RNG. One per scheduler loop, owned by
+/// the loop (stack or TLS) — never shared between OS threads.
+struct AcquireState {
+  explicit AcquireState(std::uint64_t seed) : rng(common::mix64(seed)) {}
+  unsigned tick = 0;
+  int idle = 0;
+  std::int64_t park_us = kParkMinUs;
+  bool main_turn = false;
+  common::FastRng rng;
+};
+
+template <typename T>
+class WsCore {
+  static_assert(std::is_pointer_v<T>, "WsCore stores opaque handles");
+
+ public:
+  explicit WsCore(const WsCoreConfig& cfg)
+      : n_(cfg.num_workers > 0 ? cfg.num_workers : 1),
+        shared_(cfg.shared_pool),
+        ws_(cfg.work_stealing),
+        counters_(static_cast<std::size_t>(n_)) {
+    const int pool_count = shared_ ? 1 : n_;
+    pools_.reserve(static_cast<std::size_t>(pool_count));
+    for (int i = 0; i < pool_count; ++i) {
+      pools_.push_back(std::make_unique<Pool>(cfg.deque_capacity,
+                                              cfg.fair_capacity));
+    }
+  }
+
+  WsCore(const WsCore&) = delete;
+  WsCore& operator=(const WsCore&) = delete;
+
+  [[nodiscard]] int num_workers() const { return n_; }
+  [[nodiscard]] bool work_stealing() const { return ws_; }
+  [[nodiscard]] bool shared_pool() const { return shared_; }
+  [[nodiscard]] bool stealing_active() const {
+    return ws_ && !shared_ && n_ > 1;
+  }
+
+  // ------------------------------------------------------------- routing
+
+  /// Creation-time placement. Hot path — an unpinned spawn by the target's
+  /// own worker — lands LIFO on the caller's lock-free deque where idle
+  /// workers steal from the top. Exact placement (@p pinned) and foreign
+  /// submissions (@p caller_rank != @p target_rank, incl. foreign threads
+  /// with caller_rank < 0) go through the target's owner-only fair FIFO,
+  /// so pinned units can never be stolen.
+  void submit(int caller_rank, int target_rank, bool pinned, T item) {
+    if (!ws_) {
+      pool_for(target_rank).locked.push(item);
+    } else if (shared_) {
+      pools_[0]->fair.push(item);
+    } else if (pinned || caller_rank != target_rank) {
+      pool_for(target_rank).fair.push(item);
+    } else {
+      pool_for(caller_rank).deque.push(item);
+    }
+    parker_.unpark_all();
+  }
+
+  /// Re-readies a suspended unit. @p fifo routes through the fair FIFO
+  /// (yields — the unit must not immediately preempt deque work);
+  /// otherwise a woken unpinned unit lands LIFO on the waker's own deque
+  /// (cache-warm, stealable). Callers resolve @p caller_rank *after* any
+  /// suspension point (it may have changed OS threads).
+  void ready(int caller_rank, int home_rank, bool pinned, bool fifo,
+             T item) {
+    if (!ws_) {
+      pool_for(home_rank).locked.push(item);
+    } else if (shared_) {
+      pools_[0]->fair.push(item);
+    } else if (pinned) {
+      pool_for(home_rank).fair.push(item);
+    } else if (caller_rank >= 0 && !fifo) {
+      pool_for(caller_rank).deque.push(item);
+    } else {
+      pool_for(caller_rank >= 0 ? caller_rank : home_rank).fair.push(item);
+    }
+    parker_.unpark_all();
+  }
+
+  /// Owner push onto @p rank's primary store for the current mode (deque,
+  /// shared pool, or locked FIFO). For callers that manage their own
+  /// placement policy (mth publishes continuations and yields this way —
+  /// everything it schedules is stealable).
+  void push_owner(int rank, T item) {
+    if (!ws_) {
+      pool_for(rank).locked.push(item);
+    } else if (shared_) {
+      pools_[0]->fair.push(item);
+    } else {
+      pool_for(rank).deque.push(item);
+    }
+    parker_.unpark_all();
+  }
+
+  /// Queues the primary (main) context. Only pop_main — called by the
+  /// worker-0 loop — ever returns it, whatever the mode: a worker that
+  /// resumed main would let finalize tear the runtime down from a foreign
+  /// OS thread while the real main thread still runs on its stack.
+  void push_main(T item) {
+    if (ws_) {
+      main_fair_.push(item);
+    } else {
+      main_locked_.push(item);
+    }
+    parker_.unpark_all();
+  }
+
+  // --------------------------------------------------------- consumption
+
+  /// Owner-side pop from @p rank's pool. Work-first: the deque bottom
+  /// (newest, cache-warm) goes first; the fair queue is checked first
+  /// every 64th pop so pinned/yielded units cannot starve behind a spawn
+  /// storm. Returns T{} when empty.
+  T pop_local(int rank, unsigned* tick) {
+    Pool& pool = pool_for(rank);
+    if (!ws_) {
+      if (auto v = pool.locked.pop()) return *v;
+      return T{};
+    }
+    const bool fair_first = (++*tick & 63u) == 0;
+    if (fair_first) {
+      if (auto v = pool.fair.pop()) return *v;
+    }
+    if (!shared_) {
+      T item{};
+      if (pool.deque.pop(&item)) return item;
+    }
+    if (!fair_first) {
+      if (auto v = pool.fair.pop()) return *v;
+    }
+    return T{};
+  }
+
+  /// Pops the main slot. Call only from the worker-0 loop.
+  T pop_main() {
+    if (ws_) {
+      if (auto v = main_fair_.pop()) return *v;
+      return T{};
+    }
+    if (auto v = main_locked_.pop()) return *v;
+    return T{};
+  }
+
+  /// One randomized sweep over the other workers' deques. Victims are
+  /// probed with relaxed loads first (empty_approx) so an idle fleet does
+  /// not hammer seq_cst steal operations — and so failed_steals measures
+  /// real contention (a victim that *looked* non-empty but yielded
+  /// nothing), not idle-loop spinning.
+  T try_steal(int rank, common::FastRng& rng) {
+    if (!stealing_active()) return T{};
+    Counters& c = counters_[static_cast<std::size_t>(rank)];
+    const int start =
+        static_cast<int>(rng.next() % static_cast<unsigned>(n_));
+    for (int k = 0; k < n_; ++k) {
+      const int victim = start + k < n_ ? start + k : start + k - n_;
+      if (victim == rank) continue;
+      auto& deque = pools_[static_cast<std::size_t>(victim)]->deque;
+      if (deque.empty_approx()) continue;
+      T item{};
+      if (deque.steal(&item)) {
+        c.steals.fetch_add(1, std::memory_order_relaxed);
+        return item;
+      }
+      c.failed_steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    return T{};
+  }
+
+  /// Non-blocking acquire: local pop, then (optionally) the main slot,
+  /// then one steal sweep. No idling — for schedulers that fall back to a
+  /// base context when nothing is runnable (mth's leave()).
+  T try_next(int rank, unsigned* tick, common::FastRng& rng,
+             bool with_main) {
+    if (with_main) {
+      if (T item = pop_main()) return item;
+    }
+    if (T item = pop_local(rank, tick)) return item;
+    return try_steal(rank, rng);
+  }
+
+  /// Blocking acquire for worker loops: drains @p rank's pool, steals when
+  /// idle, parks briefly (spin → yield → adaptive park, with counters)
+  /// when there is nothing to steal. Returns T{} only when shutdown was
+  /// requested and a full pop + steal probe found nothing. @p with_main on
+  /// the worker-0 loop alternates fairly between the main slot and the
+  /// regular pool: strict priority either way starves someone (main-first
+  /// starves yielded-to pool work; pool-first starves main when a
+  /// co-located unit busy-waits for main at a barrier).
+  T acquire(int rank, AcquireState& st, bool with_main) {
+    Counters& c = counters_[static_cast<std::size_t>(rank)];
+    for (;;) {
+      T item{};
+      if (with_main && st.main_turn) {
+        item = pop_main();
+        if (!item) item = pop_local(rank, &st.tick);
+      } else {
+        item = pop_local(rank, &st.tick);
+        if (!item && with_main) item = pop_main();
+      }
+      st.main_turn = !st.main_turn;
+      if (!item) item = try_steal(rank, st.rng);
+      if (item) {
+        st.idle = 0;
+        st.park_us = kParkMinUs;
+        return item;
+      }
+      if (shutdown_.load(std::memory_order_acquire)) return T{};
+      if (++st.idle < 64) {
+        common::cpu_relax();
+      } else if (st.idle < 96) {
+        std::this_thread::yield();
+      } else {
+        // Adaptive park: exponential growth, reset on any work. The loop
+        // just ran a full pop + steal probe and found nothing, so
+        // extending the park is safe — and a push always unparks us early.
+        c.parks.fetch_add(1, std::memory_order_relaxed);
+        c.parked_us.fetch_add(static_cast<std::uint64_t>(st.park_us),
+                              std::memory_order_relaxed);
+        parker_.park_for_us(st.park_us);
+        st.park_us = std::min<std::int64_t>(st.park_us * 2, kParkMaxUs);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- control
+
+  void notify() { parker_.unpark_all(); }
+
+  void request_shutdown() {
+    shutdown_.store(true, std::memory_order_release);
+    // Parked workers wake within their current timeout (2 ms cap) even if
+    // the unpark raced, so plain joins terminate promptly.
+    parker_.unpark_all();
+  }
+
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Racy "is there anything I could run?" probe for yield heuristics
+  /// (with nothing else runnable, yielding is a no-op).
+  [[nodiscard]] bool maybe_work(int rank, bool with_main) const {
+    if (with_main && ws_ && main_fair_.size_approx() > 0) return true;
+    if (with_main && !ws_ && !main_locked_.empty()) return true;
+    const Pool& own = pool_for(rank);
+    if (!ws_) return !own.locked.empty();
+    if (own.fair.size_approx() > 0 || !own.deque.empty_approx()) return true;
+    if (!stealing_active()) return false;
+    for (int v = 0; v < n_; ++v) {
+      if (v == rank) continue;
+      if (!pools_[static_cast<std::size_t>(v)]->deque.empty_approx()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] WsCoreStats stats() const {
+    WsCoreStats s;
+    for (const Counters& c : counters_) {
+      s.steals += c.steals.load(std::memory_order_relaxed);
+      s.failed_steals += c.failed_steals.load(std::memory_order_relaxed);
+      s.parks += c.parks.load(std::memory_order_relaxed);
+      s.parked_us += c.parked_us.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  struct Pool {
+    Pool(std::size_t deque_cap, std::size_t fair_cap)
+        : deque(deque_cap), fair(fair_cap) {}
+    ChaseLevDeque<T> deque;
+    OverflowQueue<T> fair;
+    LockedQueue<T> locked;
+  };
+
+  /// Per-worker counters, owner-written; one cache line each so the hot
+  /// loop never bounces a shared stats line.
+  struct alignas(common::kCacheLine) Counters {
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> parked_us{0};
+  };
+
+  Pool& pool_for(int rank) {
+    return *pools_[shared_ ? 0 : static_cast<std::size_t>(rank)];
+  }
+  const Pool& pool_for(int rank) const {
+    return *pools_[shared_ ? 0 : static_cast<std::size_t>(rank)];
+  }
+
+  const int n_;
+  const bool shared_;
+  const bool ws_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+  OverflowQueue<T> main_fair_{64};
+  LockedQueue<T> main_locked_;
+  std::vector<Counters> counters_;
+  std::atomic<bool> shutdown_{false};
+  common::Parker parker_;
+};
+
+}  // namespace glto::sched

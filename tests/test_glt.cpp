@@ -209,6 +209,84 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, GltBackend,
                            return gg::impl_name(info.param);
                          });
 
+// GLT_SHARED_QUEUES=1 conformance: the §IV-F shared-pool ablation must
+// produce identical results on every backend now that qth and mth honour
+// it through the shared scheduling core (previously abt-only).
+class GltSharedQueues : public ::testing::TestWithParam<gg::Impl> {
+ protected:
+  void SetUp() override {
+    gg::Config cfg;
+    cfg.impl = GetParam();
+    cfg.num_threads = 3;
+    cfg.bind_threads = false;
+    cfg.shared_queues = true;
+    gg::init(cfg);
+  }
+  void TearDown() override { gg::finalize(); }
+};
+
+TEST_P(GltSharedQueues, ManyUltsAllRun) {
+  constexpr int kN = 200;
+  std::atomic<int> count{0};
+  std::vector<gg::Ult*> us;
+  us.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    us.push_back(gg::ult_create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  for (auto* u : us) gg::ult_join(u);
+  EXPECT_EQ(count.load(), kN);
+}
+
+TEST_P(GltSharedQueues, NestedCreateJoinInsideUlt) {
+  std::atomic<int> total{0};
+  auto* u = gg::ult_create(
+      [](void* p) {
+        std::vector<gg::Ult*> kids;
+        for (int i = 0; i < 16; ++i) {
+          kids.push_back(gg::ult_create(
+              [](void* q) { static_cast<std::atomic<int>*>(q)->fetch_add(1); },
+              p));
+        }
+        for (auto* k : kids) gg::ult_join(k);
+        static_cast<std::atomic<int>*>(p)->fetch_add(100);
+      },
+      &total);
+  gg::ult_join(u);
+  EXPECT_EQ(total.load(), 116);
+}
+
+TEST_P(GltSharedQueues, UltsCanYieldAndFinish) {
+  std::atomic<int> count{0};
+  std::vector<gg::Ult*> us;
+  for (int i = 0; i < 20; ++i) {
+    us.push_back(gg::ult_create(
+        [](void* p) {
+          for (int k = 0; k < 5; ++k) gg::yield();
+          static_cast<std::atomic<int>*>(p)->fetch_add(1);
+        },
+        &count));
+  }
+  for (auto* u : us) gg::ult_join(u);
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST_P(GltSharedQueues, TaskletsRunToo) {
+  std::atomic<int> x{0};
+  auto* t = gg::tasklet_create(
+      [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); }, &x);
+  gg::tasklet_join(t);
+  EXPECT_EQ(x.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GltSharedQueues,
+                         ::testing::Values(gg::Impl::abt, gg::Impl::qth,
+                                           gg::Impl::mth),
+                         [](const ::testing::TestParamInfo<gg::Impl>& info) {
+                           return gg::impl_name(info.param);
+                         });
+
 TEST(GltConfig, ImplNameRoundTrip) {
   for (auto impl : {gg::Impl::abt, gg::Impl::qth, gg::Impl::mth}) {
     auto parsed = gg::impl_from_string(gg::impl_name(impl));

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "mth/mth.hpp"
 
 namespace gm = glto::mth;
@@ -246,6 +247,70 @@ TEST(Mth, DeepJoinChain) {
   auto* c = gm::create(rec, &root);
   gm::join(c);
   EXPECT_EQ(sum.load(), 101);
+}
+
+TEST(Mth, LockedDispatchBaselineIsCorrectAndStealFree) {
+  namespace env = glto::common;
+  env::env_set("MTH_DISPATCH", "locked");
+  {
+    MthScope s(2);
+    EXPECT_EQ(gm::dispatch_mode(), gm::Dispatch::Locked);
+    // Spawns stay work-first; only the ready queues and stealing change.
+    std::atomic<int> count{0};
+    std::vector<gm::Strand*> ss;
+    for (int i = 0; i < 200; ++i) {
+      ss.push_back(gm::create(
+          [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+          &count));
+    }
+    for (auto* c : ss) gm::join(c);
+    EXPECT_EQ(count.load(), 200);
+    EXPECT_EQ(gm::stats().steals, 0u) << "locked baseline never steals";
+  }
+  env::env_set("MTH_DISPATCH", nullptr);
+  {
+    MthScope s(2);
+    EXPECT_EQ(gm::dispatch_mode(), gm::Dispatch::WorkStealing);
+  }
+}
+
+TEST(Mth, SharedPoolRunsAllStrands) {
+  gm::Config cfg;
+  cfg.num_workers = 3;
+  cfg.bind_threads = false;
+  cfg.shared_pool = true;  // §IV-F: one MPMC pool for all workers
+  gm::init(cfg);
+  std::atomic<int> count{0};
+  std::vector<gm::Strand*> ss;
+  for (int i = 0; i < 200; ++i) {
+    ss.push_back(gm::create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  for (auto* c : ss) gm::join(c);
+  EXPECT_EQ(count.load(), 200);
+  gm::finalize();
+}
+
+TEST(Mth, StrandRecordsAreRecycled) {
+  MthScope s(1);
+  // After a first batch seeds the freelist, later spawns reuse records and
+  // stacks — observable through per-thread stack-cache hits.
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> count{0};
+    std::vector<gm::Strand*> ss;
+    for (int i = 0; i < 64; ++i) {
+      ss.push_back(gm::create(
+          [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+          &count));
+    }
+    for (auto* c : ss) gm::join(c);
+    ASSERT_EQ(count.load(), 64);
+  }
+  const auto st = gm::stats();
+  EXPECT_EQ(st.strands_created, 3u * 64u);
+  EXPECT_GT(st.stack_cache_hits, 0u)
+      << "recycled strands must hit the per-thread stack cache";
 }
 
 TEST(Mth, ReinitAfterFinalize) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "qth/qth.hpp"
 
 namespace gq = glto::qth;
@@ -266,6 +268,106 @@ TEST(Qth, StatsCountFebTraffic) {
   EXPECT_EQ(after.threads_created, before.threads_created + 1);
   EXPECT_GT(after.feb_ops, before.feb_ops)
       << "every fork/join must go through the word-lock table";
+}
+
+TEST(Qth, StealsRescueWorkFromBusyShepherd) {
+  QthScope s(3);
+  // Since the shared-core rebase a plain fork from a shepherd lands on the
+  // caller's own deque (run-local). Main *is* shepherd 0's OS thread and
+  // below it busy-waits without entering its scheduler, so the forked
+  // qthread can only ever execute if an idle shepherd steals it — a
+  // deterministic steal-under-contention check (the seed qth had no
+  // stealing at all and this test would hang).
+  static std::atomic<int> ran_on;
+  ran_on.store(-1);
+  aligned_t ret = 0;
+  gq::fork(
+      [](void*) -> aligned_t {
+        ran_on.store(gq::shep_rank());
+        return 0;
+      },
+      nullptr, &ret);
+  while (ran_on.load() < 0) std::this_thread::yield();
+  EXPECT_NE(ran_on.load(), 0) << "a thief shepherd must have run it";
+  EXPECT_GT(gq::stats().steals, 0u);
+  aligned_t sink = 0;
+  gq::readFF(&sink, &ret);
+}
+
+TEST(Qth, LockedDispatchRestoresSeedBaseline) {
+  namespace env = glto::common;
+  env::env_set("QTH_DISPATCH", "locked");
+  {
+    QthScope s(2);
+    EXPECT_EQ(gq::dispatch_mode(), gq::Dispatch::Locked);
+    constexpr int kN = 100;
+    static std::atomic<int> count;
+    count = 0;
+    std::vector<aligned_t> rets(kN, 0);
+    for (int i = 0; i < kN; ++i) {
+      gq::fork(
+          [](void*) -> aligned_t {
+            count.fetch_add(1);
+            return 0;
+          },
+          nullptr, &rets[static_cast<std::size_t>(i)]);
+    }
+    aligned_t sink = 0;
+    for (auto& r : rets) gq::readFF(&sink, &r);
+    EXPECT_EQ(count.load(), kN);
+    EXPECT_EQ(gq::stats().steals, 0u) << "locked mode never steals";
+  }
+  env::env_set("QTH_DISPATCH", nullptr);
+  {
+    QthScope s(2);
+    EXPECT_EQ(gq::dispatch_mode(), gq::Dispatch::WorkStealing)
+        << "work stealing is the default dispatch";
+  }
+}
+
+TEST(Qth, SharedPoolRunsEverything) {
+  gq::Config cfg;
+  cfg.num_shepherds = 3;
+  cfg.bind_threads = false;
+  cfg.shared_pool = true;  // §IV-F: one MPMC pool for all shepherds
+  gq::init(cfg);
+  constexpr int kN = 200;
+  static std::atomic<int> count;
+  count = 0;
+  std::vector<aligned_t> rets(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    gq::fork(
+        [](void*) -> aligned_t {
+          count.fetch_add(1);
+          return 0;
+        },
+        nullptr, &rets[static_cast<std::size_t>(i)]);
+  }
+  aligned_t sink = 0;
+  for (auto& r : rets) gq::readFF(&sink, &r);
+  EXPECT_EQ(count.load(), kN);
+  gq::finalize();
+}
+
+TEST(Qth, ThreadRecordsAreRecycled) {
+  QthScope s(1);
+  // Burn a first batch so the freelist has stock, then check that the
+  // second batch allocates no fresh thread records (created counter grows,
+  // reuse keeps the record set stable — observable via steady completion).
+  constexpr int kBatch = 64;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<aligned_t> rets(kBatch, 0);
+    for (int i = 0; i < kBatch; ++i) {
+      gq::fork([](void*) -> aligned_t { return 1; }, nullptr,
+               &rets[static_cast<std::size_t>(i)]);
+    }
+    aligned_t sink = 0;
+    for (auto& r : rets) gq::readFF(&sink, &r);
+  }
+  const auto st = gq::stats();
+  EXPECT_EQ(st.threads_created, 3u * kBatch);
+  EXPECT_GT(st.stack_cache_hits, 0u)
+      << "recycled qthreads must hit the per-thread stack cache";
 }
 
 TEST(Qth, ReinitAfterFinalize) {

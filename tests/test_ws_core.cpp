@@ -1,0 +1,317 @@
+// Unit + stress tests for the shared work-stealing scheduler core
+// (sched::WsCore / sched::Freelist) that all three LWT backends dispatch
+// through since the dispatch-parity PR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "sched/dispatch.hpp"
+#include "sched/freelist.hpp"
+#include "sched/ws_core.hpp"
+
+namespace gs = glto::sched;
+
+namespace {
+
+gs::WsCoreConfig cfg(int n, bool shared = false, bool ws = true) {
+  gs::WsCoreConfig c;
+  c.num_workers = n;
+  c.shared_pool = shared;
+  c.work_stealing = ws;
+  return c;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- routing
+
+TEST(WsCore, OwnerSpawnIsLifoForOwnerAndStealableFifo) {
+  gs::WsCore<int*> core(cfg(2));
+  int items[3] = {0, 1, 2};
+  for (int& i : items) core.submit(0, 0, /*pinned=*/false, &i);
+  unsigned tick = 0;
+  EXPECT_EQ(core.pop_local(0, &tick), &items[2]) << "owner pops newest";
+  glto::common::FastRng rng(7);
+  EXPECT_EQ(core.try_steal(1, rng), &items[0]) << "thief steals oldest";
+  EXPECT_EQ(core.pop_local(0, &tick), &items[1]);
+  EXPECT_EQ(core.pop_local(0, &tick), nullptr);
+}
+
+TEST(WsCore, PinnedSubmissionsAreNeverStolen) {
+  gs::WsCore<int*> core(cfg(2));
+  int x = 0;
+  core.submit(0, 1, /*pinned=*/true, &x);
+  glto::common::FastRng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(core.try_steal(0, rng), nullptr)
+        << "pinned unit sits in the target's owner-only fair queue";
+  }
+  unsigned tick = 0;
+  EXPECT_EQ(core.pop_local(0, &tick), nullptr) << "wrong owner cannot pop it";
+  EXPECT_EQ(core.pop_local(1, &tick), &x) << "target owner drains it";
+}
+
+TEST(WsCore, RemoteSubmissionLandsOnTargetNotCaller) {
+  gs::WsCore<int*> core(cfg(3));
+  int x = 0;
+  core.submit(/*caller=*/0, /*target=*/2, /*pinned=*/false, &x);
+  unsigned tick = 0;
+  EXPECT_EQ(core.pop_local(0, &tick), nullptr);
+  EXPECT_EQ(core.pop_local(2, &tick), &x);
+  int y = 0;
+  core.submit(/*caller=*/-1, /*target=*/1, /*pinned=*/false, &y);
+  EXPECT_EQ(core.pop_local(1, &tick), &y) << "foreign-thread submit";
+}
+
+TEST(WsCore, FairQueueCannotStarveBehindSpawnStorm) {
+  gs::WsCore<int*> core(cfg(1));
+  int pinned_item = 0;
+  core.submit(0, 0, /*pinned=*/true, &pinned_item);
+  std::vector<int> storm(200, 0);
+  unsigned tick = 0;
+  bool fair_served = false;
+  // Keep the deque non-empty while popping: the every-64th-tick fair-first
+  // check must still serve the pinned unit.
+  for (int round = 0; round < 128 && !fair_served; ++round) {
+    for (int& s : storm) core.submit(0, 0, false, &s);
+    for (std::size_t i = 0; i < storm.size() / 2; ++i) {
+      if (core.pop_local(0, &tick) == &pinned_item) {
+        fair_served = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(fair_served);
+}
+
+TEST(WsCore, LockedModeDisablesStealing) {
+  gs::WsCore<int*> core(cfg(2, /*shared=*/false, /*ws=*/false));
+  EXPECT_FALSE(core.stealing_active());
+  int items[4] = {0, 1, 2, 3};
+  for (int& i : items) core.submit(0, 0, false, &i);
+  glto::common::FastRng rng(3);
+  EXPECT_EQ(core.try_steal(1, rng), nullptr);
+  unsigned tick = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(core.pop_local(0, &tick), &items[i]) << "locked pool is FIFO";
+  }
+}
+
+TEST(WsCore, SharedPoolServesEveryWorker) {
+  gs::WsCore<int*> core(cfg(4, /*shared=*/true));
+  EXPECT_FALSE(core.stealing_active()) << "one pool: nothing to steal from";
+  std::vector<int> items(64, 0);
+  for (int& i : items) core.submit(0, 0, false, &i);
+  unsigned tick = 0;
+  int got = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int k = 0; k < 16; ++k) {
+      EXPECT_NE(core.pop_local(rank, &tick), nullptr);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 64);
+  EXPECT_EQ(core.pop_local(0, &tick), nullptr);
+}
+
+TEST(WsCore, MainSlotIsInvisibleToWorkersAndThieves) {
+  gs::WsCore<int*> core(cfg(2));
+  int main_item = 0;
+  core.push_main(&main_item);
+  unsigned tick = 0;
+  glto::common::FastRng rng(5);
+  EXPECT_EQ(core.pop_local(0, &tick), nullptr);
+  EXPECT_EQ(core.pop_local(1, &tick), nullptr);
+  EXPECT_EQ(core.try_steal(1, rng), nullptr);
+  EXPECT_EQ(core.pop_main(), &main_item) << "only the worker-0 loop pops it";
+  EXPECT_EQ(core.pop_main(), nullptr);
+}
+
+TEST(WsCore, AcquireReturnsNullOnShutdownWhenDrained) {
+  gs::WsCore<int*> core(cfg(1));
+  int x = 0;
+  core.submit(0, 0, false, &x);
+  core.request_shutdown();
+  gs::AcquireState st(42);
+  EXPECT_EQ(core.acquire(0, st, /*with_main=*/true), &x)
+      << "shutdown drains remaining work first";
+  EXPECT_EQ(core.acquire(0, st, /*with_main=*/true), nullptr);
+}
+
+TEST(WsCore, MaybeWorkProbes) {
+  gs::WsCore<int*> core(cfg(2));
+  EXPECT_FALSE(core.maybe_work(0, true));
+  int x = 0;
+  core.submit(1, 1, false, &x);  // victim deque
+  EXPECT_TRUE(core.maybe_work(0, false)) << "stealable work elsewhere";
+  unsigned tick = 0;
+  EXPECT_EQ(core.pop_local(1, &tick), &x);
+  EXPECT_FALSE(core.maybe_work(0, false));
+  int m = 0;
+  core.push_main(&m);
+  EXPECT_TRUE(core.maybe_work(0, true));
+  EXPECT_FALSE(core.maybe_work(1, false)) << "main slot is worker-0-only";
+  EXPECT_EQ(core.pop_main(), &m);
+}
+
+// ------------------------------------------------------------ steal stress
+
+TEST(WsCore, StealUnderContentionConservesEveryItem) {
+  // One owner spawns and pops on rank 0 while three thieves hammer
+  // try_steal — the backends' exact hot-path shape. Every pushed item must
+  // be consumed exactly once (lost CAS races must not lose or duplicate).
+  gs::WsCore<std::intptr_t*> core(cfg(4));
+  constexpr std::intptr_t kItems = 60000;
+  std::vector<std::intptr_t> backing(static_cast<std::size_t>(kItems));
+  std::atomic<std::intptr_t> sum{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int r = 1; r < 4; ++r) {
+    thieves.emplace_back([&, r] {
+      glto::common::FastRng rng(static_cast<std::uint64_t>(r) * 77);
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto* v = core.try_steal(r, rng)) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+        }
+      }
+      while (auto* v = core.try_steal(r, rng)) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+      }
+    });
+  }
+  unsigned tick = 0;
+  for (std::intptr_t i = 0; i < kItems; ++i) {
+    backing[static_cast<std::size_t>(i)] = i + 1;
+    core.submit(0, 0, false, &backing[static_cast<std::size_t>(i)]);
+    if (i % 7 == 0) {
+      if (auto* v = core.pop_local(0, &tick)) {
+        sum.fetch_add(*v, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (auto* v = core.pop_local(0, &tick)) {
+    sum.fetch_add(*v, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // Thieves may have raced the owner for the last items; drain stragglers.
+  glto::common::FastRng rng(1);
+  while (auto* v = core.try_steal(1, rng)) {
+    sum.fetch_add(*v, std::memory_order_relaxed);
+  }
+  while (auto* v = core.pop_local(0, &tick)) {
+    sum.fetch_add(*v, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+}
+
+TEST(WsCore, ThievesDrainEverythingWhenOwnerStops) {
+  // Deterministic steal accounting: the owner only pushes, so every item
+  // must leave through a steal — steals ends up exactly kItems and the
+  // per-worker counters aggregate across thieves.
+  gs::WsCore<std::intptr_t*> core(cfg(3));
+  constexpr std::intptr_t kItems = 5000;
+  std::vector<std::intptr_t> backing(static_cast<std::size_t>(kItems));
+  for (std::intptr_t i = 0; i < kItems; ++i) {
+    backing[static_cast<std::size_t>(i)] = i + 1;
+    core.submit(0, 0, false, &backing[static_cast<std::size_t>(i)]);
+  }
+  std::atomic<std::intptr_t> sum{0};
+  std::atomic<int> remaining{static_cast<int>(kItems)};
+  std::vector<std::thread> thieves;
+  for (int r = 1; r < 3; ++r) {
+    thieves.emplace_back([&, r] {
+      glto::common::FastRng rng(static_cast<std::uint64_t>(r) * 13 + 1);
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (auto* v = core.try_steal(r, rng)) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          remaining.fetch_sub(1, std::memory_order_release);
+        }
+      }
+    });
+  }
+  for (auto& t : thieves) t.join();
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+  const auto st = core.stats();
+  EXPECT_EQ(st.steals, static_cast<std::uint64_t>(kItems))
+      << "owner never popped: every item must have left through a steal";
+}
+
+// ---------------------------------------------------------------- freelist
+
+namespace {
+struct Rec {
+  int payload = 0;
+};
+}  // namespace
+
+TEST(Freelist, RecyclesThroughOwnerList) {
+  gs::Freelist<Rec> fl(2);
+  EXPECT_EQ(fl.try_alloc(0), nullptr) << "starts empty";
+  auto* a = new Rec();
+  fl.recycle(0, a);
+  EXPECT_EQ(fl.try_alloc(0), a) << "owner list returns the recycled record";
+  fl.recycle(0, a);  // give it back for the dtor to free
+}
+
+TEST(Freelist, ForeignRecycleGoesThroughSlabAndRefills) {
+  gs::Freelist<Rec> fl(2);
+  std::vector<Rec*> recs;
+  for (int i = 0; i < 40; ++i) {
+    auto* r = new Rec();
+    recs.push_back(r);
+    fl.recycle(-1, r);  // foreign thread: slab path
+  }
+  EXPECT_EQ(fl.slab_size_approx(), 40u);
+  // Worker 0 refills a batch from the slab lock-free thereafter.
+  int got = 0;
+  while (fl.try_alloc(0) != nullptr) ++got;
+  EXPECT_EQ(got, 40) << "all foreign-recycled records become allocatable";
+  for (Rec* r : recs) fl.recycle(0, r);  // dtor frees
+}
+
+TEST(Freelist, OversizedLocalListSpillsToSlab) {
+  gs::Freelist<Rec> fl(2);
+  const std::size_t n = gs::Freelist<Rec>::kSpillHigh + 8;
+  for (std::size_t i = 0; i < n; ++i) fl.recycle(0, new Rec());
+  EXPECT_GT(fl.slab_size_approx(), 0u)
+      << "past kSpillHigh half the local list moves to the shared slab";
+  // Worker 1 (whose list is empty) can now allocate from the slab.
+  Rec* r = fl.try_alloc(1);
+  ASSERT_NE(r, nullptr);
+  fl.recycle(1, r);  // dtor frees everything still in the freelist
+}
+
+TEST(Freelist, RanksOutOfRangeFallBackToSlab) {
+  gs::Freelist<Rec> fl(1);
+  auto* r = new Rec();
+  fl.recycle(7, r);  // out-of-range rank must not index a list
+  EXPECT_EQ(fl.slab_size_approx(), 1u);
+  EXPECT_EQ(fl.try_alloc(7), nullptr);
+  EXPECT_EQ(fl.try_alloc(0), r);
+  fl.recycle(0, r);
+}
+
+TEST(Dispatch, ResolveFromEnv) {
+  namespace env = glto::common;
+  env::env_set("TEST_DISPATCH", "locked");
+  EXPECT_EQ(gs::resolve_dispatch(gs::Dispatch::Auto, "TEST_DISPATCH"),
+            gs::Dispatch::Locked);
+  env::env_set("TEST_DISPATCH", "WS");
+  EXPECT_EQ(gs::resolve_dispatch(gs::Dispatch::Auto, "TEST_DISPATCH"),
+            gs::Dispatch::WorkStealing);
+  env::env_set("TEST_DISPATCH", "garbage");
+  EXPECT_EQ(gs::resolve_dispatch(gs::Dispatch::Auto, "TEST_DISPATCH"),
+            gs::Dispatch::WorkStealing)
+      << "unrecognized value falls back to ws (with a warning)";
+  env::env_set("TEST_DISPATCH", nullptr);
+  EXPECT_EQ(gs::resolve_dispatch(gs::Dispatch::Auto, "TEST_DISPATCH"),
+            gs::Dispatch::WorkStealing);
+  EXPECT_EQ(gs::resolve_dispatch(gs::Dispatch::Locked, "TEST_DISPATCH"),
+            gs::Dispatch::Locked)
+      << "explicit requests bypass the environment";
+}
