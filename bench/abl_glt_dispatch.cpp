@@ -19,8 +19,25 @@
 // baseline. (glt-over-abt doubles as the §III-B "GLT overhead is
 // negligible" check against the native abt rows.) Emits JSONL per row via
 // $GLTO_BENCH_JSON.
+//
+// Two further sections (task ABI v2 PR):
+//  * burst-co — the same facade burst joined in *completion order*: a
+//    sinc-style counter signals when every unit's body has run, then the
+//    joins only reclaim handles (each can at most overlap a unit's
+//    completion epilogue, never an unexecuted body). The creation-order
+//    join makes qth's FEB joins bounce main through the word-lock table
+//    whenever the thief lags, so this variant isolates pure dispatch
+//    cost from join-order artifacts (the ROADMAP open item).
+//    glt::ult_is_done is the per-handle form of the same probe; its
+//    conformance tests live in tests/test_glt.cpp.
+//  * omp-task — kBurst omp::task spawns from a single producer on
+//    glto-abt: v2 inline-payload descriptors vs the boxed v1 path (a
+//    std::function pushed through the deprecated overload, which spills
+//    every payload). task_stats() prints the task_inline/task_alloc
+//    split, proving the inline rate.
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "abt/abt.hpp"
@@ -31,6 +48,7 @@ namespace ga = glto::abt;
 namespace gg = glto::glt;
 namespace b = glto::bench;
 namespace c = glto::common;
+namespace o = glto::omp;
 
 namespace {
 
@@ -39,6 +57,16 @@ std::atomic<std::uint64_t> g_sink{0};
 void work(void* p) {
   g_sink.fetch_add(reinterpret_cast<std::uintptr_t>(p) + 1,
                    std::memory_order_relaxed);
+}
+
+/// Completion-counter variant: the increment is the unit's completion
+/// signal (the qthreads "sinc" fan-in shape), so the creator can wait for
+/// the whole burst without joining in creation order.
+std::atomic<std::uint64_t> g_done{0};
+
+void work_counted(void* p) {
+  work(p);
+  g_done.fetch_add(1, std::memory_order_release);
 }
 
 constexpr int kBurst = 2048;
@@ -158,6 +186,120 @@ int main() {
       }
       c::env_set(be.dispatch_env, nullptr);
     }
+  }
+
+  // Completion-order burst: identical spawn storm, but main waits on a
+  // sinc-style completion counter (each ULT's body ends with one atomic
+  // increment) and only joins the handles once every body has run, in
+  // whatever order the units actually executed. No join can stall on a
+  // not-yet-stolen ULT while completed ones wait behind it (the
+  // artifact that bounced qth's FEB joins through the word-lock table),
+  // so the cell measures pure dispatch throughput.
+  b::print_header("glt dispatch parity: burst, completion-order join (s)");
+  for (const Backend& be : backends) {
+    for (const Mode& m : modes) {
+      c::env_set(be.dispatch_env, m.env);
+      for (int nth : b::thread_sweep()) {
+        gg::Config cfg;
+        cfg.impl = be.impl;
+        cfg.num_threads = nth;
+        cfg.bind_threads = false;
+        gg::init(cfg);
+        auto run_co = [&] {
+          const std::uint64_t base =
+              g_done.load(std::memory_order_relaxed);
+          std::vector<gg::Ult*> us;
+          us.reserve(static_cast<std::size_t>(burst));
+          for (int i = 0; i < burst; ++i) {
+            us.push_back(gg::ult_create(work_counted, nullptr));
+          }
+          while (g_done.load(std::memory_order_acquire) - base <
+                 static_cast<std::uint64_t>(burst)) {
+            gg::yield();  // run/steal the backlog instead of blocking
+          }
+          // Every unit has run its body; joins only reclaim handles (a
+          // unit may still be in its completion epilogue — ult_is_done
+          // can lag the counter by a few instructions — so the join, not
+          // the probe, is the reclaim step).
+          for (auto* u : us) gg::ult_join(u);
+        };
+        run_co();  // warm freelists / stack caches
+        auto st = b::time_runs(reps, run_co);
+        char row[64];
+        std::snprintf(row, sizeof row, "%s-%s-co", gg::impl_name(be.impl),
+                      m.env);
+        b::print_row(row, nth, st);
+        gg::finalize();
+      }
+      c::env_set(be.dispatch_env, nullptr);
+    }
+  }
+
+  // omp::task descriptor ablation (task ABI v2): the fig14-shaped single
+  // producer, kBurst tasks per run, over glto-abt. "v2" spawns tasks with
+  // a capture-free callable (inline descriptor payload, freelist-recycled
+  // TaskArg — zero heap allocations after warm-up); "boxed" pushes the
+  // same work through the deprecated std::function overload, the v1 cost
+  // model (type-erased callable + spilled payload on every spawn).
+  b::print_header("omp task burst on glto-abt: v2 descriptors vs boxed (s)");
+  for (int nth : b::thread_sweep()) {
+    b::select_runtime(o::RuntimeKind::glto_abt, nth);
+    const auto run_v2 = [&] {
+      o::parallel([&](int, int) {
+        o::single([&] {
+          for (int i = 0; i < burst; ++i) {
+            o::task([] { g_sink.fetch_add(1, std::memory_order_relaxed); });
+          }
+          o::taskwait();
+        });
+      });
+    };
+    run_v2();  // warm the record freelists
+    const auto before = o::task_stats();
+    auto st = b::time_runs(reps, run_v2);
+    const auto after = o::task_stats();
+    b::print_row("task-v2", nth, st);
+    std::printf("    task_inline=+%llu task_alloc=+%llu (inline rate %.1f%%)\n",
+                static_cast<unsigned long long>(after.task_inline -
+                                                before.task_inline),
+                static_cast<unsigned long long>(after.task_alloc -
+                                                before.task_alloc),
+                100.0 *
+                    static_cast<double>(after.task_inline - before.task_inline) /
+                    static_cast<double>((after.task_inline - before.task_inline) +
+                                        (after.task_alloc - before.task_alloc) +
+                                        1e-9));
+    o::shutdown();
+  }
+  for (int nth : b::thread_sweep()) {
+    b::select_runtime(o::RuntimeKind::glto_abt, nth);
+    const auto run_boxed = [&] {
+      o::parallel([&](int, int) {
+        o::single([&] {
+          for (int i = 0; i < burst; ++i) {
+            std::function<void()> fn = [] {
+              g_sink.fetch_add(1, std::memory_order_relaxed);
+            };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+            o::task(std::move(fn));  // v1 API shape, measured on purpose
+#pragma GCC diagnostic pop
+          }
+          o::taskwait();
+        });
+      });
+    };
+    run_boxed();
+    const auto before = o::task_stats();
+    auto st = b::time_runs(reps, run_boxed);
+    const auto after = o::task_stats();
+    b::print_row("task-boxed", nth, st);
+    std::printf("    task_inline=+%llu task_alloc=+%llu\n",
+                static_cast<unsigned long long>(after.task_inline -
+                                                before.task_inline),
+                static_cast<unsigned long long>(after.task_alloc -
+                                                before.task_alloc));
+    o::shutdown();
   }
 
   std::printf("\nsink=%llu\n",

@@ -28,11 +28,11 @@ inline void run_nested_bench(const char* title, int outer_iters) {
       select_runtime(kind, nth, /*active_wait=*/true);
       const auto stats = time_runs(reps, [&] {
         o::parallel([&](int, int) {
-          o::for_loop(0, n, o::Schedule::Static, 0,
+          o::loop(0, n, {o::Schedule::Static, 0},
                       [&](std::int64_t b, std::int64_t e) {
                         for (std::int64_t i = b; i < e; ++i) {
                           o::parallel([&](int, int) {
-                            o::for_loop(0, n, o::Schedule::Static, 0,
+                            o::loop(0, n, {o::Schedule::Static, 0},
                                         [&](std::int64_t, std::int64_t) {});
                           });
                         }

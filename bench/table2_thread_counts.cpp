@@ -40,7 +40,7 @@ int main() {
     rt.reset_counters();
 
     o::parallel([&](int, int) {
-      o::for_loop(0, outer, o::Schedule::Static, 0,
+      o::loop(0, outer, {o::Schedule::Static, 0},
                   [&](std::int64_t lo, std::int64_t hi) {
                     for (std::int64_t i = lo; i < hi; ++i) {
                       o::parallel([](int, int) {});

@@ -38,7 +38,7 @@ double run_app(int ncols, int rows) {
   glto::common::Timer t;
   // The application parallelizes over columns...
   o::parallel([&](int, int) {
-    o::for_loop(0, ncols, o::Schedule::Dynamic, 1,
+    o::loop(0, ncols, {o::Schedule::Dynamic, 1},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t c = b; c < e; ++c) {
                     // ...and each iteration calls the parallel library:

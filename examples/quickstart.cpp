@@ -34,17 +34,40 @@ int main() {
   });
   std::printf("pi = %.6f (integrated with a parallel reduction)\n", pi_ish);
 
-  // 3. Tasks: one producer, everyone consumes.
+  // 3. Tasks: one producer, everyone consumes. Small captures live
+  //    inline in the task descriptor — spawning allocates nothing.
   std::atomic<int> done{0};
   o::parallel([&](int, int) {
     o::single([&] {
       for (int i = 0; i < 100; ++i) {
-        o::task([&] { done.fetch_add(1); });
+        o::task([&done] { done.fetch_add(1); });
       }
       o::taskwait();
     });
   });
-  std::printf("tasks executed: %d\n", done.load());
+  const auto ts = o::task_stats();
+  std::printf("tasks executed: %d (descriptors inline=%llu spilled=%llu)\n",
+              done.load(), static_cast<unsigned long long>(ts.task_inline),
+              static_cast<unsigned long long>(ts.task_alloc));
+
+  // 3b. A value-returning task: omp::future<T> carries the result (and
+  //     any exception) back to the creator.
+  o::parallel([](int, int) {
+    o::single([] {
+      auto f = o::task_ret([](int a, int b) { return a * b; }, 6, 7);
+      std::printf("task_ret answered: %d\n", f.get());
+    });
+  });
+
+  // 3c. A grain-controlled parallel loop: schedule, chunk grain, and a
+  //     serial cutoff in one call (small trip counts skip the fork).
+  std::atomic<std::int64_t> evens{0};
+  o::par_for(0, 1000, {o::Schedule::Dynamic, /*grain=*/64, /*cutoff=*/32},
+             [&](std::int64_t i) {
+               if (i % 2 == 0) evens.fetch_add(1);
+             });
+  std::printf("par_for counted %lld evens\n",
+              static_cast<long long>(evens.load()));
 
   // 4. Nested parallelism — cheap over GLTO (ULTs only, §IV-E).
   std::atomic<int> inner{0};

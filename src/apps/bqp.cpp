@@ -127,18 +127,21 @@ void trsv_bwd(const double* A, double* y, int n, int t, int i) {
 
 /// Emits one tile kernel under the selected schedule: sequential runs it
 /// now, taskdep attaches the depend clauses, taskwait strips them (the
-/// fences order everything).
+/// fences order everything). The kernels are small trivially-copyable
+/// captures, so the v2 descriptor path spawns them without a single heap
+/// allocation (clauses stay inline in DepList as well).
 struct Sched {
   Mode mode;
 
-  void run(std::function<void()> fn, std::vector<taskdep::Dep> deps) const {
+  template <class F>
+  void run(F&& fn, std::initializer_list<taskdep::Dep> deps) const {
     if (mode == Mode::sequential) {
       fn();
       return;
     }
     o::TaskFlags flags;
-    if (mode == Mode::taskdep) flags.depend = std::move(deps);
-    o::task(std::move(fn), flags);
+    if (mode == Mode::taskdep) flags.depend = deps;
+    o::task(std::forward<F>(fn), flags);
   }
 
   /// Step barrier — only the taskwait schedule needs it; the DAG's edges

@@ -94,7 +94,7 @@ Result solve_worksharing(const Csr& a, const std::vector<double>& b,
     total.store(0.0);
     omp::parallel([&](int, int) {
       double local = 0.0;
-      omp::for_loop(0, n, omp::Schedule::Static, 0,
+      omp::loop(0, n, {omp::Schedule::Static, 0},
                     [&](std::int64_t lo, std::int64_t hi) {
                       local += dot_seq(u, v, static_cast<int>(lo),
                                        static_cast<int>(hi));
@@ -112,7 +112,7 @@ Result solve_worksharing(const Csr& a, const std::vector<double>& b,
   Result out;
   for (int it = 0; it < max_iters; ++it) {
     omp::parallel([&](int, int) {
-      omp::for_loop(0, n, omp::Schedule::Static, 0,
+      omp::loop(0, n, {omp::Schedule::Static, 0},
                     [&](std::int64_t lo, std::int64_t hi) {
                       spmv_rows(a, p, ap, static_cast<int>(lo),
                                 static_cast<int>(hi));
@@ -121,7 +121,7 @@ Result solve_worksharing(const Csr& a, const std::vector<double>& b,
     const double pap = par_dot(p, ap);
     const double alpha = rr / pap;
     omp::parallel([&](int, int) {
-      omp::for_loop(0, n, omp::Schedule::Static, 0,
+      omp::loop(0, n, {omp::Schedule::Static, 0},
                     [&](std::int64_t lo, std::int64_t hi) {
                       for (std::int64_t i = lo; i < hi; ++i) {
                         x[static_cast<std::size_t>(i)] +=
@@ -141,7 +141,7 @@ Result solve_worksharing(const Csr& a, const std::vector<double>& b,
     const double beta = rr_new / rr;
     rr = rr_new;
     omp::parallel([&](int, int) {
-      omp::for_loop(0, n, omp::Schedule::Static, 0,
+      omp::loop(0, n, {omp::Schedule::Static, 0},
                     [&](std::int64_t lo, std::int64_t hi) {
                       for (std::int64_t i = lo; i < hi; ++i) {
                         p[static_cast<std::size_t>(i)] =

@@ -60,7 +60,7 @@ void Clover::init_state() {
 
 void Clover::rows(const std::function<void(int)>& row_body) {
   ++regions_issued_;
-  omp::parallel_for(0, cfg_.ny, [&](std::int64_t j) {
+  omp::par_for(0, cfg_.ny, [&](std::int64_t j) {
     row_body(static_cast<int>(j));
   });
 }
@@ -114,7 +114,7 @@ void Clover::calc_dt() {
     }
   };
   ++regions_issued_;
-  omp::parallel_for(0, cfg_.ny, [&](std::int64_t j) {
+  omp::par_for(0, cfg_.ny, [&](std::int64_t j) {
     double local = 1e30;
     for (int i = 0; i < cfg_.nx; ++i) {
       const double cs = soundspeed_.at(i, static_cast<int>(j));
@@ -291,7 +291,7 @@ void Clover::pad_regions() {
   while (regions_per_step_ < 114) {
     ++regions_per_step_;
     ++regions_issued_;
-    omp::parallel_for(0, cfg_.ny, [&](std::int64_t j) {
+    omp::par_for(0, cfg_.ny, [&](std::int64_t j) {
       work_.at(0, static_cast<int>(j)) += 0.0;
     });
   }

@@ -131,7 +131,7 @@ bool chk_for_static() {
   constexpr std::int64_t kN = 128;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Static, 0,
+    o::loop(0, kN, {o::Schedule::Static, 0},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -148,7 +148,7 @@ bool chk_for_static_chunk() {
   constexpr std::int64_t kN = 97;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Static, 5,
+    o::loop(0, kN, {o::Schedule::Static, 5},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -165,7 +165,7 @@ bool chk_for_dynamic() {
   constexpr std::int64_t kN = 100;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Dynamic, 3,
+    o::loop(0, kN, {o::Schedule::Dynamic, 3},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -182,7 +182,7 @@ bool chk_for_guided() {
   constexpr std::int64_t kN = 100;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Guided, 1,
+    o::loop(0, kN, {o::Schedule::Guided, 1},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -199,7 +199,7 @@ bool chk_for_consecutive() {
   std::atomic<std::int64_t> sum{0};
   o::parallel([&](int, int) {
     for (int round = 0; round < 4; ++round) {
-      o::for_loop(0, 50, o::Schedule::Static, 0,
+      o::loop(0, 50, {o::Schedule::Static, 0},
                   [&](std::int64_t b, std::int64_t e) {
                     sum.fetch_add(e - b);
                   });
@@ -212,7 +212,7 @@ bool chk_for_consecutive() {
 bool chk_for_sum_values() {
   std::atomic<std::int64_t> sum{0};
   o::parallel([&](int, int) {
-    o::for_loop(1, 101, o::Schedule::Dynamic, 7,
+    o::loop(1, 101, {o::Schedule::Dynamic, 7},
                 [&](std::int64_t b, std::int64_t e) {
                   std::int64_t local = 0;
                   for (std::int64_t i = b; i < e; ++i) local += i;
@@ -361,11 +361,11 @@ bool chk_nested_listing1() {
   constexpr std::int64_t kN = 4;
   std::atomic<int> leaf{0};
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Static, 0,
+    o::loop(0, kN, {o::Schedule::Static, 0},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     o::parallel(2, [&](int, int) {
-                      o::for_loop(0, kN, o::Schedule::Static, 0,
+                      o::loop(0, kN, {o::Schedule::Static, 0},
                                   [&](std::int64_t ib, std::int64_t ie) {
                                     leaf.fetch_add(
                                         static_cast<int>(ie - ib));
@@ -504,7 +504,7 @@ bool chk_guided_chunk_floor() {
   std::atomic<bool> ok{true};
   std::atomic<std::int64_t> covered{0};
   o::parallel([&](int, int) {
-    o::for_loop(0, 200, o::Schedule::Guided, 8,
+    o::loop(0, 200, {o::Schedule::Guided, 8},
                 [&](std::int64_t b, std::int64_t e) {
                   covered.fetch_add(e - b);
                   if (e - b < 8 && e != 200) ok.store(false);
@@ -527,9 +527,9 @@ bool chk_set_num_threads() {
 bool chk_for_empty_range() {
   bool entered = false;
   o::parallel([&](int, int) {
-    o::for_loop(5, 5, o::Schedule::Dynamic, 1,
+    o::loop(5, 5, {o::Schedule::Dynamic, 1},
                 [&](std::int64_t, std::int64_t) { entered = true; });
-    o::for_loop(9, 3, o::Schedule::Static, 0,
+    o::loop(9, 3, {o::Schedule::Static, 0},
                 [&](std::int64_t, std::int64_t) { entered = true; });
   });
   return !entered;

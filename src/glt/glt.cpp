@@ -179,6 +179,20 @@ Ult* ult_create_to(int tid, WorkFn fn, void* arg) {
   return nullptr;
 }
 
+bool ult_is_done(Ult* u) {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return abt::is_done(reinterpret_cast<abt::WorkUnit*>(u));
+    case Impl::qth:
+      // The qthread's completion fills its return-word FEB; probing the
+      // word's full bit is Qthreads' native non-blocking completion test.
+      return qth::feb_is_full(&reinterpret_cast<QthUltRecord*>(u)->ret);
+    case Impl::mth:
+      return mth::is_done(reinterpret_cast<mth::Strand*>(u));
+  }
+  return false;
+}
+
 void ult_join(Ult* u) {
   switch (g_state->cfg.impl) {
     case Impl::abt:

@@ -68,6 +68,14 @@ Ult* ult_create_to(int tid, WorkFn fn, void* arg);
 /// Waits for the ULT and destroys it.
 void ult_join(Ult* u);
 
+/// Non-destructive completion poll: true once the ULT has finished
+/// executing (ult_join must still be called to reclaim it). Maps to
+/// abt::is_done / the qth return-word FEB / mth::is_done — the
+/// per-handle probe for completion-order joins (conformance tests in
+/// tests/test_glt.cpp; abl_glt_dispatch's burst-co cell uses the
+/// aggregate counter form of the same idea).
+[[nodiscard]] bool ult_is_done(Ult* u);
+
 Tasklet* tasklet_create(WorkFn fn, void* arg);
 Tasklet* tasklet_create_to(int tid, WorkFn fn, void* arg);
 void tasklet_join(Tasklet* t);

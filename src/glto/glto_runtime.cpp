@@ -9,6 +9,7 @@
 #include "common/env.hpp"
 #include "common/spin.hpp"
 #include "omp/task_support.hpp"
+#include "sched/freelist.hpp"
 #include "taskdep/taskdep.hpp"
 
 namespace glto::rt {
@@ -93,24 +94,51 @@ struct TaskCtx {
   bool in_master = false;
 };
 
-/// Argument block for team-member and task ULT thunks.
+/// Argument block for team-member ULT thunks. RegionBody is non-owning:
+/// the forking caller's frame outlives the join.
 struct MemberArg {
   Team* team;
   int tid;
-  const std::function<void(int, int)>* body;
+  omp::RegionBody body;
 };
 
 class GltoRuntime;
 
+/// Per-task record carrying the v2 descriptor through deferral and the
+/// dependency engine (DepPayload rides the descriptor). Recycled through
+/// a process-wide freelist — after warm-up, spawning a task with a small
+/// trivially-copyable capture touches no allocator at all.
 struct TaskArg : DepPayload {
   TaskArg() : DepPayload{Kind::spawn} {}
   Team* team = nullptr;
-  std::function<void()> fn;
+  omp::TaskDesc desc;
   GltoRuntime* rt = nullptr;
   TaskCtx* parent = nullptr;            ///< creator (outlives us: it joins)
   TgScope* group = nullptr;             ///< enclosing taskgroup, if any
   taskdep::TaskNode* node = nullptr;    ///< non-null for depend tasks
 };
+
+/// TaskArg recycling: per-OS-thread lists keyed by detail::record_rank()
+/// (unique across runtime instances), locked shared slab beyond that.
+sched::Freelist<TaskArg>& arg_pool() {
+  static sched::Freelist<TaskArg> pool(omp::detail::kRecordPoolWorkers);
+  return pool;
+}
+
+TaskArg* alloc_task_arg() {
+  if (TaskArg* a = arg_pool().try_alloc(omp::detail::record_rank())) return a;
+  return new TaskArg();
+}
+
+void free_task_arg(TaskArg* a) {
+  a->team = nullptr;
+  a->desc = omp::TaskDesc();  // already consumed by run(); stay empty
+  a->rt = nullptr;
+  a->parent = nullptr;
+  a->group = nullptr;
+  a->node = nullptr;
+  arg_pool().recycle(omp::detail::record_rank(), a);
+}
 
 class GltoRuntime final : public omp::Runtime {
  public:
@@ -147,8 +175,7 @@ class GltoRuntime final : public omp::Runtime {
   [[nodiscard]] const char* name() const override { return name_.c_str(); }
   void set_name(std::string n) { name_ = std::move(n); }
 
-  void parallel(int nthreads,
-                const std::function<void(int, int)>& body) override {
+  void parallel(int nthreads, omp::RegionBody body) override {
     TaskCtx* pctx = cur();
     int nth = nthreads > 0 ? nthreads : default_threads_;
     const int new_level = pctx->team->level + 1;
@@ -167,7 +194,7 @@ class GltoRuntime final : public omp::Runtime {
     ults.reserve(static_cast<std::size_t>(nth > 0 ? nth - 1 : 0));
     const int glt_n = glt::num_threads();
     for (int i = 1; i < nth; ++i) {
-      args[static_cast<std::size_t>(i)] = MemberArg{&team, i, &body};
+      args[static_cast<std::size_t>(i)] = MemberArg{&team, i, body};
       glt::Ult* u =
           outer ? glt::ult_create_to(i % glt_n, member_thunk,
                                      &args[static_cast<std::size_t>(i)])
@@ -318,7 +345,7 @@ class GltoRuntime final : public omp::Runtime {
     critical_locks_[tag].unlock();
   }
 
-  void task(std::function<void()> fn, const omp::TaskFlags& flags) override {
+  void task(omp::TaskDesc desc, const omp::TaskFlags& flags) override {
     TaskCtx* c = cur();
     const bool has_deps = !flags.depend.empty();
     if (!flags.if_clause || flags.final) {
@@ -343,7 +370,7 @@ class GltoRuntime final : public omp::Runtime {
       inline_ctx.parent = c;
       inline_ctx.is_explicit_task = true;
       glt::set_self_local(&inline_ctx);
-      fn();
+      desc.run();
       // Release at task completion, before the child join — same rule as
       // task_thunk: a child depending on this task's own dep object must
       // be releasable here or the join would spin on it forever.
@@ -353,9 +380,9 @@ class GltoRuntime final : public omp::Runtime {
       return;
     }
     tasks_queued_.fetch_add(1, std::memory_order_relaxed);
-    auto* arg = new TaskArg();
+    TaskArg* arg = alloc_task_arg();
     arg->team = c->team;
-    arg->fn = std::move(fn);
+    arg->desc = std::move(desc);
     arg->rt = this;
     arg->parent = c;
     arg->group = c->group;
@@ -414,7 +441,11 @@ class GltoRuntime final : public omp::Runtime {
     delete g;
   }
 
-  omp::TaskStats task_stats() override { return dep_engine_.stats(); }
+  omp::TaskStats task_stats() override {
+    omp::TaskStats s;
+    static_cast<taskdep::Stats&>(s) = dep_engine_.stats();
+    return s;
+  }
 
   void taskyield() override { glt::yield(); }
 
@@ -445,8 +476,7 @@ class GltoRuntime final : public omp::Runtime {
     return c;
   }
 
-  static void run_member(Team* team, int tid,
-                         const std::function<void(int, int)>& body,
+  static void run_member(Team* team, int tid, const omp::RegionBody& body,
                          TaskCtx* parent) {
     TaskCtx ctx;
     ctx.team = team;
@@ -465,7 +495,7 @@ class GltoRuntime final : public omp::Runtime {
     ctx.team = a->team;
     ctx.tid = a->tid;
     glt::set_self_local(&ctx);
-    (*a->body)(a->tid, a->team->size);
+    a->body(a->tid, a->team->size);
     join_children(&ctx);
   }
 
@@ -481,7 +511,7 @@ class GltoRuntime final : public omp::Runtime {
                   : 0;
     ctx.is_explicit_task = true;
     glt::set_self_local(&ctx);
-    a->fn();
+    a->desc.run();
     // Dependences release at *task* completion (OpenMP's rule), before the
     // transitive child join: children live in their own dependence domain,
     // and a child depending on this task's own dep object must be
@@ -491,7 +521,7 @@ class GltoRuntime final : public omp::Runtime {
     if (a->group != nullptr) {
       a->group->pending.fetch_sub(1, std::memory_order_release);
     }
-    delete a;
+    free_task_arg(a);
   }
 
   /// How a ready depend task's ULT is placed.

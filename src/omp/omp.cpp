@@ -3,10 +3,13 @@
 #include <atomic>
 #include <memory>
 
+#include "common/cacheline.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
 #include "glto/glto_runtime.hpp"
+#include "omp/task_support.hpp"
 #include "pomp/pomp_runtime.hpp"
+#include "sched/freelist.hpp"
 
 namespace glto::omp {
 
@@ -18,6 +21,98 @@ RuntimeKind g_kind = RuntimeKind::glto_abt;
 void parse_omp_schedule();
 
 }  // namespace
+
+// ---- descriptor spill pool + placement counters ---------------------------
+
+namespace detail {
+
+namespace {
+
+struct SpillSlab {
+  alignas(std::max_align_t) unsigned char bytes[kSpillSlabBytes];
+};
+
+/// Descriptor-placement counters, one cache-line-padded slot per record
+/// rank: a single process-wide atomic would put a contended RMW on the
+/// very task-spawn path this ABI makes allocation-free. Threads beyond
+/// kRecordPoolWorkers share slots (still correct, relaxed adds); sums
+/// are taken in task_inline_count()/task_alloc_count().
+struct alignas(common::kCacheLine) PlacementSlot {
+  std::atomic<std::uint64_t> inline_count{0};
+  std::atomic<std::uint64_t> alloc_count{0};
+};
+
+PlacementSlot g_placement[kRecordPoolWorkers];
+
+PlacementSlot& placement_slot() {
+  return g_placement[static_cast<unsigned>(record_rank()) %
+                     kRecordPoolWorkers];
+}
+
+/// Slab freelist shared by every runtime instance: per-OS-thread lists
+/// keyed by detail::record_rank(), locked shared slab beyond that. Spills
+/// recycle to the *freeing* thread's list, so producer/consumer pairs
+/// keep slabs circulating without malloc after warm-up.
+sched::Freelist<SpillSlab>& spill_pool() {
+  static sched::Freelist<SpillSlab> pool(kRecordPoolWorkers);
+  return pool;
+}
+
+}  // namespace
+
+// See the task_support.hpp declaration: noinline + asm barrier force the
+// thread_local lookup to happen at call time on the *current* OS thread,
+// never cached from before a ULT suspension (the abt::tls_now idiom).
+__attribute__((noinline)) int record_rank() {
+  asm volatile("");
+  static std::atomic<int> next{0};
+  thread_local const int rank = next.fetch_add(1, std::memory_order_relaxed);
+  return rank;
+}
+
+void* spill_alloc(std::size_t bytes) {
+  if (bytes <= kSpillSlabBytes) {
+    if (SpillSlab* s = spill_pool().try_alloc(record_rank())) return s;
+    return new SpillSlab();
+  }
+  return ::operator new(bytes);
+}
+
+void spill_free(void* p, std::size_t bytes) {
+  if (bytes <= kSpillSlabBytes) {
+    spill_pool().recycle(record_rank(), static_cast<SpillSlab*>(p));
+    return;
+  }
+  ::operator delete(p);
+}
+
+void note_task_inline() {
+  placement_slot().inline_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_task_alloc() {
+  placement_slot().alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t task_inline_count() {
+  std::uint64_t sum = 0;
+  for (const PlacementSlot& s : g_placement) {
+    sum += s.inline_count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t task_alloc_count() {
+  std::uint64_t sum = 0;
+  for (const PlacementSlot& s : g_placement) {
+    sum += s.alloc_count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+}  // namespace detail
+
+// ---- runtime selection ----------------------------------------------------
 
 const char* kind_name(RuntimeKind k) {
   switch (k) {
@@ -115,14 +210,6 @@ Runtime& runtime() {
 
 // ---- directives -----------------------------------------------------------
 
-void parallel(int num_threads, const std::function<void(int, int)>& body) {
-  runtime().parallel(num_threads, body);
-}
-
-void parallel(const std::function<void(int, int)>& body) {
-  runtime().parallel(0, body);
-}
-
 namespace {
 
 // OMP_SCHEDULE for schedule(runtime); parsed at select() time.
@@ -149,7 +236,10 @@ void parse_omp_schedule() {
   }
 }
 
-/// Resolves auto/runtime schedules to a concrete kind+chunk.
+}  // namespace
+
+namespace detail {
+
 void resolve_schedule(Schedule* sched, std::int64_t* chunk) {
   if (*sched == Schedule::Auto) {
     *sched = Schedule::Static;
@@ -160,72 +250,29 @@ void resolve_schedule(Schedule* sched, std::int64_t* chunk) {
   }
 }
 
-}  // namespace
-
-void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
-              std::int64_t chunk,
-              const std::function<void(std::int64_t, std::int64_t)>& body) {
-  Runtime& rt = runtime();
-  resolve_schedule(&sched, &chunk);
-  rt.loop_begin(lo, hi, sched, chunk);
-  std::int64_t b = 0, e = 0;
-  while (rt.loop_next(&b, &e)) body(b, e);
-  rt.loop_end();
-}
-
-void parallel_for(std::int64_t lo, std::int64_t hi,
-                  const std::function<void(std::int64_t)>& body) {
-  runtime().parallel(0, [&](int, int) {
-    for_loop(lo, hi, Schedule::Static, 0,
-             [&](std::int64_t b, std::int64_t e) {
-               for (std::int64_t i = b; i < e; ++i) body(i);
-             });
-  });
-}
-
-void parallel_for_ranges(
-    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
-  runtime().parallel(0, [&](int, int) { for_loop(lo, hi, sched, chunk, body); });
-}
+}  // namespace detail
 
 void barrier() { runtime().barrier(); }
 
-void single(const std::function<void()>& body) {
-  Runtime& rt = runtime();
-  if (rt.single_try()) {
-    body();
-    rt.single_done();
-  }
-  rt.barrier();  // implicit barrier at the end of single
+void task(std::function<void()> fn) {
+  runtime().task(TaskDesc::make(std::move(fn)), {});
 }
-
-void master(const std::function<void()>& body) {
-  if (runtime().thread_num() == 0) body();
-}
-
-void critical(const std::function<void()>& body) {
-  critical(nullptr, body);
-}
-
-void critical(const void* tag, const std::function<void()>& body) {
-  Runtime& rt = runtime();
-  rt.critical_enter(tag);
-  body();
-  rt.critical_exit(tag);
-}
-
-void task(std::function<void()> fn) { runtime().task(std::move(fn), {}); }
 
 void task(std::function<void()> fn, const TaskFlags& flags) {
-  runtime().task(std::move(fn), flags);
+  runtime().task(TaskDesc::make(std::move(fn)), flags);
 }
 
 void taskwait() { runtime().taskwait(); }
 
 void taskyield() { runtime().taskyield(); }
 
-TaskStats task_stats() { return runtime().task_stats(); }
+TaskStats task_stats() {
+  TaskStats s;
+  static_cast<taskdep::Stats&>(s) = runtime().task_stats();
+  s.task_inline = detail::task_inline_count();
+  s.task_alloc = detail::task_alloc_count();
+  return s;
+}
 
 // ---- queries ----------------------------------------------------------------
 
@@ -236,48 +283,50 @@ int max_threads() { return runtime().default_threads(); }
 void set_num_threads(int n) { runtime().set_default_threads(n); }
 void set_nested(bool enabled) { runtime().set_nested(enabled); }
 
-double reduce_sum(std::int64_t lo, std::int64_t hi,
-                  const std::function<double(std::int64_t)>& term) {
-  Runtime& rt = runtime();
-  std::atomic<double> total{0.0};
-  rt.parallel(0, [&](int, int) {
-    double local = 0.0;
-    for_loop(lo, hi, Schedule::Static, 0,
-             [&](std::int64_t b, std::int64_t e) {
-               for (std::int64_t i = b; i < e; ++i) local += term(i);
-             });
-    // One atomic combine per member (what reduction(+:x) compiles to).
-    double cur = total.load(std::memory_order_relaxed);
-    while (!total.compare_exchange_weak(cur, cur + local,
-                                        std::memory_order_relaxed)) {
-    }
-  });
-  return total.load(std::memory_order_relaxed);
-}
+// ---- sections ---------------------------------------------------------------
 
-void sections(const std::vector<std::function<void()>>& blocks) {
+void sections(const Section* blocks, std::size_t count) {
   // Compiles to a dynamic loop over section indices (exactly how GCC
   // lowers #pragma omp sections), one block per grab, barrier after.
   Runtime& rt = runtime();
-  for_loop(0, static_cast<std::int64_t>(blocks.size()), Schedule::Dynamic, 1,
-           [&](std::int64_t b, std::int64_t e) {
-             for (std::int64_t i = b; i < e; ++i) {
-               blocks[static_cast<std::size_t>(i)]();
-             }
-           });
+  loop(0, static_cast<std::int64_t>(count),
+       LoopOpts{Schedule::Dynamic, 1, 0},
+       [&](std::int64_t b, std::int64_t e) {
+         for (std::int64_t i = b; i < e; ++i) {
+           const Section& s = blocks[static_cast<std::size_t>(i)];
+           s.fn(s.ctx);
+         }
+       });
   rt.barrier();
 }
 
-void taskgroup(const std::function<void()>& body) {
-  // Group-scoped wait: only tasks created inside the group are awaited
-  // (grandchildren complete transitively — each task drains its own
-  // children before finishing in both runtime families). Earlier siblings
-  // keep running; the old taskwait fallback over-waited them.
-  Runtime& rt = runtime();
-  rt.taskgroup_begin();
-  body();
-  rt.taskgroup_end();
+void sections(const std::vector<std::function<void()>>& blocks) {
+  std::vector<Section> descs;
+  descs.reserve(blocks.size());
+  for (const auto& b : blocks) descs.push_back(section_of(b));
+  sections(descs.data(), descs.size());
 }
+
+// ---- deprecated v1 loop wrappers --------------------------------------------
+
+void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
+              std::int64_t chunk,
+              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  loop(lo, hi, LoopOpts{sched, chunk, 0}, body);
+}
+
+void parallel_for(std::int64_t lo, std::int64_t hi,
+                  const std::function<void(std::int64_t)>& body) {
+  par_for(lo, hi, body);
+}
+
+void parallel_for_ranges(
+    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  par_for(lo, hi, LoopOpts{sched, chunk, 0}, body);
+}
+
+// ---- locks ------------------------------------------------------------------
 
 void Lock::set() {
   Runtime& rt = runtime();

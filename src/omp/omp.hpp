@@ -1,4 +1,4 @@
-// omp — the application-facing OpenMP-style API.
+// omp — the application-facing OpenMP-style API (v2).
 //
 // Applications (UTS, CloverLeaf-mini, CG, the microbenchmarks, examples)
 // are written once against this facade and run unmodified over any of the
@@ -14,14 +14,35 @@
 // code, swappable runtime underneath. Select a runtime with omp::select()
 // or $OMP_RUNTIME; tear it down with omp::shutdown() before selecting
 // another.
+//
+// API v2 (zero-allocation task ABI — see docs/API.md for migration
+// notes): task/loop entry points are templates that build omp::TaskDesc
+// descriptors in place, so a task with a small trivially-copyable capture
+// performs no heap allocation anywhere between the call site and the
+// scheduler. Highlights:
+//
+//     omp::task(f, args...)                 — descriptor task, firstprivate args
+//     omp::task_ret(f, args...)             — returns omp::future<T>
+//     omp::par_for(lo, hi, {sched,grain,cutoff}, body)
+//                                           — fork + grain-controlled loop + join
+//     omp::loop(lo, hi, opts, body)         — work-shared loop inside parallel
+//     omp::sections(f1, f2, ...)            — span-style section dispatch
+//
+// The v1 std::function overloads (task, for_loop, parallel_for,
+// parallel_for_ranges, vector-based sections) remain as thin
+// [[deprecated]] wrappers; in-tree code is fully migrated and CI builds
+// with -Werror=deprecated-declarations.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "omp/runtime.hpp"
@@ -69,45 +90,295 @@ void shutdown();
 /// the free functions below.
 [[nodiscard]] Runtime& runtime();
 
+namespace detail {
+/// Resolves Auto/Runtime schedules to a concrete kind+chunk (Runtime
+/// comes from $OMP_SCHEDULE, parsed at select() time). Defined in omp.cpp.
+void resolve_schedule(Schedule* sched, std::int64_t* chunk);
+}  // namespace detail
+
 // ---- directives ---------------------------------------------------------
 
-/// #pragma omp parallel num_threads(n)
-void parallel(int num_threads, const std::function<void(int, int)>& body);
+/// #pragma omp parallel num_threads(n) — @p body is any callable taking
+/// (thread_num, team_size); it is invoked through a non-owning RegionBody
+/// trampoline (the caller's frame outlives the fork/join).
+template <class F,
+          std::enable_if_t<std::is_invocable_v<F&, int, int>, int> = 0>
+void parallel(int num_threads, F&& body) {
+  runtime().parallel(num_threads, detail::region_of(body));
+}
 
 /// #pragma omp parallel (default team size)
-void parallel(const std::function<void(int, int)>& body);
+template <class F,
+          std::enable_if_t<std::is_invocable_v<F&, int, int>, int> = 0>
+void parallel(F&& body) {
+  runtime().parallel(0, detail::region_of(body));
+}
+
+/// Loop options for omp::par_for / omp::loop — schedule kind, grain
+/// (chunk) size, and a serial cutoff.
+struct LoopOpts {
+  Schedule sched = Schedule::Static;
+  /// Chunk granted per dispatch: schedule(sched, grain). 0 → per-schedule
+  /// default (static: one balanced block per member; dynamic/guided: 1).
+  std::int64_t grain = 0;
+  /// par_for only: trip counts <= cutoff skip the fork entirely and run
+  /// serial in the caller — the task-granularity control the paper's
+  /// Fig. 14 cut-off study applies to loops.
+  std::int64_t cutoff = 0;
+};
+
+namespace detail {
+/// Dispatches one loop chunk to @p body, which may take a range
+/// (int64 begin, int64 end) or a single index (int64 i).
+template <class Body>
+void invoke_chunk(Body& body, std::int64_t b, std::int64_t e) {
+  if constexpr (std::is_invocable_v<Body&, std::int64_t, std::int64_t>) {
+    body(b, e);
+  } else {
+    static_assert(std::is_invocable_v<Body&, std::int64_t>,
+                  "loop body must take (int64) or (int64, int64)");
+    for (std::int64_t i = b; i < e; ++i) body(i);
+  }
+}
+}  // namespace detail
 
 /// #pragma omp for schedule(...) — must be called inside parallel by every
-/// team member; iterates @p body over chunks. No implicit barrier.
-void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
-              std::int64_t chunk,
-              const std::function<void(std::int64_t, std::int64_t)>& body);
+/// team member; chunks [lo, hi) through the team's shared loop descriptor
+/// and hands each grant straight to @p body (no type erasure, no implicit
+/// barrier — call omp::barrier() if the next construct needs one).
+template <class Body>
+void loop(std::int64_t lo, std::int64_t hi, LoopOpts opts, Body&& body) {
+  Runtime& rt = runtime();
+  Schedule sched = opts.sched;
+  std::int64_t chunk = opts.grain;
+  detail::resolve_schedule(&sched, &chunk);
+  rt.loop_begin(lo, hi, sched, chunk);
+  std::int64_t b = 0, e = 0;
+  while (rt.loop_next(&b, &e)) detail::invoke_chunk(body, b, e);
+  rt.loop_end();
+}
 
-/// #pragma omp parallel for — fork + static loop + join in one call.
-void parallel_for(std::int64_t lo, std::int64_t hi,
-                  const std::function<void(std::int64_t)>& body);
+/// #pragma omp parallel for — fork + work-shared loop + join in one call.
+/// Subsumes the v1 parallel_for / parallel_for_ranges pair: @p body takes
+/// an index or a range, and opts carries schedule/grain/cutoff.
+template <class Body>
+void par_for(std::int64_t lo, std::int64_t hi, LoopOpts opts, Body&& body) {
+  if (hi <= lo) return;
+  if (opts.cutoff > 0 && hi - lo <= opts.cutoff) {
+    detail::invoke_chunk(body, lo, hi);  // below cutoff: no fork at all
+    return;
+  }
+  parallel([&](int, int) { loop(lo, hi, opts, body); });
+}
 
-/// parallel_for with explicit schedule/chunk and a range body.
-void parallel_for_ranges(
-    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
-    const std::function<void(std::int64_t, std::int64_t)>& body);
+template <class Body>
+void par_for(std::int64_t lo, std::int64_t hi, Body&& body) {
+  par_for(lo, hi, LoopOpts{}, std::forward<Body>(body));
+}
 
 /// #pragma omp barrier
 void barrier();
 
 /// #pragma omp single — runs @p body on one member; implicit barrier after.
-void single(const std::function<void()>& body);
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+void single(F&& body) {
+  Runtime& rt = runtime();
+  if (rt.single_try()) {
+    body();
+    rt.single_done();
+  }
+  rt.barrier();  // implicit barrier at the end of single
+}
 
 /// #pragma omp master — runs on thread 0 only; no barrier.
-void master(const std::function<void()>& body);
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+void master(F&& body) {
+  if (runtime().thread_num() == 0) body();
+}
 
 /// #pragma omp critical [(tag)]
-void critical(const std::function<void()>& body);
-void critical(const void* tag, const std::function<void()>& body);
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+void critical(const void* tag, F&& body) {
+  Runtime& rt = runtime();
+  rt.critical_enter(tag);
+  body();
+  rt.critical_exit(tag);
+}
 
-/// #pragma omp task
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+void critical(F&& body) {
+  critical(nullptr, std::forward<F>(body));
+}
+
+/// #pragma omp task — builds a TaskDesc in place: @p f plus decay-copied
+/// @p args (firstprivate). Small trivially-copyable captures live inline
+/// in the descriptor; task creation allocates nothing.
+template <class F, class... Args,
+          std::enable_if_t<
+              std::is_invocable_v<std::decay_t<F>&, std::decay_t<Args>&...>,
+              int> = 0>
+void task(F&& f, Args&&... args) {
+  runtime().task(
+      TaskDesc::make(std::forward<F>(f), std::forward<Args>(args)...), {});
+}
+
+/// #pragma omp task with clauses (untied/final/if/depend).
+template <class F,
+          std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>, int> = 0>
+void task(F&& f, const TaskFlags& flags) {
+  runtime().task(TaskDesc::make(std::forward<F>(f)), flags);
+}
+
+/// v1 compatibility: a std::function forces a heap-spilled descriptor.
+[[deprecated(
+    "omp::task takes any callable directly now; passing std::function "
+    "boxes the capture and spills the descriptor payload")]]
 void task(std::function<void()> fn);
+[[deprecated(
+    "omp::task takes any callable directly now; passing std::function "
+    "boxes the capture and spills the descriptor payload")]]
 void task(std::function<void()> fn, const TaskFlags& flags);
+
+// ---- value-returning tasks: omp::future<T> ------------------------------
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  std::atomic<int> refs{2};  ///< the future + the task closure
+  std::atomic<bool> done{false};
+  std::exception_ptr error{};
+  bool has_value = false;
+  alignas(T) unsigned char storage[sizeof(T)];
+
+  [[nodiscard]] T* value_ptr() { return reinterpret_cast<T*>(storage); }
+  ~FutureState() {
+    if (has_value) value_ptr()->~T();
+  }
+  static void unref(FutureState* s) {
+    if (s->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete s;
+  }
+};
+
+template <>
+struct FutureState<void> {
+  std::atomic<int> refs{2};
+  std::atomic<bool> done{false};
+  std::exception_ptr error{};
+  static void unref(FutureState* s) {
+    if (s->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete s;
+  }
+};
+
+}  // namespace detail
+
+/// Handle to the result of an omp::task_ret task. Completion is observed
+/// by polling the runtime's scheduling machinery: wait() yields the
+/// calling ULT (GLTO) or runs queued tasks in place (pthread runtimes) —
+/// the same cooperative progress rule as taskwait, but for one task.
+/// Exceptions thrown by the task body are transported and rethrown from
+/// get(). Move-only; get() consumes the handle.
+template <class T>
+class future {
+ public:
+  future() = default;
+  explicit future(detail::FutureState<T>* st) : st_(st) {}
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+  future(future&& o) noexcept : st_(o.st_) { o.st_ = nullptr; }
+  future& operator=(future&& o) noexcept {
+    if (this != &o) {
+      reset();
+      st_ = o.st_;
+      o.st_ = nullptr;
+    }
+    return *this;
+  }
+  ~future() { reset(); }
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+  /// Non-blocking completion poll (the FEB/is_done shape of the GLT layer).
+  [[nodiscard]] bool is_done() const {
+    return st_ != nullptr && st_->done.load(std::memory_order_acquire);
+  }
+
+  /// Blocks cooperatively until the task completed. Safe to call before
+  /// or after completion; the handle stays valid for get().
+  void wait() {
+    if (st_ == nullptr) return;  // moved-from / consumed: nothing to wait on
+    while (!st_->done.load(std::memory_order_acquire)) {
+      if (selected()) {
+        Runtime& rt = runtime();
+        rt.taskyield();
+        // taskyield on the pthread runtimes only runs a queued task when
+        // one exists — it has no backoff of its own. The polite wait
+        // hint honours the configured wait policy, so an empty-queue
+        // spin doesn't run hot and starve the member executing the task
+        // on oversubscribed hosts (GLTO: one extra ULT yield, harmless).
+        rt.yield_hint();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Waits, then returns the task's value (or rethrows its exception).
+  /// Consumes the handle: valid() is false afterwards; a second get()
+  /// (or get() on a moved-from handle) throws instead of crashing.
+  T get() {
+    if (st_ == nullptr) {
+      throw std::logic_error("omp::future::get on an empty handle");
+    }
+    wait();
+    detail::FutureState<T>* st = st_;
+    st_ = nullptr;
+    struct Unref {
+      detail::FutureState<T>* s;
+      ~Unref() { detail::FutureState<T>::unref(s); }
+    } guard{st};
+    if (st->error) std::rethrow_exception(st->error);
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*st->value_ptr());
+    }
+  }
+
+ private:
+  void reset() {
+    if (st_ != nullptr) {
+      detail::FutureState<T>::unref(st_);
+      st_ = nullptr;
+    }
+  }
+  detail::FutureState<T>* st_ = nullptr;
+};
+
+/// #pragma omp task with a result: runs f(args...) as a task and returns
+/// a future for its value. The shared state is one small allocation; the
+/// descriptor itself follows the usual inline/spill rule.
+template <class F, class... Args>
+[[nodiscard]] auto task_ret(F&& f, Args&&... args)
+    -> future<std::invoke_result_t<std::decay_t<F>&, std::decay_t<Args>&...>> {
+  using R = std::invoke_result_t<std::decay_t<F>&, std::decay_t<Args>&...>;
+  auto* st = new detail::FutureState<R>();
+  task([st, fn = std::decay_t<F>(std::forward<F>(f)),
+        tup = std::tuple<std::decay_t<Args>...>(
+            std::forward<Args>(args)...)]() mutable {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        std::apply(fn, tup);
+      } else {
+        ::new (static_cast<void*>(st->storage)) R(std::apply(fn, tup));
+        st->has_value = true;
+      }
+    } catch (...) {
+      st->error = std::current_exception();
+    }
+    st->done.store(true, std::memory_order_release);
+    detail::FutureState<R>::unref(st);
+  });
+  return future<R>(st);
+}
 
 /// depend-clause builders for TaskFlags::depend. The pointer is the
 /// OpenMP "list item": pass an object's address (size defaults to one
@@ -129,7 +400,10 @@ void task(std::function<void()> fn, const TaskFlags& flags);
 void taskwait();
 void taskyield();
 
-/// Dependency-engine counters of the active runtime.
+/// Dependency-engine + descriptor-placement counters of the active
+/// runtime. task_inline/task_alloc are process-wide monotonic (they count
+/// descriptor construction in the facade, above any one runtime) — take
+/// deltas around the region of interest.
 [[nodiscard]] TaskStats task_stats();
 
 // ---- queries (omp_* library routines) -----------------------------------
@@ -143,18 +417,91 @@ void set_nested(bool enabled);      ///< omp_set_nested
 
 /// Parallel sum-reduction helper (the pattern `reduction(+:acc)` expands
 /// to): each member accumulates privately; master receives the total.
-double reduce_sum(std::int64_t lo, std::int64_t hi,
-                  const std::function<double(std::int64_t)>& term);
+template <class F,
+          std::enable_if_t<std::is_invocable_v<F&, std::int64_t>, int> = 0>
+double reduce_sum(std::int64_t lo, std::int64_t hi, F&& term) {
+  std::atomic<double> total{0.0};
+  parallel([&](int, int) {
+    double local = 0.0;
+    loop(lo, hi, LoopOpts{},
+         [&](std::int64_t b, std::int64_t e) {
+           for (std::int64_t i = b; i < e; ++i) local += term(i);
+         });
+    // One atomic combine per member (what reduction(+:x) compiles to).
+    double cur = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(cur, cur + local,
+                                        std::memory_order_relaxed)) {
+    }
+  });
+  return total.load(std::memory_order_relaxed);
+}
 
-/// #pragma omp sections — distributes the given blocks over the team
-/// (dynamic dispatch, one block per grab); implicit barrier after.
+// ---- sections -----------------------------------------------------------
+
+/// One section block: a non-owning descriptor (the callable outlives the
+/// sections call). Build with omp::section_of or the variadic overload.
+struct Section {
+  void (*fn)(void*) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Wraps a caller-owned callable (lvalue) as a Section.
+template <class F>
+[[nodiscard]] Section section_of(F& f) {
+  return Section{[](void* p) { (*static_cast<F*>(p))(); },
+                 const_cast<void*>(static_cast<const void*>(std::addressof(f)))};
+}
+
+/// #pragma omp sections — distributes @p count blocks over the team
+/// (dynamic dispatch, one block per grab); implicit barrier after. The
+/// span form: callers keep the blocks in any contiguous storage.
+void sections(const Section* blocks, std::size_t count);
+
+/// Variadic form: each argument is one section block.
+template <class... Fs,
+          std::enable_if_t<(sizeof...(Fs) > 0) &&
+                               (std::is_invocable_v<Fs&> && ...),
+                           int> = 0>
+void sections(Fs&&... blocks) {
+  const Section arr[] = {section_of(blocks)...};
+  sections(arr, sizeof...(Fs));
+}
+
+/// v1 compatibility: copies nothing anymore (takes the vector by const
+/// reference), but still routes every block through a std::function.
+[[deprecated("use omp::sections(f1, f2, ...) or the Section-span overload")]]
 void sections(const std::vector<std::function<void()>>& blocks);
 
 /// #pragma omp taskgroup — runs @p body, then waits for the tasks the
 /// current task created *inside the group* (descendants complete
 /// transitively — see the runtime docs). Tasks created before the group —
 /// e.g. by an enclosing depend task — are NOT waited for.
-void taskgroup(const std::function<void()>& body);
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+void taskgroup(F&& body) {
+  // Group-scoped wait: only tasks created inside the group are awaited
+  // (grandchildren complete transitively — each task drains its own
+  // children before finishing in both runtime families).
+  Runtime& rt = runtime();
+  rt.taskgroup_begin();
+  body();
+  rt.taskgroup_end();
+}
+
+// ---- deprecated v1 loop surface -----------------------------------------
+
+[[deprecated("use omp::loop(lo, hi, {sched, grain}, body)")]]
+void for_loop(std::int64_t lo, std::int64_t hi, Schedule sched,
+              std::int64_t chunk,
+              const std::function<void(std::int64_t, std::int64_t)>& body);
+
+[[deprecated("use omp::par_for(lo, hi, body)")]]
+void parallel_for(std::int64_t lo, std::int64_t hi,
+                  const std::function<void(std::int64_t)>& body);
+
+[[deprecated("use omp::par_for(lo, hi, {sched, grain}, body)")]]
+void parallel_for_ranges(
+    std::int64_t lo, std::int64_t hi, Schedule sched, std::int64_t chunk,
+    const std::function<void(std::int64_t, std::int64_t)>& body);
 
 // ---- locks (omp_lock_t / omp_nest_lock_t) -------------------------------
 

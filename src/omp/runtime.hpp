@@ -1,10 +1,17 @@
-// The runtime-neutral OpenMP execution interface.
+// The runtime-neutral OpenMP execution interface (task ABI v2).
 //
 // This plays the role the OpenMP ABI plays in the paper: the same
 // application binary runs over the Intel runtime (pthreads) or over GLTO
 // (LWTs) just by switching the linked runtime (paper Fig. 2). Here the
 // "ABI" is this abstract class; applications use the omp:: facade
 // (src/omp/omp.hpp) and never see concrete runtimes.
+//
+// ABI v2: the only work currency crossing this interface is the POD
+// omp::TaskDesc (trampoline + inline payload; see task_desc.hpp) for
+// explicit tasks and the non-owning RegionBody for parallel regions —
+// no std::function crosses a virtual call, so the facade's templated
+// entry points reach the scheduler without a single heap allocation for
+// small trivially-copyable captures.
 //
 // Implementations:
 //   * pomp::GnuRuntime   — libgomp-like pthread baseline
@@ -13,9 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <vector>
+#include <memory>
 
+#include "omp/task_desc.hpp"
 #include "taskdep/dep.hpp"
 
 namespace glto::omp {
@@ -28,6 +35,28 @@ enum class Schedule : std::uint8_t {
   Runtime,  ///< taken from OMP_SCHEDULE at runtime selection
 };
 
+/// Non-owning trampoline for a parallel-region body: the forking caller's
+/// frame outlives the region (fork/join), so the runtime only carries a
+/// function pointer + context — the v2 replacement for the
+/// std::function<void(int,int)> the v1 ABI copied through every virtual
+/// parallel() and stored per worker assignment.
+struct RegionBody {
+  using Fn = void (*)(void*, int, int);
+  Fn fn = nullptr;
+  void* ctx = nullptr;
+  void operator()(int tid, int team_size) const { fn(ctx, tid, team_size); }
+};
+
+namespace detail {
+/// Wraps a caller-owned callable (lvalue; must outlive the region).
+template <class F>
+[[nodiscard]] inline RegionBody region_of(F& body) {
+  return RegionBody{
+      [](void* p, int tid, int nth) { (*static_cast<F*>(p))(tid, nth); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body)))};
+}
+}  // namespace detail
+
 struct TaskFlags {
   bool untied = false;
   bool final = false;
@@ -36,12 +65,19 @@ struct TaskFlags {
   /// *deferred*: it is withheld from the scheduler until every
   /// predecessor completes, then enqueued by the releasing thread
   /// (undeferred tasks with deps instead wait inline for their turn).
-  std::vector<taskdep::Dep> depend;
+  /// Inline storage for up to four clauses — no allocation on the tile
+  /// kernels the bqp workload emits.
+  taskdep::DepList depend;
 };
 
-/// Dependency-engine counters (basis for the abl_taskdep ablation); all
-/// zero for a runtime that saw no depend clauses.
-using TaskStats = taskdep::Stats;
+/// Dependency-engine counters plus descriptor-placement counters (the
+/// inline-payload rate of the v2 task ABI). Basis for abl_taskdep and the
+/// abl_glt_dispatch omp-task cells; dep fields are zero for a runtime
+/// that saw no depend clauses.
+struct TaskStats : taskdep::Stats {
+  std::uint64_t task_inline = 0;  ///< descriptors whose capture fit inline
+  std::uint64_t task_alloc = 0;   ///< descriptors that spilled to slab/heap
+};
 
 /// Counters every runtime maintains; basis for Tables II and III.
 struct Counters {
@@ -63,8 +99,7 @@ class Runtime {
   /// (thread_num, team_size); an implicit barrier precedes the return.
   /// @p nthreads <= 0 requests the runtime default (OMP_NUM_THREADS).
   /// Nested calls create nested teams when nesting is enabled.
-  virtual void parallel(int nthreads,
-                        const std::function<void(int, int)>& body) = 0;
+  virtual void parallel(int nthreads, RegionBody body) = 0;
 
   // --- team queries, relative to the innermost enclosing region ---------
   [[nodiscard]] virtual int thread_num() = 0;
@@ -96,10 +131,10 @@ class Runtime {
   virtual void critical_exit(const void* tag) = 0;
 
   // --- explicit tasks ----------------------------------------------------
-  /// Creates an explicit task. flags.depend orders it after conflicting
-  /// earlier tasks (see TaskFlags); taskwait also waits for dependent
-  /// tasks the engine is still withholding.
-  virtual void task(std::function<void()> fn, const TaskFlags& flags) = 0;
+  /// Creates an explicit task from a moved-in descriptor. flags.depend
+  /// orders it after conflicting earlier tasks (see TaskFlags); taskwait
+  /// also waits for dependent tasks the engine is still withholding.
+  virtual void task(TaskDesc desc, const TaskFlags& flags) = 0;
   virtual void taskwait() = 0;
   virtual void taskyield() = 0;
 
@@ -112,6 +147,9 @@ class Runtime {
   virtual void taskgroup_end() { taskwait(); }
 
   /// Dependency-engine counters (deps registered/deferred, DAG wake-ups).
+  /// The descriptor-placement counters are filled in by the facade's
+  /// omp::task_stats() — they live in the descriptor layer, above any
+  /// single runtime.
   [[nodiscard]] virtual TaskStats task_stats() { return {}; }
 
   /// Polite wait hint while spinning on user-level synchronization (omp

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "omp/task_support.hpp"
+#include "sched/freelist.hpp"
 #include "sched/locked_queue.hpp"
 #include "taskdep/taskdep.hpp"
 
@@ -41,10 +42,12 @@ using omp::detail::DepPayload;
 using omp::detail::ReadyGate;
 using omp::detail::TgScope;
 
-/// A deferred explicit task.
+/// A deferred explicit task: the v2 descriptor rides through the queues
+/// and the dependency engine (DepPayload header). Records recycle through
+/// a process-wide freelist keyed by detail::record_rank().
 struct TaskRec : DepPayload {
   TaskRec() : DepPayload{Kind::spawn} {}
-  std::function<void()> fn;
+  omp::TaskDesc desc;
   TaskCtx* creator = nullptr;
   struct PompTeam* team = nullptr;
   bool untied = false;
@@ -52,6 +55,27 @@ struct TaskRec : DepPayload {
   TgScope* group = nullptr;           ///< enclosing taskgroup, if any
   taskdep::TaskNode* node = nullptr;  ///< non-null for depend tasks
 };
+
+sched::Freelist<TaskRec>& rec_pool() {
+  static sched::Freelist<TaskRec> pool(omp::detail::kRecordPoolWorkers);
+  return pool;
+}
+
+TaskRec* alloc_task_rec() {
+  if (TaskRec* r = rec_pool().try_alloc(omp::detail::record_rank())) return r;
+  return new TaskRec();
+}
+
+void free_task_rec(TaskRec* r) {
+  r->desc = omp::TaskDesc();  // consumed by run(); keep the slot empty
+  r->creator = nullptr;
+  r->team = nullptr;
+  r->untied = false;
+  r->final = false;
+  r->group = nullptr;
+  r->node = nullptr;
+  rec_pool().recycle(omp::detail::record_rank(), r);
+}
 
 struct PompTeam {
   int size = 1;
@@ -97,11 +121,12 @@ thread_local TaskCtx* t_ctx = nullptr;
 thread_local bool t_in_ready_fallback = false;
 thread_local std::vector<TaskRec*> t_ready_spill;
 
-/// Work order handed to a pooled/spawned worker thread.
+/// Work order handed to a pooled/spawned worker thread. RegionBody is
+/// non-owning: the forking caller's frame outlives the region.
 struct Assignment {
   PompTeam* team = nullptr;
   int tid = 0;
-  const std::function<void(int, int)>* body = nullptr;
+  omp::RegionBody body;
   std::atomic<int>* remaining = nullptr;  // members still running
 };
 
@@ -150,8 +175,7 @@ class PompRuntime : public omp::Runtime {
 
   // ---- region management -------------------------------------------------
 
-  void parallel(int nthreads,
-                const std::function<void(int, int)>& body) override {
+  void parallel(int nthreads, omp::RegionBody body) override {
     TaskCtx* pctx = t_ctx;
     int nth = nthreads > 0 ? nthreads : default_threads_;
     const int new_level = pctx->team->level + 1;
@@ -170,7 +194,7 @@ class PompRuntime : public omp::Runtime {
     const bool fresh_only = new_level > 1 && !reuse_nested_;
     for (int i = 1; i < nth; ++i) {
       auto& a = assigns[static_cast<std::size_t>(i)];
-      a = Assignment{&team, i, &body, &remaining};
+      a = Assignment{&team, i, body, &remaining};
       engaged.push_back(engage_worker(&a, fresh_only, i));
     }
 
@@ -346,7 +370,7 @@ class PompRuntime : public omp::Runtime {
 
   // ---- tasks ---------------------------------------------------------------
 
-  void task(std::function<void()> fn, const omp::TaskFlags& flags) override {
+  void task(omp::TaskDesc desc, const omp::TaskFlags& flags) override {
     TaskCtx* c = t_ctx;
     const bool has_deps = !flags.depend.empty();
     if (!flags.if_clause) {
@@ -361,14 +385,14 @@ class PompRuntime : public omp::Runtime {
             if (!try_run_one_task(c->team)) wait_relax();
           }
         }
-        run_inline(c, std::move(fn), sub.node);
+        run_inline(c, std::move(desc), sub.node);
         return;
       }
-      run_inline(c, std::move(fn));
+      run_inline(c, std::move(desc));
       return;
     }
-    auto* rec = new TaskRec();
-    rec->fn = std::move(fn);
+    TaskRec* rec = alloc_task_rec();
+    rec->desc = std::move(desc);
     rec->creator = c;
     rec->team = c->team;
     rec->untied = flags.untied;
@@ -425,7 +449,11 @@ class PompRuntime : public omp::Runtime {
     delete g;
   }
 
-  omp::TaskStats task_stats() override { return dep_engine_.stats(); }
+  omp::TaskStats task_stats() override {
+    omp::TaskStats s;
+    static_cast<taskdep::Stats&>(s) = dep_engine_.stats();
+    return s;
+  }
 
   void taskyield() override {
     // Tied pthread tasks cannot migrate; the best a baseline can do is run
@@ -475,7 +503,7 @@ class PompRuntime : public omp::Runtime {
     ctx.parent = rec->creator;
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
-    rec->fn();
+    rec->desc.run();
     // Dependences release at *task* completion (OpenMP's rule), before the
     // child drain: a child depending on this task's own dep object must be
     // releasable here, or the drain below would spin on it forever. The
@@ -493,7 +521,7 @@ class PompRuntime : public omp::Runtime {
     rec->creator->children_outstanding.fetch_sub(1,
                                                  std::memory_order_release);
     rec->team->tasks_outstanding.fetch_sub(1, std::memory_order_release);
-    delete rec;
+    free_task_rec(rec);
   }
 
   /// Dependency wake-up target: enqueue a released task through the
@@ -538,7 +566,7 @@ class PompRuntime : public omp::Runtime {
     rec->team->rt->enqueue_ready(rec);
   }
 
-  void run_inline(TaskCtx* c, std::function<void()> fn,
+  void run_inline(TaskCtx* c, omp::TaskDesc desc,
                   taskdep::TaskNode* node = nullptr) {
     tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
     TaskCtx ctx;
@@ -547,7 +575,7 @@ class PompRuntime : public omp::Runtime {
     ctx.parent = c;
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
-    fn();
+    desc.run();
     // Release at task completion, before the child drain — same rule as
     // execute(): a child depending on this task's own dep object must be
     // releasable here or the drain would spin on it forever.
@@ -574,8 +602,7 @@ class PompRuntime : public omp::Runtime {
 
  private:
   static void run_member(PompTeam* team, int tid,
-                         const std::function<void(int, int)>& body,
-                         TaskCtx* parent) {
+                         const omp::RegionBody& body, TaskCtx* parent) {
     TaskCtx ctx;
     ctx.team = team;
     ctx.tid = tid;
@@ -626,7 +653,7 @@ class PompRuntime : public omp::Runtime {
         a = w->assignment;
         w->assignment = nullptr;
       }
-      run_member(a->team, a->tid, *a->body, nullptr);
+      run_member(a->team, a->tid, a->body, nullptr);
       // Help drain this region's tasks before reporting completion.
       while (a->team->tasks_outstanding.load(std::memory_order_acquire) >
              0) {

@@ -46,10 +46,19 @@ class Freelist {
   /// Pops a recycled node (per-worker list, batch-refilled from the slab)
   /// or returns nullptr — the caller heap-allocates a fresh one. Lock-free
   /// unless the local list is empty and the slab has stock. @p rank < 0
-  /// (foreign thread) always returns nullptr.
+  /// (foreign thread) or beyond the worker count takes the locked slab
+  /// path — slower, but without it such threads would recycle into the
+  /// slab while never draining it, growing it without bound (e.g. gnu's
+  /// nested mode churns through fresh OS threads every region).
   [[nodiscard]] Node* try_alloc(int rank) {
     if (rank < 0 || static_cast<std::size_t>(rank) >= lists_.size()) {
-      return nullptr;
+      if (slab_size_.load(std::memory_order_relaxed) == 0) return nullptr;
+      common::SpinGuard g(slab_lock_);
+      if (slab_.empty()) return nullptr;
+      Node* n = slab_.back();
+      slab_.pop_back();
+      slab_size_.store(slab_.size(), std::memory_order_relaxed);
+      return n;
     }
     PerWorker& pw = lists_[static_cast<std::size_t>(rank)];
     if (pw.items.empty() &&

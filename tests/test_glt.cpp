@@ -55,6 +55,35 @@ TEST_P(GltBackend, ManyUltsAllRun) {
   EXPECT_EQ(count.load(), kN);
 }
 
+TEST_P(GltBackend, UltIsDoneTracksCompletion) {
+  // The non-destructive completion probe behind the completion-order
+  // burst join: false until the body ran, true after, join still works.
+  std::atomic<int> count{0};
+  constexpr int kN = 100;
+  std::vector<gg::Ult*> us;
+  us.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    us.push_back(gg::ult_create(
+        [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+        &count));
+  }
+  // Completion-order reclaim: join whatever finished first.
+  std::size_t remaining = us.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (auto& u : us) {
+      if (u != nullptr && gg::ult_is_done(u)) {
+        gg::ult_join(u);
+        u = nullptr;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) gg::yield();
+  }
+  EXPECT_EQ(count.load(), kN);
+}
+
 TEST_P(GltBackend, UltCreateToAllThreads) {
   std::atomic<int> count{0};
   std::vector<gg::Ult*> us;

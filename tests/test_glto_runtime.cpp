@@ -51,7 +51,7 @@ TEST(GltoRegion, Table2UltArithmetic) {
   select_glto(o::RuntimeKind::glto_abt, 6);
   o::runtime().reset_counters();
   o::parallel([&](int, int) {
-    o::for_loop(0, 12, o::Schedule::Static, 0,
+    o::loop(0, 12, {o::Schedule::Static, 0},
                 [&](std::int64_t lo, std::int64_t hi) {
                   for (std::int64_t i = lo; i < hi; ++i) {
                     o::parallel([](int, int) {});

@@ -75,7 +75,7 @@ TEST_P(OmpRuntime, StaticForCoversRangeExactlyOnce) {
   constexpr std::int64_t kN = 1000;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Static, 0,
+    o::loop(0, kN, {o::Schedule::Static, 0},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -89,7 +89,7 @@ TEST_P(OmpRuntime, StaticChunkedRoundRobin) {
   constexpr std::int64_t kN = 103;  // deliberately not divisible
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Static, 7,
+    o::loop(0, kN, {o::Schedule::Static, 7},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -103,7 +103,7 @@ TEST_P(OmpRuntime, DynamicForCoversRangeExactlyOnce) {
   constexpr std::int64_t kN = 500;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Dynamic, 3,
+    o::loop(0, kN, {o::Schedule::Dynamic, 3},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -117,7 +117,7 @@ TEST_P(OmpRuntime, GuidedForCoversRangeExactlyOnce) {
   constexpr std::int64_t kN = 500;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Guided, 2,
+    o::loop(0, kN, {o::Schedule::Guided, 2},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -129,9 +129,9 @@ TEST_P(OmpRuntime, GuidedForCoversRangeExactlyOnce) {
 
 TEST_P(OmpRuntime, EmptyLoopRangeIsSafe) {
   o::parallel([&](int, int) {
-    o::for_loop(10, 10, o::Schedule::Dynamic, 1,
+    o::loop(10, 10, {o::Schedule::Dynamic, 1},
                 [&](std::int64_t, std::int64_t) { FAIL(); });
-    o::for_loop(10, 5, o::Schedule::Static, 0,
+    o::loop(10, 5, {o::Schedule::Static, 0},
                 [&](std::int64_t, std::int64_t) { FAIL(); });
   });
 }
@@ -141,7 +141,7 @@ TEST_P(OmpRuntime, ConsecutiveLoopsInOneRegion) {
   std::atomic<long long> sum{0};
   o::parallel([&](int, int) {
     for (int round = 0; round < 10; ++round) {
-      o::for_loop(0, kN, o::Schedule::Static, 0,
+      o::loop(0, kN, {o::Schedule::Static, 0},
                   [&](std::int64_t b, std::int64_t e) {
                     sum.fetch_add(e - b);
                   });
@@ -374,11 +374,11 @@ TEST_P(OmpRuntime, NestedLoopDistribution) {
   constexpr std::int64_t kOuter = 8, kInner = 8;
   std::vector<std::atomic<int>> hits(kOuter * kInner);
   o::parallel([&](int, int) {
-    o::for_loop(0, kOuter, o::Schedule::Static, 0,
+    o::loop(0, kOuter, {o::Schedule::Static, 0},
                 [&](std::int64_t ob, std::int64_t oe) {
                   for (std::int64_t i = ob; i < oe; ++i) {
                     o::parallel(2, [&](int, int) {
-                      o::for_loop(0, kInner, o::Schedule::Static, 0,
+                      o::loop(0, kInner, {o::Schedule::Static, 0},
                                   [&](std::int64_t ib, std::int64_t ie) {
                                     for (std::int64_t j = ib; j < ie; ++j) {
                                       hits[static_cast<std::size_t>(

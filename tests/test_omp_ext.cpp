@@ -84,23 +84,48 @@ TEST_P(OmpExt, NestLockTestFailsForNonOwner) {
   lock.unset();
 }
 
+namespace {
+/// A stable section callable for the span-style o::sections overload.
+struct Bump {
+  std::atomic<int>* hit = nullptr;
+  void operator()() const { hit->fetch_add(1); }
+};
+}  // namespace
+
 TEST_P(OmpExt, SectionsRunEachBlockOnce) {
-  std::vector<std::atomic<int>> hits(6);
-  std::vector<std::function<void()>> blocks;
-  for (int i = 0; i < 6; ++i) {
-    blocks.push_back([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
-  }
-  o::parallel([&](int, int) { o::sections(blocks); });
+  // Variadic form: each argument is one section block.
+  std::atomic<int> a{0}, b{0}, c{0};
+  o::parallel([&](int, int) {
+    o::sections([&] { a.fetch_add(1); }, [&] { b.fetch_add(2); },
+                [&] { c.fetch_add(3); });
+  });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+  EXPECT_EQ(c.load(), 3);
+}
+
+TEST_P(OmpExt, SectionsSpanFormDistributesAcrossMembers) {
+  // More sections than members, via the Section-span overload (dynamic
+  // block counts); all must complete regardless of balance.
+  std::vector<std::atomic<int>> hits(17);
+  std::vector<Bump> blocks;
+  for (auto& h : hits) blocks.push_back(Bump{&h});
+  std::vector<o::Section> secs;
+  for (auto& blk : blocks) secs.push_back(o::section_of(blk));
+  o::parallel([&](int, int) { o::sections(secs.data(), secs.size()); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST_P(OmpExt, SectionsDistributeAcrossMembers) {
-  // More sections than members; all must complete regardless of balance.
+TEST_P(OmpExt, SectionsDeprecatedVectorFormStillWorks) {
+  // v1 compatibility path (kept as a deprecated wrapper).
   std::atomic<int> done{0};
   std::vector<std::function<void()>> blocks;
-  for (int i = 0; i < 17; ++i) blocks.push_back([&] { done.fetch_add(1); });
+  for (int i = 0; i < 6; ++i) blocks.push_back([&] { done.fetch_add(1); });
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   o::parallel([&](int, int) { o::sections(blocks); });
-  EXPECT_EQ(done.load(), 17);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(done.load(), 6);
 }
 
 TEST_P(OmpExt, TaskgroupWaitsForItsTasks) {
@@ -119,7 +144,7 @@ TEST_P(OmpExt, AutoScheduleCoversRange) {
   constexpr std::int64_t kN = 300;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Auto, 0,
+    o::loop(0, kN, {o::Schedule::Auto, 0},
                 [&](std::int64_t b, std::int64_t e) {
                   for (std::int64_t i = b; i < e; ++i) {
                     hits[static_cast<std::size_t>(i)].fetch_add(1);
@@ -151,7 +176,7 @@ TEST(OmpSchedule, RuntimeScheduleReadsEnv) {
   constexpr std::int64_t kN = 100;
   std::vector<std::atomic<int>> hits(kN);
   o::parallel([&](int, int) {
-    o::for_loop(0, kN, o::Schedule::Runtime, 0,
+    o::loop(0, kN, {o::Schedule::Runtime, 0},
                 [&](std::int64_t b, std::int64_t e) {
                   EXPECT_LE(e - b, 4) << "OMP_SCHEDULE chunk respected";
                   for (std::int64_t i = b; i < e; ++i) {

@@ -1,0 +1,369 @@
+// Task ABI v2: omp::TaskDesc placement (inline vs spill), value-returning
+// omp::future<T> (results, exceptions, wait ordering), grain-controlled
+// par_for/loop, and the deprecated v1 compatibility wrappers — swept
+// across all five runtimes (gnu/intel pthreads and glto over abt/qth/mth;
+// the CI backend-parity job re-runs the glto rows under each $GLT_IMPL).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "glt/glt.hpp"
+#include "omp/omp.hpp"
+
+namespace o = glto::omp;
+
+class TaskV2 : public ::testing::TestWithParam<o::RuntimeKind> {
+ protected:
+  void SetUp() override {
+    o::SelectOptions opts;
+    opts.num_threads = 4;
+    opts.bind_threads = false;
+    opts.active_wait = false;
+    o::select(GetParam(), opts);
+  }
+  void TearDown() override { o::shutdown(); }
+};
+
+// ---- descriptor placement ---------------------------------------------------
+
+TEST_P(TaskV2, SmallCaptureStaysInlineZeroAllocs) {
+  std::atomic<int> ran{0};
+  const auto before = o::task_stats();
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 0; i < 64; ++i) {
+        o::task([&ran] { ran.fetch_add(1); });  // 8-byte capture
+      }
+      o::taskwait();
+    });
+  });
+  const auto after = o::task_stats();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(after.task_inline - before.task_inline, 64u);
+  EXPECT_EQ(after.task_alloc - before.task_alloc, 0u)
+      << "captures <= inline capacity must not allocate";
+}
+
+TEST_P(TaskV2, OversizedCaptureSpillsAndStillRuns) {
+  struct Big {
+    std::int64_t vals[16];  // 128 bytes: > TaskDesc::kInlineBytes
+  };
+  Big big{};
+  for (int i = 0; i < 16; ++i) big.vals[i] = i + 1;
+  std::atomic<std::int64_t> sum{0};
+  const auto before = o::task_stats();
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task([&sum, big] {
+        std::int64_t s = 0;
+        for (std::int64_t v : big.vals) s += v;
+        sum.fetch_add(s);
+      });
+      o::taskwait();
+    });
+  });
+  const auto after = o::task_stats();
+  EXPECT_EQ(sum.load(), 16 * 17 / 2);
+  EXPECT_GE(after.task_alloc - before.task_alloc, 1u)
+      << "a 128-byte capture must spill";
+}
+
+TEST_P(TaskV2, NonTriviallyCopyableCaptureSpillsCorrectly) {
+  // A std::string capture cannot be memcpy-moved; the descriptor must
+  // spill it and run its destructor exactly once.
+  std::string payload(100, 'x');
+  std::atomic<std::size_t> seen{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      o::task([&seen, payload] { seen.store(payload.size()); });
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(seen.load(), 100u);
+}
+
+TEST_P(TaskV2, FirstprivateArgsAreDecayCopied) {
+  std::atomic<std::int64_t> sum{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      for (int i = 1; i <= 8; ++i) {
+        // task(f, args...): i is captured by value at creation time.
+        o::task([&sum](int v, int w) { sum.fetch_add(v * w); }, i, 2);
+      }
+      o::taskwait();
+    });
+  });
+  EXPECT_EQ(sum.load(), 2 * 8 * 9 / 2);
+}
+
+TEST_P(TaskV2, DeprecatedStdFunctionOverloadStillWorks) {
+  std::atomic<int> ran{0};
+  const auto before = o::task_stats();
+  o::parallel([&](int, int) {
+    o::single([&] {
+      std::function<void()> fn = [&ran] { ran.fetch_add(1); };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      o::task(fn);
+      o::TaskFlags flags;
+      o::task(fn, flags);
+#pragma GCC diagnostic pop
+      o::taskwait();
+    });
+  });
+  const auto after = o::task_stats();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_GE(after.task_alloc - before.task_alloc, 2u)
+      << "boxed std::function payloads spill (the v1 cost model)";
+}
+
+// ---- omp::future<T> ---------------------------------------------------------
+
+TEST_P(TaskV2, FutureReturnsValue) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([] { return 6 * 7; });
+      EXPECT_TRUE(f.valid());
+      EXPECT_EQ(f.get(), 42);
+      EXPECT_FALSE(f.valid()) << "get() consumes the handle";
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureReturnsStringBuiltFromArgs) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret(
+          [](const std::string& a, int n) {
+            std::string out;
+            for (int i = 0; i < n; ++i) out += a;
+            return out;
+          },
+          std::string("ab"), 3);
+      EXPECT_EQ(f.get(), "ababab");
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureVoidCompletes) {
+  std::atomic<int> ran{0};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([&ran] { ran.fetch_add(1); });
+      f.wait();
+      EXPECT_TRUE(f.is_done());
+      f.get();  // void get: rethrows or returns nothing
+      EXPECT_EQ(ran.load(), 1);
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureTransportsException) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([]() -> int {
+        throw std::runtime_error("task failed");
+      });
+      EXPECT_THROW((void)f.get(), std::runtime_error);
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureWaitAfterCompletionIsImmediate) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([] { return 1; });
+      o::taskwait();  // task certainly finished
+      EXPECT_TRUE(f.is_done());
+      f.wait();  // must not deadlock / spin
+      EXPECT_EQ(f.get(), 1);
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureWaitBeforeCompletionBlocksUntilDone) {
+  std::atomic<bool> gate{false};
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([&gate] {
+        while (!gate.load(std::memory_order_acquire)) {
+          // Runs on another member (or interleaved by yields).
+        }
+        return 7;
+      });
+      // Open the gate from a second task so single-member teams make
+      // progress through wait()'s taskyield loop.
+      o::task([&gate] { gate.store(true, std::memory_order_release); });
+      EXPECT_EQ(f.get(), 7);
+      o::taskwait();
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureSpilledPayloadRoundTrips) {
+  struct Big {
+    double d[12];  // forces the descriptor payload to spill
+  };
+  Big big{};
+  big.d[11] = 3.5;
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([big] { return big.d[11] * 2; });
+      EXPECT_DOUBLE_EQ(f.get(), 7.0);
+    });
+  });
+}
+
+TEST_P(TaskV2, FutureGetOnConsumedHandleThrows) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      auto f = o::task_ret([] { return 5; });
+      EXPECT_EQ(f.get(), 5);
+      EXPECT_THROW((void)f.get(), std::logic_error) << "consumed handle";
+      o::future<int> moved_from = o::task_ret([] { return 6; });
+      o::future<int> moved_to = std::move(moved_from);
+      EXPECT_THROW((void)moved_from.get(), std::logic_error);
+      EXPECT_EQ(moved_to.get(), 6);
+    });
+  });
+}
+
+TEST_P(TaskV2, ManyFuturesComplete) {
+  o::parallel([&](int, int) {
+    o::single([&] {
+      std::vector<o::future<int>> fs;
+      fs.reserve(32);
+      for (int i = 0; i < 32; ++i) {
+        fs.push_back(o::task_ret([i] { return i * i; }));
+      }
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(fs[i].get(), i * i);
+    });
+  });
+}
+
+// ---- grain-controlled loops -------------------------------------------------
+
+TEST_P(TaskV2, ParForIndexBodyCoversRange) {
+  constexpr std::int64_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  o::par_for(0, kN, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(TaskV2, ParForGrainBoundsChunkSize) {
+  constexpr std::int64_t kN = 100;
+  std::atomic<std::int64_t> covered{0};
+  std::atomic<bool> ok{true};
+  o::par_for(0, kN, {o::Schedule::Dynamic, 4, 0},
+             [&](std::int64_t b, std::int64_t e) {
+               if (e - b > 4) ok.store(false);
+               covered.fetch_add(e - b);
+             });
+  EXPECT_TRUE(ok.load()) << "grain caps every dynamic dispatch";
+  EXPECT_EQ(covered.load(), kN);
+}
+
+TEST_P(TaskV2, ParForCutoffRunsSerial) {
+  constexpr std::int64_t kN = 64;
+  const auto counters_before = o::runtime().counters();
+  std::atomic<std::int64_t> sum{0};
+  o::par_for(0, kN, {o::Schedule::Static, 0, kN},  // cutoff == trip count
+             [&](std::int64_t i) { sum.fetch_add(i); });
+  const auto counters_after = o::runtime().counters();
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+  // Below the cutoff no team is forked: no new ULTs (glto) and no worker
+  // thread engagements (pthread runtimes).
+  EXPECT_EQ(counters_after.ults_created, counters_before.ults_created);
+  EXPECT_EQ(
+      counters_after.os_threads_created + counters_after.os_threads_reused,
+      counters_before.os_threads_created + counters_before.os_threads_reused);
+}
+
+TEST_P(TaskV2, LoopInsideParallelGuidedCoversRange) {
+  constexpr std::int64_t kN = 150;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::loop(0, kN, {o::Schedule::Guided, 2, 0},
+            [&](std::int64_t b, std::int64_t e) {
+              for (std::int64_t i = b; i < e; ++i) {
+                hits[static_cast<std::size_t>(i)].fetch_add(1);
+              }
+            });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(TaskV2, DeprecatedLoopWrappersStillCover) {
+  constexpr std::int64_t kN = 60;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<std::int64_t> sum{0};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  o::parallel_for(0, kN, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  o::parallel_for_ranges(0, kN, o::Schedule::Dynamic, 5,
+                         [&](std::int64_t b, std::int64_t e) {
+                           sum.fetch_add(e - b);
+                         });
+  o::parallel([&](int, int) {
+    o::for_loop(0, kN, o::Schedule::Static, 0,
+                [&](std::int64_t b, std::int64_t e) { sum.fetch_add(e - b); });
+  });
+#pragma GCC diagnostic pop
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(sum.load(), 2 * kN);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimes, TaskV2,
+    ::testing::Values(o::RuntimeKind::gnu, o::RuntimeKind::intel,
+                      o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                      o::RuntimeKind::glto_mth),
+    [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
+      std::string n = o::kind_name(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// ---- glt::ult_is_done (the completion-order join probe) ---------------------
+
+namespace {
+std::atomic<int> g_glt_ran{0};
+void bump(void*) { g_glt_ran.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace
+
+TEST(GltIsDone, ProbeTurnsTrueAndJoinReclaims) {
+  glto::glt::Config cfg;
+  cfg.num_threads = 2;
+  cfg.bind_threads = false;
+  glto::glt::init(cfg);
+  std::vector<glto::glt::Ult*> us;
+  for (int i = 0; i < 64; ++i) {
+    us.push_back(glto::glt::ult_create(bump, nullptr));
+  }
+  // Completion-order reclaim: poll, joining whatever finished first.
+  std::size_t remaining = us.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (auto& u : us) {
+      if (u != nullptr && glto::glt::ult_is_done(u)) {
+        glto::glt::ult_join(u);
+        u = nullptr;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) glto::glt::yield();
+  }
+  EXPECT_EQ(g_glt_ran.load(), 64);
+  glto::glt::finalize();
+}

@@ -291,8 +291,14 @@ TEST(Freelist, RanksOutOfRangeFallBackToSlab) {
   auto* r = new Rec();
   fl.recycle(7, r);  // out-of-range rank must not index a list
   EXPECT_EQ(fl.slab_size_approx(), 1u);
-  EXPECT_EQ(fl.try_alloc(7), nullptr);
-  EXPECT_EQ(fl.try_alloc(0), r);
+  // Out-of-range ranks allocate through the slab too: without this, a
+  // process churning past the pool's worker count would recycle into the
+  // slab forever and never drain it (unbounded growth).
+  EXPECT_EQ(fl.try_alloc(7), r);
+  EXPECT_EQ(fl.slab_size_approx(), 0u);
+  EXPECT_EQ(fl.try_alloc(-1), nullptr) << "slab empty: caller allocates";
+  fl.recycle(-1, r);
+  EXPECT_EQ(fl.try_alloc(0), r) << "in-range refill still works";
   fl.recycle(0, r);
 }
 
