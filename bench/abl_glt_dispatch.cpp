@@ -36,13 +36,16 @@
 //    every payload). task_stats() prints the task_inline/task_alloc
 //    split, proving the inline rate.
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "abt/abt.hpp"
 #include "bench_common.hpp"
 #include "glt/glt.hpp"
+#include "sched/dispatch.hpp"
 
 namespace ga = glto::abt;
 namespace gg = glto::glt;
@@ -241,36 +244,145 @@ int main() {
   // TaskArg — zero heap allocations after warm-up); "boxed" pushes the
   // same work through the deprecated std::function overload, the v1 cost
   // model (type-erased callable + spilled payload on every spawn).
-  b::print_header("omp task burst on glto-abt: v2 descriptors vs boxed (s)");
-  for (int nth : b::thread_sweep()) {
-    b::select_runtime(o::RuntimeKind::glto_abt, nth);
-    const auto run_v2 = [&] {
-      o::parallel([&](int, int) {
-        o::single([&] {
-          for (int i = 0; i < burst; ++i) {
+  //
+  // The single-producer cell sweeps $GLTO_WAKE_POLICY (the fan-out
+  // dispatch PR's ablation axis): `one` = targeted wake per deposit (the
+  // default), `threshold` = bulk deposits engage victims proportionally,
+  // `all` = the legacy per-push broadcast. JSONL rows carry the policy
+  // plus park/wake counter deltas so BENCH_dispatch.json can attribute
+  // wins to the wakeup protocol rather than container noise.
+  const char* const kWakePolicies[] = {"one", "threshold", "all"};
+  // The sweeps override $GLTO_WAKE_POLICY per cell; the caller's ambient
+  // value (CI re-runs the whole binary under each policy) is restored
+  // afterwards so the non-sweep cells measure what the caller asked for.
+  const auto ambient_policy = c::env_str("GLTO_WAKE_POLICY");
+  const auto restore_policy = [&] {
+    c::env_set("GLTO_WAKE_POLICY",
+               ambient_policy ? ambient_policy->c_str() : nullptr);
+  };
+  const auto wake_kv = [](const char* pol, const gg::Stats& s0,
+                          const gg::Stats& s1) {
+    char kv[256];
+    std::snprintf(
+        kv, sizeof kv,
+        "\"wake_policy\": \"%s\", \"parks\": %llu, \"wakes_issued\": %llu, "
+        "\"wakes_spurious\": %llu, \"bulk_deposits\": %llu",
+        pol, static_cast<unsigned long long>(s1.parks - s0.parks),
+        static_cast<unsigned long long>(s1.wakes_issued - s0.wakes_issued),
+        static_cast<unsigned long long>(s1.wakes_spurious -
+                                        s0.wakes_spurious),
+        static_cast<unsigned long long>(s1.bulk_deposits -
+                                        s0.bulk_deposits));
+    return std::string(kv);
+  };
+
+  b::print_header(
+      "omp task burst on glto-abt: single producer x wake policy (s)");
+  for (const char* pol : kWakePolicies) {
+    c::env_set("GLTO_WAKE_POLICY", pol);
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(o::RuntimeKind::glto_abt, nth);
+      const auto run_v2 = [&] {
+        o::parallel([&](int, int) {
+          o::single([&] {
+            for (int i = 0; i < burst; ++i) {
+              o::task([] { g_sink.fetch_add(1, std::memory_order_relaxed); });
+            }
+            o::taskwait();
+          });
+        });
+      };
+      run_v2();  // warm the record freelists
+      const auto before = o::task_stats();
+      const auto gs0 = gg::stats();
+      auto st = b::time_runs(reps, run_v2);
+      const auto gs1 = gg::stats();
+      const auto after = o::task_stats();
+      char row[64];
+      std::snprintf(row, sizeof row, "task-v2-%s", pol);
+      b::print_row_json(row, nth, st, wake_kv(pol, gs0, gs1));
+      std::printf(
+          "    task_inline=+%llu task_alloc=+%llu (inline rate %.1f%%) "
+          "parks=+%llu wakes=+%llu spurious=+%llu\n",
+          static_cast<unsigned long long>(after.task_inline -
+                                          before.task_inline),
+          static_cast<unsigned long long>(after.task_alloc -
+                                          before.task_alloc),
+          100.0 *
+              static_cast<double>(after.task_inline - before.task_inline) /
+              static_cast<double>((after.task_inline - before.task_inline) +
+                                  (after.task_alloc - before.task_alloc) +
+                                  1e-9),
+          static_cast<unsigned long long>(gs1.parks - gs0.parks),
+          static_cast<unsigned long long>(gs1.wakes_issued -
+                                          gs0.wakes_issued),
+          static_cast<unsigned long long>(gs1.wakes_spurious -
+                                          gs0.wakes_spurious));
+      o::shutdown();
+    }
+  }
+  restore_policy();
+
+  // Multi-producer fan-out: every team member is a producer — nth
+  // concurrent spawners each burst burst/nth tasks onto their own deques
+  // and taskwait. This is the cell where per-push broadcast wakes
+  // compound worst (every producer storms every parked worker), and where
+  // targeted wakes + stealing should hold the line as nth grows.
+  b::print_header(
+      "omp task fan-out on glto-abt: multi-producer x wake policy (s)");
+  for (const char* pol : kWakePolicies) {
+    c::env_set("GLTO_WAKE_POLICY", pol);
+    for (int nth : b::thread_sweep()) {
+      b::select_runtime(o::RuntimeKind::glto_abt, nth);
+      const int per_member = burst / (nth > 0 ? nth : 1);
+      const auto run_mp = [&] {
+        o::parallel([&](int, int) {
+          for (int i = 0; i < per_member; ++i) {
             o::task([] { g_sink.fetch_add(1, std::memory_order_relaxed); });
           }
           o::taskwait();
         });
+      };
+      run_mp();  // warm the record freelists
+      const auto gs0 = gg::stats();
+      auto st = b::time_runs(reps, run_mp);
+      const auto gs1 = gg::stats();
+      char row[64];
+      std::snprintf(row, sizeof row, "task-mp-%s", pol);
+      b::print_row_json(row, nth, st, wake_kv(pol, gs0, gs1));
+      o::shutdown();
+    }
+  }
+  restore_policy();
+
+  // Producer taskloop: the same 2048 indices as the single-producer cell,
+  // but carved into grain-64 chunks that cross the runtime as ONE bulk
+  // deposit (omp::taskloop → task_bulk → WsCore::submit_bulk) — the
+  // batch-spawn half of the fan-out PR, measured beside the per-task path.
+  b::print_header("omp taskloop burst on glto-abt: bulk grain chunks (s)");
+  for (int nth : b::thread_sweep()) {
+    b::select_runtime(o::RuntimeKind::glto_abt, nth);
+    const auto run_tl = [&] {
+      o::parallel([&](int, int) {
+        o::single([&] {
+          o::taskloop(0, burst, 64, [](std::int64_t) {
+            g_sink.fetch_add(1, std::memory_order_relaxed);
+          });
+        });
       });
     };
-    run_v2();  // warm the record freelists
-    const auto before = o::task_stats();
-    auto st = b::time_runs(reps, run_v2);
-    const auto after = o::task_stats();
-    b::print_row("task-v2", nth, st);
-    std::printf("    task_inline=+%llu task_alloc=+%llu (inline rate %.1f%%)\n",
-                static_cast<unsigned long long>(after.task_inline -
-                                                before.task_inline),
-                static_cast<unsigned long long>(after.task_alloc -
-                                                before.task_alloc),
-                100.0 *
-                    static_cast<double>(after.task_inline - before.task_inline) /
-                    static_cast<double>((after.task_inline - before.task_inline) +
-                                        (after.task_alloc - before.task_alloc) +
-                                        1e-9));
+    run_tl();
+    const auto gs0 = gg::stats();
+    auto st = b::time_runs(reps, run_tl);
+    const auto gs1 = gg::stats();
+    // This cell runs under the AMBIENT policy (CI's bench-smoke re-runs
+    // the binary with each one): label the row with what actually ran.
+    const char* ambient = glto::sched::wake_policy_name(
+        glto::sched::resolve_wake_policy(glto::sched::WakePolicy::Auto));
+    b::print_row_json("taskloop-g64", nth, st, wake_kv(ambient, gs0, gs1));
     o::shutdown();
   }
+  b::print_header("omp task burst on glto-abt: boxed v1 baseline (s)");
   for (int nth : b::thread_sweep()) {
     b::select_runtime(o::RuntimeKind::glto_abt, nth);
     const auto run_boxed = [&] {

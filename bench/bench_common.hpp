@@ -99,8 +99,13 @@ inline std::string json_escape(const char* s) {
 }
 
 /// Appends one JSONL record to $GLTO_BENCH_JSON (no-op when unset).
+/// @p extra_json, when non-empty, is spliced verbatim into the object as
+/// additional fields (callers pass pre-formatted `"key": value` pairs —
+/// the dispatch ablation attaches wake_policy and park/wake counters so
+/// BENCH_dispatch.json can attribute wins to the wakeup protocol).
 inline void json_append(const char* bench, const char* runtime, int threads,
-                        const common::RunStats& st) {
+                        const common::RunStats& st,
+                        const std::string& extra_json = std::string()) {
   const auto path = common::env_str("GLTO_BENCH_JSON");
   if (!path) return;
   std::FILE* f = std::fopen(path->c_str(), "a");
@@ -108,10 +113,11 @@ inline void json_append(const char* bench, const char* runtime, int threads,
   std::fprintf(f,
                "{\"bench\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, "
                "\"mean_s\": %.9f, \"stddev_s\": %.9f, \"min_s\": %.9f, "
-               "\"median_s\": %.9f, \"runs\": %zu}\n",
+               "\"median_s\": %.9f, \"runs\": %zu%s%s}\n",
                json_escape(bench).c_str(), json_escape(runtime).c_str(),
                threads, st.mean(), st.stddev(), st.min(), st.median(),
-               st.count());
+               st.count(), extra_json.empty() ? "" : ", ",
+               extra_json.c_str());
   std::fclose(f);
 }
 
@@ -141,6 +147,15 @@ inline void print_row_extra(const char* runtime, int threads, long long extra,
               threads, extra, st.mean(), st.stddev(), st.median(),
               st.count());
   json_append(current_bench().c_str(), runtime, threads, st);
+}
+
+/// print_row + extra JSONL fields (pre-formatted `"key": value` pairs).
+inline void print_row_json(const char* runtime, int threads,
+                           const common::RunStats& st,
+                           const std::string& extra_json) {
+  std::printf("%-18s %8d  %-12.6f %-12.6f %-12.6f %zu\n", runtime, threads,
+              st.mean(), st.stddev(), st.median(), st.count());
+  json_append(current_bench().c_str(), runtime, threads, st, extra_json);
 }
 
 }  // namespace glto::bench

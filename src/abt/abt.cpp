@@ -353,6 +353,11 @@ bool in_ult() {
   return tls.current != nullptr && tls.current->kind != Kind::Tasklet;
 }
 
+bool maybe_work() {
+  if (g_rt == nullptr || tls.rank < 0) return false;
+  return g_rt->core->maybe_work(tls.rank, tls.rank == 0);
+}
+
 Dispatch dispatch_mode() {
   if (g_rt == nullptr) return Dispatch::Auto;
   return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
@@ -364,6 +369,26 @@ WorkUnit* ult_create(WorkFn fn, void* arg) {
 
 WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg) {
   return create_unit(Kind::Ult, rank, /*pinned=*/true, fn, arg);
+}
+
+void ult_create_bulk(WorkFn fn, void* const* args, int n, WorkUnit** out,
+                     bool spread) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "abt::init has not been called");
+  if (n <= 0) return;
+  const int home = default_rank();
+  for (int i = 0; i < n; ++i) {
+    WorkUnit* wu = g_rt->free->try_alloc(tls.rank);
+    if (wu == nullptr) wu = new WorkUnit();
+    reset_unit(wu, Kind::Ult, home, /*pinned=*/false, fn, args[i]);
+    wu->stack = fctx::StackPool::global().acquire();
+    wu->ctx = fctx::make_fcontext(wu->stack.top, wu->stack.size, ult_entry);
+    out[i] = wu;
+  }
+  g_rt->ults_created.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
+  g_rt->core->submit_bulk(
+      tls.rank, out, static_cast<std::size_t>(n),
+      spread ? sched::BulkHint::spread : sched::BulkHint::local);
 }
 
 WorkUnit* tasklet_create(WorkFn fn, void* arg) {
@@ -433,6 +458,9 @@ Stats stats() {
     s.failed_steals = cs.failed_steals;
     s.parks = cs.parks;
     s.parked_us = cs.parked_us;
+    s.wakes_issued = cs.wakes_issued;
+    s.wakes_spurious = cs.wakes_spurious;
+    s.bulk_deposits = cs.bulk_deposits;
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

@@ -65,6 +65,13 @@ void finalize();
 /// True when the caller runs inside a ULT (including the primary ULT).
 [[nodiscard]] bool in_ult();
 
+/// Racy probe: could the calling xstream's scheduler run anything else
+/// right now (own pool, main slot on xstream 0, or a steal victim)? Busy-
+/// wait loops use it to decide between yielding (work exists — run it)
+/// and releasing the core (nothing runnable — spinning would only starve
+/// the producers on oversubscribed hosts).
+[[nodiscard]] bool maybe_work();
+
 /// Creates a ULT in the deque of the calling xstream (or the shared
 /// pool). Unpinned: an idle xstream may steal it.
 WorkUnit* ult_create(WorkFn fn, void* arg);
@@ -72,6 +79,16 @@ WorkUnit* ult_create(WorkFn fn, void* arg);
 /// Creates a ULT pinned to xstream @p rank (exact placement, never
 /// stolen; advisory under a shared pool).
 WorkUnit* ult_create_on(int rank, WorkFn fn, void* arg);
+
+/// Creates @p n unpinned ULTs running fn(args[i]) and deposits the whole
+/// batch through the scheduling core's bulk path: one queue publication
+/// per victim xstream and one targeted wake per victim, instead of n
+/// push+wake round-trips. @p spread fans contiguous chunks across
+/// xstreams (the single-producer fan-out pattern); otherwise the batch
+/// rides the caller's deque and woken thieves rebalance it. Handles are
+/// written to @p out[0..n).
+void ult_create_bulk(WorkFn fn, void* const* args, int n, WorkUnit** out,
+                     bool spread);
 
 /// Creates a stackless tasklet (calling xstream's deque, stealable).
 WorkUnit* tasklet_create(WorkFn fn, void* arg);
@@ -107,6 +124,9 @@ struct Stats {
   std::uint64_t stack_cache_hits = 0; ///< ULT stacks served lock-free
   std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
   std::uint64_t parked_us = 0;        ///< total requested park time, µs
+  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to workers
+  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
+  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

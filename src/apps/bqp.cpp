@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 
 #include "common/debug.hpp"
 #include "common/rng.hpp"
+#include "common/spin.hpp"
 #include "omp/omp.hpp"
 
 namespace glto::apps::bqp {
@@ -125,13 +127,77 @@ void trsv_bwd(const double* A, double* y, int n, int t, int i) {
 
 // ---- mode-dispatched scheduling -----------------------------------------
 
+/// Reusable solver workspace: the KKT tile set and every per-iteration
+/// scratch vector the IPM rebuilds. Hoisted out of solve() so repeated
+/// solves (the abl_taskdep sweeps, latency-benchmark loops) stop paying a
+/// fresh n²+O(n) allocation train per call — after the first iteration
+/// the resize calls are no-ops and the IPM touches no allocator. Every
+/// buffer is fully rewritten where it is read (K's lower triangle + the
+/// scratch vectors), so reuse cannot change the KKT residual. This is the
+/// first step toward the Sherman–Morrison–Woodbury solve (ROADMAP), whose
+/// low-rank factors will live here too.
+struct Arena {
+  std::vector<double> K, rhs, dx, hx, sr, dzl, dzu;
+};
+
+/// Arenas are leased from a process-wide pool for the duration of one
+/// solve and returned afterwards, so repeated solves reuse warm buffers
+/// while CONCURRENT solves always hold distinct arenas. (A thread_local
+/// would not be sound here: solve() crosses task-runtime suspension
+/// points, after which the calling context can resume on a different OS
+/// thread — the stale-TLS hazard abt::tls_now documents.)
+class ArenaLease {
+ public:
+  ArenaLease() {
+    common::SpinGuard g(pool_lock());
+    auto& free = pool();
+    if (!free.empty()) {
+      arena_ = std::move(free.back());
+      free.pop_back();
+    } else {
+      arena_ = std::make_unique<Arena>();
+    }
+  }
+  ~ArenaLease() {
+    // Bound the pool's resident memory: an arena whose KKT buffer grew
+    // past the cap is freed instead of pooled (one giant solve must not
+    // pin O(n²) for the process lifetime), and pool depth is capped so a
+    // burst of concurrent solves cannot park its peak width forever.
+    constexpr std::size_t kMaxPooledKDoubles = 512 * 512;  // 2 MiB
+    constexpr std::size_t kMaxPooledArenas = 8;
+    common::SpinGuard g(pool_lock());
+    auto& free = pool();
+    if (arena_->K.capacity() <= kMaxPooledKDoubles &&
+        free.size() < kMaxPooledArenas) {
+      free.push_back(std::move(arena_));
+    }
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  [[nodiscard]] Arena* get() const { return arena_.get(); }
+
+ private:
+  static common::SpinLock& pool_lock() {
+    static common::SpinLock lock;
+    return lock;
+  }
+  static std::vector<std::unique_ptr<Arena>>& pool() {
+    static std::vector<std::unique_ptr<Arena>> free;
+    return free;
+  }
+  std::unique_ptr<Arena> arena_;
+};
+
 /// Emits one tile kernel under the selected schedule: sequential runs it
 /// now, taskdep attaches the depend clauses, taskwait strips them (the
 /// fences order everything). The kernels are small trivially-copyable
 /// captures, so the v2 descriptor path spawns them without a single heap
-/// allocation (clauses stay inline in DepList as well).
+/// allocation (clauses stay inline in DepList as well). The Sched also
+/// owns the solver's reusable KKT workspace for the duration of a solve.
 struct Sched {
   Mode mode;
+  Arena* arena = nullptr;  ///< KKT tile-buffer workspace (see Arena)
 
   template <class F>
   void run(F&& fn, std::initializer_list<taskdep::Dep> deps) const {
@@ -211,6 +277,28 @@ void emit_factor_solve(double* A, double* y, int n, int t, const Sched& s) {
   }
 }
 
+/// Factor+solve under an existing Sched (solve() reuses its arena-owning
+/// Sched across IPM iterations; the public wrapper builds a transient one).
+void factor_solve_with(const Sched& s, double* A, double* x, const double* b,
+                       int n, int tile_sz) {
+  GLTO_CHECK_MSG(n > 0 && tile_sz >= 8 && n % tile_sz == 0,
+                 "bqp: n must be a multiple of tile (tile >= 8)");
+  std::memcpy(x, b, static_cast<std::size_t>(n) * sizeof(double));
+  if (s.mode == Mode::sequential) {
+    emit_factor_solve(A, x, n, tile_sz, s);
+    return;
+  }
+  GLTO_CHECK_MSG(o::selected(),
+                 "bqp: task-scheduled modes need a selected omp runtime");
+  // Producer pattern (§IV-D): one context creates the whole pipeline.
+  o::parallel([&](int, int) {
+    o::single([&] {
+      emit_factor_solve(A, x, n, tile_sz, s);
+      o::taskwait();
+    });
+  });
+}
+
 }  // namespace
 
 const char* mode_name(Mode m) {
@@ -227,23 +315,8 @@ const char* mode_name(Mode m) {
 
 void factor_solve_inplace(double* A, double* x, const double* b, int n,
                           int tile_sz, Mode mode) {
-  GLTO_CHECK_MSG(n > 0 && tile_sz >= 8 && n % tile_sz == 0,
-                 "bqp: n must be a multiple of tile (tile >= 8)");
-  std::memcpy(x, b, static_cast<std::size_t>(n) * sizeof(double));
   const Sched s{mode};
-  if (mode == Mode::sequential) {
-    emit_factor_solve(A, x, n, tile_sz, s);
-    return;
-  }
-  GLTO_CHECK_MSG(o::selected(),
-                 "bqp: task-scheduled modes need a selected omp runtime");
-  // Producer pattern (§IV-D): one context creates the whole pipeline.
-  o::parallel([&](int, int) {
-    o::single([&] {
-      emit_factor_solve(A, x, n, tile_sz, s);
-      o::taskwait();
-    });
-  });
+  factor_solve_with(s, A, x, b, n, tile_sz);
 }
 
 Problem make_problem(int n, int tile_sz, int rank, std::uint64_t seed) {
@@ -331,8 +404,25 @@ Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
     sl[ii] = x[ii] - p.lb[ii];
     su[ii] = p.ub[ii] - x[ii];
   }
-  std::vector<double> K(un * un), rhs(un), dx(un), hx(un), sr;
-  std::vector<double> dzl(un), dzu(un);
+  // Per-iteration scratch comes from the Sched-owned arena (leased for
+  // this solve): warm resizes are no-ops, so iterations 2..k — and later
+  // solves reusing the pooled arena — allocate nothing. Only the
+  // primal/dual state above stays local; it is moved into the Result.
+  const ArenaLease lease;
+  const Sched sched{mode, lease.get()};
+  std::vector<double>& K = sched.arena->K;
+  std::vector<double>& rhs = sched.arena->rhs;
+  std::vector<double>& dx = sched.arena->dx;
+  std::vector<double>& hx = sched.arena->hx;
+  std::vector<double>& sr = sched.arena->sr;
+  std::vector<double>& dzl = sched.arena->dzl;
+  std::vector<double>& dzu = sched.arena->dzu;
+  K.resize(un * un);
+  rhs.resize(un);
+  dx.resize(un);
+  hx.resize(un);
+  dzl.resize(un);
+  dzu.resize(un);
 
   Result res;
   for (int iter = 1; iter <= max_iters; ++iter) {
@@ -373,7 +463,7 @@ Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
                 (smu - su[ii] * zu[ii]) / su[ii];
     }
 
-    factor_solve_inplace(K.data(), dx.data(), rhs.data(), n, p.tile, mode);
+    factor_solve_with(sched, K.data(), dx.data(), rhs.data(), n, p.tile);
 
     double alpha = 1.0;
     for (int i = 0; i < n; ++i) {

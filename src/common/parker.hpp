@@ -1,34 +1,62 @@
-// Idle-thread parking with bounded timeouts.
+// Idle-thread parking with bounded timeouts and single-permit wakeups.
 //
 // Scheduler loops spin briefly when their pools drain, then park here. All
 // waits are timeout-bounded, so a missed notification costs at most one
 // timeout period instead of a hang; this keeps the wake protocol simple and
 // is the behaviour OMP_WAIT_POLICY=passive models.
+//
+// Wakes are *permit-based*: unpark() grants one permit, and a permit
+// granted while nobody is parked is consumed immediately by the next
+// park_for_us — so a producer that targets a worker between its last queue
+// probe and its cv wait can never lose the wake. park_for_us reports
+// whether it consumed a permit (woken) or ran out the clock (timed out);
+// the scheduling core uses the distinction to count spurious wakes and to
+// grow its adaptive backoff only on truly fruitless parks.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 namespace glto::common {
 
 class Parker {
  public:
-  /// Blocks the caller for at most @p us microseconds or until unparked.
-  void park_for_us(std::int64_t us) {
+  /// Blocks the caller for at most @p us microseconds or until a permit
+  /// is consumed. Returns true when woken by a permit (possibly granted
+  /// before the call), false on timeout.
+  ///
+  /// A Parker carries ONE permit, so it serves one parked thread — the
+  /// scheduling core gives every worker its own instance; broadcasts are
+  /// a loop of unpark() over the team (a banked permit also reaches a
+  /// worker that was between its queue probe and its park, which a
+  /// notify-all of current waiters would miss).
+  bool park_for_us(std::int64_t us) {
     std::unique_lock<std::mutex> lk(mutex_);
+    if (permit_) {
+      permit_ = false;
+      return true;
+    }
     waiters_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait_for(lk, std::chrono::microseconds(us));
+    cv_.wait_for(lk, std::chrono::microseconds(us), [&] { return permit_; });
     waiters_.fetch_sub(1, std::memory_order_relaxed);
+    if (permit_) {
+      permit_ = false;
+      return true;
+    }
+    return false;
   }
 
-  /// Wakes all parked threads (cheap no-op when nobody is parked).
-  void unpark_all() {
-    if (waiters_.load(std::memory_order_acquire) > 0) {
+  /// Grants one permit and wakes one parked thread. Never lost: a permit
+  /// granted while nobody is parked short-circuits the next park.
+  void unpark() {
+    {
       std::lock_guard<std::mutex> lk(mutex_);
-      cv_.notify_all();
+      permit_ = true;
     }
+    cv_.notify_one();
   }
 
   [[nodiscard]] int waiters() const {
@@ -38,6 +66,7 @@ class Parker {
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
+  bool permit_ = false;  ///< guarded by mutex_
   std::atomic<int> waiters_{0};
 };
 

@@ -179,6 +179,45 @@ Ult* ult_create_to(int tid, WorkFn fn, void* arg) {
   return nullptr;
 }
 
+void ult_create_bulk(WorkFn fn, void* const* args, int n, Ult** out,
+                     bool spread) {
+  if (n <= 0) return;
+  g_state->ults_created.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      abt::ult_create_bulk(fn, args, n,
+                           reinterpret_cast<abt::WorkUnit**>(out), spread);
+      break;
+    case Impl::qth: {
+      // The qth shape needs a per-ULT record (trampoline + return-word
+      // FEB); records are built in waves so the argument arrays stay on
+      // the stack while the batch deposit itself remains bulk.
+      constexpr int kWave = 256;
+      void* qargs[kWave];
+      qth::aligned_t* qrets[kWave];
+      int done = 0;
+      while (done < n) {
+        const int take = n - done < kWave ? n - done : kWave;
+        for (int i = 0; i < take; ++i) {
+          auto* rec = new QthUltRecord{fn, args[done + i], 0};
+          out[done + i] = reinterpret_cast<Ult*>(rec);
+          qargs[i] = rec;
+          qrets[i] = &rec->ret;
+        }
+        qth::fork_bulk(qth_trampoline, qargs, qrets, take, spread);
+        done += take;
+      }
+      break;
+    }
+    case Impl::mth:
+      // mth has no placement (the thief decides): spread is advisory, the
+      // batch is queued help-first on the caller's deque.
+      mth::create_bulk(fn, args, n, reinterpret_cast<mth::Strand**>(out));
+      break;
+  }
+}
+
 bool ult_is_done(Ult* u) {
   switch (g_state->cfg.impl) {
     case Impl::abt:
@@ -255,6 +294,18 @@ void yield() {
   }
 }
 
+bool maybe_work() {
+  switch (g_state->cfg.impl) {
+    case Impl::abt:
+      return abt::maybe_work();
+    case Impl::qth:
+      return qth::maybe_work();
+    case Impl::mth:
+      return mth::maybe_work();
+  }
+  return false;
+}
+
 void* self_local() {
   switch (g_state->cfg.impl) {
     case Impl::abt:
@@ -312,6 +363,9 @@ Stats stats() {
         s.stack_cache_hits = a.stack_cache_hits;
         s.parks = a.parks;
         s.parked_us = a.parked_us;
+        s.wakes_issued = a.wakes_issued;
+        s.wakes_spurious = a.wakes_spurious;
+        s.bulk_deposits = a.bulk_deposits;
         break;
       }
       case Impl::mth: {
@@ -321,6 +375,9 @@ Stats stats() {
         s.stack_cache_hits = m.stack_cache_hits;
         s.parks = m.parks;
         s.parked_us = m.parked_us;
+        s.wakes_issued = m.wakes_issued;
+        s.wakes_spurious = m.wakes_spurious;
+        s.bulk_deposits = m.bulk_deposits;
         break;
       }
       case Impl::qth: {
@@ -330,6 +387,9 @@ Stats stats() {
         s.stack_cache_hits = q.stack_cache_hits;
         s.parks = q.parks;
         s.parked_us = q.parked_us;
+        s.wakes_issued = q.wakes_issued;
+        s.wakes_spurious = q.wakes_spurious;
+        s.bulk_deposits = q.bulk_deposits;
         break;
       }
     }

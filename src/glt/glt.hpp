@@ -65,6 +65,19 @@ Ult* ult_create(WorkFn fn, void* arg);
 /// thief decides).
 Ult* ult_create_to(int tid, WorkFn fn, void* arg);
 
+/// Creates @p n ULTs running fn(args[i]) through the backend's bulk-spawn
+/// path: the whole batch is deposited into the scheduling core in one
+/// call (one queue publication per victim GLT_thread, one targeted wake
+/// per victim) instead of n create+wake round-trips. @p spread fans the
+/// batch across GLT_threads — the single-producer fan-out pattern the
+/// round-robin ult_create_to loop used to pay per-unit wakes for;
+/// otherwise the batch stays with the caller and idle GLT_threads steal
+/// it. On mth the units are *queued* (help-first) rather than run
+/// work-first, and spread is advisory as always. Handles are written to
+/// @p out[0..n).
+void ult_create_bulk(WorkFn fn, void* const* args, int n, Ult** out,
+                     bool spread);
+
 /// Waits for the ULT and destroys it.
 void ult_join(Ult* u);
 
@@ -82,6 +95,13 @@ void tasklet_join(Tasklet* t);
 
 /// Cooperative yield to the underlying scheduler.
 void yield();
+
+/// Racy probe: could the calling GLT_thread's scheduler run anything else
+/// right now (own pool, main slot, steal victim)? Busy-wait loops pair it
+/// with yield(): yield while work exists, release the core when it does
+/// not — a spinning waiter on an oversubscribed host otherwise starves
+/// the very producer it waits for.
+[[nodiscard]] bool maybe_work();
 
 /// Backend capability: is *placement advisory* — i.e. can a unit created
 /// with ult_create_to still migrate? True only for mth — this is what
@@ -118,6 +138,10 @@ struct Stats {
   std::uint64_t stack_cache_hits = 0;
   std::uint64_t parks = 0;      ///< idle parks (adaptive 200µs–2ms)
   std::uint64_t parked_us = 0;  ///< total requested park time, µs
+  // Wakeup behaviour ($GLTO_WAKE_POLICY ablation; see sched::WakePolicy).
+  std::uint64_t wakes_issued = 0;    ///< targeted unparks sent to workers
+  std::uint64_t wakes_spurious = 0;  ///< parks woken but found no work
+  std::uint64_t bulk_deposits = 0;   ///< submit_bulk batches published
 };
 
 [[nodiscard]] Stats stats();

@@ -1,7 +1,10 @@
 #include "glto/glto_runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/affinity.hpp"
@@ -102,6 +105,44 @@ struct MemberArg {
   omp::RegionBody body;
 };
 
+/// Cooperative busy-wait step for GLTO's polling loops (barriers,
+/// taskgroup/gate waits, deferred-child joins). While the executing
+/// GLT_thread has anything else runnable, each step is a plain ULT yield
+/// — the waiter interleaves with real work exactly as before. Once the
+/// local scheduler is dry, further yields are pure context-switch spin
+/// that, on an oversubscribed host, steals timeslices from the very
+/// producers the waiter depends on (the 1-core container turned a 0.7 ms
+/// producer burst into nth × ~4 ms of barrier-spin this way). The waiter
+/// then escalates: brief cpu_relax, a few OS yields, then bounded
+/// micro-sleeps (≤ kSleepCapUs) that release the core outright. The cap
+/// bounds the extra wake-up latency a real multicore barrier can see.
+struct WaitBackoff {
+  static constexpr int kSpin = 16;
+  static constexpr int kYield = 24;
+  static constexpr std::int64_t kSleepStepUs = 20;
+  static constexpr std::int64_t kSleepCapUs = 200;
+
+  int idle = 0;
+
+  void step() {
+    if (glt::maybe_work()) {
+      idle = 0;
+      glt::yield();
+      return;
+    }
+    ++idle;
+    if (idle <= kSpin) {
+      common::cpu_relax();
+    } else if (idle <= kYield) {
+      std::this_thread::yield();
+    } else {
+      const std::int64_t us =
+          std::min<std::int64_t>(kSleepStepUs * (idle - kYield), kSleepCapUs);
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+};
+
 class GltoRuntime;
 
 /// Per-task record carrying the v2 descriptor through deferral and the
@@ -165,6 +206,9 @@ class GltoRuntime final : public omp::Runtime {
     root_ctx_.team = &root_team_;
     root_ctx_.tid = 0;
     glt::set_self_local(&root_ctx_);
+    // DAG ready-bursts (one completing tile releasing k dependents) are
+    // bulk-spawned: one scheduler deposit + targeted wakes instead of k.
+    dep_engine_.set_on_ready_batch(&GltoRuntime::on_deps_ready_batch);
   }
 
   ~GltoRuntime() override {
@@ -186,8 +230,13 @@ class GltoRuntime final : public omp::Runtime {
     team.level = new_level;
     team.parent = pctx->team;
 
-    // §IV-C / §IV-E: outer-level members go one-per-GLT_thread; nested
-    // members stay on the creating GLT_thread (no oversubscription).
+    // §IV-C / §IV-E: outer-level members go one-per-GLT_thread, pinned
+    // (exact placement — the §IV-C contract the placement tests enforce);
+    // nested members stay on the creating GLT_thread (no
+    // oversubscription). Each pinned submit already costs exactly one
+    // targeted wake under the new wake protocol, so the region fork needs
+    // no bulk deposit — the batch path is for task bursts, where one
+    // victim receives many units.
     const bool outer = new_level == 1;
     std::vector<MemberArg> args(static_cast<std::size_t>(nth));
     std::vector<glt::Ult*> ults;
@@ -336,8 +385,10 @@ class GltoRuntime final : public omp::Runtime {
       common::SpinGuard g(critical_map_lock_);
       lock = &critical_locks_[tag];
     }
-    // Spin with ULT yields: never blocks the GLT_thread.
-    while (!lock->try_lock()) glt::yield();
+    // Spin with ULT yields while local work exists; release the core once
+    // the scheduler runs dry (never wedges: the holder runs elsewhere).
+    WaitBackoff wait;
+    while (!lock->try_lock()) wait.step();
   }
 
   void critical_exit(const void* tag) override {
@@ -361,7 +412,8 @@ class GltoRuntime final : public omp::Runtime {
                                       flags.depend.size());
         node = sub.node;
         if (!sub.ready) {
-          while (!gate.open.load(std::memory_order_acquire)) glt::yield();
+          WaitBackoff wait;
+          while (!gate.open.load(std::memory_order_acquire)) wait.step();
         }
       }
       TaskCtx inline_ctx;
@@ -420,6 +472,49 @@ class GltoRuntime final : public omp::Runtime {
     c->children.push_back(u);
   }
 
+  /// Batch spawn: the whole burst becomes ULTs deposited into the GLT
+  /// scheduler in one bulk call — a producer (single/master) burst fans
+  /// out with one queue publication + one targeted wake per GLT_thread
+  /// instead of n round-robin submits each broadcasting wakes. Depend,
+  /// final and if(false) tasks keep their per-task semantics via task().
+  void task_bulk(omp::TaskDesc* descs, std::size_t n,
+                 const omp::TaskFlags& flags) override {
+    const bool has_deps = !flags.depend.empty();
+    if (n < 2 || !flags.if_clause || flags.final || has_deps) {
+      for (std::size_t i = 0; i < n; ++i) task(std::move(descs[i]), flags);
+      return;
+    }
+    TaskCtx* c = cur();
+    tasks_queued_.fetch_add(n, std::memory_order_relaxed);
+    const bool spread = c->in_single || c->in_master;
+    constexpr std::size_t kWave = 256;
+    void* argv[kWave];
+    glt::Ult* handles[kWave];
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t take = std::min<std::size_t>(kWave, n - done);
+      for (std::size_t i = 0; i < take; ++i) {
+        TaskArg* arg = alloc_task_arg();
+        arg->team = c->team;
+        arg->desc = std::move(descs[done + i]);
+        arg->rt = this;
+        arg->parent = c;
+        arg->group = c->group;
+        if (arg->group != nullptr) {
+          arg->group->pending.fetch_add(1, std::memory_order_relaxed);
+        }
+        argv[i] = arg;
+      }
+      glt::ult_create_bulk(task_thunk, argv, static_cast<int>(take),
+                           handles, spread);
+      {
+        common::SpinGuard g(c->child_lock);
+        c->children.insert(c->children.end(), handles, handles + take);
+      }
+      done += take;
+    }
+  }
+
   void taskwait() override { join_children(cur()); }
 
   void taskgroup_begin() override {
@@ -436,7 +531,8 @@ class GltoRuntime final : public omp::Runtime {
     // Wait only for this group's tasks; their ULT handles stay in
     // c->children and are joined (already Done) at the next taskwait or
     // the implicit region join.
-    while (g->pending.load(std::memory_order_acquire) > 0) glt::yield();
+    WaitBackoff wait;
+    while (g->pending.load(std::memory_order_acquire) > 0) wait.step();
     c->group = g->parent;
     delete g;
   }
@@ -580,7 +676,64 @@ class GltoRuntime final : public omp::Runtime {
     arg->rt->spawn_dep_task(arg, SpawnVia::run_local);
   }
 
+  /// Batch wake-up: one completing predecessor released @p n successors
+  /// at once. Gates open immediately; the spawn-kind payloads become one
+  /// bulk deposit onto the completing thread's own deque (run-local, like
+  /// the single wake-up) with targeted wakes — k dependents no longer
+  /// serialize on k submit+wake round-trips.
+  static void on_deps_ready_batch(void* const* payloads,
+                                  taskdep::TaskNode* const* nodes,
+                                  std::size_t n) {
+    constexpr std::size_t kWave = 64;
+    TaskArg* wave[kWave];
+    TaskCtx* parents[kWave];
+    void* argv[kWave];
+    glt::Ult* handles[kWave];
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i < n) {
+        auto* pl = static_cast<DepPayload*>(payloads[i]);
+        if (pl->kind == DepPayload::Kind::gate) {
+          static_cast<ReadyGate*>(pl)->open.store(
+              true, std::memory_order_release);
+          continue;
+        }
+        auto* arg = static_cast<TaskArg*>(pl);
+        arg->node = nodes[i];
+        wave[pending++] = arg;
+        if (pending < kWave) continue;
+      }
+      if (pending == 0) continue;
+      if (pending == 1 || !glt::local_spawn()) {
+        // qth-locked keeps the per-task pinned wake-up (see spawn_dep_task).
+        for (std::size_t k = 0; k < pending; ++k) {
+          wave[k]->rt->spawn_dep_task(wave[k], SpawnVia::run_local);
+        }
+        pending = 0;
+        continue;
+      }
+      // Snapshot creator pointers BEFORE the create: a deposited task can
+      // run to completion (and free its arg) on another thread while this
+      // loop is still publishing handles.
+      for (std::size_t k = 0; k < pending; ++k) {
+        parents[k] = wave[k]->parent;
+        argv[k] = wave[k];
+      }
+      glt::ult_create_bulk(task_thunk, argv, static_cast<int>(pending),
+                           handles, /*spread=*/false);
+      for (std::size_t k = 0; k < pending; ++k) {
+        {
+          common::SpinGuard g(parents[k]->child_lock);
+          parents[k]->children.push_back(handles[k]);
+        }
+        parents[k]->deferred.fetch_sub(1, std::memory_order_release);
+      }
+      pending = 0;
+    }
+  }
+
   static void join_children(TaskCtx* c) {
+    WaitBackoff wait;
     for (;;) {
       std::vector<glt::Ult*> grabbed;
       {
@@ -588,6 +741,7 @@ class GltoRuntime final : public omp::Runtime {
         grabbed.swap(c->children);
       }
       if (!grabbed.empty()) {
+        wait.idle = 0;
         for (auto* u : grabbed) glt::ult_join(u);
         continue;
       }
@@ -598,7 +752,7 @@ class GltoRuntime final : public omp::Runtime {
         if (c->children.empty()) return;
         continue;
       }
-      glt::yield();  // withheld children exist; let predecessors run
+      wait.step();  // withheld children exist; let predecessors run
     }
   }
 
@@ -611,8 +765,9 @@ class GltoRuntime final : public omp::Runtime {
       t->barrier_arrived.store(0, std::memory_order_relaxed);
       t->barrier_epoch.fetch_add(1, std::memory_order_release);
     } else {
+      WaitBackoff wait;
       while (t->barrier_epoch.load(std::memory_order_acquire) == epoch) {
-        glt::yield();
+        wait.step();
       }
     }
   }

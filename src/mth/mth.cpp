@@ -52,6 +52,12 @@ struct SwitchMsg {
   Dir dir;
   Strand* self;    // the strand that produced the message
   Strand* target;  // Spawn: the child; Block: the join target
+  /// The strand this jump resumes (set by every jump site that targets a
+  /// strand). Only strand_entry reads it: a bulk-created (queued) strand
+  /// is first activated from a scheduler loop or another strand's leave(),
+  /// where the message describes the *sender* — the entry recovers its own
+  /// identity from here instead of a Spawn payload.
+  Strand* resumee = nullptr;
 };
 
 /// Per-worker base-context bookkeeping. The ready queues, freelists, and
@@ -209,6 +215,7 @@ __attribute__((noinline)) void leave(SwitchMsg msg) {
     fctx::fcontext_t to;
     if (Strand* next = find_next()) {
       to = next->ctx;
+      msg.resumee = next;
     } else if (w.base_ctx != nullptr) {
       to = w.base_ctx;
       w.base_ctx = nullptr;  // one-shot: consumed by this jump
@@ -234,7 +241,7 @@ void base_loop() {
   for (;;) {
     Strand* s = g_rt->core->acquire(tls.rank, st, /*with_main=*/tls.rank == 0);
     if (s == nullptr) break;
-    SwitchMsg resume{Dir::Resume, nullptr, nullptr};
+    SwitchMsg resume{Dir::Resume, nullptr, nullptr, s};
     fctx::transfer_t t = fctx::jump_fcontext(s->ctx, &resume);
     // A strand fell back to us with a directive.
     SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
@@ -250,24 +257,64 @@ void worker_main(int rank) {
 }
 
 void strand_entry(fctx::transfer_t t) {
-  // First activation, on the creating worker's OS thread. t carries the
-  // Spawn message; t.from is the parent's freshly saved continuation.
+  // First activation. For a work-first spawn t carries the Spawn message
+  // and t.from is the parent's freshly saved continuation. A *queued*
+  // strand (create_bulk) is instead first activated from a scheduler loop
+  // (Resume) or another strand's leave() (any directive): the message
+  // describes the sender, and the entry recovers its own identity from
+  // msg.resumee — strand_landing handles both shapes.
   SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
-  GLTO_CHECK(in.dir == Dir::Spawn);
-  Strand* self = in.target;
-  Strand* parent = in.self;
-  parent->ctx = t.from;
-  // Publish the parent's continuation: this is the work-first handoff that
-  // makes it stealable by idle workers (MassiveThreads semantics).
-  make_ready(parent);
-
-  tls.current = self;
-  self->last_rank.store(tls.rank, std::memory_order_relaxed);
+  Strand* self;
+  if (in.dir == Dir::Spawn) {
+    self = in.target;
+    Strand* parent = in.self;
+    parent->ctx = t.from;
+    // Publish the parent's continuation: this is the work-first handoff
+    // that makes it stealable by idle workers (MassiveThreads semantics).
+    make_ready(parent);
+    tls.current = self;
+    self->last_rank.store(tls.rank, std::memory_order_relaxed);
+  } else {
+    self = in.resumee;
+    GLTO_CHECK_MSG(self != nullptr, "queued strand resumed without identity");
+    strand_landing(self, t);
+  }
   self->fn(self->arg);
 
   SwitchMsg done{Dir::Done, self, nullptr};
   leave(done);
   GLTO_CHECK_MSG(false, "resumed a finished strand");
+}
+
+/// Help-first bulk spawn: @p n strands are created *queued* — published
+/// through the scheduling core's bulk path (one deposit, targeted wakes)
+/// instead of the work-first jump mth::create performs per child. This is
+/// what lets a single producer fan a burst out without running each child
+/// to its first suspension inline; everything deposited is stealable, as
+/// all mth scheduling is.
+void create_bulk_impl(WorkFn fn, void* const* args, int n, Strand** out) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "mth::init has not been called");
+  GLTO_CHECK_MSG(tls.current != nullptr, "mth::create_bulk outside a strand");
+  if (n <= 0) return;
+  for (int i = 0; i < n; ++i) {
+    Strand* child = g_rt->free->try_alloc(tls.rank);
+    if (child == nullptr) child = new Strand();
+    child->fn = fn;
+    child->arg = args[i];
+    child->done.store(false, std::memory_order_relaxed);
+    child->joiner.store(nullptr, std::memory_order_relaxed);
+    child->last_rank.store(-1, std::memory_order_relaxed);
+    child->kind = Kind::Ult;
+    child->user_local = nullptr;
+    child->stack = fctx::StackPool::global().acquire();
+    child->ctx = fctx::make_fcontext(child->stack.top, child->stack.size,
+                                     strand_entry);
+    out[i] = child;
+  }
+  g_rt->strands_created.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+  g_rt->core->submit_bulk(tls.rank, out, static_cast<std::size_t>(n),
+                          sched::BulkHint::local);
 }
 
 }  // namespace
@@ -331,6 +378,11 @@ int worker_rank() { return tls.rank; }
 
 bool in_strand() { return tls.current != nullptr; }
 
+bool maybe_work() {
+  if (g_rt == nullptr || tls.rank < 0) return false;
+  return g_rt->core->maybe_work(tls.rank, tls.rank == 0);
+}
+
 Dispatch dispatch_mode() {
   if (g_rt == nullptr) return Dispatch::Auto;
   return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
@@ -362,6 +414,10 @@ Strand* create(WorkFn fn, void* arg) {
   fctx::transfer_t t = fctx::jump_fcontext(child->ctx, &spawn);
   strand_landing(parent, t);
   return child;
+}
+
+void create_bulk(WorkFn fn, void* const* args, int n, Strand** out) {
+  create_bulk_impl(fn, args, n, out);
 }
 
 void join(Strand* s) {
@@ -429,6 +485,9 @@ Stats stats() {
     s.failed_steals = cs.failed_steals;
     s.parks = cs.parks;
     s.parked_us = cs.parked_us;
+    s.wakes_issued = cs.wakes_issued;
+    s.wakes_spurious = cs.wakes_spurious;
+    s.bulk_deposits = cs.bulk_deposits;
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

@@ -59,12 +59,24 @@ void finalize();
 /// the child handle for join().
 Strand* create(WorkFn fn, void* arg);
 
+/// Help-first bulk spawn: creates @p n strands running fn(args[i]) and
+/// publishes them through the scheduling core's bulk path (one deposit on
+/// the caller's deque + targeted wakes) instead of the work-first jump
+/// create() performs per child — a single producer fans a burst out
+/// without running each child to its first suspension inline. Handles are
+/// written to @p out[0..n); everything deposited is stealable.
+void create_bulk(WorkFn fn, void* const* args, int n, Strand** out);
+
 /// Waits for @p s and destroys it. The caller may resume on a different
 /// worker than it started on.
 void join(Strand* s);
 
 /// Yields to other runnable strands (no-op when there is nothing to run).
 void yield();
+
+/// Racy probe: could the calling worker's scheduler run anything else
+/// right now? See abt::maybe_work for the busy-wait rationale.
+[[nodiscard]] bool maybe_work();
 
 [[nodiscard]] bool is_done(const Strand* s);
 
@@ -86,6 +98,9 @@ struct Stats {
   std::uint64_t stack_cache_hits = 0; ///< strand stacks served lock-free
   std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
   std::uint64_t parked_us = 0;        ///< total requested park time, µs
+  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to workers
+  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
+  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

@@ -104,6 +104,22 @@ void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg) {
   o::task([fn, arg] { fn(arg); });
 }
 
+void glto_kmpc_omp_task_bulk(glto_kmpc_task_fn fn, void* const* args,
+                             std::int32_t n) {
+  constexpr std::int32_t kWave = 64;
+  o::TaskDesc wave[kWave];
+  std::int32_t done = 0;
+  while (done < n) {
+    const std::int32_t take = n - done < kWave ? n - done : kWave;
+    for (std::int32_t i = 0; i < take; ++i) {
+      void* arg = args[done + i];
+      wave[i] = o::TaskDesc::make([fn, arg] { fn(arg); });
+    }
+    o::task_bulk(wave, static_cast<std::size_t>(take));
+    done += take;
+  }
+}
+
 void glto_kmpc_omp_task_with_deps(glto_kmpc_task_fn fn, void* arg,
                                   std::int32_t ndeps,
                                   const glto_kmpc_depend_info* dep_list) {

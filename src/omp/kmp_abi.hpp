@@ -69,6 +69,13 @@ void glto_kmpc_end_critical(void** lock_slot);
 using glto_kmpc_task_fn = void (*)(void* arg);
 void glto_kmpc_omp_task(glto_kmpc_task_fn fn, void* arg);
 
+/// Bulk task spawn (taskloop-shaped lowering): defers fn(args[i]) for
+/// i in [0, n) through the runtime's batch-spawn ABI — one scheduler
+/// deposit + targeted per-worker wakeups instead of n submit+wake
+/// round-trips. Semantically identical to n glto_kmpc_omp_task calls.
+void glto_kmpc_omp_task_bulk(glto_kmpc_task_fn fn, void* const* args,
+                             std::int32_t n);
+
 /// __kmpc_omp_task_with_deps: defer fn(arg) ordered after the listed
 /// dependences. @p flags follows the LLVM kmp_depend_info convention:
 /// bit 0 = in, bit 1 = out (both set = inout; out alone orders the same).

@@ -262,6 +262,10 @@ void task(std::function<void()> fn, const TaskFlags& flags) {
   runtime().task(TaskDesc::make(std::move(fn)), flags);
 }
 
+void task_bulk(TaskDesc* descs, std::size_t n, const TaskFlags& flags) {
+  runtime().task_bulk(descs, n, flags);
+}
+
 void taskwait() { runtime().taskwait(); }
 
 void taskyield() { runtime().taskyield(); }
@@ -286,17 +290,30 @@ void set_nested(bool enabled) { runtime().set_nested(enabled); }
 // ---- sections ---------------------------------------------------------------
 
 void sections(const Section* blocks, std::size_t count) {
-  // Compiles to a dynamic loop over section indices (exactly how GCC
-  // lowers #pragma omp sections), one block per grab, barrier after.
+  // One member submits every block as a task in a single bulk spawn and
+  // waits; the implicit barrier lets the rest of the team help drain them
+  // (pthread runtimes execute queued tasks at barriers; GLTO deposits the
+  // batch across its workers with targeted wakes). Replaces the dynamic
+  // index loop, which paid one shared-counter grab — and, on GLTO, one
+  // broadcast wake per spawned helper — per block.
   Runtime& rt = runtime();
-  loop(0, static_cast<std::int64_t>(count),
-       LoopOpts{Schedule::Dynamic, 1, 0},
-       [&](std::int64_t b, std::int64_t e) {
-         for (std::int64_t i = b; i < e; ++i) {
-           const Section& s = blocks[static_cast<std::size_t>(i)];
-           s.fn(s.ctx);
-         }
-       });
+  if (rt.single_try()) {
+    constexpr std::size_t kWave = 64;
+    TaskDesc wave[kWave];
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t take =
+          count - done < kWave ? count - done : kWave;
+      for (std::size_t i = 0; i < take; ++i) {
+        const Section& s = blocks[done + i];
+        wave[i] = TaskDesc::make([s] { s.fn(s.ctx); });
+      }
+      rt.task_bulk(wave, take, {});
+      done += take;
+    }
+    rt.taskwait();
+    rt.single_done();
+  }
   rt.barrier();
 }
 

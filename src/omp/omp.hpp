@@ -239,6 +239,13 @@ void task(std::function<void()> fn);
     "boxes the capture and spills the descriptor payload")]]
 void task(std::function<void()> fn, const TaskFlags& flags);
 
+/// Batch spawn (the bulk half of the task ABI): moves @p n prebuilt
+/// descriptors into the runtime in ONE virtual call — semantically n
+/// omp::task calls, but GLTO deposits the whole burst into its scheduler
+/// with one queue publication + one targeted wakeup per GLT_thread
+/// instead of n submit+wake round-trips. The descriptors are consumed.
+void task_bulk(TaskDesc* descs, std::size_t n, const TaskFlags& flags = {});
+
 // ---- value-returning tasks: omp::future<T> ------------------------------
 
 namespace detail {
@@ -399,6 +406,33 @@ template <class F, class... Args>
 /// #pragma omp taskwait / taskyield
 void taskwait();
 void taskyield();
+
+/// #pragma omp taskloop grainsize(g) — carves [lo, hi) into ⌈n/g⌉ chunk
+/// tasks, submits them as ONE bulk spawn (omp::task_bulk), then waits for
+/// them. Unlike par_for (fork + work-shared loop) this runs inside the
+/// CURRENT team — from a single/master producer the chunks fan out across
+/// the team's workers through the bulk-deposit path, one publication +
+/// one targeted wake per victim. @p body takes (int64 i) or a range
+/// (int64 begin, int64 end); @p grain <= 0 defaults to 1.
+template <class Body>
+void taskloop(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+              Body&& body) {
+  if (hi <= lo) return;
+  const std::int64_t g = grain > 0 ? grain : 1;
+  const auto nchunks = static_cast<std::size_t>((hi - lo + g - 1) / g);
+  std::vector<TaskDesc> descs;
+  descs.reserve(nchunks);
+  // One shared copy of the body; the per-chunk captures stay at 24 bytes
+  // (pointer + bounds) so every chunk descriptor is inline-payload.
+  auto chunk_body = std::decay_t<Body>(std::forward<Body>(body));
+  for (std::int64_t b = lo; b < hi; b += g) {
+    const std::int64_t e = b + g < hi ? b + g : hi;
+    descs.push_back(TaskDesc::make(
+        [&chunk_body, b, e] { detail::invoke_chunk(chunk_body, b, e); }));
+  }
+  task_bulk(descs.data(), descs.size());
+  taskwait();
+}
 
 /// Dependency-engine + descriptor-placement counters of the active
 /// runtime. task_inline/task_alloc are process-wide monotonic (they count

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "omp/task_desc.hpp"
 #include "taskdep/dep.hpp"
@@ -135,6 +136,22 @@ class Runtime {
   /// orders it after conflicting earlier tasks (see TaskFlags); taskwait
   /// also waits for dependent tasks the engine is still withholding.
   virtual void task(TaskDesc desc, const TaskFlags& flags) = 0;
+
+  /// Batch spawn: moves @p n descriptors into the runtime in ONE call —
+  /// semantically identical to n task() calls with the same flags, but a
+  /// runtime may (and GLTO does) deposit the whole batch into its
+  /// scheduler with one queue publication per victim worker and one
+  /// targeted wake per victim instead of n submit+wake round-trips. The
+  /// descriptors are consumed (moved-from) on return. Default: a plain
+  /// loop, so pthread baselines and out-of-tree runtimes stay correct
+  /// without opting in.
+  virtual void task_bulk(TaskDesc* descs, std::size_t n,
+                         const TaskFlags& flags) {
+    for (std::size_t i = 0; i < n; ++i) {
+      task(std::move(descs[i]), flags);
+    }
+  }
+
   virtual void taskwait() = 0;
   virtual void taskyield() = 0;
 

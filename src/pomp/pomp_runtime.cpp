@@ -1,5 +1,6 @@
 #include "pomp/pomp_runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -424,6 +425,46 @@ class PompRuntime : public omp::Runtime {
     tasks_queued_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Batch spawn: builds the records up front, bumps the outstanding
+  /// counters once per wave, and hands the whole set to the subclass's
+  /// enqueue_bulk — the GNU runtime appends a burst under ONE shared-queue
+  /// lock acquisition instead of n. Depend and if(false) tasks keep their
+  /// per-task semantics via task().
+  void task_bulk(omp::TaskDesc* descs, std::size_t n,
+                 const omp::TaskFlags& flags) override {
+    const bool has_deps = !flags.depend.empty();
+    if (n < 2 || !flags.if_clause || has_deps) {
+      for (std::size_t i = 0; i < n; ++i) task(std::move(descs[i]), flags);
+      return;
+    }
+    TaskCtx* c = t_ctx;
+    constexpr std::size_t kWave = 256;
+    TaskRec* wave[kWave];
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t take = std::min<std::size_t>(kWave, n - done);
+      for (std::size_t i = 0; i < take; ++i) {
+        TaskRec* rec = alloc_task_rec();
+        rec->desc = std::move(descs[done + i]);
+        rec->creator = c;
+        rec->team = c->team;
+        rec->untied = flags.untied;
+        rec->final = flags.final;
+        rec->group = c->group;
+        if (rec->group != nullptr) {
+          rec->group->pending.fetch_add(1, std::memory_order_relaxed);
+        }
+        wave[i] = rec;
+      }
+      c->children_outstanding.fetch_add(static_cast<std::int64_t>(take),
+                                        std::memory_order_relaxed);
+      c->team->tasks_outstanding.fetch_add(static_cast<std::int64_t>(take),
+                                           std::memory_order_relaxed);
+      enqueue_bulk(c, wave, take);
+      done += take;
+    }
+  }
+
   void taskwait() override {
     TaskCtx* c = t_ctx;
     while (c->children_outstanding.load(std::memory_order_acquire) > 0) {
@@ -495,6 +536,20 @@ class PompRuntime : public omp::Runtime {
   virtual bool enqueue(TaskCtx* c, TaskRec* rec) = 0;
   /// Subclass policy: dequeue + execute one task; false when none found.
   virtual bool try_run_one_task(PompTeam* team) = 0;
+
+  /// Subclass policy: enqueue a whole batch (records already counted in
+  /// children/tasks_outstanding). Default loops enqueue() with the same
+  /// cut-off fallback as task(); GNU overrides with a single-lock append.
+  virtual void enqueue_bulk(TaskCtx* c, TaskRec** recs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (enqueue(c, recs[i])) {
+        tasks_queued_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        tasks_immediate_.fetch_add(1, std::memory_order_relaxed);
+        execute(recs[i]);
+      }
+    }
+  }
 
   void execute(TaskRec* rec) {
     TaskCtx ctx;
@@ -706,6 +761,13 @@ class GnuRuntime final : public PompRuntime {
   bool enqueue(TaskCtx*, TaskRec* rec) override {
     rec->team->shared_queue.push(rec);
     return true;
+  }
+
+  void enqueue_bulk(TaskCtx*, TaskRec** recs, std::size_t n) override {
+    // One lock acquisition for the whole burst (the per-task path pays
+    // one per push on the same single team-wide lock).
+    recs[0]->team->shared_queue.push_n(recs, n);
+    tasks_queued_.fetch_add(n, std::memory_order_relaxed);
   }
 
   bool try_run_one_task(PompTeam* team) override {

@@ -1,5 +1,6 @@
 #include "qth/qth.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <memory>
@@ -426,6 +427,11 @@ int shep_rank() { return tls.rank; }
 
 bool in_qthread() { return tls.current != nullptr; }
 
+bool maybe_work() {
+  if (g_rt == nullptr || tls.rank < 0) return false;
+  return g_rt->core->maybe_work(tls.rank, tls.rank == 0);
+}
+
 Dispatch dispatch_mode() {
   if (g_rt == nullptr) return Dispatch::Auto;
   return g_rt->ws ? Dispatch::WorkStealing : Dispatch::Locked;
@@ -457,6 +463,44 @@ void fork_impl(int shep, bool pinned, QthFn fn, void* arg, aligned_t* ret) {
 
 void fork_to(int shep, QthFn fn, void* arg, aligned_t* ret) {
   fork_impl(shep, /*pinned=*/true, fn, arg, ret);
+}
+
+void fork_bulk(QthFn fn, void* const* args, aligned_t* const* rets, int n,
+               bool spread) {
+  GLTO_CHECK_MSG(g_rt != nullptr, "qth::init has not been called");
+  if (n <= 0) return;
+  // Batch sized for the stack: deposits beyond it publish in waves, each
+  // with its own per-victim wakes — still one wake per victim per wave.
+  constexpr int kWave = 256;
+  Thread* wave[kWave];
+  int done = 0;
+  while (done < n) {
+    const int take = std::min(kWave, n - done);
+    for (int i = 0; i < take; ++i) {
+      aligned_t* ret = rets != nullptr ? rets[done + i] : nullptr;
+      if (ret != nullptr) feb_empty(ret);
+      Thread* th = g_rt->free->try_alloc(tls.rank);
+      if (th == nullptr) th = new Thread();
+      th->fn = fn;
+      th->arg = args[done + i];
+      th->ret = ret;
+      th->ctx = nullptr;
+      th->home_shep = tls.rank >= 0 ? tls.rank : 0;
+      th->kind = Kind::Qthread;
+      th->pinned = false;
+      th->user_local = nullptr;
+      th->stack = fctx::StackPool::global().acquire();
+      th->ctx =
+          fctx::make_fcontext(th->stack.top, th->stack.size, qthread_entry);
+      wave[i] = th;
+    }
+    g_rt->threads_created.fetch_add(static_cast<std::uint64_t>(take),
+                                    std::memory_order_relaxed);
+    g_rt->core->submit_bulk(
+        tls.rank, wave, static_cast<std::size_t>(take),
+        spread ? sched::BulkHint::spread : sched::BulkHint::local);
+    done += take;
+  }
 }
 
 void fork(QthFn fn, void* arg, aligned_t* ret) {
@@ -564,6 +608,9 @@ Stats stats() {
     s.failed_steals = cs.failed_steals;
     s.parks = cs.parks;
     s.parked_us = cs.parked_us;
+    s.wakes_issued = cs.wakes_issued;
+    s.wakes_spurious = cs.wakes_spurious;
+    s.bulk_deposits = cs.bulk_deposits;
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

@@ -59,6 +59,10 @@ void finalize();
 /// which becomes a schedulable context on first blocking op).
 [[nodiscard]] bool in_qthread();
 
+/// Racy probe: could the calling shepherd's scheduler run anything else
+/// right now? See abt::maybe_work for the busy-wait rationale.
+[[nodiscard]] bool maybe_work();
+
 /// Spawns a qthread. Under work stealing a fork from a shepherd lands on
 /// the caller's own deque (run-local, stealable by idle shepherds); forks
 /// from foreign threads — and every fork in locked mode — scatter
@@ -66,6 +70,16 @@ void finalize();
 /// and filled with fn's return value on completion, so readFF(ret) is the
 /// join operation.
 void fork(QthFn fn, void* arg, aligned_t* ret);
+
+/// Spawns @p n qthreads running fn(args[i]) (return word rets[i], may be
+/// null) and deposits the whole batch through the scheduling core's bulk
+/// path: one queue publication per victim shepherd and one targeted wake
+/// per victim, instead of n fork+wake round-trips. @p spread fans
+/// contiguous chunks across shepherds (producer fan-out); otherwise the
+/// batch rides the caller's deque and woken shepherds steal it. In locked
+/// mode the batch round-robins over the seed FIFOs like plain forks.
+void fork_bulk(QthFn fn, void* const* args, aligned_t* const* rets, int n,
+               bool spread);
 
 /// Spawns a qthread on shepherd @p shep (exact placement: the qthread is
 /// pinned and never stolen; advisory under a shared pool).
@@ -132,6 +146,9 @@ struct Stats {
   std::uint64_t stack_cache_hits = 0; ///< stacks served lock-free
   std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
   std::uint64_t parked_us = 0;        ///< total requested park time, µs
+  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to sheps
+  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
+  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

@@ -51,6 +51,27 @@ class ChaseLevDeque {
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
+  /// Owner-only: push @p n elements at the bottom in one publication —
+  /// one capacity check, one release fence, one bottom advance for the
+  /// whole batch (the bulk-deposit fast path of WsCore::submit_bulk).
+  /// Thieves can start stealing the batch the moment bottom moves.
+  void push_n(const T* items, std::size_t n) {
+    if (n == 0) return;
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    while (b - t + static_cast<std::int64_t>(n) >
+           static_cast<std::int64_t>(a->capacity)) {
+      a = grow(a, t, b);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      a->put(b + static_cast<std::int64_t>(i), items[i]);
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + static_cast<std::int64_t>(n),
+                  std::memory_order_relaxed);
+  }
+
   /// Owner-only: pop from the bottom (LIFO). Returns false when empty.
   bool pop(T* out) {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;

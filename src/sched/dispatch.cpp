@@ -38,4 +38,36 @@ Dispatch resolve_dispatch(Dispatch requested, const char* env_var) {
   return Dispatch::WorkStealing;
 }
 
+const char* wake_policy_name(WakePolicy p) {
+  switch (p) {
+    case WakePolicy::Auto:
+      return "auto";
+    case WakePolicy::One:
+      return "one";
+    case WakePolicy::Threshold:
+      return "threshold";
+    case WakePolicy::All:
+      return "all";
+  }
+  return "?";
+}
+
+WakePolicy resolve_wake_policy(WakePolicy requested, const char* env_var) {
+  if (requested != WakePolicy::Auto) return requested;
+  if (auto s = common::env_str(env_var)) {
+    std::string v = *s;
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (v == "one") return WakePolicy::One;
+    if (v == "threshold") return WakePolicy::Threshold;
+    if (v == "all" || v == "broadcast") return WakePolicy::All;
+    std::fprintf(stderr,
+                 "sched: unrecognized %s='%s' (expected 'one', 'threshold' "
+                 "or 'all'); using wake-one\n",
+                 env_var, s->c_str());
+  }
+  return WakePolicy::One;
+}
+
 }  // namespace glto::sched

@@ -28,4 +28,26 @@ enum class Dispatch : std::uint8_t {
 [[nodiscard]] Dispatch resolve_dispatch(Dispatch requested,
                                         const char* env_var);
 
+/// Idle-worker wakeup policy of the shared scheduling core — the second
+/// ablation axis ($GLTO_WAKE_POLICY, honoured by all three backends).
+/// Before this axis existed every push broadcast-woke the whole team
+/// (today's `all`), so a single-producer burst paid one futex storm per
+/// task; `one` issues exactly one targeted wake per deposit and is the
+/// default.
+enum class WakePolicy : std::uint8_t {
+  Auto,       ///< resolve from $GLTO_WAKE_POLICY, default wake-one
+  One,        ///< each deposit wakes at most one parked worker (targeted)
+  Threshold,  ///< like One; bulk deposits engage victims ∝ queued work
+  All,        ///< every deposit wakes every parked worker (legacy baseline)
+};
+
+/// Human-readable policy name ("one" / "threshold" / "all" / "auto").
+[[nodiscard]] const char* wake_policy_name(WakePolicy p);
+
+/// Resolves WakePolicy::Auto through @p env_var ("one" | "threshold" |
+/// "all", case-insensitive; default wake-one). Unrecognized values warn on
+/// stderr and fall back to wake-one. Non-Auto requests pass through.
+[[nodiscard]] WakePolicy resolve_wake_policy(
+    WakePolicy requested, const char* env_var = "GLTO_WAKE_POLICY");
+
 }  // namespace glto::sched

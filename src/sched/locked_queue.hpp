@@ -29,6 +29,13 @@ class LockedQueue {
     items_.push_front(std::move(item));
   }
 
+  /// Appends @p n items under a single lock acquisition (bulk deposits:
+  /// one producer publishing a burst pays one lock round-trip, not n).
+  void push_n(const T* items, std::size_t n) {
+    glto::common::SpinGuard g(lock_);
+    for (std::size_t i = 0; i < n; ++i) items_.push_back(items[i]);
+  }
+
   std::optional<T> pop() {
     glto::common::SpinGuard g(lock_);
     if (items_.empty()) return std::nullopt;

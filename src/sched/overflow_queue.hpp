@@ -41,6 +41,23 @@ class OverflowQueue {
     overflow_count_.fetch_add(1, std::memory_order_release);
   }
 
+  /// Bulk append. Ring slots are still claimed one CAS at a time (MPMC
+  /// cell sequencing allows no less), but once the batch overflows the
+  /// ring, the entire tail is appended under ONE overflow-lock
+  /// acquisition — a burst that outruns the ring pays one lock
+  /// round-trip, not one per item.
+  void push_n(const T* items, std::size_t n) {
+    std::size_t i = 0;
+    if (overflow_count_.load(std::memory_order_acquire) == 0) {
+      while (i < n && ring_.try_push(items[i])) ++i;
+    }
+    if (i < n) {
+      overflow_.push_n(items + i, n - i);
+      overflow_count_.fetch_add(static_cast<std::int64_t>(n - i),
+                                std::memory_order_release);
+    }
+  }
+
   std::optional<T> pop() {
     if (overflow_count_.load(std::memory_order_acquire) > 0) {
       if (auto v = overflow_.pop()) {

@@ -22,6 +22,29 @@
 // loop pops it, so a thief can never resume main and tear the runtime
 // down from a foreign OS thread (the §IV-G pin-the-main hazard).
 //
+// Wakeups (the fan-out-dispatch PR): each worker parks on its own
+// common::Parker and advertises idleness in an atomic idle-mask before its
+// final pre-park probe, so a producer deposit either sees the idle bit
+// (and issues one targeted unpark) or the worker's probe sees the deposit
+// — no lost wakeups, and no O(team) futex broadcast per push. The
+// $GLTO_WAKE_POLICY axis keeps the old broadcast reachable:
+//  * one        — every deposit wakes at most one parked worker: the
+//                 deposit's owner for owner-only stores (fair/locked/main),
+//                 any parked thief for stealable deque pushes. Default.
+//  * threshold  — like `one`; submit_bulk engages victims proportionally
+//                 to the batch size (⌈n/kBulkWakeGrain⌉) instead of one
+//                 per unit of team width.
+//  * all        — every deposit wakes every parked worker (the pre-PR-5
+//                 thundering-herd baseline, kept for the ablation).
+// notify() and request_shutdown() keep broadcast semantics regardless.
+//
+// submit_bulk deposits a whole batch with one publication per victim and
+// one targeted wake per victim: `spread` fans contiguous chunks across
+// workers (the producer pattern — the caller's chunk rides its own deque,
+// remote chunks go to the victims' fair FIFOs), `local` publishes the
+// whole batch on the caller's deque with one release fence
+// (ChaseLevDeque::push_n) and wakes idle thieves to rebalance.
+//
 // The core stores opaque handles (T is a pointer type); running, context
 // switching, and lifetime stay in the backend. Null (T{}) means "none".
 #pragma once
@@ -49,21 +72,35 @@ struct WsCoreConfig {
   bool work_stealing = true;  ///< false → Dispatch::Locked baseline
   std::size_t deque_capacity = 256;
   std::size_t fair_capacity = 1024;
+  /// Idle-worker wakeup policy; Auto resolves from $GLTO_WAKE_POLICY
+  /// (default wake-one).
+  WakePolicy wake_policy = WakePolicy::Auto;
 };
 
 struct WsCoreStats {
-  std::uint64_t steals = 0;         ///< units taken from another worker
-  std::uint64_t failed_steals = 0;  ///< empty / lost-race steal attempts
-  std::uint64_t parks = 0;          ///< idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;      ///< total requested park time, µs
+  std::uint64_t steals = 0;          ///< units taken from another worker
+  std::uint64_t failed_steals = 0;   ///< empty / lost-race steal attempts
+  std::uint64_t parks = 0;           ///< idle parks (adaptive 200µs–2ms)
+  std::uint64_t parked_us = 0;       ///< total requested park time, µs
+  std::uint64_t wakes_issued = 0;    ///< targeted unparks sent to workers
+  std::uint64_t wakes_spurious = 0;  ///< parks woken but found no work
+  std::uint64_t bulk_deposits = 0;   ///< submit_bulk batches published
 };
 
 /// Adaptive idle parking: the first park is short (work often arrives
 /// within the old fixed 200 µs), each consecutive fruitless park doubles
 /// up to a 2 ms cap — a steal probe runs between parks, so a long park can
-/// never strand runnable work for more than one wake latency.
+/// never strand runnable work for more than one wake latency. A park cut
+/// short by an unpark does NOT double the backoff: the wake was a real
+/// signal that work was near (another worker merely beat us to it), and
+/// punishing it would make racing consumers drift toward the 2 ms cap.
 inline constexpr std::int64_t kParkMinUs = 200;
 inline constexpr std::int64_t kParkMaxUs = 2000;
+
+/// Wake-on-threshold grain: under WakePolicy::Threshold a bulk deposit of
+/// n units engages ⌈n/kBulkWakeGrain⌉ victims (clamped to the team), so a
+/// small batch does not pay one wake per worker of team width.
+inline constexpr std::size_t kBulkWakeGrain = 4;
 
 /// Per-loop acquire state: pop-fairness tick, idle backoff, main-slot
 /// alternation, and the steal-victim RNG. One per scheduler loop, owned by
@@ -74,7 +111,15 @@ struct AcquireState {
   int idle = 0;
   std::int64_t park_us = kParkMinUs;
   bool main_turn = false;
+  bool advertised = false;    ///< idle-mask bit currently set by this loop
+  bool wake_pending = false;  ///< last park was cut short by an unpark
   common::FastRng rng;
+};
+
+/// Distribution hint for WsCore::submit_bulk.
+enum class BulkHint : std::uint8_t {
+  spread,  ///< fan chunks out across workers (producer pattern)
+  local,   ///< publish on the caller's deque; woken thieves rebalance
 };
 
 template <typename T>
@@ -86,7 +131,11 @@ class WsCore {
       : n_(cfg.num_workers > 0 ? cfg.num_workers : 1),
         shared_(cfg.shared_pool),
         ws_(cfg.work_stealing),
+        policy_(resolve_wake_policy(cfg.wake_policy)),
+        idle_words_(static_cast<std::size_t>((n_ + 63) / 64)),
+        sync_(new WorkerSync[static_cast<std::size_t>(n_)]),
         counters_(static_cast<std::size_t>(n_)) {
+    for (auto& w : idle_words_) w.store(0, std::memory_order_relaxed);
     const int pool_count = shared_ ? 1 : n_;
     pools_.reserve(static_cast<std::size_t>(pool_count));
     for (int i = 0; i < pool_count; ++i) {
@@ -101,6 +150,7 @@ class WsCore {
   [[nodiscard]] int num_workers() const { return n_; }
   [[nodiscard]] bool work_stealing() const { return ws_; }
   [[nodiscard]] bool shared_pool() const { return shared_; }
+  [[nodiscard]] WakePolicy wake_policy() const { return policy_; }
   [[nodiscard]] bool stealing_active() const {
     return ws_ && !shared_ && n_ > 1;
   }
@@ -116,14 +166,17 @@ class WsCore {
   void submit(int caller_rank, int target_rank, bool pinned, T item) {
     if (!ws_) {
       pool_for(target_rank).locked.push(item);
+      wake_owner_store(caller_rank, target_rank);
     } else if (shared_) {
       pools_[0]->fair.push(item);
+      wake_any(caller_rank);
     } else if (pinned || caller_rank != target_rank) {
       pool_for(target_rank).fair.push(item);
+      wake_owner_store(caller_rank, target_rank);
     } else {
       pool_for(caller_rank).deque.push(item);
+      wake_thief(caller_rank);
     }
-    parker_.unpark_all();
   }
 
   /// Re-readies a suspended unit. @p fifo routes through the fair FIFO
@@ -135,16 +188,21 @@ class WsCore {
              T item) {
     if (!ws_) {
       pool_for(home_rank).locked.push(item);
+      wake_owner_store(caller_rank, home_rank);
     } else if (shared_) {
       pools_[0]->fair.push(item);
+      wake_any(caller_rank);
     } else if (pinned) {
       pool_for(home_rank).fair.push(item);
+      wake_owner_store(caller_rank, home_rank);
     } else if (caller_rank >= 0 && !fifo) {
       pool_for(caller_rank).deque.push(item);
+      wake_thief(caller_rank);
     } else {
-      pool_for(caller_rank >= 0 ? caller_rank : home_rank).fair.push(item);
+      const int rank = caller_rank >= 0 ? caller_rank : home_rank;
+      pool_for(rank).fair.push(item);
+      wake_owner_store(caller_rank, rank);
     }
-    parker_.unpark_all();
   }
 
   /// Owner push onto @p rank's primary store for the current mode (deque,
@@ -154,12 +212,14 @@ class WsCore {
   void push_owner(int rank, T item) {
     if (!ws_) {
       pool_for(rank).locked.push(item);
+      wake_owner_store(rank, rank);
     } else if (shared_) {
       pools_[0]->fair.push(item);
+      wake_any(rank);
     } else {
       pool_for(rank).deque.push(item);
+      wake_thief(rank);
     }
-    parker_.unpark_all();
   }
 
   /// Queues the primary (main) context. Only pop_main — called by the
@@ -172,7 +232,72 @@ class WsCore {
     } else {
       main_locked_.push(item);
     }
-    parker_.unpark_all();
+    // Only the worker-0 loop can consume the main slot, so its wake is
+    // always targeted — even under the broadcast policy nothing else
+    // could run this item.
+    if (policy_ == WakePolicy::All) {
+      wake_all();
+    } else {
+      publish_fence();
+      if (idle_claim(0)) unpark(0);
+    }
+  }
+
+  /// Deposits @p n units in one call: one queue publication per victim and
+  /// one targeted wake per victim, instead of n push+wake round-trips.
+  /// `spread` fans contiguous chunks across workers — the caller's chunk
+  /// rides its own deque (stealable), remote victims receive theirs
+  /// through the owner-only fair FIFO (the producer-pattern placement the
+  /// round-robin ult_create_to path used, minus the per-unit wakes).
+  /// `local` publishes everything on the caller's deque with a single
+  /// release fence and wakes idle thieves to pull the batch apart. Victim
+  /// count per policy: one → min(team, n); threshold → ⌈n/kBulkWakeGrain⌉
+  /// clamped to the team; all → the whole team (broadcast wake).
+  void submit_bulk(int caller_rank, const T* items, std::size_t n,
+                   BulkHint hint) {
+    if (n == 0) return;
+    bulk_deposits_.fetch_add(1, std::memory_order_relaxed);
+    if (!ws_) {
+      submit_bulk_locked(caller_rank, items, n);
+      return;
+    }
+    if (shared_) {
+      pools_[0]->fair.push_n(items, n);
+      wake_bulk_any(caller_rank, n);
+      return;
+    }
+    if (hint == BulkHint::local && caller_rank >= 0) {
+      pool_for(caller_rank).deque.push_n(items, n);
+      if (stealing_active()) wake_bulk_any(caller_rank, n);
+      return;
+    }
+    // spread: k victims, contiguous ⌈n/k⌉-unit chunks. Every victim that
+    // received a chunk gets its own targeted wake — a fair-FIFO chunk is
+    // owner-only, so an unwoken victim would strand it for a park period.
+    const std::size_t k = bulk_victims(n);
+    const std::size_t chunk = (n + k - 1) / k;
+    const int start = caller_rank >= 0 ? caller_rank : 0;
+    bool woke_any_needed = false;
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < k && i < n; ++j) {
+      const int victim = static_cast<int>(
+          (static_cast<std::size_t>(start) + j) % static_cast<std::size_t>(n_));
+      const std::size_t take = std::min(chunk, n - i);
+      if (victim == caller_rank) {
+        pool_for(victim).deque.push_n(items + i, take);
+        woke_any_needed = true;  // stealable: wake a thief below
+      } else {
+        pool_for(victim).fair.push_n(items + i, take);
+        publish_fence();
+        if (policy_ == WakePolicy::All) {
+          wake_all();
+        } else if (idle_claim(victim)) {
+          unpark(victim);
+        }
+      }
+      i += take;
+    }
+    if (woke_any_needed && stealing_active()) wake_thief(caller_rank);
   }
 
   // --------------------------------------------------------- consumption
@@ -249,13 +374,20 @@ class WsCore {
   }
 
   /// Blocking acquire for worker loops: drains @p rank's pool, steals when
-  /// idle, parks briefly (spin → yield → adaptive park, with counters)
+  /// idle, parks briefly (spin → yield → advertise-idle → adaptive park)
   /// when there is nothing to steal. Returns T{} only when shutdown was
   /// requested and a full pop + steal probe found nothing. @p with_main on
   /// the worker-0 loop alternates fairly between the main slot and the
   /// regular pool: strict priority either way starves someone (main-first
   /// starves yielded-to pool work; pool-first starves main when a
   /// co-located unit busy-waits for main at a barrier).
+  ///
+  /// Wake protocol: the idle-mask bit is set (seq_cst) BEFORE the final
+  /// pre-park probe, so a producer's deposit either observes the bit and
+  /// targets this worker's parker, or the probe observes the deposit —
+  /// the push/park race can no longer cost a full park timeout. A park
+  /// cut short by an unpark that then finds nothing counts as a spurious
+  /// wake and does not grow the backoff; only a timed-out park doubles it.
   T acquire(int rank, AcquireState& st, bool with_main) {
     Counters& c = counters_[static_cast<std::size_t>(rank)];
     for (;;) {
@@ -270,37 +402,66 @@ class WsCore {
       st.main_turn = !st.main_turn;
       if (!item) item = try_steal(rank, st.rng);
       if (item) {
+        if (st.advertised) {
+          idle_clear(rank);
+          st.advertised = false;
+        }
+        st.wake_pending = false;
         st.idle = 0;
         st.park_us = kParkMinUs;
         return item;
       }
-      if (shutdown_.load(std::memory_order_acquire)) return T{};
+      if (st.wake_pending) {
+        // Unparked, probed everything, found nothing: the deposit that
+        // woke us was claimed by someone else.
+        st.wake_pending = false;
+        c.wakes_spurious.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (shutdown_.load(std::memory_order_acquire)) {
+        if (st.advertised) {
+          idle_clear(rank);
+          st.advertised = false;
+        }
+        return T{};
+      }
       if (++st.idle < 64) {
         common::cpu_relax();
       } else if (st.idle < 96) {
         std::this_thread::yield();
+      } else if (!st.advertised) {
+        // Advertise idleness, then loop for one more full probe: a
+        // deposit racing this transition is caught either by the
+        // producer's mask read or by the re-probe.
+        idle_set(rank);
+        st.advertised = true;
       } else {
-        // Adaptive park: exponential growth, reset on any work. The loop
-        // just ran a full pop + steal probe and found nothing, so
-        // extending the park is safe — and a push always unparks us early.
         c.parks.fetch_add(1, std::memory_order_relaxed);
         c.parked_us.fetch_add(static_cast<std::uint64_t>(st.park_us),
                               std::memory_order_relaxed);
-        parker_.park_for_us(st.park_us);
-        st.park_us = std::min<std::int64_t>(st.park_us * 2, kParkMaxUs);
+        const bool woken = sync_[static_cast<std::size_t>(rank)]
+                               .parker.park_for_us(st.park_us);
+        idle_clear(rank);  // idempotent: the waker may have claimed it
+        st.advertised = false;
+        if (woken) {
+          st.wake_pending = true;
+        } else {
+          st.park_us = std::min<std::int64_t>(st.park_us * 2, kParkMaxUs);
+        }
       }
     }
   }
 
   // ------------------------------------------------------------- control
 
-  void notify() { parker_.unpark_all(); }
+  /// Broadcast "something changed" — wakes every parked worker regardless
+  /// of policy (rare, non-deposit events).
+  void notify() { broadcast_unpark(); }
 
   void request_shutdown() {
     shutdown_.store(true, std::memory_order_release);
-    // Parked workers wake within their current timeout (2 ms cap) even if
-    // the unpark raced, so plain joins terminate promptly.
-    parker_.unpark_all();
+    // Broadcast past the idle mask: a worker between its mask clear and
+    // its next park still holds a permit and exits within one timeout.
+    broadcast_unpark();
   }
 
   [[nodiscard]] bool shutdown_requested() const {
@@ -332,7 +493,10 @@ class WsCore {
       s.failed_steals += c.failed_steals.load(std::memory_order_relaxed);
       s.parks += c.parks.load(std::memory_order_relaxed);
       s.parked_us += c.parked_us.load(std::memory_order_relaxed);
+      s.wakes_spurious += c.wakes_spurious.load(std::memory_order_relaxed);
     }
+    s.wakes_issued = wakes_issued_.load(std::memory_order_relaxed);
+    s.bulk_deposits = bulk_deposits_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -352,6 +516,13 @@ class WsCore {
     std::atomic<std::uint64_t> failed_steals{0};
     std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> parked_us{0};
+    std::atomic<std::uint64_t> wakes_spurious{0};
+  };
+
+  /// Per-worker parker, cache-line-isolated: unparking worker A never
+  /// bounces the line worker B's park state lives on.
+  struct alignas(common::kCacheLine) WorkerSync {
+    common::Parker parker;
   };
 
   Pool& pool_for(int rank) {
@@ -361,15 +532,192 @@ class WsCore {
     return *pools_[shared_ ? 0 : static_cast<std::size_t>(rank)];
   }
 
+  // ------------------------------------------------------ idle-mask wakes
+
+  /// Orders this thread's queue publication before its idle-mask read —
+  /// the producer half of the Dekker pattern the consumer's seq_cst
+  /// idle_set forms. Without it, store→load reordering lets both sides
+  /// miss each other and the deposit waits out a full park timeout (the
+  /// pre-PR-5 multi-ms stalls).
+  static void publish_fence() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void idle_set(int rank) {
+    idle_words_[static_cast<std::size_t>(rank) / 64].fetch_or(
+        std::uint64_t{1} << (static_cast<std::size_t>(rank) % 64),
+        std::memory_order_seq_cst);
+  }
+
+  void idle_clear(int rank) {
+    idle_words_[static_cast<std::size_t>(rank) / 64].fetch_and(
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(rank) % 64)),
+        std::memory_order_acq_rel);
+  }
+
+  /// Atomically claims @p rank's idle bit; true when this caller cleared
+  /// it (and therefore owns the wake).
+  bool idle_claim(int rank) {
+    const std::uint64_t bit = std::uint64_t{1}
+                              << (static_cast<std::size_t>(rank) % 64);
+    return (idle_words_[static_cast<std::size_t>(rank) / 64].fetch_and(
+                ~bit, std::memory_order_acq_rel) &
+            bit) != 0;
+  }
+
+  /// Claims any idle worker's bit (≠ @p exclude); returns its rank or -1.
+  int claim_any_idle(int exclude) {
+    for (std::size_t w = 0; w < idle_words_.size(); ++w) {
+      std::uint64_t cur = idle_words_[w].load(std::memory_order_relaxed);
+      while (cur != 0) {
+        const int bit = __builtin_ctzll(cur);
+        const int rank = static_cast<int>(w) * 64 + bit;
+        const std::uint64_t mask = std::uint64_t{1} << bit;
+        if (rank == exclude) {
+          cur &= ~mask;
+          continue;
+        }
+        if (idle_words_[w].compare_exchange_weak(
+                cur, cur & ~mask, std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+          return rank;
+        }
+        // cur reloaded by the failed CAS; rescan this word.
+      }
+    }
+    return -1;
+  }
+
+  void unpark(int rank) {
+    wakes_issued_.fetch_add(1, std::memory_order_relaxed);
+    sync_[static_cast<std::size_t>(rank)].parker.unpark();
+  }
+
+  /// Wake for a deposit into @p store_rank's owner-only store
+  /// (fair/locked): only that owner can run the item, so the wake is
+  /// always targeted — unless the owner IS the caller (awake by
+  /// definition), in which case no wake is needed.
+  void wake_owner_store(int caller_rank, int store_rank) {
+    if (policy_ == WakePolicy::All) {
+      wake_all();
+      return;
+    }
+    if (shared_) {
+      // pool_for collapsed the store: any worker can pop it.
+      wake_any(caller_rank);
+      return;
+    }
+    if (store_rank == caller_rank) return;
+    publish_fence();
+    if (idle_claim(store_rank)) unpark(store_rank);
+  }
+
+  /// Wake for a stealable deposit on @p caller_rank's own deque: the
+  /// caller is awake, so engage one parked thief (if any).
+  void wake_thief(int caller_rank) {
+    if (policy_ == WakePolicy::All) {
+      wake_all();
+      return;
+    }
+    if (!stealing_active()) return;
+    publish_fence();
+    const int v = claim_any_idle(caller_rank);
+    if (v >= 0) unpark(v);
+  }
+
+  /// Wake for a deposit any worker can consume (shared pool).
+  void wake_any(int caller_rank) {
+    if (policy_ == WakePolicy::All) {
+      wake_all();
+      return;
+    }
+    if (n_ == 1 && caller_rank >= 0) return;
+    publish_fence();
+    const int v = claim_any_idle(caller_rank);
+    if (v >= 0) unpark(v);
+  }
+
+  /// Bulk variant of wake_any: engage up to the policy's victim quota.
+  void wake_bulk_any(int caller_rank, std::size_t n) {
+    if (policy_ == WakePolicy::All) {
+      wake_all();
+      return;
+    }
+    publish_fence();
+    const std::size_t quota = bulk_victims(n);
+    for (std::size_t i = 0; i < quota; ++i) {
+      const int v = claim_any_idle(caller_rank);
+      if (v < 0) break;
+      unpark(v);
+    }
+  }
+
+  /// Victim/wake quota for an n-unit bulk deposit under the active policy.
+  [[nodiscard]] std::size_t bulk_victims(std::size_t n) const {
+    const auto team = static_cast<std::size_t>(n_);
+    if (policy_ == WakePolicy::Threshold) {
+      return std::min(team, std::max<std::size_t>(
+                                1, (n + kBulkWakeGrain - 1) / kBulkWakeGrain));
+    }
+    return std::min(team, n);
+  }
+
+  /// Broadcast wake of every *advertised-idle* worker (the `all` ablation
+  /// baseline reproduces the old per-push unpark_all cost shape).
+  void wake_all() {
+    publish_fence();
+    for (;;) {
+      const int v = claim_any_idle(-1);
+      if (v < 0) return;
+      unpark(v);
+    }
+  }
+
+  /// Unconditional broadcast (shutdown/notify): permits reach even workers
+  /// currently between a mask clear and their next park.
+  void broadcast_unpark() {
+    for (int r = 0; r < n_; ++r) {
+      sync_[static_cast<std::size_t>(r)].parker.unpark();
+    }
+  }
+
+  /// Locked-baseline bulk: round-robin chunks over the per-worker FIFOs
+  /// (the seed's scatter shape), one wake per engaged owner.
+  void submit_bulk_locked(int caller_rank, const T* items, std::size_t n) {
+    if (shared_) {
+      pool_for(0).locked.push_n(items, n);
+      wake_bulk_any(caller_rank, n);
+      return;
+    }
+    const std::size_t k = bulk_victims(n);
+    const std::size_t chunk = (n + k - 1) / k;
+    const int start = caller_rank >= 0 ? caller_rank : 0;
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < k && i < n; ++j) {
+      const int victim = static_cast<int>(
+          (static_cast<std::size_t>(start) + j) % static_cast<std::size_t>(n_));
+      const std::size_t take = std::min(chunk, n - i);
+      pool_for(victim).locked.push_n(items + i, take);
+      wake_owner_store(caller_rank, victim);
+      i += take;
+    }
+  }
+
   const int n_;
   const bool shared_;
   const bool ws_;
+  const WakePolicy policy_;
   std::vector<std::unique_ptr<Pool>> pools_;
   OverflowQueue<T> main_fair_{64};
   LockedQueue<T> main_locked_;
+  /// One idle bit per worker, set (seq_cst) before the final pre-park
+  /// probe and claimed (CAS) by wakers — see acquire().
+  std::vector<std::atomic<std::uint64_t>> idle_words_;
+  std::unique_ptr<WorkerSync[]> sync_;
   std::vector<Counters> counters_;
+  alignas(common::kCacheLine) std::atomic<std::uint64_t> wakes_issued_{0};
+  std::atomic<std::uint64_t> bulk_deposits_{0};
   std::atomic<bool> shutdown_{false};
-  common::Parker parker_;
 };
 
 }  // namespace glto::sched

@@ -203,13 +203,49 @@ void DepEngine::complete(TaskNode* node) {
     node->completed.store(true, std::memory_order_release);
     succs.swap(node->successors);
   }
+  // Collect every successor this completion releases, then hand the set
+  // to the runtime in ONE batch callback when several became ready at
+  // once (the DAG ready-burst a finishing tile produces) — the runtime
+  // bulk-deposits them with targeted wakes instead of k submit+wake
+  // round-trips. Small bursts stay on the stack.
+  constexpr std::size_t kInlineReady = 16;
+  void* payloads_inline[kInlineReady];
+  TaskNode* nodes_inline[kInlineReady];
+  std::vector<void*> payloads_spill;
+  std::vector<TaskNode*> nodes_spill;
+  std::size_t nready = 0;
   for (TaskNode* s : succs) {
     if (s->waits.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       dag_ready_hits_.fetch_add(1, std::memory_order_relaxed);
-      on_ready_(s->payload, s);
+      if (nready < kInlineReady) {
+        payloads_inline[nready] = s->payload;
+        nodes_inline[nready] = s;
+      } else {
+        if (nready == kInlineReady) {
+          payloads_spill.assign(payloads_inline,
+                                payloads_inline + kInlineReady);
+          nodes_spill.assign(nodes_inline, nodes_inline + kInlineReady);
+        }
+        payloads_spill.push_back(s->payload);
+        nodes_spill.push_back(s);
+      }
+      ++nready;
     }
-    unref(s);
+    // The successor-list reference is dropped only after the callback
+    // below has run (ready nodes stay referenced through the batch).
   }
+  void* const* payloads =
+      nready > kInlineReady ? payloads_spill.data() : payloads_inline;
+  TaskNode* const* nodes =
+      nready > kInlineReady ? nodes_spill.data() : nodes_inline;
+  if (nready > 1 && on_ready_batch_ != nullptr) {
+    on_ready_batch_(payloads, nodes, nready);
+  } else {
+    for (std::size_t i = 0; i < nready; ++i) {
+      on_ready_(payloads[i], nodes[i]);
+    }
+  }
+  for (TaskNode* s : succs) unref(s);
   unref(node);  // the creator's reference
 }
 

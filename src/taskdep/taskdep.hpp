@@ -68,9 +68,22 @@ class DepEngine {
   /// tasks submit() reported ready.
   using ReadyFn = void (*)(void* payload, TaskNode* node);
 
+  /// Optional batch form of the ready callback: when a completing task
+  /// releases SEVERAL successors at once (a tile whose k dependents all
+  /// reach zero — the DAG ready-burst), the engine hands the whole set to
+  /// one call so the runtime can bulk-deposit them (one scheduler
+  /// publication + targeted wakes) instead of paying k submit+wake
+  /// round-trips. Single releases, and engines without a batch callback,
+  /// keep the per-task on_ready path.
+  using ReadyBatchFn = void (*)(void* const* payloads,
+                                TaskNode* const* nodes, std::size_t n);
+
   /// @p hash_bits 0 → $GLTO_TASKDEP_HASH_BITS (default 10 → 1024 buckets).
   explicit DepEngine(ReadyFn on_ready, int hash_bits = 0);
   ~DepEngine();
+
+  /// Installs the batch ready callback (call before any submit()).
+  void set_on_ready_batch(ReadyBatchFn fn) { on_ready_batch_ = fn; }
 
   DepEngine(const DepEngine&) = delete;
   DepEngine& operator=(const DepEngine&) = delete;
@@ -104,6 +117,7 @@ class DepEngine {
   static void unref(TaskNode* n);
 
   ReadyFn on_ready_;
+  ReadyBatchFn on_ready_batch_ = nullptr;
   int hash_bits_;
   std::size_t nbuckets_;
   Bucket* buckets_;

@@ -161,8 +161,20 @@ TEST(Stats, EmptyIsSafe) {
 TEST(Parker, TimesOutWithoutUnpark) {
   gc::Parker p;
   const auto t0 = gc::now_ns();
-  p.park_for_us(2000);
+  EXPECT_FALSE(p.park_for_us(2000)) << "no permit: the park must time out";
   EXPECT_GE(gc::now_ns() - t0, 1000000);
+}
+
+TEST(Parker, PermitGrantedBeforeParkIsConsumedImmediately) {
+  // The no-lost-wakeup property: an unpark that lands between a worker's
+  // last queue probe and its cv wait is banked as a permit and consumed
+  // by the next park — which returns true without waiting.
+  gc::Parker p;
+  p.unpark();
+  const auto t0 = gc::now_ns();
+  EXPECT_TRUE(p.park_for_us(2'000'000));
+  EXPECT_LT(gc::now_ns() - t0, 1'000'000'000) << "banked permit must not wait";
+  EXPECT_FALSE(p.park_for_us(1000)) << "a permit is consumed exactly once";
 }
 
 TEST(Parker, UnparkWakesSleeper) {
@@ -174,7 +186,7 @@ TEST(Parker, UnparkWakesSleeper) {
   });
   while (p.waiters() == 0) std::this_thread::yield();
   const auto t0 = gc::now_ns();
-  p.unpark_all();
+  p.unpark();
   sleeper.join();
   EXPECT_TRUE(woke.load());
   EXPECT_LT(gc::now_ns() - t0, 1'500'000'000) << "unpark took too long";

@@ -55,6 +55,48 @@ TEST_P(GltBackend, ManyUltsAllRun) {
   EXPECT_EQ(count.load(), kN);
 }
 
+TEST_P(GltBackend, UltCreateBulkRunsEveryUnit) {
+  // Bulk spawn conformance: one deposit publishes the whole batch; every
+  // unit runs exactly once; handles join normally. Both distribution
+  // hints, odd batch sizes, and a size larger than the internal wave.
+  for (const bool spread : {false, true}) {
+    for (const int n : {1, 7, 300}) {
+      std::atomic<int> count{0};
+      std::vector<void*> args(static_cast<std::size_t>(n), &count);
+      std::vector<gg::Ult*> us(static_cast<std::size_t>(n));
+      gg::ult_create_bulk(
+          [](void* p) { static_cast<std::atomic<int>*>(p)->fetch_add(1); },
+          args.data(), n, us.data(), spread);
+      for (auto* u : us) gg::ult_join(u);
+      EXPECT_EQ(count.load(), n) << "spread=" << spread << " n=" << n;
+    }
+  }
+  EXPECT_GT(gg::stats().bulk_deposits, 0u)
+      << "bulk creates must go through the core's bulk-deposit path";
+}
+
+TEST_P(GltBackend, UltCreateBulkFromInsideUlt) {
+  // A producer ULT fans a batch out mid-flight (the DAG ready-burst
+  // shape); the creator joins its batch before finishing.
+  struct Ctx {
+    std::atomic<int> count{0};
+  } ctx;
+  auto* outer = gg::ult_create(
+      [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        constexpr int kN = 32;
+        std::vector<void*> args(kN, &c->count);
+        std::vector<gg::Ult*> us(kN);
+        gg::ult_create_bulk(
+            [](void* q) { static_cast<std::atomic<int>*>(q)->fetch_add(1); },
+            args.data(), kN, us.data(), /*spread=*/false);
+        for (auto* u : us) gg::ult_join(u);
+      },
+      &ctx);
+  gg::ult_join(outer);
+  EXPECT_EQ(ctx.count.load(), 32);
+}
+
 TEST_P(GltBackend, UltIsDoneTracksCompletion) {
   // The non-destructive completion probe behind the completion-order
   // burst join: false until the body ran, true after, join still works.

@@ -257,6 +257,21 @@ void microtask_single_task(std::int32_t, std::int32_t, void* shared) {
   glto_kmpc_barrier();
 }
 
+void microtask_single_task_bulk(std::int32_t, std::int32_t, void* shared) {
+  auto* f = static_cast<ForkFrame*>(shared);
+  if (glto_kmpc_single()) {
+    // 150 > the shim's internal wave: exercises multi-wave bulk spawn.
+    void* args[150];
+    for (auto& a : args) a = f;
+    glto_kmpc_omp_task_bulk(
+        [](void* p) { static_cast<ForkFrame*>(p)->sum.fetch_add(1); }, args,
+        150);
+    glto_kmpc_omp_taskwait();
+    glto_kmpc_end_single();
+  }
+  glto_kmpc_barrier();
+}
+
 }  // namespace
 
 TEST_P(KmpAbi, ForkCallRunsTeam) {
@@ -287,6 +302,12 @@ TEST_P(KmpAbi, SingleAndTasks) {
   ForkFrame f;
   glto_kmpc_fork_call(microtask_single_task, &f);
   EXPECT_EQ(f.sum.load(), 20);
+}
+
+TEST_P(KmpAbi, BulkTaskSpawnRunsEveryTask) {
+  ForkFrame f;
+  glto_kmpc_fork_call(microtask_single_task_bulk, &f);
+  EXPECT_EQ(f.sum.load(), 150);
 }
 
 TEST_P(KmpAbi, AtomicAdds) {

@@ -5,6 +5,7 @@
 // the CI backend-parity job re-runs the glto rows under each $GLT_IMPL).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
@@ -285,6 +286,67 @@ TEST_P(TaskV2, ParForCutoffRunsSerial) {
       counters_before.os_threads_created + counters_before.os_threads_reused);
 }
 
+// ---- bulk spawn (task_bulk / taskloop) --------------------------------------
+
+TEST_P(TaskV2, TaskBulkRunsEveryDescriptorOnce) {
+  constexpr int kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  o::parallel([&](int, int) {
+    o::single([&] {
+      std::vector<o::TaskDesc> descs;
+      descs.reserve(kN);
+      for (int i = 0; i < kN; ++i) {
+        auto* h = &hits[static_cast<std::size_t>(i)];
+        descs.push_back(o::TaskDesc::make([h] { h->fetch_add(1); }));
+      }
+      o::task_bulk(descs.data(), descs.size());
+      o::taskwait();
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(TaskV2, TaskloopGrainSweepMatchesParFor) {
+  // taskloop is the task-shaped twin of par_for's grain chunking: the
+  // chunks arrive as ONE bulk spawn. Sweep grains (incl. non-dividing and
+  // over-sized) and check coverage parity with the work-shared loop.
+  constexpr std::int64_t kN = 200;
+  for (std::int64_t grain : {std::int64_t{1}, std::int64_t{3},
+                             std::int64_t{16}, std::int64_t{512}}) {
+    std::vector<std::atomic<int>> tl_hits(kN);
+    std::atomic<std::int64_t> max_chunk{0};
+    o::parallel([&](int, int) {
+      o::single([&] {
+        o::taskloop(0, kN, grain, [&](std::int64_t b, std::int64_t e) {
+          std::int64_t cur = max_chunk.load();
+          while (e - b > cur && !max_chunk.compare_exchange_weak(cur, e - b)) {
+          }
+          for (std::int64_t i = b; i < e; ++i) {
+            tl_hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+      });
+    });
+    std::vector<std::atomic<int>> pf_hits(kN);
+    o::par_for(0, kN, {o::Schedule::Dynamic, grain, 0}, [&](std::int64_t i) {
+      pf_hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(tl_hits[static_cast<std::size_t>(i)].load(), 1)
+          << "taskloop grain=" << grain << " missed index " << i;
+      EXPECT_EQ(pf_hits[static_cast<std::size_t>(i)].load(), 1);
+    }
+    EXPECT_LE(max_chunk.load(), std::max<std::int64_t>(grain, 1))
+        << "taskloop chunks never exceed the grain";
+  }
+}
+
+TEST_P(TaskV2, TaskloopFromRootContextCompletes) {
+  std::atomic<std::int64_t> sum{0};
+  o::taskloop(0, 64, 8, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
 TEST_P(TaskV2, LoopInsideParallelGuidedCoversRange) {
   constexpr std::int64_t kN = 150;
   std::vector<std::atomic<int>> hits(kN);
@@ -325,6 +387,77 @@ INSTANTIATE_TEST_SUITE_P(
     AllRuntimes, TaskV2,
     ::testing::Values(o::RuntimeKind::gnu, o::RuntimeKind::intel,
                       o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
+                      o::RuntimeKind::glto_mth),
+    [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
+      std::string n = o::kind_name(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// ---- bulk-deposit accounting (GLTO over the shared scheduling core) ---------
+
+class TaskBulkGlto : public ::testing::TestWithParam<o::RuntimeKind> {
+ protected:
+  void SetUp() override {
+    o::SelectOptions opts;
+    opts.num_threads = 4;
+    opts.bind_threads = false;
+    o::select(GetParam(), opts);
+  }
+  void TearDown() override { o::shutdown(); }
+};
+
+TEST_P(TaskBulkGlto, TaskloopGrainChunksArriveAsOneBulkDeposit) {
+  // The batch-spawn proof: a producer taskloop's grain chunks must cross
+  // the scheduler as ONE submit_bulk (one queue publication per victim
+  // GLT_thread + one targeted wake per victim), not as per-chunk submits.
+  std::atomic<std::int64_t> sum{0};
+  auto run = [&] {
+    o::parallel([&](int, int) {
+      o::single([&] {
+        o::taskloop(0, 256, 4, [&](std::int64_t i) { sum.fetch_add(i); });
+      });
+    });
+  };
+  run();  // warm the record freelists
+  sum.store(0);
+  const auto before = glto::glt::stats();
+  run();
+  const auto after = glto::glt::stats();
+  EXPECT_EQ(sum.load(), 256 * 255 / 2);
+  EXPECT_EQ(after.bulk_deposits - before.bulk_deposits, 1u)
+      << "64 grain chunks must cross the core as exactly one bulk deposit";
+}
+
+TEST_P(TaskBulkGlto, SectionsBlocksArriveAsOneBulkDeposit) {
+  std::vector<std::atomic<int>> hits(12);
+  struct Bump {
+    std::atomic<int>* h;
+    void operator()() const { h->fetch_add(1); }
+  };
+  std::vector<Bump> blocks;
+  blocks.reserve(hits.size());
+  for (auto& h : hits) blocks.push_back(Bump{&h});
+  std::vector<o::Section> secs;
+  secs.reserve(blocks.size());
+  for (auto& blk : blocks) secs.push_back(o::section_of(blk));
+  auto run = [&] {
+    o::parallel([&](int, int) { o::sections(secs.data(), secs.size()); });
+  };
+  run();
+  const auto before = glto::glt::stats();
+  run();
+  const auto after = glto::glt::stats();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+  EXPECT_EQ(after.bulk_deposits - before.bulk_deposits, 1u)
+      << "sections blocks must cross the core as one bulk deposit";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GltoRuntimes, TaskBulkGlto,
+    ::testing::Values(o::RuntimeKind::glto_abt, o::RuntimeKind::glto_qth,
                       o::RuntimeKind::glto_mth),
     [](const ::testing::TestParamInfo<o::RuntimeKind>& info) {
       std::string n = o::kind_name(info.param);
