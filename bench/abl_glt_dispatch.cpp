@@ -45,6 +45,7 @@
 #include "abt/abt.hpp"
 #include "bench_common.hpp"
 #include "glt/glt.hpp"
+#include "sched/chaos.hpp"
 #include "sched/dispatch.hpp"
 
 namespace ga = glto::abt;
@@ -382,6 +383,57 @@ int main() {
     b::print_row_json("taskloop-g64", nth, st, wake_kv(ambient, gs0, gs1));
     o::shutdown();
   }
+  // Chaos-harness overhead: the same single-producer burst with the
+  // fault-injection hooks (a) disarmed — the shipping default, where every
+  // hook is one relaxed load of g_chaos_on and a predicted branch — and
+  // (b) armed at the CI chaos leg's probabilities. The off row must sit
+  // within noise of the task-v2 cells above (the hardening layer is free
+  // when unused); the on row prices what the chaos CI leg actually pays.
+  b::print_header("omp task burst on glto-abt: chaos harness overhead (s)");
+  {
+    struct ChaosMode {
+      const char* name;
+      glto::sched::ChaosConfig cfg;  // default-constructed = off
+    };
+    ChaosMode chaos_modes[2];
+    chaos_modes[0].name = "task-chaos-off";
+    chaos_modes[1].name = "task-chaos-on";
+    chaos_modes[1].cfg.enabled = true;
+    chaos_modes[1].cfg.spawn_p = 0.02;
+    chaos_modes[1].cfg.alloc_p = 0.05;
+    chaos_modes[1].cfg.delay_p = 0.01;
+    chaos_modes[1].cfg.seed = 42;
+    for (const ChaosMode& cm : chaos_modes) {
+      for (int nth : b::thread_sweep()) {
+        b::select_runtime(o::RuntimeKind::glto_abt, nth);
+        glto::sched::chaos_set_for_testing(cm.cfg);
+        const auto run_chaos = [&] {
+          o::parallel([&](int, int) {
+            o::single([&] {
+              for (int i = 0; i < burst; ++i) {
+                o::task(
+                    [] { g_sink.fetch_add(1, std::memory_order_relaxed); });
+              }
+              o::taskwait();
+            });
+          });
+        };
+        run_chaos();  // warm the record freelists
+        const auto f0 = glto::sched::chaos_faults_injected();
+        auto st = b::time_runs(reps, run_chaos);
+        const auto f1 = glto::sched::chaos_faults_injected();
+        char kv[96];
+        std::snprintf(kv, sizeof kv,
+                      "\"chaos\": %s, \"faults_injected\": %llu",
+                      cm.cfg.enabled ? "true" : "false",
+                      static_cast<unsigned long long>(f1 - f0));
+        b::print_row_json(cm.name, nth, st, kv);
+        glto::sched::chaos_set_for_testing({});
+        o::shutdown();
+      }
+    }
+  }
+
   b::print_header("omp task burst on glto-abt: boxed v1 baseline (s)");
   for (int nth : b::thread_sweep()) {
     b::select_runtime(o::RuntimeKind::glto_abt, nth);

@@ -3,14 +3,11 @@
 #
 # Sanitizes the paths a plain Release ctest cannot see into: the taskdep
 # dep-hash table and release-counter lifecycle (refcounted nodes, cell GC,
-# wake-up enqueues), the lock-free queues, and the abt scheduler core.
-#
-# Scope note: fcontext fiber stacks carry no ASan fiber annotations, so
-# deep ULT-runtime stacks (glto-* over qth/mth especially) produce
-# stack-underflow false positives. The dependency engine is runtime-
-# agnostic, so its sanitized coverage comes from the pthread runtimes
-# (gnu/intel), which ASan tracks exactly; test_abt/test_sched cover the
-# scheduler and queue layers directly.
+# wake-up enqueues), the lock-free queues, and all three ULT schedulers.
+# fctx carries ASan fiber annotations (__sanitizer_start_switch_fiber /
+# __sanitizer_finish_switch_fiber around every context switch), so the
+# glto-{abt,qth,mth} runtimes are sanitized exactly — pooled fiber stacks
+# included — alongside the pthread baselines (gnu/intel).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -18,12 +15,15 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
 cmake --build build-asan -j \
-  --target test_taskdep test_bqp test_abt test_sched test_ws_core
+  --target test_taskdep test_bqp test_abt test_qth test_mth test_sched \
+  test_ws_core
 
-./build-asan/test_taskdep --gtest_filter='*gnu*:*intel*'
-./build-asan/test_bqp --gtest_filter='*gnu*:*intel*:Bqp.*'
+./build-asan/test_taskdep
+./build-asan/test_bqp
 ./build-asan/test_sched
 ./build-asan/test_ws_core
 ./build-asan/test_abt
+./build-asan/test_qth
+./build-asan/test_mth
 
 echo "asan_ctest: all sanitized suites passed"

@@ -13,6 +13,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
 namespace glto::abt {
@@ -32,6 +33,9 @@ struct WorkUnit {
   void* arg = nullptr;
   fctx::fcontext_t ctx = nullptr;
   fctx::Stack stack;
+  /// ASan bounds of the stack this unit runs on: its pooled stack for
+  /// ULTs, the process native stack for Kind::Main.
+  fctx::StackRegion stack_region;
   std::atomic<State> state{State::Ready};
   std::atomic<WorkUnit*> joiner{nullptr};
   std::atomic<int> last_rank{-1};
@@ -67,6 +71,7 @@ struct Runtime {
   std::unique_ptr<sched::Freelist<WorkUnit>> free;
   std::vector<std::thread> workers;
   fctx::Stack primary_sched_stack;
+  std::uint64_t watchdog_token = 0;
 
   std::atomic<std::uint64_t> ults_created{0};
   std::atomic<std::uint64_t> tasklets_created{0};
@@ -80,6 +85,7 @@ struct Tls {
   int rank = -1;
   WorkUnit* current = nullptr;        // unit whose stack we are running on
   fctx::fcontext_t sched_ctx = nullptr;  // way back to this xstream's scheduler
+  fctx::StackRegion sched_stack;      // ASan bounds of the scheduler's stack
   WorkUnit* main_unit = nullptr;      // primary thread only
 };
 
@@ -202,7 +208,8 @@ void run_unit(WorkUnit* wu) {
   wu->state.store(State::Running, std::memory_order_relaxed);
   tls.current = wu;
   SwitchMsg resume{Dir::Resume, wu, nullptr};
-  fctx::transfer_t t = fctx::jump_fcontext(wu->ctx, &resume);
+  fctx::transfer_t t = fctx::jump_fcontext_to(wu->ctx, &resume,
+                                              wu->stack_region);
   tls.current = nullptr;
   process_directive(t);
 }
@@ -224,6 +231,7 @@ void sched_loop() {
 
 void worker_main(int rank) {
   tls.rank = rank;
+  tls.sched_stack = fctx::os_thread_stack();  // sched_loop runs right here
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
   sched_loop();
 }
@@ -231,6 +239,7 @@ void worker_main(int rank) {
 /// Entry for the primary xstream's scheduler context (created lazily the
 /// first time the primary ULT suspends).
 void primary_sched_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   process_directive(t);
   sched_loop();
   GLTO_CHECK_MSG(false, "primary scheduler exited while runtime is alive");
@@ -252,9 +261,11 @@ __attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
     fctx::Stack s = fctx::StackPool::global().acquire();
     g_rt->primary_sched_stack = s;
     tls.sched_ctx = fctx::make_fcontext(s.top, s.size, primary_sched_entry);
+    tls.sched_stack = s.region();
   }
   SwitchMsg msg{dir, self, target};
-  fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
+  fctx::transfer_t t =
+      fctx::jump_fcontext_to(tls.sched_ctx, &msg, tls.sched_stack);
   // Resumed — possibly on a *different OS thread* (shared pools or a
   // steal): the thread-local block must be re-resolved, never reused.
   Tls& now = tls_now();
@@ -264,6 +275,7 @@ __attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
 
 /// Entry trampoline for freshly created ULTs.
 void ult_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
   WorkUnit* self = in.self;
   tls.sched_ctx = t.from;
@@ -272,7 +284,9 @@ void ult_entry(fctx::transfer_t t) {
   // fn may have suspended and resumed on a different OS thread: resolve
   // the CURRENT thread's scheduler context, not the entry-time one.
   SwitchMsg done{Dir::Done, self, nullptr};
-  fctx::jump_fcontext(tls_now().sched_ctx, &done);
+  Tls& now = tls_now();
+  fctx::jump_fcontext_to(now.sched_ctx, &done, now.sched_stack,
+                         /*abandon=*/true);
   GLTO_CHECK_MSG(false, "resumed a finished ULT");
 }
 
@@ -286,6 +300,7 @@ WorkUnit* create_unit(Kind kind, int rank, bool pinned, WorkFn fn,
   if (kind == Kind::Ult) {
     wu->stack = fctx::StackPool::global().acquire();
     wu->ctx = fctx::make_fcontext(wu->stack.top, wu->stack.size, ult_entry);
+    wu->stack_region = wu->stack.region();
     g_rt->ults_created.fetch_add(1, std::memory_order_relaxed);
   } else {
     g_rt->tasklets_created.fetch_add(1, std::memory_order_relaxed);
@@ -295,6 +310,10 @@ WorkUnit* create_unit(Kind kind, int rank, bool pinned, WorkFn fn,
 }
 
 int default_rank() { return tls.rank >= 0 ? tls.rank : 0; }
+
+void dump_core_state(void* arg) {
+  static_cast<sched::WsCore<WorkUnit*>*>(arg)->dump_state("abt");
+}
 
 }  // namespace
 
@@ -313,12 +332,15 @@ void init(const Config& cfg_in) {
   core_cfg.work_stealing = g_rt->ws;
   g_rt->core = std::make_unique<sched::WsCore<WorkUnit*>>(core_cfg);
   g_rt->free = std::make_unique<sched::Freelist<WorkUnit>>(g_rt->n);
+  g_rt->watchdog_token =
+      sched::watchdog_register_dumper(dump_core_state, g_rt->core.get());
   g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   // The caller becomes the primary ULT on xstream 0.
   tls.rank = 0;
   tls.sched_ctx = nullptr;
   auto* main_unit = new WorkUnit();
   main_unit->kind = Kind::Main;
+  main_unit->stack_region = fctx::os_thread_stack();
   main_unit->home_rank = 0;
   main_unit->pinned = true;
   main_unit->state.store(State::Running, std::memory_order_relaxed);
@@ -334,6 +356,7 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "abt::finalize without init");
   GLTO_CHECK_MSG(tls.main_unit != nullptr && tls.current == tls.main_unit,
                  "finalize must run on the primary ULT");
+  sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
@@ -382,6 +405,7 @@ void ult_create_bulk(WorkFn fn, void* const* args, int n, WorkUnit** out,
     reset_unit(wu, Kind::Ult, home, /*pinned=*/false, fn, args[i]);
     wu->stack = fctx::StackPool::global().acquire();
     wu->ctx = fctx::make_fcontext(wu->stack.top, wu->stack.size, ult_entry);
+    wu->stack_region = wu->stack.region();
     out[i] = wu;
   }
   g_rt->ults_created.fetch_add(static_cast<std::uint64_t>(n),

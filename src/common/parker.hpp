@@ -49,6 +49,27 @@ class Parker {
     return false;
   }
 
+  /// Deadline form of park_for_us: blocks until @p deadline or a permit.
+  /// Timed waits against an absolute deadline are what let timeout be a
+  /// first-class outcome of the runtime's blocking surfaces (wait_for,
+  /// taskwait_for) instead of an accumulation of relative sleeps that
+  /// drifts past the caller's budget.
+  bool park_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (permit_) {
+      permit_ = false;
+      return true;
+    }
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_until(lk, deadline, [&] { return permit_; });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    if (permit_) {
+      permit_ = false;
+      return true;
+    }
+    return false;
+  }
+
   /// Grants one permit and wakes one parked thread. Never lost: a permit
   /// granted while nobody is parked short-circuits the next park.
   void unpark() {

@@ -1,5 +1,7 @@
 #include "fctx/fcontext.hpp"
 
+#include <pthread.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +18,23 @@ namespace glto::fctx {
 extern "C" void glto_fctx_on_exit(void*) {
   std::fprintf(stderr, "glto::fctx: context entry function returned\n");
   std::abort();
+}
+
+StackRegion os_thread_stack() {
+  StackRegion r;
+#if defined(__linux__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      r.bottom = addr;
+      r.size = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#endif
+  return r;
 }
 
 #if !defined(GLTO_FCTX_UCONTEXT)

@@ -9,6 +9,30 @@
 
 #include <cstddef>
 
+// AddressSanitizer needs to be told about every stack switch, or code
+// running on a fiber stack trips "stack-use-after-return"-style false
+// positives (ASan believes the thread is still on its OS stack). The
+// annotations below are no-ops in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define GLTO_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GLTO_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(GLTO_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+}
+#endif
+
 namespace glto::fctx {
 
 /// Opaque handle to a suspended context (points into its stack).
@@ -33,5 +57,61 @@ fcontext_t make_fcontext(void* sp, std::size_t size, entry_fn fn);
 /// Suspends the current context and resumes @p to, passing @p data.
 /// Returns when somebody jumps back, with the peer's context and payload.
 transfer_t jump_fcontext(fcontext_t to, void* data);
+
+/// Stack bounds for ASan fiber bookkeeping: @p bottom is the *lowest*
+/// usable address, @p size the usable byte count. An empty region (the
+/// default) tells ASan "unknown" — legal, but loses precision.
+struct StackRegion {
+  const void* bottom = nullptr;
+  std::size_t size = 0;
+};
+
+/// Bounds of the calling OS thread's own stack (pthread_getattr_np).
+/// Used for the scheduler loops and main contexts that run on native
+/// thread stacks rather than pooled fiber stacks.
+StackRegion os_thread_stack();
+
+/// Clears stale ASan shadow from a fiber stack about to be recycled. A
+/// context that finishes by jumping away (every ULT) never returns through
+/// its frames, so their redzones stay poisoned on the stack — the next
+/// occupant's locals would land on them and report a bogus underflow.
+inline void asan_clear_stack(StackRegion r) {
+#if defined(GLTO_ASAN_FIBERS)
+  if (r.bottom != nullptr) __asan_unpoison_memory_region(r.bottom, r.size);
+#else
+  (void)r;
+#endif
+}
+
+/// Must be the first statement of every context entry function: closes the
+/// fiber switch that activated this context for the first time. (A fresh
+/// context has no saved fake stack, hence the null save pointer.)
+inline void asan_enter() {
+#if defined(GLTO_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+/// jump_fcontext with ASan fiber annotations. @p target is the stack
+/// region of the context being resumed. The fake-stack save pointer lives
+/// in THIS frame — on the suspending fiber's own stack — so it travels
+/// with the fiber and is found again no matter which OS thread resumes it.
+/// @p abandon: the calling context never runs again (a Done jump from a
+/// dying fiber); its fake stack is released instead of saved.
+inline transfer_t jump_fcontext_to(fcontext_t to, void* data,
+                                   StackRegion target, bool abandon = false) {
+#if defined(GLTO_ASAN_FIBERS)
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(abandon ? nullptr : &fake, target.bottom,
+                                 target.size);
+  transfer_t t = jump_fcontext(to, data);
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+  return t;
+#else
+  (void)target;
+  (void)abandon;
+  return jump_fcontext(to, data);
+#endif
+}
 
 }  // namespace glto::fctx

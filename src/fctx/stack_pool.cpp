@@ -133,6 +133,7 @@ Stack StackPool::acquire() {
 
 void StackPool::release(Stack s) {
   if (!s.valid()) return;
+  asan_clear_stack(s.region());  // drop poison left by abandoned frames
   if (impl_->per_thread_cache &&
       (t_cache.owner == impl_ || t_cache.owner == nullptr)) {
     t_cache.owner = impl_;

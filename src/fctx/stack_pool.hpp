@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fctx/fcontext.hpp"
+
 namespace glto::fctx {
 
 struct Stack {
@@ -21,6 +23,11 @@ struct Stack {
   std::size_t size = 0;   ///< usable size (excludes the guard page)
 
   [[nodiscard]] bool valid() const { return base != nullptr; }
+
+  /// Usable range as ASan fiber bounds (see fctx::jump_fcontext_to).
+  [[nodiscard]] StackRegion region() const {
+    return {static_cast<const char*>(top) - size, size};
+  }
 };
 
 /// Process-wide stack pool. Thread-safe.

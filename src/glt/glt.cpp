@@ -7,6 +7,8 @@
 #include "common/env.hpp"
 #include "mth/mth.hpp"
 #include "qth/qth.hpp"
+#include "sched/chaos.hpp"
+#include "sched/watchdog.hpp"
 
 namespace glto::glt {
 
@@ -67,6 +69,11 @@ Config config_from_env() {
 
 void init(const Config& cfg) {
   GLTO_CHECK_MSG(g_state == nullptr, "glt::init called twice");
+  // Hardening knobs resolve before any worker exists, so every thread the
+  // backends spawn sees a settled chaos plan / watchdog window. (The omp
+  // facade also resolves these; both entry points are idempotent.)
+  sched::chaos_init_from_env();
+  sched::watchdog_init_from_env();
   g_state = new GltState();
   g_state->cfg = cfg;
   switch (cfg.impl) {
@@ -233,6 +240,11 @@ bool ult_is_done(Ult* u) {
 }
 
 void ult_join(Ult* u) {
+  // Watchdog bracket: a blocking join is a potential "parked waiter" —
+  // the stall monitor only fires while waiters exist with no scheduler
+  // progress, and a join that suspends into backend work keeps bumping
+  // progress through WsCore::acquire.
+  sched::watchdog_enter_wait();
   switch (g_state->cfg.impl) {
     case Impl::abt:
       abt::join(reinterpret_cast<abt::WorkUnit*>(u));
@@ -248,6 +260,7 @@ void ult_join(Ult* u) {
       mth::join(reinterpret_cast<mth::Strand*>(u));
       break;
   }
+  sched::watchdog_exit_wait();
 }
 
 Tasklet* tasklet_create(WorkFn fn, void* arg) {
@@ -274,7 +287,9 @@ Tasklet* tasklet_create_to(int tid, WorkFn fn, void* arg) {
 
 void tasklet_join(Tasklet* t) {
   if (g_state->cfg.impl == Impl::abt) {
+    sched::watchdog_enter_wait();
     abt::join(reinterpret_cast<abt::WorkUnit*>(t));
+    sched::watchdog_exit_wait();
     return;
   }
   ult_join(reinterpret_cast<Ult*>(t));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <thread>
 #include <vector>
@@ -10,9 +11,12 @@
 #include "common/affinity.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
+#include "common/parker.hpp"
 #include "common/spin.hpp"
 #include "omp/task_support.hpp"
+#include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
+#include "sched/watchdog.hpp"
 #include "taskdep/taskdep.hpp"
 
 namespace glto::rt {
@@ -37,6 +41,7 @@ struct TaskCtx;
 
 using omp::detail::DepPayload;
 using omp::detail::ReadyGate;
+using omp::detail::tg_cancelled;
 using omp::detail::TgScope;
 
 /// A parallel team: fixed membership, barrier, single/loop bookkeeping.
@@ -97,6 +102,18 @@ struct TaskCtx {
   bool in_master = false;
 };
 
+/// Dependence-domain key: the address of the *creating* task's context.
+/// Dependences match only among tasks submitted by the same context —
+/// OpenMP's sibling scoping — so a child task naming its parent's dep
+/// object creates no edge, which is exactly the cross-scope hazard
+/// (child depends on parent's still-open node + in-body taskwait) that
+/// used to deadlock. Address recycling across retired contexts is benign:
+/// a retired occupant's nodes are completed, and edges against completed
+/// predecessors are no-ops.
+[[nodiscard]] std::uintptr_t dep_domain(const TaskCtx* c) {
+  return reinterpret_cast<std::uintptr_t>(c);
+}
+
 /// Argument block for team-member ULT thunks. RegionBody is non-owning:
 /// the forking caller's frame outlives the join.
 struct MemberArg {
@@ -116,6 +133,16 @@ struct MemberArg {
 /// then escalates: brief cpu_relax, a few OS yields, then bounded
 /// micro-sleeps (≤ kSleepCapUs) that release the core outright. The cap
 /// bounds the extra wake-up latency a real multicore barrier can see.
+///
+/// Hardening: the micro-sleeps run through a timed common::Parker wait
+/// (the same primitive the worker loops park on), so every GLTO wait is
+/// deadline-capable — step() clamps its sleep against an optional
+/// deadline and the timed waits (taskwait_for, taskgroup_end_for_us) poll
+/// their condition between bounded parks instead of oversleeping the
+/// caller's budget. Each step is also a chaos suspension point (injected
+/// delays widen race windows), and the object registers itself with the
+/// stall watchdog for its lifetime: a parked WaitBackoff is exactly the
+/// "blocked waiter" half of the quiescent-but-unfinished signal.
 struct WaitBackoff {
   static constexpr int kSpin = 16;
   static constexpr int kYield = 24;
@@ -124,7 +151,26 @@ struct WaitBackoff {
 
   int idle = 0;
 
-  void step() {
+  WaitBackoff() { sched::watchdog_enter_wait(); }
+  ~WaitBackoff() { sched::watchdog_exit_wait(); }
+  WaitBackoff(const WaitBackoff&) = delete;
+  WaitBackoff& operator=(const WaitBackoff&) = delete;
+
+  void step() { step_with_cap(kSleepCapUs); }
+
+  /// Deadline-clamped step: never sleeps past @p deadline. The caller
+  /// still owns the deadline check itself (a step may return early).
+  void step_until(std::chrono::steady_clock::time_point deadline) {
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return;
+    step_with_cap(std::min<std::int64_t>(kSleepCapUs, left));
+  }
+
+ private:
+  void step_with_cap(std::int64_t cap_us) {
+    sched::chaos_maybe_delay();
     if (glt::maybe_work()) {
       idle = 0;
       glt::yield();
@@ -136,11 +182,14 @@ struct WaitBackoff {
     } else if (idle <= kYield) {
       std::this_thread::yield();
     } else {
-      const std::int64_t us =
-          std::min<std::int64_t>(kSleepStepUs * (idle - kYield), kSleepCapUs);
-      std::this_thread::sleep_for(std::chrono::microseconds(us));
+      const std::int64_t us = std::min<std::int64_t>(
+          std::min<std::int64_t>(kSleepStepUs * (idle - kYield), kSleepCapUs),
+          cap_us);
+      parker_.park_for_us(us > 0 ? us : 1);
     }
   }
+
+  common::Parker parker_;
 };
 
 class GltoRuntime;
@@ -409,7 +458,7 @@ class GltoRuntime final : public omp::Runtime {
       if (has_deps) {
         ReadyGate gate;
         auto sub = dep_engine_.submit(&gate, flags.depend.data(),
-                                      flags.depend.size());
+                                      flags.depend.size(), dep_domain(c));
         node = sub.node;
         if (!sub.ready) {
           WaitBackoff wait;
@@ -420,9 +469,12 @@ class GltoRuntime final : public omp::Runtime {
       inline_ctx.team = c->team;
       inline_ctx.tid = c->tid;
       inline_ctx.parent = c;
+      inline_ctx.group = c->group;
       inline_ctx.is_explicit_task = true;
       glt::set_self_local(&inline_ctx);
-      desc.run();
+      // Cancellation: a member of a cancelled taskgroup skips its body
+      // but keeps the full completion protocol (dep release, child join).
+      if (!tg_cancelled(c->group)) desc.run();
       // Release at task completion, before the child join — same rule as
       // task_thunk: a child depending on this task's own dep object must
       // be releasable here or the join would spin on it forever.
@@ -446,13 +498,20 @@ class GltoRuntime final : public omp::Runtime {
       // its release counter hits zero, then the completing predecessor's
       // thread spawns it straight onto its own work-stealing deque.
       c->deferred.fetch_add(1, std::memory_order_relaxed);
-      auto sub =
-          dep_engine_.submit(arg, flags.depend.data(), flags.depend.size());
+      auto sub = dep_engine_.submit(arg, flags.depend.data(),
+                                    flags.depend.size(), dep_domain(c));
       if (!sub.ready) return;  // wake-up owns arg from submit() onward
       arg->node = sub.node;
       spawn_dep_task(arg, c->in_single || c->in_master
                               ? SpawnVia::producer_rr
                               : SpawnVia::backend);
+      return;
+    }
+    if (sched::chaos_spawn_fail()) {
+      // Injected ULT-creation failure: degrade to inline execution. The
+      // thunk runs the full completion protocol on the caller's context;
+      // no handle to join, so nothing is pushed to children.
+      run_task_inline_now(arg);
       return;
     }
     glt::Ult* u;
@@ -480,7 +539,10 @@ class GltoRuntime final : public omp::Runtime {
   void task_bulk(omp::TaskDesc* descs, std::size_t n,
                  const omp::TaskFlags& flags) override {
     const bool has_deps = !flags.depend.empty();
-    if (n < 2 || !flags.if_clause || flags.final || has_deps) {
+    if (n < 2 || !flags.if_clause || flags.final || has_deps ||
+        sched::chaos_enabled()) {
+      // Under chaos the burst degrades to per-task spawns so every unit
+      // passes the spawn-fail hook individually.
       for (std::size_t i = 0; i < n; ++i) task(std::move(descs[i]), flags);
       return;
     }
@@ -535,6 +597,41 @@ class GltoRuntime final : public omp::Runtime {
     while (g->pending.load(std::memory_order_acquire) > 0) wait.step();
     c->group = g->parent;
     delete g;
+  }
+
+  bool taskgroup_end_for_us(std::int64_t timeout_us) override {
+    TaskCtx* c = cur();
+    TgScope* g = c->group;
+    GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    WaitBackoff wait;
+    while (g->pending.load(std::memory_order_acquire) > 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;  // group stays active/open: caller cancels + drains
+      }
+      wait.step_until(deadline);
+    }
+    c->group = g->parent;
+    delete g;
+    return true;
+  }
+
+  bool cancel_taskgroup() override {
+    TgScope* g = cur()->group;
+    if (g == nullptr) return false;
+    g->cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool cancellation_requested() override {
+    return tg_cancelled(cur()->group);
+  }
+
+  bool taskwait_for_us(std::int64_t timeout_us) override {
+    return join_children_until(cur(), /*timed=*/true,
+                               std::chrono::steady_clock::now() +
+                                   std::chrono::microseconds(timeout_us));
   }
 
   omp::TaskStats task_stats() override {
@@ -606,18 +703,37 @@ class GltoRuntime final : public omp::Runtime {
                   ? glt::thread_num() % a->team->size
                   : 0;
     ctx.is_explicit_task = true;
+    ctx.parent = a->parent;
+    // Taskgroup membership is inherited: tasks this body creates belong to
+    // the creator's group (they bump pending before our join, and we join
+    // them before our own decrement, so pending cannot hit zero early).
+    ctx.group = a->group;
     glt::set_self_local(&ctx);
-    a->desc.run();
+    // Cancellation: a member of a cancelled taskgroup skips its body but
+    // keeps the full completion protocol below, so joins, dep gates, and
+    // pending-waits always terminate.
+    if (!tg_cancelled(a->group)) a->desc.run();
     // Dependences release at *task* completion (OpenMP's rule), before the
-    // transitive child join: children live in their own dependence domain,
-    // and a child depending on this task's own dep object must be
-    // releasable by this completion (joining first would deadlock on it).
+    // transitive child join: children submit into their own dependence
+    // domain (keyed by this ctx) so they can never gate on this node, and
+    // a sibling legitimately depending on it must be releasable here
+    // (joining first would withhold that sibling forever).
     if (a->node != nullptr) a->rt->dep_engine_.complete(a->node);
     join_children(&ctx);
     if (a->group != nullptr) {
       a->group->pending.fetch_sub(1, std::memory_order_release);
     }
     free_task_arg(a);
+  }
+
+  /// Chaos degrade path: runs a fully-initialised TaskArg inline on the
+  /// calling context, as if ULT creation had failed. task_thunk installs
+  /// the child context but never restores the caller's (a real ULT just
+  /// dies with its stack), so save/restore it here.
+  static void run_task_inline_now(TaskArg* a) {
+    void* saved = glt::self_local();
+    task_thunk(a);
+    glt::set_self_local(saved);
   }
 
   /// How a ready depend task's ULT is placed.
@@ -637,6 +753,15 @@ class GltoRuntime final : public omp::Runtime {
     // backends (mth) run the task to completion inside ult_create, and
     // task_thunk deletes arg when it finishes.
     TaskCtx* parent = arg->parent;
+    if (sched::chaos_spawn_fail()) {
+      // Injected ULT-creation failure on the dependency release path: the
+      // task runs inline on the releasing thread. No handle to publish;
+      // the decrement comes after full completion, so a join that reads
+      // deferred==0 has nothing left to wait for.
+      run_task_inline_now(arg);
+      parent->deferred.fetch_sub(1, std::memory_order_release);
+      return;
+    }
     Team* team = arg->team;
     glt::Ult* u;
     if (via == SpawnVia::producer_rr) {
@@ -704,8 +829,10 @@ class GltoRuntime final : public omp::Runtime {
         if (pending < kWave) continue;
       }
       if (pending == 0) continue;
-      if (pending == 1 || !glt::local_spawn()) {
-        // qth-locked keeps the per-task pinned wake-up (see spawn_dep_task).
+      if (pending == 1 || !glt::local_spawn() || sched::chaos_enabled()) {
+        // qth-locked keeps the per-task pinned wake-up (see spawn_dep_task);
+        // under chaos every wake-up goes per-task so each one passes the
+        // spawn-fail hook.
         for (std::size_t k = 0; k < pending; ++k) {
           wave[k]->rt->spawn_dep_task(wave[k], SpawnVia::run_local);
         }
@@ -733,6 +860,18 @@ class GltoRuntime final : public omp::Runtime {
   }
 
   static void join_children(TaskCtx* c) {
+    (void)join_children_until(c, /*timed=*/false, {});
+  }
+
+  /// Child join, optionally bounded by @p deadline. Untimed mode joins
+  /// everything (blocking on in-flight children). Timed mode only reaps
+  /// children that have already finished (glt::ult_is_done) — a blocking
+  /// ult_join could overshoot the budget by the child's whole runtime —
+  /// and returns false at the deadline; unfinished children go back into
+  /// c->children and are joined by the next untimed wait, so a timed-out
+  /// join leaves the task tree fully consistent.
+  static bool join_children_until(
+      TaskCtx* c, bool timed, std::chrono::steady_clock::time_point deadline) {
     WaitBackoff wait;
     for (;;) {
       std::vector<glt::Ult*> grabbed;
@@ -741,18 +880,42 @@ class GltoRuntime final : public omp::Runtime {
         grabbed.swap(c->children);
       }
       if (!grabbed.empty()) {
-        wait.idle = 0;
-        for (auto* u : grabbed) glt::ult_join(u);
-        continue;
-      }
-      if (c->deferred.load(std::memory_order_acquire) == 0) {
+        bool progressed = false;
+        if (!timed) {
+          for (auto* u : grabbed) glt::ult_join(u);
+          progressed = true;
+        } else {
+          std::vector<glt::Ult*> keep;
+          for (auto* u : grabbed) {
+            if (glt::ult_is_done(u)) {
+              glt::ult_join(u);  // already Done: reclaim, never blocks long
+              progressed = true;
+            } else {
+              keep.push_back(u);
+            }
+          }
+          if (!keep.empty()) {
+            common::SpinGuard g(c->child_lock);
+            c->children.insert(c->children.end(), keep.begin(), keep.end());
+          }
+        }
+        if (progressed) {
+          wait.idle = 0;
+          continue;
+        }
+      } else if (c->deferred.load(std::memory_order_acquire) == 0) {
         // A wake-up pushes the child handle *before* decrementing
         // `deferred`, so after reading zero one locked re-check suffices.
         common::SpinGuard g(c->child_lock);
-        if (c->children.empty()) return;
+        if (c->children.empty()) return true;
         continue;
       }
-      wait.step();  // withheld children exist; let predecessors run
+      if (timed) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        wait.step_until(deadline);
+      } else {
+        wait.step();  // withheld children exist; let predecessors run
+      }
     }
   }
 

@@ -14,6 +14,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
 namespace glto::mth {
@@ -39,6 +40,9 @@ struct Strand {
   void* arg = nullptr;
   fctx::fcontext_t ctx = nullptr;
   fctx::Stack stack;
+  /// ASan bounds of the stack this strand runs on: its pooled stack for
+  /// ULTs, the process native stack for Kind::Main.
+  fctx::StackRegion stack_region;
   std::atomic<bool> done{false};
   std::atomic<Strand*> joiner{nullptr};
   std::atomic<int> last_rank{-1};
@@ -66,6 +70,7 @@ struct SwitchMsg {
 struct alignas(common::kCacheLine) Worker {
   fctx::fcontext_t base_ctx = nullptr;  // valid while a strand chain runs
   fctx::Stack base_stack;               // only worker 0 (lazily created)
+  fctx::StackRegion base_region;        // ASan bounds of the base stack
 };
 
 struct Runtime {
@@ -84,6 +89,7 @@ struct Runtime {
   std::atomic<std::uint64_t> strands_created{0};
   std::atomic<std::uint64_t> main_migrations{0};
   std::uint64_t stack_hits_at_init = 0;
+  std::uint64_t watchdog_token = 0;
 };
 
 Runtime* g_rt = nullptr;
@@ -197,6 +203,7 @@ Strand* find_next() {
 void base_loop();
 
 void base_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   // Worker 0's base context, created lazily at main's first suspension.
   SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
   process_directive(in, t.from);
@@ -213,11 +220,14 @@ __attribute__((noinline)) void leave(SwitchMsg msg) {
   for (;;) {
     Worker& w = g_rt->workers[static_cast<std::size_t>(tls.rank)];
     fctx::fcontext_t to;
+    fctx::StackRegion to_region;
     if (Strand* next = find_next()) {
       to = next->ctx;
+      to_region = next->stack_region;
       msg.resumee = next;
     } else if (w.base_ctx != nullptr) {
       to = w.base_ctx;
+      to_region = w.base_region;
       w.base_ctx = nullptr;  // one-shot: consumed by this jump
     } else {
       // Worker 0 only: the main OS thread entered the runtime running the
@@ -226,9 +236,12 @@ __attribute__((noinline)) void leave(SwitchMsg msg) {
       GLTO_CHECK(tls.rank == 0 && !w.base_stack.valid());
       fctx::Stack s = fctx::StackPool::global().acquire();
       w.base_stack = s;
+      w.base_region = s.region();
       to = fctx::make_fcontext(s.top, s.size, base_entry);
+      to_region = w.base_region;
     }
-    fctx::transfer_t t = fctx::jump_fcontext(to, &msg);
+    fctx::transfer_t t = fctx::jump_fcontext_to(
+        to, &msg, to_region, /*abandon=*/msg.dir == Dir::Done);
     // Resumed (Yield/Block only; Done strands never come back).
     strand_landing(self, t);
     return;
@@ -242,7 +255,8 @@ void base_loop() {
     Strand* s = g_rt->core->acquire(tls.rank, st, /*with_main=*/tls.rank == 0);
     if (s == nullptr) break;
     SwitchMsg resume{Dir::Resume, nullptr, nullptr, s};
-    fctx::transfer_t t = fctx::jump_fcontext(s->ctx, &resume);
+    fctx::transfer_t t =
+        fctx::jump_fcontext_to(s->ctx, &resume, s->stack_region);
     // A strand fell back to us with a directive.
     SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
     process_directive(in, t.from);
@@ -252,11 +266,15 @@ void base_loop() {
 void worker_main(int rank) {
   tls.rank = rank;
   tls.rng = common::FastRng(0x8BADF00D + static_cast<std::uint64_t>(rank));
+  // base_loop runs right here, on this worker's native pthread stack.
+  g_rt->workers[static_cast<std::size_t>(rank)].base_region =
+      fctx::os_thread_stack();
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
   base_loop();
 }
 
 void strand_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   // First activation. For a work-first spawn t carries the Spawn message
   // and t.from is the parent's freshly saved continuation. A *queued*
   // strand (create_bulk) is instead first activated from a scheduler loop
@@ -309,12 +327,17 @@ void create_bulk_impl(WorkFn fn, void* const* args, int n, Strand** out) {
     child->stack = fctx::StackPool::global().acquire();
     child->ctx = fctx::make_fcontext(child->stack.top, child->stack.size,
                                      strand_entry);
+    child->stack_region = child->stack.region();
     out[i] = child;
   }
   g_rt->strands_created.fetch_add(static_cast<std::uint64_t>(n),
                                   std::memory_order_relaxed);
   g_rt->core->submit_bulk(tls.rank, out, static_cast<std::size_t>(n),
                           sched::BulkHint::local);
+}
+
+void dump_core_state(void* arg) {
+  static_cast<sched::WsCore<Strand*>*>(arg)->dump_state("mth");
 }
 
 }  // namespace
@@ -336,12 +359,15 @@ void init(const Config& cfg_in) {
   core_cfg.deque_capacity = 64;  // continuation chains stay shallow
   g_rt->core = std::make_unique<sched::WsCore<Strand*>>(core_cfg);
   g_rt->free = std::make_unique<sched::Freelist<Strand>>(g_rt->n);
+  g_rt->watchdog_token =
+      sched::watchdog_register_dumper(dump_core_state, g_rt->core.get());
   g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   tls.rank = 0;
   tls.tick = 0;
   tls.rng = common::FastRng(0x8BADF00D);
   auto* main_strand = new Strand();
   main_strand->kind = Kind::Main;
+  main_strand->stack_region = fctx::os_thread_stack();
   tls.current = main_strand;
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
   for (int r = 1; r < g_rt->n; ++r) {
@@ -361,6 +387,7 @@ void finalize() {
     leave(m);
     GLTO_CHECK(tls.rank == 0);
   }
+  sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& th : g_rt->threads) th.join();
   fctx::StackPool::global().release(g_rt->workers[0].base_stack);
@@ -404,6 +431,7 @@ Strand* create(WorkFn fn, void* arg) {
   child->stack = fctx::StackPool::global().acquire();
   child->ctx =
       fctx::make_fcontext(child->stack.top, child->stack.size, strand_entry);
+  child->stack_region = child->stack.region();
   g_rt->strands_created.fetch_add(1, std::memory_order_relaxed);
 
   // Work-first: run the child NOW; our continuation is published by the
@@ -411,7 +439,8 @@ Strand* create(WorkFn fn, void* arg) {
   // strand_landing (noinline) re-resolves TLS on whatever OS thread
   // resumes us.
   SwitchMsg spawn{Dir::Spawn, parent, child};
-  fctx::transfer_t t = fctx::jump_fcontext(child->ctx, &spawn);
+  fctx::transfer_t t =
+      fctx::jump_fcontext_to(child->ctx, &spawn, child->stack_region);
   strand_landing(parent, t);
   return child;
 }

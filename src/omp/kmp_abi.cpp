@@ -147,6 +147,20 @@ void glto_kmpc_taskgroup() { o::runtime().taskgroup_begin(); }
 
 void glto_kmpc_end_taskgroup() { o::runtime().taskgroup_end(); }
 
+namespace {
+constexpr std::int32_t kKmpCancelTaskgroup = 4;
+}  // namespace
+
+std::int32_t glto_kmpc_cancel(std::int32_t cncl_kind) {
+  if (cncl_kind != kKmpCancelTaskgroup) return 0;
+  return o::runtime().cancel_taskgroup() ? 1 : 0;
+}
+
+std::int32_t glto_kmpc_cancellationpoint(std::int32_t cncl_kind) {
+  if (cncl_kind != kKmpCancelTaskgroup) return 0;
+  return o::runtime().cancellation_requested() ? 1 : 0;
+}
+
 void glto_kmpc_atomic_add_f64(double* target, double val) {
   auto* a = reinterpret_cast<std::atomic<double>*>(target);
   double cur = a->load(std::memory_order_relaxed);

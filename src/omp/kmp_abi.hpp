@@ -96,6 +96,16 @@ void glto_kmpc_omp_taskyield();
 void glto_kmpc_taskgroup();
 void glto_kmpc_end_taskgroup();
 
+/// __kmpc_cancel / __kmpc_cancellationpoint. @p cncl_kind follows the
+/// LLVM kmp_cancel_kind convention (parallel=1, loop=2, sections=3,
+/// taskgroup=4); only taskgroup cancellation is supported here — other
+/// kinds return 0 (construct proceeds), matching a runtime built without
+/// OMP_CANCELLATION. glto_kmpc_cancel returns nonzero when cancellation
+/// was activated; glto_kmpc_cancellationpoint returns nonzero when the
+/// caller should branch to the end of its construct.
+std::int32_t glto_kmpc_cancel(std::int32_t cncl_kind);
+std::int32_t glto_kmpc_cancellationpoint(std::int32_t cncl_kind);
+
 /// __kmpc_reduce-style combine: atomically adds @p val into @p target.
 void glto_kmpc_atomic_add_f64(double* target, double val);
 void glto_kmpc_atomic_add_i64(std::int64_t* target, std::int64_t val);

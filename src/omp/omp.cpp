@@ -9,7 +9,9 @@
 #include "glto/glto_runtime.hpp"
 #include "omp/task_support.hpp"
 #include "pomp/pomp_runtime.hpp"
+#include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
+#include "sched/watchdog.hpp"
 
 namespace glto::omp {
 
@@ -148,6 +150,10 @@ const std::vector<RuntimeKind>& all_kinds() {
 
 void select(RuntimeKind kind, const SelectOptions& opts) {
   GLTO_CHECK_MSG(!g_runtime, "omp::select while a runtime is active");
+  // Resolve the hardening knobs before any scheduler exists, so every
+  // worker loop sees a settled plan from its first acquire.
+  sched::chaos_init_from_env();
+  sched::watchdog_init_from_env();
   switch (kind) {
     case RuntimeKind::gnu:
     case RuntimeKind::intel: {
@@ -269,6 +275,14 @@ void task_bulk(TaskDesc* descs, std::size_t n, const TaskFlags& flags) {
 void taskwait() { runtime().taskwait(); }
 
 void taskyield() { runtime().taskyield(); }
+
+bool cancel() { return runtime().cancel_taskgroup(); }
+
+bool cancellation_point() { return runtime().cancellation_requested(); }
+
+bool taskwait_for(std::chrono::microseconds timeout) {
+  return runtime().taskwait_for_us(timeout.count());
+}
 
 TaskStats task_stats() {
   TaskStats s;

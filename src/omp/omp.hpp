@@ -35,6 +35,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -46,6 +47,7 @@
 #include <vector>
 
 #include "omp/runtime.hpp"
+#include "sched/watchdog.hpp"
 
 namespace glto::omp {
 
@@ -279,6 +281,10 @@ struct FutureState<void> {
 
 }  // namespace detail
 
+/// Outcome of a timed wait (future::wait_for / wait_until): the deadline
+/// is a first-class result, not a hang.
+enum class FutureStatus : std::uint8_t { ready, timeout };
+
 /// Handle to the result of an omp::task_ret task. Completion is observed
 /// by polling the runtime's scheduling machinery: wait() yields the
 /// calling ULT (GLTO) or runs queued tasks in place (pthread runtimes) —
@@ -314,6 +320,7 @@ class future {
   /// or after completion; the handle stays valid for get().
   void wait() {
     if (st_ == nullptr) return;  // moved-from / consumed: nothing to wait on
+    sched::watchdog_enter_wait();
     while (!st_->done.load(std::memory_order_acquire)) {
       if (selected()) {
         Runtime& rt = runtime();
@@ -328,6 +335,35 @@ class future {
         std::this_thread::yield();
       }
     }
+    sched::watchdog_exit_wait();
+  }
+
+  /// Timed wait: same cooperative progress rule as wait(), bounded by an
+  /// absolute deadline. Returns FutureStatus::ready when the task
+  /// completed, FutureStatus::timeout once @p deadline passed with the
+  /// task still running — the handle stays valid either way (the task
+  /// keeps running after a timeout; wait()/get() can still join it). An
+  /// empty handle reports ready: there is nothing left to wait on.
+  FutureStatus wait_until(std::chrono::steady_clock::time_point deadline) {
+    if (st_ == nullptr) return FutureStatus::ready;
+    while (!st_->done.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return FutureStatus::timeout;
+      }
+      if (selected()) {
+        Runtime& rt = runtime();
+        rt.taskyield();
+        rt.yield_hint();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return FutureStatus::ready;
+  }
+
+  /// Relative-timeout form of wait_until.
+  FutureStatus wait_for(std::chrono::microseconds timeout) {
+    return wait_until(std::chrono::steady_clock::now() + timeout);
   }
 
   /// Waits, then returns the task's value (or rethrows its exception).
@@ -406,6 +442,43 @@ template <class F, class... Args>
 /// #pragma omp taskwait / taskyield
 void taskwait();
 void taskyield();
+
+// ---- cancellation & deadlines -------------------------------------------
+
+/// #pragma omp cancel taskgroup — marks the calling task's innermost
+/// enclosing taskgroup cancelled: member tasks that have not started yet
+/// skip their body; bodies already running finish normally; the group's
+/// end still joins everything. Returns false when there is no enclosing
+/// taskgroup or the runtime has no cancellation support (then a no-op).
+bool cancel();
+
+/// #pragma omp cancellation point taskgroup — true when the calling
+/// task's taskgroup has been cancelled; long-running bodies poll this and
+/// unwind early.
+[[nodiscard]] bool cancellation_point();
+
+/// Deadline form of taskwait: waits for the calling task's children for
+/// at most @p timeout. True → join completed; false → timeout (the
+/// children keep running and remain joined by the next taskwait or
+/// region end — a timed-out wait never detaches anything).
+bool taskwait_for(std::chrono::microseconds timeout);
+
+/// #pragma omp taskgroup with a deadline: runs @p body, then waits at
+/// most @p timeout for the group's tasks. On expiry the group is
+/// cancelled — not-yet-started members skip their body — and then drained
+/// to completion, so the scope closes consistently either way. Returns
+/// true when the group finished inside the deadline, false when it had to
+/// be cancelled.
+template <class F, std::enable_if_t<std::is_invocable_v<F&>, int> = 0>
+bool taskgroup_with_deadline(std::chrono::microseconds timeout, F&& body) {
+  Runtime& rt = runtime();
+  rt.taskgroup_begin();
+  body();
+  if (rt.taskgroup_end_for_us(timeout.count())) return true;
+  rt.cancel_taskgroup();
+  rt.taskgroup_end();
+  return false;
+}
 
 /// #pragma omp taskloop grainsize(g) — carves [lo, hi) into ⌈n/g⌉ chunk
 /// tasks, submits them as ONE bulk spawn (omp::task_bulk), then waits for

@@ -163,6 +163,43 @@ class Runtime {
   virtual void taskgroup_begin() {}
   virtual void taskgroup_end() { taskwait(); }
 
+  // --- cancellation & deadlines ------------------------------------------
+  /// omp::cancel(taskgroup): marks the calling task's innermost enclosing
+  /// taskgroup cancelled — member tasks not yet started skip their body,
+  /// in-flight bodies run to completion, and taskgroup_end still joins
+  /// everything. Returns false when there is no enclosing taskgroup (the
+  /// construct is then a no-op), or when the runtime has no cancellation
+  /// support (the pthread baselines' gnu/intel default here).
+  virtual bool cancel_taskgroup() { return false; }
+
+  /// Cancellation point: true when the calling task's taskgroup (or an
+  /// enclosing one) has been cancelled and the caller should unwind.
+  [[nodiscard]] virtual bool cancellation_requested() { return false; }
+
+  /// Deadline form of taskwait: waits for the calling task's children for
+  /// at most @p timeout_us microseconds. Returns true when the join
+  /// completed, false on timeout — the children keep running and remain
+  /// joined by the next taskwait/region end, so a timed-out wait leaves
+  /// the tree consistent. Default: the blocking taskwait (no deadline
+  /// support; never reports timeout).
+  virtual bool taskwait_for_us(std::int64_t timeout_us) {
+    (void)timeout_us;
+    taskwait();
+    return true;
+  }
+
+  /// Deadline form of taskgroup_end: waits at most @p timeout_us for the
+  /// group's tasks. True → the group completed and was popped, exactly as
+  /// taskgroup_end. False → timeout: the group stays active and open, so
+  /// the caller can cancel_taskgroup() and then taskgroup_end() to drain
+  /// (the omp::taskgroup_with_deadline recipe). Default: the blocking end
+  /// (no deadline support; never reports timeout).
+  virtual bool taskgroup_end_for_us(std::int64_t timeout_us) {
+    (void)timeout_us;
+    taskgroup_end();
+    return true;
+  }
+
   /// Dependency-engine counters (deps registered/deferred, DAG wake-ups).
   /// The descriptor-placement counters are filled in by the facade's
   /// omp::task_stats() — they live in the descriptor layer, above any

@@ -16,7 +16,23 @@ namespace glto::omp::detail {
 struct TgScope {
   std::atomic<std::int64_t> pending{0};
   TgScope* parent = nullptr;
+  /// omp::cancel(): set once, checked by every group member task right
+  /// before its body runs. A cancelled group still *joins* everything —
+  /// in-flight bodies finish, not-yet-started members skip their body but
+  /// keep the full completion bookkeeping (dep release, child join,
+  /// pending decrement), so taskgroup_end's wait terminates normally.
+  std::atomic<bool> cancelled{false};
 };
+
+/// True when @p g or any enclosing taskgroup has been cancelled. Walks the
+/// scope chain — cancellation of an outer group reaches tasks spawned in
+/// nested groups, mirroring OpenMP's innermost-enclosing-region rule.
+[[nodiscard]] inline bool tg_cancelled(const TgScope* g) {
+  for (; g != nullptr; g = g->parent) {
+    if (g->cancelled.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
 
 /// Discriminated payload header for the dependency engine's ready
 /// callback: deferred tasks get scheduled (runtime-specific), undeferred

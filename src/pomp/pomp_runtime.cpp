@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -17,8 +19,10 @@
 #include "common/rng.hpp"
 #include "common/spin.hpp"
 #include "omp/task_support.hpp"
+#include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
 #include "sched/locked_queue.hpp"
+#include "sched/watchdog.hpp"
 #include "taskdep/taskdep.hpp"
 
 namespace glto::pomp {
@@ -41,7 +45,24 @@ class PompRuntime;
 
 using omp::detail::DepPayload;
 using omp::detail::ReadyGate;
+using omp::detail::tg_cancelled;
 using omp::detail::TgScope;
+
+/// Dependence-domain key: the creating task's context address (same rule
+/// as GLTO — dependences scope per creating task, so a child naming its
+/// parent's dep object never gates on the parent's open node).
+[[nodiscard]] std::uintptr_t dep_domain(const TaskCtx* c) {
+  return reinterpret_cast<std::uintptr_t>(c);
+}
+
+/// RAII watchdog bracket for pomp's helping wait loops (the pthread
+/// analog of GLTO's WaitBackoff registration).
+struct WatchdogWaitScope {
+  WatchdogWaitScope() { sched::watchdog_enter_wait(); }
+  ~WatchdogWaitScope() { sched::watchdog_exit_wait(); }
+  WatchdogWaitScope(const WatchdogWaitScope&) = delete;
+  WatchdogWaitScope& operator=(const WatchdogWaitScope&) = delete;
+};
 
 /// A deferred explicit task: the v2 descriptor rides through the queues
 /// and the dependency engine (DepPayload header). Records recycle through
@@ -202,11 +223,14 @@ class PompRuntime : public omp::Runtime {
     run_member(&team, 0, body, pctx);
 
     // Implicit barrier: wait for every member, helping with tasks.
-    while (remaining.load(std::memory_order_acquire) > 0) {
-      if (!try_run_one_task(&team)) wait_relax();
-    }
-    while (team.tasks_outstanding.load(std::memory_order_acquire) > 0) {
-      if (!try_run_one_task(&team)) wait_relax();
+    {
+      WatchdogWaitScope wd;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (!try_run_one_task(&team)) wait_relax();
+      }
+      while (team.tasks_outstanding.load(std::memory_order_acquire) > 0) {
+        if (!try_run_one_task(&team)) wait_relax();
+      }
     }
 
     for (auto& w : engaged) {
@@ -323,6 +347,7 @@ class PompRuntime : public omp::Runtime {
   void barrier() override {
     PompTeam* t = t_ctx->team;
     if (t->size <= 1) return;
+    WatchdogWaitScope wd;
     const std::uint64_t epoch =
         t->barrier_epoch.load(std::memory_order_acquire);
     if (t->barrier_arrived.fetch_add(1, std::memory_order_acq_rel) ==
@@ -380,7 +405,7 @@ class PompRuntime : public omp::Runtime {
         // execute inline (the pthread analog of GLTO's yielding gate).
         ReadyGate gate;
         auto sub = dep_engine_.submit(&gate, flags.depend.data(),
-                                      flags.depend.size());
+                                      flags.depend.size(), dep_domain(c));
         if (!sub.ready) {
           while (!gate.open.load(std::memory_order_acquire)) {
             if (!try_run_one_task(c->team)) wait_relax();
@@ -405,8 +430,8 @@ class PompRuntime : public omp::Runtime {
     c->children_outstanding.fetch_add(1, std::memory_order_relaxed);
     c->team->tasks_outstanding.fetch_add(1, std::memory_order_relaxed);
     if (has_deps) {
-      auto sub =
-          dep_engine_.submit(rec, flags.depend.data(), flags.depend.size());
+      auto sub = dep_engine_.submit(rec, flags.depend.data(),
+                                    flags.depend.size(), dep_domain(c));
       // Unmet predecessors: the task is withheld from every queue (it is
       // already counted in children/tasks_outstanding, so taskwait and
       // barriers wait for it); the wake-up enqueues it natively and owns
@@ -467,9 +492,28 @@ class PompRuntime : public omp::Runtime {
 
   void taskwait() override {
     TaskCtx* c = t_ctx;
+    WatchdogWaitScope wd;
     while (c->children_outstanding.load(std::memory_order_acquire) > 0) {
       if (!try_run_one_task(c->team)) wait_relax();
     }
+  }
+
+  bool taskwait_for_us(std::int64_t timeout_us) override {
+    TaskCtx* c = t_ctx;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    WatchdogWaitScope wd;
+    while (c->children_outstanding.load(std::memory_order_acquire) > 0) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      // Unlike the untimed taskwait, a timed wait must NOT help-run
+      // tasks: a helped body is unpreemptible, so one long child blows
+      // the deadline unboundedly — and a child that polls a flag this
+      // thread sets after the wait would deadlock against its own
+      // waiter. Team members at barriers keep executing tasks; this
+      // thread waits idly, bounded.
+      wait_relax();
+    }
+    return true;
   }
 
   void taskgroup_begin() override {
@@ -483,11 +527,45 @@ class PompRuntime : public omp::Runtime {
     TaskCtx* c = t_ctx;
     TgScope* g = c->group;
     GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
+    WatchdogWaitScope wd;
     while (g->pending.load(std::memory_order_acquire) > 0) {
       if (!try_run_one_task(c->team)) wait_relax();
     }
     c->group = g->parent;
     delete g;
+  }
+
+  bool taskgroup_end_for_us(std::int64_t timeout_us) override {
+    TaskCtx* c = t_ctx;
+    TgScope* g = c->group;
+    GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    WatchdogWaitScope wd;
+    while (g->pending.load(std::memory_order_acquire) > 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;  // group stays active/open: caller cancels + drains
+      }
+      // No inline helping while the deadline is live (see taskwait_for_us:
+      // a helped member polling its cancellation point would deadlock
+      // against the thread that cancels it at expiry). The post-cancel
+      // drain — the untimed taskgroup_end — helps as usual.
+      wait_relax();
+    }
+    c->group = g->parent;
+    delete g;
+    return true;
+  }
+
+  bool cancel_taskgroup() override {
+    TgScope* g = t_ctx->group;
+    if (g == nullptr) return false;
+    g->cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool cancellation_requested() override {
+    return tg_cancelled(t_ctx->group);
   }
 
   omp::TaskStats task_stats() override {
@@ -556,9 +634,13 @@ class PompRuntime : public omp::Runtime {
     ctx.team = rec->team;
     ctx.tid = t_ctx != nullptr && t_ctx->team == rec->team ? t_ctx->tid : 0;
     ctx.parent = rec->creator;
+    ctx.group = rec->group;  // nested tasks inherit taskgroup membership
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
-    rec->desc.run();
+    // Cancellation: a member of a cancelled taskgroup skips its body but
+    // keeps the full completion protocol below, so waits always terminate.
+    if (!tg_cancelled(rec->group)) rec->desc.run();
+    sched::watchdog_note_progress();  // pomp's task turnover IS progress
     // Dependences release at *task* completion (OpenMP's rule), before the
     // child drain: a child depending on this task's own dep object must be
     // releasable here, or the drain below would spin on it forever. The
@@ -628,9 +710,11 @@ class PompRuntime : public omp::Runtime {
     ctx.team = c->team;
     ctx.tid = c->tid;
     ctx.parent = c;
+    ctx.group = c->group;
     TaskCtx* saved = t_ctx;
     t_ctx = &ctx;
-    desc.run();
+    if (!tg_cancelled(c->group)) desc.run();
+    sched::watchdog_note_progress();
     // Release at task completion, before the child drain — same rule as
     // execute(): a child depending on this task's own dep object must be
     // releasable here or the drain would spin on it forever.
@@ -642,6 +726,7 @@ class PompRuntime : public omp::Runtime {
   }
 
   void wait_relax() {
+    sched::chaos_maybe_delay();  // every relax step is a suspension point
     if (active_wait_) {
       common::cpu_relax();
     } else {

@@ -16,6 +16,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
 namespace glto::qth {
@@ -32,6 +33,9 @@ struct Thread {
   aligned_t* ret = nullptr;
   fctx::fcontext_t ctx = nullptr;
   fctx::Stack stack;
+  /// ASan bounds of the stack this thread runs on: its pooled stack for
+  /// qthreads, the process native stack for Kind::Main.
+  fctx::StackRegion stack_region;
   int home_shep = 0;
   Kind kind = Kind::Qthread;
   bool pinned = false;  ///< fork_to: exact placement, never stolen
@@ -83,6 +87,7 @@ struct Runtime {
   std::vector<std::thread> workers;
   std::atomic<std::uint64_t> rr_next{0};
   fctx::Stack primary_sched_stack;
+  std::uint64_t watchdog_token = 0;
   FebBucket feb[kFebBuckets];
 
   std::atomic<std::uint64_t> threads_created{0};
@@ -97,6 +102,7 @@ struct Tls {
   int rank = -1;
   Thread* current = nullptr;
   fctx::fcontext_t sched_ctx = nullptr;
+  fctx::StackRegion sched_stack;  // ASan bounds of the scheduler's stack
   Thread* main_thread = nullptr;
 };
 
@@ -307,7 +313,8 @@ void process_directive(fctx::transfer_t t) {
 void run_thread(Thread* th) {
   tls.current = th;
   SwitchMsg resume{Dir::Resume, th, FebOp::ReadFF, nullptr, nullptr, 0};
-  fctx::transfer_t t = fctx::jump_fcontext(th->ctx, &resume);
+  fctx::transfer_t t = fctx::jump_fcontext_to(th->ctx, &resume,
+                                              th->stack_region);
   tls.current = nullptr;
   process_directive(t);
 }
@@ -328,11 +335,13 @@ void sched_loop() {
 
 void worker_main(int rank) {
   tls.rank = rank;
+  tls.sched_stack = fctx::os_thread_stack();  // sched_loop runs right here
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
   sched_loop();
 }
 
 void primary_sched_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   process_directive(t);
   sched_loop();
   GLTO_CHECK_MSG(false, "primary scheduler exited while runtime is alive");
@@ -350,9 +359,11 @@ __attribute__((noinline)) void suspend(SwitchMsg msg) {
     fctx::Stack s = fctx::StackPool::global().acquire();
     g_rt->primary_sched_stack = s;
     tls.sched_ctx = fctx::make_fcontext(s.top, s.size, primary_sched_entry);
+    tls.sched_stack = s.region();
   }
   msg.self = self;
-  fctx::transfer_t t = fctx::jump_fcontext(tls.sched_ctx, &msg);
+  fctx::transfer_t t =
+      fctx::jump_fcontext_to(tls.sched_ctx, &msg, tls.sched_stack);
   // Resumed — possibly on a *different OS thread*: the thread-local block
   // must be re-resolved, never reused.
   Tls& now = tls_now();
@@ -361,6 +372,7 @@ __attribute__((noinline)) void suspend(SwitchMsg msg) {
 }
 
 void qthread_entry(fctx::transfer_t t) {
+  fctx::asan_enter();
   SwitchMsg in = *static_cast<SwitchMsg*>(t.data);
   Thread* self = in.self;
   tls.sched_ctx = t.from;
@@ -370,8 +382,14 @@ void qthread_entry(fctx::transfer_t t) {
   // fn (or writeF's FEB op) may have suspended and resumed on a different
   // OS thread: resolve the CURRENT thread's scheduler context.
   SwitchMsg done{Dir::Done, self, FebOp::ReadFF, nullptr, nullptr, 0};
-  fctx::jump_fcontext(tls_now().sched_ctx, &done);
+  Tls& now = tls_now();
+  fctx::jump_fcontext_to(now.sched_ctx, &done, now.sched_stack,
+                         /*abandon=*/true);
   GLTO_CHECK_MSG(false, "resumed a finished qthread");
+}
+
+void dump_core_state(void* arg) {
+  static_cast<sched::WsCore<Thread*>*>(arg)->dump_state("qth");
 }
 
 }  // namespace
@@ -391,11 +409,14 @@ void init(const Config& cfg_in) {
   core_cfg.work_stealing = g_rt->ws;
   g_rt->core = std::make_unique<sched::WsCore<Thread*>>(core_cfg);
   g_rt->free = std::make_unique<sched::Freelist<Thread>>(g_rt->n);
+  g_rt->watchdog_token =
+      sched::watchdog_register_dumper(dump_core_state, g_rt->core.get());
   g_rt->stack_hits_at_init = fctx::StackPool::global().cache_hits();
   tls.rank = 0;
   tls.sched_ctx = nullptr;
   auto* main_th = new Thread();
   main_th->kind = Kind::Main;
+  main_th->stack_region = fctx::os_thread_stack();
   main_th->home_shep = 0;
   main_th->pinned = true;
   tls.main_thread = main_th;
@@ -410,6 +431,7 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "qth::finalize without init");
   GLTO_CHECK_MSG(tls.current == tls.main_thread,
                  "finalize must run on the main context");
+  sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();
   fctx::StackPool::global().release(g_rt->primary_sched_stack);
@@ -455,6 +477,7 @@ void fork_impl(int shep, bool pinned, QthFn fn, void* arg, aligned_t* ret) {
   th->user_local = nullptr;
   th->stack = fctx::StackPool::global().acquire();
   th->ctx = fctx::make_fcontext(th->stack.top, th->stack.size, qthread_entry);
+  th->stack_region = th->stack.region();
   g_rt->threads_created.fetch_add(1, std::memory_order_relaxed);
   g_rt->core->submit(tls.rank, shep, pinned, th);
 }
@@ -492,6 +515,7 @@ void fork_bulk(QthFn fn, void* const* args, aligned_t* const* rets, int n,
       th->stack = fctx::StackPool::global().acquire();
       th->ctx =
           fctx::make_fcontext(th->stack.top, th->stack.size, qthread_entry);
+      th->stack_region = th->stack.region();
       wave[i] = th;
     }
     g_rt->threads_created.fetch_add(static_cast<std::uint64_t>(take),

@@ -1,0 +1,108 @@
+#include "sched/chaos.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace glto::sched {
+
+namespace detail {
+std::atomic<bool> g_chaos_on{false};
+}  // namespace detail
+
+namespace {
+
+struct ChaosState {
+  ChaosConfig cfg;
+  std::atomic<std::uint64_t> faults{0};
+  std::atomic<std::uint64_t> thread_ordinal{0};
+  // Seed epoch: bumping it makes every thread re-derive its stream, so
+  // chaos_set_for_testing takes effect on threads that already rolled.
+  std::atomic<std::uint64_t> epoch{0};
+};
+
+ChaosState& state() {
+  static ChaosState s;
+  return s;
+}
+
+std::once_flag g_env_once;
+
+/// Per-thread roll stream, re-derived whenever the global plan changes.
+common::FastRng& thread_stream() {
+  thread_local common::FastRng rng(0);
+  thread_local std::uint64_t seen_epoch = ~0ULL;
+  ChaosState& s = state();
+  const std::uint64_t e = s.epoch.load(std::memory_order_acquire);
+  if (seen_epoch != e) {
+    seen_epoch = e;
+    const std::uint64_t ord =
+        s.thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+    rng = common::FastRng(common::mix64(s.cfg.seed ^ (ord + 1)) ^ e);
+  }
+  return rng;
+}
+
+void apply(const ChaosConfig& cfg) {
+  ChaosState& s = state();
+  s.cfg = cfg;
+  s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_chaos_on.store(cfg.enabled, std::memory_order_release);
+}
+
+}  // namespace
+
+void chaos_init_from_env() {
+  std::call_once(g_env_once, [] { apply(resolve_chaos("GLTO_CHAOS")); });
+}
+
+void chaos_set_for_testing(const ChaosConfig& cfg) {
+  // Make sure the env resolution can't land after us and clobber the plan.
+  std::call_once(g_env_once, [] {});
+  apply(cfg);
+}
+
+ChaosConfig chaos_config() { return state().cfg; }
+
+std::uint64_t chaos_faults_injected() {
+  return state().faults.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool chaos_roll_spawn() {
+  ChaosState& s = state();
+  if (s.cfg.spawn_p <= 0.0) return false;
+  if (thread_stream().next_double() >= s.cfg.spawn_p) return false;
+  s.faults.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool chaos_roll_alloc() {
+  ChaosState& s = state();
+  if (s.cfg.alloc_p <= 0.0) return false;
+  if (thread_stream().next_double() >= s.cfg.alloc_p) return false;
+  s.faults.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool chaos_roll_delay() {
+  ChaosState& s = state();
+  if (s.cfg.delay_p <= 0.0) return false;
+  if (thread_stream().next_double() >= s.cfg.delay_p) return false;
+  s.faults.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void chaos_do_delay() {
+  // 1–64 µs: long enough to reorder a racing pair, short enough that a
+  // soak over thousands of tasks stays inside its ctest TIMEOUT.
+  const std::uint64_t us = 1 + (thread_stream().next() & 63);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace detail
+
+}  // namespace glto::sched

@@ -19,6 +19,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/spin.hpp"
+#include "sched/chaos.hpp"
 
 namespace glto::sched {
 
@@ -51,6 +52,11 @@ class Freelist {
   /// slab while never draining it, growing it without bound (e.g. gnu's
   /// nested mode churns through fresh OS threads every region).
   [[nodiscard]] Node* try_alloc(int rank) {
+    // Chaos hook: a simulated slab-exhaustion forces the caller onto its
+    // heap-spill path, the same degradation a genuinely drained pool
+    // produces. Every caller must already tolerate nullptr, so injecting
+    // it here exercises real recovery code, not a synthetic branch.
+    if (chaos_alloc_fail()) return nullptr;
     if (rank < 0 || static_cast<std::size_t>(rank) >= lists_.size()) {
       if (slab_size_.load(std::memory_order_relaxed) == 0) return nullptr;
       common::SpinGuard g(slab_lock_);

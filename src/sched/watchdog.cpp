@@ -1,0 +1,171 @@
+#include "sched/watchdog.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace glto::sched {
+
+namespace detail {
+std::atomic<bool> g_watchdog_on{false};
+std::atomic<std::uint64_t> g_watchdog_progress{0};
+std::atomic<std::int64_t> g_watchdog_waiters{0};
+std::atomic<std::int64_t> g_watchdog_pending{0};
+}  // namespace detail
+
+namespace {
+
+struct Dumper {
+  std::uint64_t token;
+  WatchdogDumpFn fn;
+  void* arg;
+};
+
+// Leaked on purpose: the monitor is a detached thread that may outlive
+// static destruction; it must never touch a destroyed global.
+struct WatchdogState {
+  std::mutex m;
+  std::condition_variable cv;
+  std::int64_t window_ms = 0;  ///< 0 = disarmed
+  std::uint64_t generation = 0;
+  bool thread_running = false;
+  std::vector<Dumper> dumpers;
+  std::uint64_t next_token = 1;
+};
+
+WatchdogState& state() {
+  static WatchdogState* s = new WatchdogState();
+  return *s;
+}
+
+std::once_flag g_env_once;
+
+void fire(WatchdogState& s, std::int64_t stalled_ms) {
+  std::fprintf(stderr,
+               "glto: WATCHDOG: no scheduler progress for %lld ms with "
+               "%lld blocked waiter(s) and %lld pending dep node(s) — "
+               "runtime is quiescent but unfinished; dumping state\n",
+               static_cast<long long>(stalled_ms),
+               static_cast<long long>(detail::g_watchdog_waiters.load(
+                   std::memory_order_relaxed)),
+               static_cast<long long>(detail::g_watchdog_pending.load(
+                   std::memory_order_relaxed)));
+  std::vector<Dumper> dumpers;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    dumpers = s.dumpers;
+  }
+  for (const Dumper& d : dumpers) d.fn(d.arg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Single persistent monitor: spawned on the first arm, it sleeps while
+// disarmed and re-baselines its stall clock whenever the window changes.
+void monitor_loop() {
+  WatchdogState& s = state();
+  std::uint64_t seen_generation = 0;
+  std::uint64_t last_progress = 0;
+  auto stall_start = std::chrono::steady_clock::now();
+  bool stalled = false;
+  for (;;) {
+    std::int64_t window;
+    {
+      std::unique_lock<std::mutex> lk(s.m);
+      s.cv.wait(lk, [&] { return s.window_ms > 0; });
+      if (s.generation != seen_generation) {
+        seen_generation = s.generation;
+        stalled = false;
+        last_progress =
+            detail::g_watchdog_progress.load(std::memory_order_relaxed);
+      }
+      window = s.window_ms;
+      // Poll at a quarter window so a stall is caught within ~1.25
+      // windows worst-case without burning cycles on tight re-checks.
+      s.cv.wait_for(lk,
+                    std::chrono::milliseconds(window < 4 ? 1 : window / 4));
+      if (s.window_ms <= 0 || s.generation != seen_generation) continue;
+    }
+    const std::uint64_t progress =
+        detail::g_watchdog_progress.load(std::memory_order_relaxed);
+    const std::int64_t waiters =
+        detail::g_watchdog_waiters.load(std::memory_order_relaxed);
+    const std::int64_t pending =
+        detail::g_watchdog_pending.load(std::memory_order_relaxed);
+    const bool unfinished = waiters > 0 || pending > 0;
+    if (progress != last_progress || !unfinished) {
+      last_progress = progress;
+      stalled = false;
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (!stalled) {
+      stalled = true;
+      stall_start = now;
+      continue;
+    }
+    const auto stalled_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              stall_start)
+            .count();
+    if (stalled_ms >= window) fire(s, stalled_ms);
+  }
+}
+
+void arm(std::int64_t ms) {
+  WatchdogState& s = state();
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    s.window_ms = ms;
+    ++s.generation;
+    if (ms > 0 && !s.thread_running) {
+      s.thread_running = true;
+      spawn = true;
+    }
+  }
+  detail::g_watchdog_on.store(ms > 0, std::memory_order_release);
+  s.cv.notify_all();
+  if (spawn) std::thread(monitor_loop).detach();
+}
+
+}  // namespace
+
+void watchdog_init_from_env() {
+  std::call_once(g_env_once, [] {
+    const std::int64_t ms = common::env_i64("GLTO_WATCHDOG_MS", 0);
+    if (ms > 0) arm(ms);
+  });
+}
+
+void watchdog_set_for_testing(std::int64_t ms) {
+  std::call_once(g_env_once, [] {});
+  arm(ms > 0 ? ms : 0);
+}
+
+std::uint64_t watchdog_register_dumper(WatchdogDumpFn fn, void* arg) {
+  WatchdogState& s = state();
+  std::lock_guard<std::mutex> lk(s.m);
+  const std::uint64_t token = s.next_token++;
+  s.dumpers.push_back(Dumper{token, fn, arg});
+  return token;
+}
+
+void watchdog_unregister_dumper(std::uint64_t token) {
+  WatchdogState& s = state();
+  std::lock_guard<std::mutex> lk(s.m);
+  for (auto it = s.dumpers.begin(); it != s.dumpers.end(); ++it) {
+    if (it->token == token) {
+      s.dumpers.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace glto::sched

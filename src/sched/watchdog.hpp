@@ -1,0 +1,79 @@
+// Stall watchdog: turns a silent runtime hang into an actionable report.
+//
+// A wedged lightweight-thread runtime looks exactly like an idle one from
+// the outside — every worker parked, no CPU burned — so a lost wake or a
+// dependence cycle used to surface only as a CI job timeout with no state
+// attached. The watchdog ($GLTO_WATCHDOG_MS) watches three gauges:
+//
+//   progress — bumped every time a worker acquires runnable work
+//              (sched::WsCore) or a blocking wait completes
+//   waiters  — tasks/threads currently blocked in a runtime wait
+//              (taskwait, barrier, taskgroup, dep gate, future)
+//   pending  — dependence-graph nodes submitted but not yet completed
+//
+// When progress stays frozen for a full window while waiters or pending is
+// non-zero, the runtime is quiescent-but-unfinished: the watchdog runs
+// every registered dumper (the scheduling cores print their idle mask,
+// per-worker queue depths and park/wake counters; the dep engine its
+// pending-node count) and aborts, so the hang produces a scheduler-state
+// dump instead of a timeout.
+//
+// All hooks are one relaxed load when the watchdog is disabled (the
+// default), mirroring the chaos harness's off-cost contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace glto::sched {
+
+namespace detail {
+extern std::atomic<bool> g_watchdog_on;
+extern std::atomic<std::uint64_t> g_watchdog_progress;
+extern std::atomic<std::int64_t> g_watchdog_waiters;
+extern std::atomic<std::int64_t> g_watchdog_pending;
+}  // namespace detail
+
+/// State-dump callback; prints to stderr. Runs on the monitor thread right
+/// before abort, so it must not block on runtime locks held by the stall.
+using WatchdogDumpFn = void (*)(void* arg);
+
+/// Resolves $GLTO_WATCHDOG_MS on first use; > 0 starts the monitor thread
+/// with that stall window. Idempotent.
+void watchdog_init_from_env();
+
+/// (Re)arms the watchdog with an explicit window; ms <= 0 disarms. Used by
+/// tests to exercise the abort path without environment plumbing.
+void watchdog_set_for_testing(std::int64_t ms);
+
+/// Registers a state dumper; returns a token for unregister. Backends
+/// register their scheduling core at init and unregister at finalize.
+std::uint64_t watchdog_register_dumper(WatchdogDumpFn fn, void* arg);
+void watchdog_unregister_dumper(std::uint64_t token);
+
+/// Progress heartbeat — any sign the runtime is still moving.
+inline void watchdog_note_progress() {
+  if (!detail::g_watchdog_on.load(std::memory_order_relaxed)) return;
+  detail::g_watchdog_progress.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Blocking-wait gauge; call on entry/exit of every runtime wait loop.
+inline void watchdog_enter_wait() {
+  if (!detail::g_watchdog_on.load(std::memory_order_relaxed)) return;
+  detail::g_watchdog_waiters.fetch_add(1, std::memory_order_relaxed);
+}
+inline void watchdog_exit_wait() {
+  if (!detail::g_watchdog_on.load(std::memory_order_relaxed)) return;
+  detail::g_watchdog_waiters.fetch_sub(1, std::memory_order_relaxed);
+  // A wait finishing is progress even if no new work was acquired.
+  detail::g_watchdog_progress.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Dep-graph gauge; +1 per node submitted, -1 per node completed. Kept
+/// unconditional-cheap: the dep engine calls it on its slow paths only.
+inline void watchdog_add_pending(std::int64_t delta) {
+  if (!detail::g_watchdog_on.load(std::memory_order_relaxed)) return;
+  detail::g_watchdog_pending.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace glto::sched

@@ -52,6 +52,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -63,6 +64,7 @@
 #include "sched/dispatch.hpp"
 #include "sched/locked_queue.hpp"
 #include "sched/overflow_queue.hpp"
+#include "sched/watchdog.hpp"
 
 namespace glto::sched {
 
@@ -409,6 +411,8 @@ class WsCore {
         st.wake_pending = false;
         st.idle = 0;
         st.park_us = kParkMinUs;
+        c.acquired.fetch_add(1, std::memory_order_relaxed);
+        watchdog_note_progress();
         return item;
       }
       if (st.wake_pending) {
@@ -500,6 +504,69 @@ class WsCore {
     return s;
   }
 
+  /// Whether @p rank currently advertises itself in the idle mask (set
+  /// just before its final pre-park probe, cleared when it wakes with
+  /// work). Racy by nature — for diagnostics and tests that want to poke
+  /// a *provably parked* worker, not for scheduling decisions.
+  [[nodiscard]] bool idle_advertised(int rank) const {
+    const auto bit = std::uint64_t{1} << (static_cast<unsigned>(rank) % 64);
+    return (idle_words_[static_cast<std::size_t>(rank) / 64].load(
+                std::memory_order_acquire) &
+            bit) != 0;
+  }
+
+  /// Stall-watchdog state dump: idle mask, per-worker queue depths and
+  /// park/wake counters — everything needed to distinguish a lost wake
+  /// (work queued, worker advertised idle) from a true dependence stall
+  /// (all queues empty, waiters elsewhere). Racy relaxed reads only: the
+  /// runtime is presumed wedged, and this must not block on its locks.
+  void dump_state(const char* tag) const {
+    std::fprintf(stderr, "glto: WATCHDOG: core[%s] workers=%d mode=%s%s "
+                         "shutdown=%d\n",
+                 tag, n_, ws_ ? "ws" : "locked", shared_ ? "+shared" : "",
+                 shutdown_.load(std::memory_order_relaxed) ? 1 : 0);
+    std::fprintf(stderr, "glto: WATCHDOG:   idle mask:");
+    for (std::size_t w = 0; w < idle_words_.size(); ++w) {
+      std::fprintf(stderr, " %016llx",
+                   static_cast<unsigned long long>(
+                       idle_words_[w].load(std::memory_order_relaxed)));
+    }
+    std::fprintf(
+        stderr, "  main slot: %llu\n",
+        static_cast<unsigned long long>(
+            ws_ ? static_cast<std::uint64_t>(main_fair_.size_approx())
+                : static_cast<std::uint64_t>(main_locked_.size())));
+    for (int r = 0; r < n_; ++r) {
+      const Pool& p = pool_for(r);
+      const Counters& c = counters_[static_cast<std::size_t>(r)];
+      const std::int64_t dq = p.deque.size_approx();
+      std::fprintf(
+          stderr,
+          "glto: WATCHDOG:   w%-3d deque=%lld fair=%zu locked=%zu "
+          "acquired=%llu steals=%llu parks=%llu spurious=%llu "
+          "parked_waiters=%d\n",
+          r, static_cast<long long>(dq < 0 ? 0 : dq), p.fair.size_approx(),
+          p.locked.size(),
+          static_cast<unsigned long long>(
+              c.acquired.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              c.steals.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              c.parks.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              c.wakes_spurious.load(std::memory_order_relaxed)),
+          sync_[static_cast<std::size_t>(r)].parker.waiters());
+      if (shared_) break;  // one pool serves every rank; counters differ,
+                           // but the queue line would just repeat
+    }
+    std::fprintf(stderr, "glto: WATCHDOG:   wakes_issued=%llu "
+                         "bulk_deposits=%llu\n",
+                 static_cast<unsigned long long>(
+                     wakes_issued_.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(
+                     bulk_deposits_.load(std::memory_order_relaxed)));
+  }
+
  private:
   struct Pool {
     Pool(std::size_t deque_cap, std::size_t fair_cap)
@@ -517,6 +584,7 @@ class WsCore {
     std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> parked_us{0};
     std::atomic<std::uint64_t> wakes_spurious{0};
+    std::atomic<std::uint64_t> acquired{0};  ///< units successfully acquired
   };
 
   /// Per-worker parker, cache-line-isolated: unparking worker A never

@@ -7,6 +7,7 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
+#include "sched/watchdog.hpp"
 
 namespace glto::taskdep {
 
@@ -40,10 +41,13 @@ struct TaskNode {
 
 namespace {
 
-/// Access history of one address chunk: the last writer and the readers
-/// admitted since. Writer/reader slots hold node references.
+/// Access history of one address chunk within one dep domain: the last
+/// writer and the readers admitted since. Writer/reader slots hold node
+/// references. Identical addresses in different domains occupy distinct
+/// cells — sibling scoping falls out of the cell key.
 struct Cell {
   std::uintptr_t chunk = 0;
+  std::uintptr_t domain = 0;
   TaskNode* last_writer = nullptr;
   std::vector<TaskNode*> readers;
 };
@@ -108,10 +112,12 @@ void DepEngine::add_edge(TaskNode* pred, TaskNode* succ) {
 }
 
 DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
-                                    std::size_t ndeps) {
+                                    std::size_t ndeps,
+                                    std::uintptr_t domain) {
   auto* node = new TaskNode();
   node->payload = payload;
   deps_registered_.fetch_add(ndeps, std::memory_order_relaxed);
+  sched::watchdog_add_pending(1);
 
   // One registration at a time: a task's clauses span several chunks, and
   // two concurrent submitters interleaving per-chunk updates could each
@@ -129,7 +135,11 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
     const std::uintptr_t first = base >> kChunkShift;
     const std::uintptr_t last = (base + size - 1) >> kChunkShift;
     for (std::uintptr_t chunk = first; chunk <= last; ++chunk) {
-      Bucket& b = buckets_[common::mix64(chunk) & (nbuckets_ - 1)];
+      // The domain participates in the hash so one domain's wide DAG
+      // cannot crowd every other domain out of its buckets.
+      Bucket& b =
+          buckets_[common::mix64(chunk ^ common::mix64(domain)) &
+                   (nbuckets_ - 1)];
       common::SpinGuard g(b.lock);
       // Retire cells whose entire history has completed (keeps buckets
       // from growing without bound across the iterations of a
@@ -158,13 +168,13 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
       }
       Cell* cell = nullptr;
       for (Cell& c : b.cells) {
-        if (c.chunk == chunk) {
+        if (c.chunk == chunk && c.domain == domain) {
           cell = &c;
           break;
         }
       }
       if (cell == nullptr) {
-        b.cells.push_back(Cell{chunk, nullptr, {}});
+        b.cells.push_back(Cell{chunk, domain, nullptr, {}});
         cell = &b.cells.back();
       }
       if (dep.kind == DepKind::in) {
@@ -197,6 +207,7 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
 }
 
 void DepEngine::complete(TaskNode* node) {
+  sched::watchdog_add_pending(-1);
   std::vector<TaskNode*> succs;
   {
     common::SpinGuard g(node->lock);

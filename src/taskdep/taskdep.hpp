@@ -12,10 +12,22 @@
 // Design:
 //  * A fixed-size hash table of *dependency cells*, keyed on 64-byte
 //    chunks of the address space (1 << $GLTO_TASKDEP_HASH_BITS buckets,
-//    default 10). A dep on range [addr, addr+size) registers against every
-//    chunk the range covers, so *overlapping* ranges conflict through
-//    their shared chunks — stricter than the OpenMP "identical list item"
-//    rule, never weaker.
+//    default 10) *within a dep domain*. A dep on range [addr, addr+size)
+//    registers against every chunk the range covers, so *overlapping*
+//    ranges conflict through their shared chunks — stricter than the
+//    OpenMP "identical list item" rule, never weaker.
+//  * Dep *domains* implement OpenMP's sibling scoping: dependences only
+//    order tasks that share a domain (the runtimes pass the generating
+//    task's identity, so siblings share one and a task's children get
+//    their own). A child naming one of its parent's dep objects therefore
+//    no longer takes an edge from the parent's still-incomplete node —
+//    the cross-scope ancestor/descendant deadlock an earlier revision
+//    documented as a known hazard — and false ordering between unrelated
+//    concurrent DAGs (e.g. two solver instances sharing one runtime) is
+//    gone with it. Domains are address-keyed: a recycled task record
+//    reusing a domain value is harmless, since every cell the retired
+//    occupant populated is either swept or edge-free (completed nodes
+//    add no edges).
 //  * Each cell remembers the last writer and the readers since that
 //    writer. Registration applies the classic rules: in → edge from the
 //    last writer; out/inout → edges from the last writer and every
@@ -28,21 +40,6 @@
 //    hold references), so a completed task's record stays valid while a
 //    cell still names it as writer/reader and is reclaimed as soon as it
 //    is displaced.
-//
-// Scope deviation (documented): the engine matches dependences across
-// *all* tasks registered with it, not only siblings of one parent task as
-// OpenMP scopes them. Between unrelated tasks the extra edges only order
-// more, never less. Between an ancestor and its own descendants they are
-// a real hazard: a depend task whose child names one of the parent's own
-// dep objects gets an edge from the parent's still-incomplete node, so an
-// explicit taskwait in the parent for that child deadlocks (the child is
-// withheld until the parent completes; OpenMP scopes deps to siblings and
-// this code terminates). Dependences do release at task completion
-// *before* the transitive child join, so plain parent-exit is safe — the
-// hang needs the explicit in-body wait. The producer-pattern workloads
-// this runtime targets (one context creating the whole DAG, depend tasks
-// not spawning dep-annotated children) never hit it; per-parent dep
-// domains are the full fix (see ROADMAP open items).
 #pragma once
 
 #include <atomic>
@@ -97,8 +94,12 @@ class DepEngine {
   /// engine owns the wake-up: on_ready(payload) will fire later. Either
   /// way the caller must eventually call complete(node) after the task's
   /// body (and, per this runtime's transitive-join rule, its children)
-  /// finish.
-  Submit submit(void* payload, const Dep* deps, std::size_t ndeps);
+  /// finish. @p domain scopes matching: only tasks submitted with the
+  /// same domain value can exchange edges — runtimes pass the generating
+  /// task's identity so dependences bind siblings only, as OpenMP scopes
+  /// them (0 is just another domain: the implicit top-level one).
+  Submit submit(void* payload, const Dep* deps, std::size_t ndeps,
+                std::uintptr_t domain = 0);
 
   /// Marks the task finished, waking any successor whose release counter
   /// hits zero (on_ready runs inline on this thread — the wake-up path

@@ -14,6 +14,7 @@
 
 #include "glt/glt.hpp"
 #include "omp/omp.hpp"
+#include "sched/chaos.hpp"
 
 namespace o = glto::omp;
 
@@ -187,6 +188,13 @@ TEST_P(TaskV2, FutureWaitAfterCompletionIsImmediate) {
 }
 
 TEST_P(TaskV2, FutureWaitBeforeCompletionBlocksUntilDone) {
+  if (glto::sched::chaos_enabled()) {
+    // An injected spawn failure would run the gated body INLINE on the
+    // producer before the gate-opening task exists — a self-deadlock by
+    // construction, not a runtime defect.
+    GTEST_SKIP() << "gated-task handshake is incompatible with chaos "
+                    "inline-spawn degradation";
+  }
   std::atomic<bool> gate{false};
   o::parallel([&](int, int) {
     o::single([&] {
@@ -401,12 +409,22 @@ INSTANTIATE_TEST_SUITE_P(
 class TaskBulkGlto : public ::testing::TestWithParam<o::RuntimeKind> {
  protected:
   void SetUp() override {
+    if (glto::sched::chaos_enabled()) {
+      // Under $GLTO_CHAOS the bulk fast path deliberately degrades to
+      // per-task spawns (every unit must pass the spawn-fail hook), so
+      // the one-deposit invariant these tests assert does not hold by
+      // design. Completion correctness under chaos is covered elsewhere.
+      GTEST_SKIP() << "bulk-deposit accounting is bypassed under chaos";
+    }
     o::SelectOptions opts;
     opts.num_threads = 4;
     opts.bind_threads = false;
     o::select(GetParam(), opts);
   }
-  void TearDown() override { o::shutdown(); }
+  // TearDown still runs after a SetUp skip — only shut down what exists.
+  void TearDown() override {
+    if (o::selected()) o::shutdown();
+  }
 };
 
 TEST_P(TaskBulkGlto, TaskloopGrainChunksArriveAsOneBulkDeposit) {

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "omp/kmp_abi.hpp"
 #include "omp/omp.hpp"
+#include "sched/chaos.hpp"
 
 namespace o = glto::omp;
 
@@ -89,6 +90,13 @@ TEST_P(TaskDep, OutThenInOrdering) {
 }
 
 TEST_P(TaskDep, InInRunConcurrently) {
+  if (glto::sched::chaos_enabled()) {
+    // Chaos spawn failure runs a ready task INLINE on the producer (the
+    // documented degradation): the pair is then legitimately serialized,
+    // and the first body's gate on the not-yet-submitted second task
+    // would spin out its timeout. Overlap holds only for real spawns.
+    GTEST_SKIP() << "concurrency overlap is waived under chaos";
+  }
   int x = 7;
   std::atomic<bool> a_started{false}, b_started{false};
   std::atomic<bool> ok{true};
@@ -153,6 +161,11 @@ TEST_P(TaskDep, OverlappingRangesConflict) {
 }
 
 TEST_P(TaskDep, DisjointRangesRunConcurrently) {
+  if (glto::sched::chaos_enabled()) {
+    // Same waiver as InInRunConcurrently: inline-degraded spawns
+    // legitimately serialize the would-be-concurrent pair.
+    GTEST_SKIP() << "concurrency overlap is waived under chaos";
+  }
   alignas(64) double buf[16] = {};
   std::atomic<bool> a_started{false}, b_started{false};
   std::atomic<bool> ok{true};
@@ -227,8 +240,9 @@ TEST_P(TaskDep, UndeferredTaskReleasesDepsBeforeChildJoin) {
   std::atomic<bool> child_ran{false};
   producer([&] {
     // Inline (if(false)) depend task whose child reads the parent's own
-    // dep object: the child is withheld until the parent's node
-    // completes, so the parent must release BEFORE joining children.
+    // dep object: dependences scope per creating task (dep domains), so
+    // the child matches nothing and runs freely — the parent's inline
+    // child-join must still terminate with the parent's node open.
     o::TaskFlags uf;
     uf.if_clause = false;
     uf.depend.push_back(o::dep_out(&x));
@@ -243,7 +257,77 @@ TEST_P(TaskDep, UndeferredTaskReleasesDepsBeforeChildJoin) {
   EXPECT_TRUE(child_ran.load());
 }
 
+TEST_P(TaskDep, CrossScopeChildDepPlusTaskwaitDoesNotDeadlock) {
+  // The documented cross-scope hazard, verbatim: a deferred depend task
+  // whose body creates a child naming the parent's OWN dep object and then
+  // taskwaits. Under a process-global dependence namespace the child is
+  // withheld until the parent completes while the parent's taskwait blocks
+  // on the child — a hard hang (this test timed out before dep domains).
+  // With per-creating-task domains the child has no predecessor and the
+  // taskwait joins it normally.
+  int anchor = 0;
+  std::atomic<bool> child_ran{false};
+  std::atomic<bool> child_done_at_taskwait{false};
+  producer([&] {
+    o::TaskFlags pf;
+    pf.depend.push_back(o::dep_inout(&anchor));
+    o::task(
+        [&] {
+          o::TaskFlags cf;
+          cf.depend.push_back(o::dep_in(&anchor));
+          o::task([&] { child_ran.store(true); }, cf);
+          o::taskwait();
+          child_done_at_taskwait.store(child_ran.load());
+        },
+        pf);
+  });
+  EXPECT_TRUE(child_ran.load());
+  EXPECT_TRUE(child_done_at_taskwait.load())
+      << "taskwait returned without the dependent child";
+}
+
+TEST_P(TaskDep, SiblingDepsStillOrderInsideOneTask) {
+  // Domains must not weaken ordering *within* one creating task: an
+  // out→in pair created by the same depend-task body keeps its edge.
+  int anchor = 0, inner = 0;
+  std::atomic<bool> ordered{false};
+  producer([&] {
+    o::TaskFlags pf;
+    pf.depend.push_back(o::dep_inout(&anchor));
+    o::task(
+        [&] {
+          std::atomic<bool> writer_done{false};
+          o::TaskFlags wf;
+          wf.depend.push_back(o::dep_out(&inner));
+          o::task(
+              [&] {
+                for (int i = 0; i < 10; ++i) o::taskyield();
+                writer_done.store(true, std::memory_order_release);
+              },
+              wf);
+          o::TaskFlags rf;
+          rf.depend.push_back(o::dep_in(&inner));
+          o::task(
+              [&] {
+                ordered.store(writer_done.load(std::memory_order_acquire));
+              },
+              rf);
+          o::taskwait();
+        },
+        pf);
+  });
+  EXPECT_TRUE(ordered.load())
+      << "sibling out→in edge lost inside a depend-task body";
+}
+
 TEST_P(TaskDep, TaskStatsCountDeferAndWakeups) {
+  if (glto::sched::chaos_enabled()) {
+    // An injected spawn failure runs the chain head INLINE on the
+    // producer (the documented degradation), which both breaks the
+    // hold-until-submitted handshake below and legitimately skips the
+    // defer accounting this test asserts.
+    GTEST_SKIP() << "defer accounting is bypassed by chaos inline spawns";
+  }
   int v = 0;
   std::atomic<bool> all_submitted{false};
   std::atomic<bool> submit_seen_late{false};
@@ -269,35 +353,33 @@ TEST_P(TaskDep, TaskStatsCountDeferAndWakeups) {
 }
 
 TEST_P(TaskDep, TaskgroupInDependTaskWaitsOnlyItsChildren) {
+  // The group-scoped wait must return without waiting for a sibling
+  // created before the group: the sibling here blocks on a flag that is
+  // only set strictly after taskgroup_end, so a taskwait-shaped taskgroup
+  // (join ALL children) deadlocks in this shape (test timeout).
   int anchor = 0;
-  std::atomic<bool> withheld_ran{false};
-  std::atomic<bool> withheld_ran_before_group_end{true};
+  std::atomic<bool> release_sibling{false};
+  std::atomic<bool> sibling_done{false};
   std::atomic<bool> group_child_done_at_end{false};
   producer([&] {
     o::TaskFlags df;
     df.depend.push_back(o::dep_inout(&anchor));
     o::task(
         [&] {
-          // Pre-group child that reads this very task's dep object: the
-          // engine withholds it until this task *completes* — strictly
-          // after taskgroup_end below. The old taskwait-based taskgroup
-          // waited for it and deadlocked (test timeout); the group-scoped
-          // wait must return without it.
-          o::TaskFlags sf;
-          sf.depend.push_back(o::dep_in(&anchor));
-          o::task([&] { withheld_ran.store(true); }, sf);
+          o::task([&] {
+            await_flag(release_sibling);
+            sibling_done.store(true);
+          });
           std::atomic<bool> child_done{false};
           o::taskgroup([&] { o::task([&] { child_done.store(true); }); });
           group_child_done_at_end.store(child_done.load());
-          withheld_ran_before_group_end.store(withheld_ran.load());
+          release_sibling.store(true, std::memory_order_release);
         },
         df);
   });
   EXPECT_TRUE(group_child_done_at_end.load())
       << "taskgroup returned before its own child finished";
-  EXPECT_FALSE(withheld_ran_before_group_end.load())
-      << "a sibling created before the group ran under the group's wait";
-  EXPECT_TRUE(withheld_ran.load());
+  EXPECT_TRUE(sibling_done.load());
 }
 
 // ---- randomized DAG stress vs sequential replay -------------------------

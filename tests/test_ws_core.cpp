@@ -281,14 +281,21 @@ TEST(WsCore, WakeOneTargetedWakeReachesParkedOwner) {
         << "consumer stalled: lost wakeup or broken idle-mask protocol";
     std::this_thread::yield();
   }
-  // Second phase: keep poking single items at a paced cadence until a
-  // targeted unpark is observed — the consumer parks between items, so a
-  // working claim/unpark path must register within a few attempts (the
-  // deadline only trips when wakes can no longer land at all).
+  // Second phase: poke single items until a targeted unpark is observed.
+  // Each poke waits for the consumer to *advertise* idleness first — on a
+  // loaded host a blind fixed cadence can miss the park window every
+  // time (the consumer gets descheduled pre-park and drains the item
+  // without ever parking), so only a deposit landing on an advertised-
+  // idle worker proves the claim/unpark path. The deadline trips only
+  // when wakes can no longer land at all.
   std::intptr_t extra = 1000;
   backing.push_back(0);
   while (core.stats().wakes_issued == 0 &&
          std::chrono::steady_clock::now() < deadline) {
+    while (!core.idle_advertised(1) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
     backing.back() = ++extra;
     pushed_sum += extra;
     core.submit(0, 1, /*pinned=*/true, &backing.back());
@@ -296,7 +303,6 @@ TEST(WsCore, WakeOneTargetedWakeReachesParkedOwner) {
            std::chrono::steady_clock::now() < deadline) {
       std::this_thread::yield();
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(500));
   }
   EXPECT_GT(core.stats().wakes_issued, 0u)
       << "parked consumer was never unparked";
