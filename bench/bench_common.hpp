@@ -10,23 +10,32 @@
 //   GLTO_BENCH_REPS     repetitions per cell (default figure-specific)
 //   GLTO_BENCH_SCALE    workload scale multiplier (default 1)
 //   GLTO_BENCH_JSON     path to append machine-readable records to: one
-//                       {"bench","runtime","threads","mean_s","stddev_s",
-//                        "min_s","median_s","runs"} JSON object per line
-//                       (JSONL), emitted for every table row so CI can
-//                       diff runs. min/median are the robust estimators
+//                       {"schema_version","bench","runtime","threads",
+//                        "mean_s","stddev_s","min_s","median_s","runs",
+//                        "host_nproc","host_uname","trace_on","m_steals",
+//                        "m_parks","m_wakes_spurious","m_queue_p95_ns"}
+//                       JSON object per line (JSONL), emitted for every
+//                       table row so CI can diff runs — schema v2 adds
+//                       host identity and per-row metrics-registry
+//                       deltas. min/median are the robust estimators
 //                       for dispatch microbenches on noisy shared hosts
 //                       (idle-park wakeup misses put multi-ms outliers in
 //                       the mean at low thread counts).
 #pragma once
 
+#include <sys/utsname.h>
+
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "omp/omp.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 
 namespace glto::bench {
 
@@ -98,11 +107,49 @@ inline std::string json_escape(const char* s) {
   return out;
 }
 
+/// "sysname release machine" from uname(2), resolved once. Rows from
+/// different hosts in one merged JSONL stream stay attributable.
+inline const std::string& host_uname() {
+  static const std::string id = [] {
+    struct utsname u {};
+    if (::uname(&u) != 0) return std::string("unknown");
+    std::string s = u.sysname;
+    s += ' ';
+    s += u.release;
+    s += ' ';
+    s += u.machine;
+    return s;
+  }();
+  return id;
+}
+
+/// Metrics-registry deltas accrued since the previous row (or since
+/// startup, for the first row). Keys are m_-prefixed so they can never
+/// collide with the counters individual benches splice in via extra_json
+/// (the dispatch ablation already emits bare "parks"/"wakes_issued").
+inline std::string metrics_row_fields() {
+  static sched::MetricsSnapshot baseline;  // empty → first row = totals
+  const sched::MetricsSnapshot d = sched::metrics_delta_since(baseline);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"m_steals\": %lld, \"m_parks\": %lld, "
+                "\"m_wakes_spurious\": %lld, \"m_queue_p95_ns\": %lld",
+                static_cast<long long>(d.value("sched.steals")),
+                static_cast<long long>(d.value("sched.parks")),
+                static_cast<long long>(d.value("sched.wakes_spurious")),
+                static_cast<long long>(d.value("lat.queue_p95_ns")));
+  return std::string(buf);
+}
+
 /// Appends one JSONL record to $GLTO_BENCH_JSON (no-op when unset).
 /// @p extra_json, when non-empty, is spliced verbatim into the object as
 /// additional fields (callers pass pre-formatted `"key": value` pairs —
 /// the dispatch ablation attaches wake_policy and park/wake counters so
 /// BENCH_dispatch.json can attribute wins to the wakeup protocol).
+///
+/// Schema v2 adds host identity (nproc + uname) and the m_* metrics
+/// deltas from the unified registry; v1 consumers keyed on the original
+/// seven fields are unaffected (additive change).
 inline void json_append(const char* bench, const char* runtime, int threads,
                         const common::RunStats& st,
                         const std::string& extra_json = std::string()) {
@@ -111,13 +158,19 @@ inline void json_append(const char* bench, const char* runtime, int threads,
   std::FILE* f = std::fopen(path->c_str(), "a");
   if (f == nullptr) return;
   std::fprintf(f,
-               "{\"bench\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, "
+               "{\"schema_version\": 2, \"bench\": \"%s\", "
+               "\"runtime\": \"%s\", \"threads\": %d, "
                "\"mean_s\": %.9f, \"stddev_s\": %.9f, \"min_s\": %.9f, "
-               "\"median_s\": %.9f, \"runs\": %zu%s%s}\n",
+               "\"median_s\": %.9f, \"runs\": %zu, "
+               "\"host_nproc\": %u, \"host_uname\": \"%s\", "
+               "\"trace_on\": %s, %s%s%s}\n",
                json_escape(bench).c_str(), json_escape(runtime).c_str(),
                threads, st.mean(), st.stddev(), st.min(), st.median(),
-               st.count(), extra_json.empty() ? "" : ", ",
-               extra_json.c_str());
+               st.count(), std::thread::hardware_concurrency(),
+               json_escape(host_uname().c_str()).c_str(),
+               sched::trace_enabled() ? "true" : "false",
+               metrics_row_fields().c_str(),
+               extra_json.empty() ? "" : ", ", extra_json.c_str());
   std::fclose(f);
 }
 

@@ -189,6 +189,9 @@ void process_directive(fctx::transfer_t t) {
 
 void run_unit(WorkUnit* wu) {
   wu->last_rank.store(tls.rank, std::memory_order_relaxed);
+  sched::trace_emit(sched::TraceKind::ult_switch,
+                    reinterpret_cast<std::uintptr_t>(wu),
+                    wu->kind == Kind::Tasklet ? 1u : 0u);
   if (wu->kind == Kind::Tasklet) {
     // Tasklets run on the scheduler's own stack. tls.current must point
     // at the tasklet for the duration: on the primary xstream it still
@@ -233,6 +236,7 @@ void worker_main(int rank) {
   tls.rank = rank;
   tls.sched_stack = fctx::os_thread_stack();  // sched_loop runs right here
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  sched::trace_thread_label("abt", rank);
   sched_loop();
 }
 
@@ -319,6 +323,10 @@ void dump_core_state(void* arg) {
 
 void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "abt::init called twice");
+  // Arm observability even for raw-backend users (no glt:: facade):
+  // both resolvers are idempotent, so the facade path pays nothing.
+  sched::trace_init_from_env();
+  sched::metrics_init_from_env();
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
   g_rt->cfg.num_xstreams =
@@ -477,14 +485,7 @@ Stats stats() {
     s.ults_created = g_rt->ults_created.load(std::memory_order_relaxed);
     s.tasklets_created = g_rt->tasklets_created.load(std::memory_order_relaxed);
     s.yields = g_rt->yields.load(std::memory_order_relaxed);
-    const auto cs = g_rt->core->stats();
-    s.steals = cs.steals;
-    s.failed_steals = cs.failed_steals;
-    s.parks = cs.parks;
-    s.parked_us = cs.parked_us;
-    s.wakes_issued = cs.wakes_issued;
-    s.wakes_spurious = cs.wakes_spurious;
-    s.bulk_deposits = cs.bulk_deposits;
+    s.assign_core(g_rt->core->stats());
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

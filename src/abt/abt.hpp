@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "sched/dispatch.hpp"
+#include "sched/metrics.hpp"
 
 namespace glto::abt {
 
@@ -115,18 +116,13 @@ void yield();
 [[nodiscard]] void* self_local();
 void set_self_local(void* p);
 
-struct Stats {
+/// Scheduler-behaviour counters live in the shared sched::StatsSnapshot
+/// base (every backend runs the same WsCore); only xstream-specific
+/// counters are declared here.
+struct Stats : sched::StatsSnapshot {
   std::uint64_t ults_created = 0;
   std::uint64_t tasklets_created = 0;
   std::uint64_t yields = 0;
-  std::uint64_t steals = 0;           ///< units taken from another xstream
-  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
-  std::uint64_t stack_cache_hits = 0; ///< ULT stacks served lock-free
-  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;        ///< total requested park time, µs
-  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to workers
-  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
-  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

@@ -8,6 +8,7 @@
 #include "mth/mth.hpp"
 #include "qth/qth.hpp"
 #include "sched/chaos.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 
 namespace glto::glt {
@@ -18,9 +19,26 @@ struct GltState {
   Config cfg;
   std::atomic<std::uint64_t> ults_created{0};
   std::atomic<std::uint64_t> tasklets_created{0};
+  std::uint64_t metrics_token = 0;
 };
 
 GltState* g_state = nullptr;
+
+/// Metrics provider: publish the live backend's counters as named entries
+/// (registered for the lifetime of the glt instance).
+void glt_metrics_provider(void* /*arg*/, sched::MetricsSnapshot& out) {
+  const Stats s = stats();
+  out.add("glt.ults_created", s.ults_created);
+  out.add("glt.tasklets_created", s.tasklets_created);
+  out.add("sched.steals", s.steals);
+  out.add("sched.failed_steals", s.failed_steals);
+  out.add("sched.stack_cache_hits", s.stack_cache_hits);
+  out.add("sched.parks", s.parks);
+  out.add("sched.parked_us", s.parked_us);
+  out.add("sched.wakes_issued", s.wakes_issued);
+  out.add("sched.wakes_spurious", s.wakes_spurious);
+  out.add("sched.bulk_deposits", s.bulk_deposits);
+}
 
 /// Heap wrapper for backends whose native spawn signature differs from
 /// WorkFn (qth returns aligned_t) or that need a join word (qth).
@@ -74,8 +92,12 @@ void init(const Config& cfg) {
   // facade also resolves these; both entry points are idempotent.)
   sched::chaos_init_from_env();
   sched::watchdog_init_from_env();
+  sched::trace_init_from_env();
+  sched::metrics_init_from_env();
   g_state = new GltState();
   g_state->cfg = cfg;
+  g_state->metrics_token =
+      sched::metrics_register_provider(glt_metrics_provider, nullptr);
   switch (cfg.impl) {
     case Impl::abt: {
       abt::Config c;
@@ -118,8 +140,12 @@ void finalize() {
       mth::finalize();
       break;
   }
+  sched::metrics_unregister_provider(g_state->metrics_token);
   delete g_state;
   g_state = nullptr;
+  // Export whatever the rings hold so far; later instances (or atexit)
+  // simply rewrite the file with more history.
+  sched::trace_flush();
 }
 
 bool initialized() { return g_state != nullptr; }
@@ -370,43 +396,19 @@ Stats stats() {
     // All three backends dispatch through the shared sched::WsCore, so
     // the scheduler-behaviour counters are uniformly meaningful — table3
     // and abl_glt_dispatch sweep GLT_IMPL and compare them directly.
+    // Every backend Stats inherits sched::StatsSnapshot: one slice
+    // assignment replaces the old per-backend field-by-field copies.
+    sched::StatsSnapshot& base = s;
     switch (g_state->cfg.impl) {
-      case Impl::abt: {
-        const auto a = abt::stats();
-        s.steals = a.steals;
-        s.failed_steals = a.failed_steals;
-        s.stack_cache_hits = a.stack_cache_hits;
-        s.parks = a.parks;
-        s.parked_us = a.parked_us;
-        s.wakes_issued = a.wakes_issued;
-        s.wakes_spurious = a.wakes_spurious;
-        s.bulk_deposits = a.bulk_deposits;
+      case Impl::abt:
+        base = abt::stats();
         break;
-      }
-      case Impl::mth: {
-        const auto m = mth::stats();
-        s.steals = m.steals;
-        s.failed_steals = m.failed_steals;
-        s.stack_cache_hits = m.stack_cache_hits;
-        s.parks = m.parks;
-        s.parked_us = m.parked_us;
-        s.wakes_issued = m.wakes_issued;
-        s.wakes_spurious = m.wakes_spurious;
-        s.bulk_deposits = m.bulk_deposits;
+      case Impl::mth:
+        base = mth::stats();
         break;
-      }
-      case Impl::qth: {
-        const auto q = qth::stats();
-        s.steals = q.steals;
-        s.failed_steals = q.failed_steals;
-        s.stack_cache_hits = q.stack_cache_hits;
-        s.parks = q.parks;
-        s.parked_us = q.parked_us;
-        s.wakes_issued = q.wakes_issued;
-        s.wakes_spurious = q.wakes_spurious;
-        s.bulk_deposits = q.bulk_deposits;
+      case Impl::qth:
+        base = qth::stats();
         break;
-      }
     }
   }
   return s;

@@ -22,6 +22,8 @@
 #include <optional>
 #include <string_view>
 
+#include "sched/metrics.hpp"
+
 namespace glto::glt {
 
 enum class Impl : std::uint8_t { abt, qth, mth };
@@ -127,21 +129,14 @@ void yield();
 [[nodiscard]] void* self_local();
 void set_self_local(void* p);
 
-struct Stats {
+/// Scheduler behaviour (Table III-style runs) lives in the shared
+/// sched::StatsSnapshot base: every backend runs the same sched::WsCore,
+/// so all base counters are populated for abt, qth, and mth alike (zero
+/// under *_DISPATCH=locked / one thread), and glt::stats() copies the
+/// whole block with one slice assignment instead of field by field.
+struct Stats : sched::StatsSnapshot {
   std::uint64_t ults_created = 0;     ///< Table II "Created GLT_ults"
   std::uint64_t tasklets_created = 0;
-  // Scheduler behaviour (Table III-style runs). Every backend runs the
-  // shared sched::WsCore, so all counters are populated for abt, qth,
-  // and mth alike (zero under *_DISPATCH=locked / one thread).
-  std::uint64_t steals = 0;
-  std::uint64_t failed_steals = 0;
-  std::uint64_t stack_cache_hits = 0;
-  std::uint64_t parks = 0;      ///< idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;  ///< total requested park time, µs
-  // Wakeup behaviour ($GLTO_WAKE_POLICY ablation; see sched::WakePolicy).
-  std::uint64_t wakes_issued = 0;    ///< targeted unparks sent to workers
-  std::uint64_t wakes_spurious = 0;  ///< parks woken but found no work
-  std::uint64_t bulk_deposits = 0;   ///< submit_bulk batches published
 };
 
 [[nodiscard]] Stats stats();

@@ -16,6 +16,8 @@
 #include "omp/task_support.hpp"
 #include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 #include "taskdep/taskdep.hpp"
 
@@ -206,6 +208,7 @@ struct TaskArg : DepPayload {
   TaskCtx* parent = nullptr;            ///< creator (outlives us: it joins)
   TgScope* group = nullptr;             ///< enclosing taskgroup, if any
   taskdep::TaskNode* node = nullptr;    ///< non-null for depend tasks
+  std::uint64_t submit_ns = 0;          ///< latency profiling stamp (0 = off)
 };
 
 /// TaskArg recycling: per-OS-thread lists keyed by detail::record_rank()
@@ -227,6 +230,7 @@ void free_task_arg(TaskArg* a) {
   a->parent = nullptr;
   a->group = nullptr;
   a->node = nullptr;
+  a->submit_ns = 0;
   arg_pool().recycle(omp::detail::record_rank(), a);
 }
 
@@ -490,6 +494,8 @@ class GltoRuntime final : public omp::Runtime {
     arg->rt = this;
     arg->parent = c;
     arg->group = c->group;
+    arg->submit_ns =
+        sched::profile_task_submit(reinterpret_cast<std::uintptr_t>(arg));
     if (arg->group != nullptr) {
       arg->group->pending.fetch_add(1, std::memory_order_relaxed);
     }
@@ -565,6 +571,8 @@ class GltoRuntime final : public omp::Runtime {
         if (arg->group != nullptr) {
           arg->group->pending.fetch_add(1, std::memory_order_relaxed);
         }
+        arg->submit_ns = sched::profile_task_submit(
+            reinterpret_cast<std::uintptr_t>(arg));
         argv[i] = arg;
       }
       glt::ult_create_bulk(task_thunk, argv, static_cast<int>(take),
@@ -621,6 +629,8 @@ class GltoRuntime final : public omp::Runtime {
     TgScope* g = cur()->group;
     if (g == nullptr) return false;
     g->cancelled.store(true, std::memory_order_release);
+    sched::trace_emit(sched::TraceKind::cancel,
+                      reinterpret_cast<std::uintptr_t>(g));
     return true;
   }
 
@@ -712,7 +722,11 @@ class GltoRuntime final : public omp::Runtime {
     // Cancellation: a member of a cancelled taskgroup skips its body but
     // keeps the full completion protocol below, so joins, dep gates, and
     // pending-waits always terminate.
+    const std::uint64_t t_start = sched::profile_task_start(
+        a->submit_ns, reinterpret_cast<std::uintptr_t>(a));
     if (!tg_cancelled(a->group)) a->desc.run();
+    sched::profile_task_complete(t_start,
+                                 reinterpret_cast<std::uintptr_t>(a));
     // Dependences release at *task* completion (OpenMP's rule), before the
     // transitive child join: children submit into their own dependence
     // domain (keyed by this ctx) so they can never gate on this node, and

@@ -254,6 +254,8 @@ void base_loop() {
   for (;;) {
     Strand* s = g_rt->core->acquire(tls.rank, st, /*with_main=*/tls.rank == 0);
     if (s == nullptr) break;
+    sched::trace_emit(sched::TraceKind::ult_switch,
+                      reinterpret_cast<std::uintptr_t>(s));
     SwitchMsg resume{Dir::Resume, nullptr, nullptr, s};
     fctx::transfer_t t =
         fctx::jump_fcontext_to(s->ctx, &resume, s->stack_region);
@@ -270,6 +272,7 @@ void worker_main(int rank) {
   g_rt->workers[static_cast<std::size_t>(rank)].base_region =
       fctx::os_thread_stack();
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  sched::trace_thread_label("mth", rank);
   base_loop();
 }
 
@@ -344,6 +347,10 @@ void dump_core_state(void* arg) {
 
 void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "mth::init called twice");
+  // Arm observability even for raw-backend users (no glt:: facade):
+  // both resolvers are idempotent, so the facade path pays nothing.
+  sched::trace_init_from_env();
+  sched::metrics_init_from_env();
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
   g_rt->cfg.num_workers =
@@ -509,14 +516,7 @@ Stats stats() {
     s.strands_created = g_rt->strands_created.load(std::memory_order_relaxed);
     s.main_migrations =
         g_rt->main_migrations.load(std::memory_order_relaxed);
-    const auto cs = g_rt->core->stats();
-    s.steals = cs.steals;
-    s.failed_steals = cs.failed_steals;
-    s.parks = cs.parks;
-    s.parked_us = cs.parked_us;
-    s.wakes_issued = cs.wakes_issued;
-    s.wakes_spurious = cs.wakes_spurious;
-    s.bulk_deposits = cs.bulk_deposits;
+    s.assign_core(g_rt->core->stats());
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

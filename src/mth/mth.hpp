@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "sched/dispatch.hpp"
+#include "sched/metrics.hpp"
 
 namespace glto::mth {
 
@@ -89,18 +90,12 @@ void yield();
 [[nodiscard]] void* self_local();
 void set_self_local(void* p);
 
-struct Stats {
+/// Shared-core scheduler behaviour (steals = successful continuation
+/// steals) lives in the sched::StatsSnapshot base, parity with abt/qth;
+/// MassiveThreads-specific counters here.
+struct Stats : sched::StatsSnapshot {
   std::uint64_t strands_created = 0;
-  std::uint64_t steals = 0;           ///< successful continuation steals
   std::uint64_t main_migrations = 0;  ///< times main resumed off worker 0
-  // Shared-core scheduler behaviour (parity with abt/qth).
-  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
-  std::uint64_t stack_cache_hits = 0; ///< strand stacks served lock-free
-  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;        ///< total requested park time, µs
-  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to workers
-  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
-  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

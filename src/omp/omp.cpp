@@ -11,6 +11,8 @@
 #include "pomp/pomp_runtime.hpp"
 #include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 
 namespace glto::omp {
@@ -150,10 +152,13 @@ const std::vector<RuntimeKind>& all_kinds() {
 
 void select(RuntimeKind kind, const SelectOptions& opts) {
   GLTO_CHECK_MSG(!g_runtime, "omp::select while a runtime is active");
-  // Resolve the hardening knobs before any scheduler exists, so every
-  // worker loop sees a settled plan from its first acquire.
+  // Resolve the hardening + observability knobs before any scheduler
+  // exists, so every worker loop sees a settled plan from its first
+  // acquire.
   sched::chaos_init_from_env();
   sched::watchdog_init_from_env();
+  sched::trace_init_from_env();
+  sched::metrics_init_from_env();
   switch (kind) {
     case RuntimeKind::gnu:
     case RuntimeKind::intel: {
@@ -203,6 +208,9 @@ void select_from_env() {
 void shutdown() {
   GLTO_CHECK_MSG(g_runtime != nullptr, "omp::shutdown without select");
   g_runtime.reset();
+  // The pomp runtimes never pass through glt::finalize, so flush here too
+  // (benign rewrite when the glto runtimes already flushed).
+  sched::trace_flush();
 }
 
 bool selected() { return g_runtime != nullptr; }

@@ -22,6 +22,8 @@
 #include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
 #include "sched/locked_queue.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 #include "taskdep/taskdep.hpp"
 
@@ -76,6 +78,7 @@ struct TaskRec : DepPayload {
   bool final = false;
   TgScope* group = nullptr;           ///< enclosing taskgroup, if any
   taskdep::TaskNode* node = nullptr;  ///< non-null for depend tasks
+  std::uint64_t submit_ns = 0;        ///< latency profiling stamp (0 = off)
 };
 
 sched::Freelist<TaskRec>& rec_pool() {
@@ -96,6 +99,7 @@ void free_task_rec(TaskRec* r) {
   r->final = false;
   r->group = nullptr;
   r->node = nullptr;
+  r->submit_ns = 0;
   rec_pool().recycle(omp::detail::record_rank(), r);
 }
 
@@ -182,9 +186,18 @@ class PompRuntime : public omp::Runtime {
     root_ctx_.team = &root_team_;
     root_ctx_.tid = 0;
     t_ctx = &root_ctx_;
+    {
+      common::SpinGuard g(teams_lock_);
+      live_teams_.push_back(&root_team_);
+    }
+    // Stall-dump coverage: without this, a watchdog expiry under a pomp
+    // runtime reported only WsCore state (i.e. nothing) — register a
+    // dumper so queue depths and in-flight counts make it into the dump.
+    watchdog_token_ = sched::watchdog_register_dumper(dump_task_state, this);
   }
 
   ~PompRuntime() override {
+    sched::watchdog_unregister_dumper(watchdog_token_);
     t_ctx = nullptr;
     // Retire every pooled worker.
     std::vector<std::unique_ptr<Worker>> all;
@@ -209,6 +222,10 @@ class PompRuntime : public omp::Runtime {
     team.parent = pctx->team;
     team.rt = this;
     init_task_storage(team);
+    {
+      common::SpinGuard g(teams_lock_);
+      live_teams_.push_back(&team);
+    }
 
     std::atomic<int> remaining{nth - 1};
     std::vector<Assignment> assigns(static_cast<std::size_t>(nth));
@@ -239,6 +256,16 @@ class PompRuntime : public omp::Runtime {
       } else {
         common::SpinGuard g(pool_lock_);
         free_workers_.push_back(std::move(w));
+      }
+    }
+    {
+      // The team object dies with this frame; drop it from the dump set.
+      common::SpinGuard g(teams_lock_);
+      for (auto it = live_teams_.begin(); it != live_teams_.end(); ++it) {
+        if (*it == &team) {
+          live_teams_.erase(it);
+          break;
+        }
       }
     }
   }
@@ -427,6 +454,8 @@ class PompRuntime : public omp::Runtime {
     if (rec->group != nullptr) {
       rec->group->pending.fetch_add(1, std::memory_order_relaxed);
     }
+    rec->submit_ns =
+        sched::profile_task_submit(reinterpret_cast<std::uintptr_t>(rec));
     c->children_outstanding.fetch_add(1, std::memory_order_relaxed);
     c->team->tasks_outstanding.fetch_add(1, std::memory_order_relaxed);
     if (has_deps) {
@@ -479,6 +508,8 @@ class PompRuntime : public omp::Runtime {
         if (rec->group != nullptr) {
           rec->group->pending.fetch_add(1, std::memory_order_relaxed);
         }
+        rec->submit_ns = sched::profile_task_submit(
+            reinterpret_cast<std::uintptr_t>(rec));
         wave[i] = rec;
       }
       c->children_outstanding.fetch_add(static_cast<std::int64_t>(take),
@@ -561,6 +592,8 @@ class PompRuntime : public omp::Runtime {
     TgScope* g = t_ctx->group;
     if (g == nullptr) return false;
     g->cancelled.store(true, std::memory_order_release);
+    sched::trace_emit(sched::TraceKind::cancel,
+                      reinterpret_cast<std::uintptr_t>(g));
     return true;
   }
 
@@ -639,7 +672,13 @@ class PompRuntime : public omp::Runtime {
     t_ctx = &ctx;
     // Cancellation: a member of a cancelled taskgroup skips its body but
     // keeps the full completion protocol below, so waits always terminate.
+    tasks_running_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t_start = sched::profile_task_start(
+        rec->submit_ns, reinterpret_cast<std::uintptr_t>(rec));
     if (!tg_cancelled(rec->group)) rec->desc.run();
+    sched::profile_task_complete(t_start,
+                                 reinterpret_cast<std::uintptr_t>(rec));
+    tasks_running_.fetch_sub(1, std::memory_order_relaxed);
     sched::watchdog_note_progress();  // pomp's task turnover IS progress
     // Dependences release at *task* completion (OpenMP's rule), before the
     // child drain: a child depending on this task's own dep object must be
@@ -737,8 +776,45 @@ class PompRuntime : public omp::Runtime {
   std::atomic<std::uint64_t> tasks_queued_{0};
   std::atomic<std::uint64_t> tasks_immediate_{0};
   std::atomic<std::uint64_t> task_steals_{0};
+  std::atomic<std::int64_t> tasks_running_{0};  ///< bodies on a thread now
   int cutoff_ = 256;
   taskdep::DepEngine dep_engine_{&PompRuntime::on_dep_ready};
+
+  /// Watchdog dumper: shared-queue depth, per-member deque depths, and
+  /// in-flight counts for every live team. Uses try_lock throughout — a
+  /// dump of a wedged process must never become a second hang.
+  static void dump_task_state(void* arg) {
+    auto* rt = static_cast<PompRuntime*>(arg);
+    std::fprintf(
+        stderr,
+        "[glto-pomp] tasks: queued=%llu immediate=%llu running=%lld\n",
+        static_cast<unsigned long long>(
+            rt->tasks_queued_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            rt->tasks_immediate_.load(std::memory_order_relaxed)),
+        static_cast<long long>(
+            rt->tasks_running_.load(std::memory_order_relaxed)));
+    if (!rt->teams_lock_.try_lock()) {
+      std::fputs("[glto-pomp] team registry busy, depths unavailable\n",
+                 stderr);
+      return;
+    }
+    for (const PompTeam* team : rt->live_teams_) {
+      std::size_t deque_depth = 0;
+      for (const auto& d : team->deques) {
+        if (d) deque_depth += d->size();
+      }
+      std::fprintf(
+          stderr,
+          "[glto-pomp]   team level=%d size=%d outstanding=%lld "
+          "shared_queue=%zu deques=%zu\n",
+          team->level, team->size,
+          static_cast<long long>(
+              team->tasks_outstanding.load(std::memory_order_relaxed)),
+          team->shared_queue.size(), deque_depth);
+    }
+    rt->teams_lock_.unlock();
+  }
 
  private:
   static void run_member(PompTeam* team, int tid,
@@ -823,6 +899,10 @@ class PompRuntime : public omp::Runtime {
 
   common::SpinLock pool_lock_;
   std::vector<std::unique_ptr<Worker>> free_workers_;
+
+  common::SpinLock teams_lock_;
+  std::vector<PompTeam*> live_teams_;  ///< dump_task_state's walk set
+  std::uint64_t watchdog_token_ = 0;
 
   std::atomic<std::uint64_t> threads_created_{0};
   std::atomic<std::uint64_t> threads_reused_{0};

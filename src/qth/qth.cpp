@@ -311,6 +311,8 @@ void process_directive(fctx::transfer_t t) {
 }
 
 void run_thread(Thread* th) {
+  sched::trace_emit(sched::TraceKind::ult_switch,
+                    reinterpret_cast<std::uintptr_t>(th));
   tls.current = th;
   SwitchMsg resume{Dir::Resume, th, FebOp::ReadFF, nullptr, nullptr, 0};
   fctx::transfer_t t = fctx::jump_fcontext_to(th->ctx, &resume,
@@ -337,6 +339,7 @@ void worker_main(int rank) {
   tls.rank = rank;
   tls.sched_stack = fctx::os_thread_stack();  // sched_loop runs right here
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(rank);
+  sched::trace_thread_label("qth", rank);
   sched_loop();
 }
 
@@ -396,6 +399,10 @@ void dump_core_state(void* arg) {
 
 void init(const Config& cfg_in) {
   GLTO_CHECK_MSG(g_rt == nullptr, "qth::init called twice");
+  // Arm observability even for raw-backend users (no glt:: facade):
+  // both resolvers are idempotent, so the facade path pays nothing.
+  sched::trace_init_from_env();
+  sched::metrics_init_from_env();
   g_rt = new Runtime();
   g_rt->cfg = cfg_in;
   g_rt->cfg.num_shepherds =
@@ -627,14 +634,7 @@ Stats stats() {
     s.threads_created = g_rt->threads_created.load(std::memory_order_relaxed);
     s.feb_ops = g_rt->feb_ops.load(std::memory_order_relaxed);
     s.feb_blocks = g_rt->feb_blocks.load(std::memory_order_relaxed);
-    const auto cs = g_rt->core->stats();
-    s.steals = cs.steals;
-    s.failed_steals = cs.failed_steals;
-    s.parks = cs.parks;
-    s.parked_us = cs.parked_us;
-    s.wakes_issued = cs.wakes_issued;
-    s.wakes_spurious = cs.wakes_spurious;
-    s.bulk_deposits = cs.bulk_deposits;
+    s.assign_core(g_rt->core->stats());
     s.stack_cache_hits =
         fctx::StackPool::global().cache_hits() - g_rt->stack_hits_at_init;
   }

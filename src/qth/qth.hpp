@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "sched/dispatch.hpp"
+#include "sched/metrics.hpp"
 
 namespace glto::qth {
 
@@ -136,19 +137,12 @@ void sinc_wait(Sinc* s);
 /// Destroys the sinc (must be complete or unused).
 void sinc_destroy(Sinc* s);
 
-struct Stats {
+/// Shared-core scheduler behaviour lives in the sched::StatsSnapshot base
+/// (zero in locked mode / single shep); qthreads-specific counters here.
+struct Stats : sched::StatsSnapshot {
   std::uint64_t threads_created = 0;
   std::uint64_t feb_ops = 0;        ///< lock-table acquisitions
   std::uint64_t feb_blocks = 0;     ///< times a qthread suspended on a FEB
-  // Shared-core scheduler behaviour (zero in locked mode / single shep).
-  std::uint64_t steals = 0;           ///< qthreads taken from another shep
-  std::uint64_t failed_steals = 0;    ///< empty / lost-race steal attempts
-  std::uint64_t stack_cache_hits = 0; ///< stacks served lock-free
-  std::uint64_t parks = 0;            ///< idle parks (adaptive 200µs–2ms)
-  std::uint64_t parked_us = 0;        ///< total requested park time, µs
-  std::uint64_t wakes_issued = 0;     ///< targeted unparks sent to sheps
-  std::uint64_t wakes_spurious = 0;   ///< parks woken but found no work
-  std::uint64_t bulk_deposits = 0;    ///< submit_bulk batches published
 };
 
 /// Dispatch mode the runtime is using (resolves Dispatch::Auto).

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "sched/trace.hpp"
 
 namespace glto::sched {
 
@@ -77,6 +78,7 @@ bool chaos_roll_spawn() {
   if (s.cfg.spawn_p <= 0.0) return false;
   if (thread_stream().next_double() >= s.cfg.spawn_p) return false;
   s.faults.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceKind::chaos_fault, 0, /*aux=spawn*/ 1);
   return true;
 }
 
@@ -85,6 +87,7 @@ bool chaos_roll_alloc() {
   if (s.cfg.alloc_p <= 0.0) return false;
   if (thread_stream().next_double() >= s.cfg.alloc_p) return false;
   s.faults.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceKind::chaos_fault, 0, /*aux=alloc*/ 2);
   return true;
 }
 
@@ -93,6 +96,7 @@ bool chaos_roll_delay() {
   if (s.cfg.delay_p <= 0.0) return false;
   if (thread_stream().next_double() >= s.cfg.delay_p) return false;
   s.faults.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceKind::chaos_fault, 0, /*aux=delay*/ 3);
   return true;
 }
 

@@ -1,0 +1,280 @@
+#include "sched/metrics.hpp"
+
+#include <cinttypes>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "common/time.hpp"
+#include "sched/chaos.hpp"
+#include "sched/trace.hpp"
+
+namespace glto::sched {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+std::uint64_t LatencyHistogram::slot_upper(unsigned slot) {
+  if (slot < kSub) return slot;
+  const unsigned group = slot / kSub;       // 1 .. kMaxOctave-2
+  const unsigned sub = slot % kSub;
+  const unsigned o = group + 2;             // octave of the group
+  const std::uint64_t base = std::uint64_t{1} << o;
+  const std::uint64_t width = std::uint64_t{1} << (o - kSubBits);
+  return base + (sub + 1) * width - 1;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p >= 100.0) return max_ns();
+  if (p <= 0.0) p = 0.0;
+  // ceil(p/100 * n), at least 1: the rank of the percentile sample.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>((p / 100.0) * static_cast<double>(n));
+  if (static_cast<double>(rank) < (p / 100.0) * static_cast<double>(n) ||
+      rank == 0) {
+    ++rank;
+  }
+  std::uint64_t cum = 0;
+  for (unsigned i = 0; i < kSlots; ++i) {
+    cum += slots_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      const std::uint64_t upper = slot_upper(i);
+      const std::uint64_t mx = max_ns();
+      return upper < mx || mx == 0 ? upper : mx;
+    }
+  }
+  return max_ns();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram& queue_delay_hist() {
+  static LatencyHistogram* h = new LatencyHistogram;  // leaked: atexit emits
+  return *h;
+}
+
+LatencyHistogram& service_time_hist() {
+  static LatencyHistogram* h = new LatencyHistogram;
+  return *h;
+}
+
+// ---------------------------------------------------------------------------
+// Latency hooks
+
+namespace lat_detail {
+
+std::atomic<bool> g_lat_on{false};
+
+std::uint64_t task_submit_slow(std::uint64_t id, bool deferred) {
+  const std::uint64_t now = common::now_ns();
+  trace_emit_at(TraceKind::task_submit, now, id, deferred ? 1 : 0);
+  return now;
+}
+
+std::uint64_t task_start_slow(std::uint64_t submit_ns, std::uint64_t id) {
+  const std::uint64_t now = common::now_ns();
+  if (now > submit_ns) queue_delay_hist().record(now - submit_ns);
+  trace_emit_at(TraceKind::task_start, now, id, 0);
+  return now;
+}
+
+void task_complete_slow(std::uint64_t start_ns, std::uint64_t id) {
+  const std::uint64_t now = common::now_ns();
+  const std::uint64_t dur = now > start_ns ? now - start_ns : 0;
+  service_time_hist().record(dur);
+  // The trace slice carries its duration in µs (u32: caps at ~71 min).
+  std::uint64_t dur_us = dur / 1000;
+  if (dur_us > 0xffffffffu) dur_us = 0xffffffffu;
+  trace_emit_at(TraceKind::task_complete, now, id,
+                static_cast<std::uint32_t>(dur_us));
+}
+
+}  // namespace lat_detail
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot + registry
+
+void MetricsSnapshot::add(std::string_view name, std::uint64_t v,
+                          bool counter) {
+  for (auto& e : entries) {
+    if (e.name == name) {
+      if (counter && e.counter) {
+        e.value += v;
+      } else {
+        e.value = v;
+      }
+      return;
+    }
+  }
+  entries.push_back(Entry{std::string(name), v, counter});
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct Provider {
+  std::uint64_t token;
+  MetricsProviderFn fn;
+  void* arg;
+};
+
+struct MetricsRegistry {
+  std::mutex m;
+  std::vector<Provider> providers;
+  std::uint64_t next_token = 1;
+  MetricsSnapshot last_delta_base;
+  bool env_resolved = false;
+};
+
+MetricsRegistry& mreg() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: atexit reads
+  return *r;
+}
+
+void append_builtin(MetricsSnapshot& out) {
+  const auto& qd = queue_delay_hist();
+  const auto& st = service_time_hist();
+  out.add("lat.queue_count", qd.count());
+  out.add("lat.queue_p50_ns", qd.percentile_ns(50), /*counter=*/false);
+  out.add("lat.queue_p95_ns", qd.percentile_ns(95), /*counter=*/false);
+  out.add("lat.queue_p99_ns", qd.percentile_ns(99), /*counter=*/false);
+  out.add("lat.queue_max_ns", qd.max_ns(), /*counter=*/false);
+  out.add("lat.service_count", st.count());
+  out.add("lat.service_p50_ns", st.percentile_ns(50), /*counter=*/false);
+  out.add("lat.service_p95_ns", st.percentile_ns(95), /*counter=*/false);
+  out.add("lat.service_p99_ns", st.percentile_ns(99), /*counter=*/false);
+  out.add("lat.service_max_ns", st.max_ns(), /*counter=*/false);
+  out.add("trace.events_recorded", trace_events_recorded());
+  out.add("trace.events_dropped", trace_events_dropped());
+  out.add("chaos.faults_injected", chaos_faults_injected());
+}
+
+MetricsSnapshot snapshot_locked(MetricsRegistry& r) {
+  MetricsSnapshot out;
+  for (const auto& p : r.providers) p.fn(p.arg, out);
+  append_builtin(out);
+  return out;
+}
+
+MetricsSnapshot delta_of(const MetricsSnapshot& cur,
+                         const MetricsSnapshot& base) {
+  MetricsSnapshot d;
+  d.entries.reserve(cur.entries.size());
+  for (const auto& e : cur.entries) {
+    if (!e.counter) {
+      d.entries.push_back(e);
+      continue;
+    }
+    const std::uint64_t prev = base.value(e.name);
+    // Counters reset when a runtime is torn down and re-initialised
+    // (benches select several runtimes in sequence); clamp instead of
+    // wrapping to a garbage 2^64-ish delta.
+    d.entries.push_back(
+        MetricsSnapshot::Entry{e.name, e.value >= prev ? e.value - prev : 0,
+                               true});
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint64_t metrics_register_provider(MetricsProviderFn fn, void* arg) {
+  MetricsRegistry& r = mreg();
+  std::lock_guard<std::mutex> lk(r.m);
+  const std::uint64_t token = r.next_token++;
+  r.providers.push_back(Provider{token, fn, arg});
+  return token;
+}
+
+void metrics_unregister_provider(std::uint64_t token) {
+  MetricsRegistry& r = mreg();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (auto it = r.providers.begin(); it != r.providers.end(); ++it) {
+    if (it->token == token) {
+      r.providers.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsRegistry& r = mreg();
+  std::lock_guard<std::mutex> lk(r.m);
+  return snapshot_locked(r);
+}
+
+MetricsSnapshot metrics_delta() {
+  MetricsRegistry& r = mreg();
+  std::lock_guard<std::mutex> lk(r.m);
+  MetricsSnapshot cur = snapshot_locked(r);
+  MetricsSnapshot d = delta_of(cur, r.last_delta_base);
+  r.last_delta_base = std::move(cur);
+  return d;
+}
+
+MetricsSnapshot metrics_delta_since(MetricsSnapshot& baseline) {
+  MetricsSnapshot cur = metrics_snapshot();
+  MetricsSnapshot d = delta_of(cur, baseline);
+  baseline = std::move(cur);
+  return d;
+}
+
+void metrics_dump(std::FILE* out) {
+  MetricsRegistry& r = mreg();
+  // The watchdog calls this from a wedged process: never block on the
+  // registry, and never call back into a provider that might.
+  if (!r.m.try_lock()) {
+    std::fputs("[glto-metrics] registry busy, snapshot unavailable\n", out);
+    return;
+  }
+  MetricsSnapshot snap = snapshot_locked(r);
+  r.m.unlock();
+  for (const auto& e : snap.entries) {
+    std::fprintf(out, "[glto-metrics] %-24s %" PRIu64 "%s\n", e.name.c_str(),
+                 e.value, e.counter ? "" : " (gauge)");
+  }
+}
+
+void metrics_init_from_env() {
+  MetricsRegistry& r = mreg();
+  {
+    std::lock_guard<std::mutex> lk(r.m);
+    if (r.env_resolved) {
+      // Re-checked on every runtime select: tracing may have been armed
+      // between calls (trace_set_for_testing), keep the implication fresh.
+      if (trace_enabled()) {
+        lat_detail::g_lat_on.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+    r.env_resolved = true;
+  }
+  const bool metrics_on = common::env_bool("GLTO_METRICS", false);
+  if (metrics_on || trace_enabled()) {
+    lat_detail::g_lat_on.store(true, std::memory_order_relaxed);
+  }
+}
+
+void metrics_set_for_testing(bool latency_on) {
+  lat_detail::g_lat_on.store(latency_on, std::memory_order_relaxed);
+}
+
+}  // namespace glto::sched

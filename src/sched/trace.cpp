@@ -1,0 +1,341 @@
+#include "sched/trace.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/time.hpp"
+
+namespace glto::sched {
+
+namespace trace_detail {
+std::atomic<bool> g_trace_on{false};
+}  // namespace trace_detail
+
+namespace {
+
+// One registered ring per emitting OS thread. Records are leaked on purpose:
+// a worker may emit after its backend shut down (atexit ordering), so ring
+// storage must outlive every runtime instance.
+struct RingRec {
+  TraceRing* ring = nullptr;
+  std::string label;
+  unsigned tid = 0;  // stable track id, registration order
+};
+
+struct Registry {
+  std::mutex m;
+  std::vector<RingRec*> rings;
+  std::atomic<std::uint64_t> generation{1};
+  std::size_t ring_events = 0;  // per-ring capacity, power of two
+  std::string path;             // empty → record-only (flight recorder)
+  std::uint64_t epoch_ns = 0;
+  bool env_resolved = false;
+  bool atexit_registered = false;
+};
+
+Registry& reg() {
+  static Registry* r = new Registry;  // leaked: see RingRec
+  return *r;
+}
+
+struct TlsRing {
+  TraceRing* ring = nullptr;
+  RingRec* rec = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local TlsRing t_ring;
+
+constexpr std::size_t kDefaultRingKb = 256;
+constexpr std::size_t kMinRingEvents = 16;
+
+std::size_t pow2_floor(std::size_t n) {
+  std::size_t p = kMinRingEvents;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Register (or re-register after reset_for_testing) the calling thread's
+/// ring. Caller does NOT hold the registry mutex.
+RingRec* register_current_thread() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  auto* rec = new RingRec;
+  rec->ring = new TraceRing(r.ring_events ? r.ring_events : kMinRingEvents);
+  rec->tid = static_cast<unsigned>(r.rings.size());
+  rec->label = "thread-" + std::to_string(rec->tid);
+  r.rings.push_back(rec);
+  t_ring.ring = rec->ring;
+  t_ring.rec = rec;
+  t_ring.generation = r.generation.load(std::memory_order_relaxed);
+  return rec;
+}
+
+TraceRing* current_ring_slow() {
+  Registry& r = reg();
+  if (t_ring.ring == nullptr ||
+      t_ring.generation != r.generation.load(std::memory_order_relaxed)) {
+    register_current_thread();
+  }
+  return t_ring.ring;
+}
+
+const char* kind_name(std::uint16_t k) {
+  switch (static_cast<TraceKind>(k)) {
+    case TraceKind::none: return "none";
+    case TraceKind::task_submit: return "task_submit";
+    case TraceKind::task_start: return "task_start";
+    case TraceKind::task_complete: return "task";
+    case TraceKind::steal_attempt: return "steal_attempt";
+    case TraceKind::steal_success: return "steal_success";
+    case TraceKind::park: return "park";
+    case TraceKind::unpark: return "unpark";
+    case TraceKind::wake: return "wake";
+    case TraceKind::bulk_deposit: return "bulk_deposit";
+    case TraceKind::dep_register: return "dep_register";
+    case TraceKind::dep_release: return "dep_release";
+    case TraceKind::ult_switch: return "ult_switch";
+    case TraceKind::chaos_fault: return "chaos_fault";
+    case TraceKind::cancel: return "cancel";
+  }
+  return "unknown";
+}
+
+void flush_at_exit() { trace_flush(nullptr); }
+
+/// Emit one JSON trace event; @p first tracks the comma state.
+void write_event(std::FILE* f, bool& first, const RingRec& rec,
+                 const TraceEvent& ev, std::uint64_t* park_begin_ns) {
+  const auto kind = static_cast<TraceKind>(ev.kind);
+  const double ts_us = static_cast<double>(ev.ts_ns) / 1000.0;
+
+  // park/unpark pairs on one thread become a single "park" slice so idle
+  // time is visible as a block, not two dots.
+  if (kind == TraceKind::park) {
+    *park_begin_ns = ev.ts_ns + 1;  // +1 so ts 0 still reads as armed
+    return;
+  }
+  if (kind == TraceKind::unpark && *park_begin_ns != 0) {
+    const double b_us = static_cast<double>(*park_begin_ns - 1) / 1000.0;
+    const double dur_us = ts_us > b_us ? ts_us - b_us : 0.0;
+    std::fprintf(f,
+                 "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"name\":\"park\",\"args\":{\"woken\":%u}}",
+                 first ? "" : ",\n", rec.tid, b_us, dur_us, ev.aux);
+    first = false;
+    *park_begin_ns = 0;
+    return;
+  }
+
+  if (kind == TraceKind::task_complete) {
+    // Service time rides in aux (us); render the execution as a slice.
+    const double dur_us = static_cast<double>(ev.aux);
+    const double b_us = ts_us > dur_us ? ts_us - dur_us : 0.0;
+    std::fprintf(f,
+                 "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"name\":\"task\",\"args\":{\"id\":%" PRIu64
+                 "}}",
+                 first ? "" : ",\n", rec.tid, b_us, dur_us, ev.arg);
+    first = false;
+    return;
+  }
+
+  std::fprintf(f,
+               "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+               "\"name\":\"%s\",\"s\":\"t\",\"args\":{\"arg\":%" PRIu64
+               ",\"aux\":%u}}",
+               first ? "" : ",\n", rec.tid, ts_us, kind_name(ev.kind), ev.arg,
+               ev.aux);
+  first = false;
+}
+
+}  // namespace
+
+namespace trace_detail {
+
+__attribute__((noinline)) void emit_slow(TraceKind k, std::uint64_t arg,
+                                         std::uint32_t aux) {
+  TraceRing* ring = current_ring_slow();
+  const std::uint64_t ts = common::now_ns() - reg().epoch_ns;
+  ring->emit(k, ts, arg, aux);
+}
+
+__attribute__((noinline)) void emit_slow_at(TraceKind k, std::uint64_t now_ns,
+                                            std::uint64_t arg,
+                                            std::uint32_t aux) {
+  TraceRing* ring = current_ring_slow();
+  const std::uint64_t epoch = reg().epoch_ns;
+  ring->emit(k, now_ns > epoch ? now_ns - epoch : 0, arg, aux);
+}
+
+}  // namespace trace_detail
+
+void trace_init_from_env() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  if (r.env_resolved) return;
+  r.env_resolved = true;
+  r.epoch_ns = common::now_ns();
+
+  const std::size_t kb = static_cast<std::size_t>(
+      common::env_i64("GLTO_TRACE_RING_KB",
+                      static_cast<std::int64_t>(kDefaultRingKb)));
+  r.ring_events = pow2_floor((kb > 0 ? kb : 1) * 1024 / sizeof(TraceEvent));
+
+  const auto v = common::env_str("GLTO_TRACE");
+  if (!v || v->empty() || *v == "0") return;
+  // Any value arms recording; a value other than "1" is the export path.
+  if (*v != "1") r.path = *v;
+  if (!r.atexit_registered) {
+    r.atexit_registered = true;
+    std::atexit(flush_at_exit);
+  }
+  trace_detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+void trace_thread_label(const char* backend, int rank) {
+  if (!trace_enabled()) return;
+  current_ring_slow();
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  t_ring.rec->label =
+      std::string(backend) + (rank >= 0 ? "-w" + std::to_string(rank) : "");
+}
+
+bool trace_flush(const char* path_override) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  const std::string path = path_override ? path_override : r.path;
+  if (path.empty()) return false;
+
+  // Temp file + rename: parallel ctest processes share one $GLTO_TRACE path;
+  // last renamer wins and the file is always complete JSON.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  std::fprintf(f,
+               "%s{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+               "\"process_name\",\"args\":{\"name\":\"glto\"}}",
+               first ? "" : ",\n");
+  first = false;
+  for (const RingRec* rec : r.rings) {
+    std::fprintf(f,
+                 ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                 "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 rec->tid, rec->label.c_str());
+    std::fprintf(f,
+                 ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                 "\"thread_sort_index\",\"args\":{\"sort_index\":%u}}",
+                 rec->tid, rec->tid);
+  }
+  for (const RingRec* rec : r.rings) {
+    const std::uint64_t head = rec->ring->head();
+    const std::uint64_t cap = rec->ring->capacity();
+    const std::uint64_t lo = head > cap ? head - cap : 0;
+    std::uint64_t park_begin = 0;
+    for (std::uint64_t i = lo; i < head; ++i) {
+      write_event(f, first, *rec, rec->ring->at(i), &park_begin);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void trace_dump_tail(std::FILE* out, std::size_t max_per_ring) {
+  Registry& r = reg();
+  // try_lock only: the watchdog fires while the process is wedged, and a
+  // thread stuck inside flush must not turn the dump into a second hang.
+  if (!r.m.try_lock()) {
+    std::fputs("[glto-trace] registry busy, tail unavailable\n", out);
+    return;
+  }
+  for (const RingRec* rec : r.rings) {
+    const std::uint64_t head = rec->ring->head();
+    std::uint64_t n = head > rec->ring->capacity()
+                          ? static_cast<std::uint64_t>(rec->ring->capacity())
+                          : head;
+    if (n > max_per_ring) n = max_per_ring;
+    if (n == 0) continue;
+    std::fprintf(out, "[glto-trace] %s: last %" PRIu64 " of %" PRIu64
+                      " events\n",
+                 rec->label.c_str(), n, head);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const TraceEvent& ev = rec->ring->at(i);
+      std::fprintf(out,
+                   "  +%10.3fus %-14s arg=%" PRIu64 " aux=%u\n",
+                   static_cast<double>(ev.ts_ns) / 1000.0, kind_name(ev.kind),
+                   ev.arg, ev.aux);
+    }
+  }
+  r.m.unlock();
+}
+
+std::uint64_t trace_epoch_ns() { return reg().epoch_ns; }
+
+std::uint64_t trace_events_recorded() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::uint64_t total = 0;
+  for (const RingRec* rec : r.rings) total += rec->ring->head();
+  return total;
+}
+
+std::uint64_t trace_events_dropped() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::uint64_t total = 0;
+  for (const RingRec* rec : r.rings) {
+    const std::uint64_t head = rec->ring->head();
+    const std::uint64_t cap = rec->ring->capacity();
+    if (head > cap) total += head - cap;
+  }
+  return total;
+}
+
+void trace_set_for_testing(bool on, const char* path,
+                           std::size_t ring_events) {
+  Registry& r = reg();
+  {
+    std::lock_guard<std::mutex> lk(r.m);
+    r.env_resolved = true;
+    if (r.epoch_ns == 0) r.epoch_ns = common::now_ns();
+    r.path = path ? path : "";
+    if (ring_events != 0) r.ring_events = pow2_floor(ring_events);
+    if (r.ring_events == 0) r.ring_events = kMinRingEvents;
+  }
+  trace_detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+void trace_reset_for_testing() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.m);
+  // The reset contract requires emitting threads to be joined, so the
+  // discarded rings can actually be freed here (unlike process exit,
+  // where they leak by design); the generation bump makes any surviving
+  // thread_local pointer re-register instead of touching freed memory.
+  for (RingRec* rec : r.rings) {
+    delete rec->ring;
+    delete rec;
+  }
+  r.rings.clear();
+  r.generation.fetch_add(1, std::memory_order_relaxed);
+  t_ring = TlsRing{};
+}
+
+const TraceRing* trace_current_ring() { return t_ring.ring; }
+
+}  // namespace glto::sched

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 
 namespace glto::sched {
 
@@ -62,6 +64,11 @@ void fire(WatchdogState& s, std::int64_t stalled_ms) {
     dumpers = s.dumpers;
   }
   for (const Dumper& d : dumpers) d.fn(d.arg);
+  // Consolidated counters, then the flight recorder: with $GLTO_TRACE
+  // armed the stall dump carries the last events per worker ring — a
+  // timeline of how the runtime wedged, not just its final queue depths.
+  metrics_dump(stderr);
+  if (trace_enabled()) trace_dump_tail(stderr, 64);
   std::fflush(stderr);
   std::abort();
 }

@@ -64,6 +64,7 @@
 #include "sched/dispatch.hpp"
 #include "sched/locked_queue.hpp"
 #include "sched/overflow_queue.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 
 namespace glto::sched {
@@ -259,6 +260,8 @@ class WsCore {
                    BulkHint hint) {
     if (n == 0) return;
     bulk_deposits_.fetch_add(1, std::memory_order_relaxed);
+    trace_emit(TraceKind::bulk_deposit, static_cast<std::uint64_t>(n),
+               static_cast<std::uint32_t>(hint == BulkHint::local ? 1 : 0));
     if (!ws_) {
       submit_bulk_locked(caller_rank, items, n);
       return;
@@ -356,9 +359,13 @@ class WsCore {
       T item{};
       if (deque.steal(&item)) {
         c.steals.fetch_add(1, std::memory_order_relaxed);
+        trace_emit(TraceKind::steal_success,
+                   static_cast<std::uint64_t>(victim));
         return item;
       }
       c.failed_steals.fetch_add(1, std::memory_order_relaxed);
+      trace_emit(TraceKind::steal_attempt,
+                 static_cast<std::uint64_t>(victim));
     }
     return T{};
   }
@@ -442,10 +449,14 @@ class WsCore {
         c.parks.fetch_add(1, std::memory_order_relaxed);
         c.parked_us.fetch_add(static_cast<std::uint64_t>(st.park_us),
                               std::memory_order_relaxed);
+        trace_emit(TraceKind::park, static_cast<std::uint64_t>(rank),
+                   static_cast<std::uint32_t>(st.park_us));
         const bool woken = sync_[static_cast<std::size_t>(rank)]
                                .parker.park_for_us(st.park_us);
         idle_clear(rank);  // idempotent: the waker may have claimed it
         st.advertised = false;
+        trace_emit(TraceKind::unpark, static_cast<std::uint64_t>(rank),
+                   woken ? 1u : 0u);
         if (woken) {
           st.wake_pending = true;
         } else {
@@ -658,6 +669,7 @@ class WsCore {
 
   void unpark(int rank) {
     wakes_issued_.fetch_add(1, std::memory_order_relaxed);
+    trace_emit(TraceKind::wake, static_cast<std::uint64_t>(rank));
     sync_[static_cast<std::size_t>(rank)].parker.unpark();
   }
 

@@ -7,6 +7,8 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
+#include "sched/metrics.hpp"
+#include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
 
 namespace glto::taskdep {
@@ -78,9 +80,20 @@ DepEngine::DepEngine(ReadyFn on_ready, int hash_bits) : on_ready_(on_ready) {
   hash_bits_ = bits;
   nbuckets_ = std::size_t{1} << bits;
   buckets_ = new Bucket[nbuckets_];
+  // Every live engine reports under the same names; the registry merges
+  // same-named counters by addition (runtimes may hold several engines).
+  metrics_token_ = sched::metrics_register_provider(
+      [](void* arg, sched::MetricsSnapshot& out) {
+        const auto s = static_cast<DepEngine*>(arg)->stats();
+        out.add("deps.registered", s.deps_registered);
+        out.add("deps.deferred", s.deps_deferred);
+        out.add("deps.ready_hits", s.dag_ready_hits);
+      },
+      this);
 }
 
 DepEngine::~DepEngine() {
+  sched::metrics_unregister_provider(metrics_token_);
   for (std::size_t i = 0; i < nbuckets_; ++i) {
     for (Cell& cell : buckets_[i].cells) {
       if (cell.last_writer != nullptr) unref(cell.last_writer);
@@ -117,6 +130,9 @@ DepEngine::Submit DepEngine::submit(void* payload, const Dep* deps,
   auto* node = new TaskNode();
   node->payload = payload;
   deps_registered_.fetch_add(ndeps, std::memory_order_relaxed);
+  sched::trace_emit(sched::TraceKind::dep_register,
+                    reinterpret_cast<std::uintptr_t>(node),
+                    static_cast<std::uint32_t>(ndeps));
   sched::watchdog_add_pending(1);
 
   // One registration at a time: a task's clauses span several chunks, and
@@ -245,6 +261,9 @@ void DepEngine::complete(TaskNode* node) {
     // The successor-list reference is dropped only after the callback
     // below has run (ready nodes stay referenced through the batch).
   }
+  sched::trace_emit(sched::TraceKind::dep_release,
+                    reinterpret_cast<std::uintptr_t>(node),
+                    static_cast<std::uint32_t>(nready));
   void* const* payloads =
       nready > kInlineReady ? payloads_spill.data() : payloads_inline;
   TaskNode* const* nodes =

@@ -128,6 +128,7 @@ class DepEngine {
   std::atomic<std::uint64_t> deps_registered_{0};
   std::atomic<std::uint64_t> deps_deferred_{0};
   std::atomic<std::uint64_t> dag_ready_hits_{0};
+  std::uint64_t metrics_token_ = 0;  ///< registry handle (ctor → dtor)
 };
 
 }  // namespace glto::taskdep
