@@ -1,0 +1,175 @@
+// Ablation — QP-as-a-service latency + blocking-primitive wake latency
+// (ULT-native sync PR).
+//
+// Three sections:
+//  * qpserver — the apps/qpserver driver (a producer streams box-QP solve
+//    requests through a bounded sched::Channel into a flock of worker
+//    ULTs) swept over ≥3 concurrency levels per backend. Rows report
+//    enqueue→solved p50/p95/p99/max latency and throughput — the metric
+//    real-time MPC solvers are judged on under multi-user traffic, and
+//    the end-to-end proof that Channel/Condvar/Mutex suspension composes
+//    under sustained load.
+//  * barrier wake — K rounds of omp::barrier inside one parallel region.
+//    Under the old WaitBackoff a member that went idle between rounds
+//    woke from a micro-sleep (≤200 µs quantum) after the last arrival;
+//    with sched::Barrier the last arriver re-deposits the flock through
+//    the core's targeted-wake path, so the per-round cost must sit far
+//    below the old sleep floor. The suspensions/wakes_direct deltas in
+//    the JSONL prove the rounds actually parked instead of spinning.
+//  * taskgroup wake — taskgroup{ task } in a loop: the group end parks on
+//    the scope's CompletionLatch and the task's completion wakes it
+//    directly. Same floor argument, task-completion edition.
+//
+// Emits JSONL per row via $GLTO_BENCH_JSON (schema v2); the qpserver rows
+// splice in p50/p95/p99/max_us + throughput, the wake rows ns/op and the
+// suspension counters.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "apps/qpserver.hpp"
+#include "bench_common.hpp"
+#include "glt/glt.hpp"
+#include "omp/omp.hpp"
+#include "sched/sync.hpp"
+
+namespace b = glto::bench;
+namespace c = glto::common;
+namespace o = glto::omp;
+namespace gg = glto::glt;
+namespace qp = glto::apps::qpserver;
+
+namespace {
+
+/// Backend sweep for the service rows.
+struct Backend {
+  gg::Impl impl;
+  const char* name;
+};
+constexpr Backend kBackends[] = {{gg::Impl::abt, "qpserver-abt"},
+                                 {gg::Impl::qth, "qpserver-qth"},
+                                 {gg::Impl::mth, "qpserver-mth"}};
+
+/// Concurrency levels (worker-ULT flock sizes) per backend — the
+/// acceptance sweep. The channel bound stays at the config default, so
+/// higher concurrency shifts the latency distribution, not the backlog.
+constexpr int kConcs[] = {1, 4, 16};
+
+std::string qp_row_fields(const qp::Report& r, const qp::Config& cfg) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"requests\": %d, \"queue_depth\": %d, \"completed\": %llu, "
+      "\"throughput_rps\": %.1f, \"p50_us\": %llu, \"p95_us\": %llu, "
+      "\"p99_us\": %llu, \"max_us\": %llu",
+      cfg.requests, cfg.queue_depth,
+      static_cast<unsigned long long>(r.completed), r.throughput_rps,
+      static_cast<unsigned long long>(r.p50_us),
+      static_cast<unsigned long long>(r.p95_us),
+      static_cast<unsigned long long>(r.p99_us),
+      static_cast<unsigned long long>(r.max_us));
+  return std::string(buf);
+}
+
+std::string wake_row_fields(std::int64_t ops, double mean_s,
+                            std::uint64_t susp, std::uint64_t direct) {
+  char buf[224];
+  std::snprintf(buf, sizeof buf,
+                "\"ops\": %lld, \"ns_per_op\": %.0f, \"suspensions\": %llu, "
+                "\"wakes_direct\": %llu",
+                static_cast<long long>(ops),
+                ops > 0 ? mean_s * 1e9 / static_cast<double>(ops) : 0.0,
+                static_cast<unsigned long long>(susp),
+                static_cast<unsigned long long>(direct));
+  return std::string(buf);
+}
+
+}  // namespace
+
+int main() {
+  const int reps = b::reps(3);
+  const int threads =
+      static_cast<int>(c::env_i64("GLTO_QPSERVER_THREADS", 4));
+  qp::Config base = qp::config_from_env();
+
+  std::printf("Ablation: QP-as-a-service latency over blocking ULT sync\n");
+  std::printf("requests=%d queue=%d n=%d iters=%d threads=%d, %d reps/cell\n",
+              base.requests, base.queue_depth, base.n, base.max_iters,
+              threads, reps);
+
+  b::print_header("qpserver: streamed solves, enqueue→solved latency (s)");
+  for (const Backend& be : kBackends) {
+    for (int conc : kConcs) {
+      gg::Config gcfg;
+      gcfg.impl = be.impl;
+      gcfg.num_threads = threads;
+      gcfg.bind_threads = false;  // container cores < paper cores
+      gg::init(gcfg);
+      qp::Config cfg = base;
+      cfg.concurrency = conc;
+      qp::Report last;
+      (void)qp::run(cfg);  // warm freelists, stacks, problem caches
+      auto st = b::time_runs(reps, [&] { last = qp::run(cfg); });
+      b::print_row_json(be.name, conc, st, qp_row_fields(last, cfg));
+      std::printf(
+          "    p50=%lluus p95=%lluus p99=%lluus max=%lluus  %.0f req/s "
+          "(completed=%llu, not_converged=%llu)\n",
+          static_cast<unsigned long long>(last.p50_us),
+          static_cast<unsigned long long>(last.p95_us),
+          static_cast<unsigned long long>(last.p99_us),
+          static_cast<unsigned long long>(last.max_us), last.throughput_rps,
+          static_cast<unsigned long long>(last.completed),
+          static_cast<unsigned long long>(last.not_converged));
+      gg::finalize();
+    }
+  }
+
+  // ---- wake-latency microcells: the ≤200 µs sleep-quantum floor is gone.
+  const int rounds = 512 * static_cast<int>(b::scale());
+
+  b::print_header("sync wake: barrier round-trip (s)");
+  for (int nth : {2, 4}) {
+    b::select_runtime(o::RuntimeKind::glto_abt, nth);
+    auto one = [&] {
+      o::parallel(nth, [&](int, int) {
+        for (int k = 0; k < rounds; ++k) o::barrier();
+      });
+    };
+    one();  // warm
+    const std::uint64_t susp0 = glto::sched::suspensions();
+    const std::uint64_t dir0 = glto::sched::wakes_direct();
+    auto st = b::time_runs(reps, one);
+    b::print_row_json(
+        "barrier-abt", nth, st,
+        wake_row_fields(rounds, st.mean(), glto::sched::suspensions() - susp0,
+                        glto::sched::wakes_direct() - dir0));
+    o::shutdown();
+  }
+
+  b::print_header("sync wake: taskgroup end (s)");
+  {
+    const int groups = rounds / 4;
+    b::select_runtime(o::RuntimeKind::glto_abt, 2);
+    auto one = [&] {
+      o::parallel(2, [&](int tid, int) {
+        if (tid != 0) return;
+        for (int k = 0; k < groups; ++k) {
+          o::taskgroup([&] {
+            o::task([] {});
+          });
+        }
+      });
+    };
+    one();  // warm
+    const std::uint64_t susp0 = glto::sched::suspensions();
+    const std::uint64_t dir0 = glto::sched::wakes_direct();
+    auto st = b::time_runs(reps, one);
+    b::print_row_json(
+        "taskgroup-abt", 2, st,
+        wake_row_fields(groups, st.mean(), glto::sched::suspensions() - susp0,
+                        glto::sched::wakes_direct() - dir0));
+    o::shutdown();
+  }
+
+  return 0;
+}

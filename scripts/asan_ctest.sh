@@ -16,7 +16,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
 cmake --build build-asan -j \
   --target test_taskdep test_bqp test_abt test_qth test_mth test_sched \
-  test_ws_core
+  test_ws_core test_sync
 
 ./build-asan/test_taskdep
 ./build-asan/test_bqp
@@ -25,5 +25,8 @@ cmake --build build-asan -j \
 ./build-asan/test_abt
 ./build-asan/test_qth
 ./build-asan/test_mth
+# Blocking-primitive lifetimes (continuation parking, wait-node handoff,
+# latch delete-after-wait) across all three backends + foreign threads.
+./build-asan/test_sync
 
 echo "asan_ctest: all sanitized suites passed"

@@ -13,6 +13,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/sync.hpp"
 #include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
@@ -22,7 +23,7 @@ namespace {
 
 enum class State : std::uint8_t { Ready, Running, Blocked, Done };
 enum class Kind : std::uint8_t { Ult, Tasklet, Main };
-enum class Dir : std::uint8_t { Resume, Yield, Block, Done };
+enum class Dir : std::uint8_t { Resume, Yield, Block, BlockExt, Done };
 
 WorkUnit* const kJoinerSentinel = reinterpret_cast<WorkUnit*>(std::uintptr_t(1));
 
@@ -53,6 +54,11 @@ struct SwitchMsg {
   Dir dir;
   WorkUnit* self;
   WorkUnit* target;  // join target for Dir::Block
+  // Dir::BlockExt payload (sched::sync primitives): the scheduler runs cb
+  // after this context is saved; cb false means the wait condition was
+  // already satisfied and the unit must be re-readied.
+  sched::SuspendCb cb = nullptr;
+  void* cb_arg = nullptr;
 };
 
 struct Runtime {
@@ -175,6 +181,16 @@ void process_directive(fctx::transfer_t t) {
       }
       break;
     }
+    case Dir::BlockExt: {
+      // Park on a sched::sync primitive. The enqueue callback re-checks
+      // the wait condition under the primitive's lock (same shape as the
+      // FEB register-or-complete path): false ⇒ no park, re-ready now.
+      msg.self->state.store(State::Blocked, std::memory_order_relaxed);
+      if (!msg.cb(msg.cb_arg, msg.self)) {
+        push_ready(msg.self, /*fifo=*/false);
+      }
+      break;
+    }
     case Dir::Done: {
       WorkUnit* wu = msg.self;
       fctx::StackPool::global().release(wu->stack);
@@ -253,7 +269,9 @@ void primary_sched_entry(fctx::transfer_t t) {
 /// resumed. noinline: callers loop around this (join), and an inlined
 /// copy would let the compiler reuse a pre-switch TLS address after the
 /// ULT migrated to another OS thread.
-__attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
+__attribute__((noinline)) void suspend(Dir dir, WorkUnit* target,
+                                       sched::SuspendCb cb = nullptr,
+                                       void* cb_arg = nullptr) {
   WorkUnit* self = tls.current;
   GLTO_CHECK_MSG(self != nullptr, "suspend outside a ULT");
   GLTO_CHECK_MSG(self->kind != Kind::Tasklet,
@@ -267,7 +285,7 @@ __attribute__((noinline)) void suspend(Dir dir, WorkUnit* target) {
     tls.sched_ctx = fctx::make_fcontext(s.top, s.size, primary_sched_entry);
     tls.sched_stack = s.region();
   }
-  SwitchMsg msg{dir, self, target};
+  SwitchMsg msg{dir, self, target, cb, cb_arg};
   fctx::transfer_t t =
       fctx::jump_fcontext_to(tls.sched_ctx, &msg, tls.sched_stack);
   // Resumed — possibly on a *different OS thread* (shared pools or a
@@ -319,6 +337,39 @@ void dump_core_state(void* arg) {
   static_cast<sched::WsCore<WorkUnit*>*>(arg)->dump_state("abt");
 }
 
+// ------------------------------------------------- sched::SuspendOps bridge
+
+bool ops_can_suspend() {
+  return g_rt != nullptr && tls.current != nullptr &&
+         tls.current->kind != Kind::Tasklet;
+}
+
+void ops_suspend(sched::SuspendCb cb, void* arg) {
+  suspend(Dir::BlockExt, nullptr, cb, arg);
+}
+
+/// Re-deposits a unit a sync-primitive signaller owns. May run on a
+/// foreign OS thread (rank -1) — the core routes that through the home
+/// rank's fair queue; tls_now() because wakers can sit after a
+/// suspension point themselves.
+void ops_resume(void* handle) {
+  auto* wu = static_cast<WorkUnit*>(handle);
+  wu->state.store(State::Ready, std::memory_order_relaxed);
+  if (wu->kind == Kind::Main) {
+    g_rt->core->push_main(wu);
+  } else {
+    g_rt->core->ready(tls_now().rank, wu->home_rank, wu->pinned,
+                      /*fifo=*/false, wu);
+  }
+}
+
+void ops_yield() { yield(); }
+bool ops_maybe_work() { return maybe_work(); }
+
+constexpr sched::SuspendOps kSuspendOps{ops_can_suspend, ops_suspend,
+                                        ops_resume, ops_yield,
+                                        ops_maybe_work};
+
 }  // namespace
 
 void init(const Config& cfg_in) {
@@ -355,6 +406,7 @@ void init(const Config& cfg_in) {
   tls.main_unit = main_unit;
   tls.current = main_unit;
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  sched::register_suspend_ops(&kSuspendOps);
   for (int r = 1; r < g_rt->n; ++r) {
     g_rt->workers.emplace_back(worker_main, r);
   }
@@ -364,6 +416,7 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "abt::finalize without init");
   GLTO_CHECK_MSG(tls.main_unit != nullptr && tls.current == tls.main_unit,
                  "finalize must run on the primary ULT");
+  sched::unregister_suspend_ops(&kSuspendOps);
   sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();

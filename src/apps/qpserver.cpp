@@ -1,0 +1,128 @@
+#include "apps/qpserver.hpp"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "apps/bqp.hpp"
+#include "common/debug.hpp"
+#include "common/env.hpp"
+#include "common/time.hpp"
+#include "glt/glt.hpp"
+#include "sched/metrics.hpp"
+#include "sched/sync.hpp"
+
+namespace glto::apps::qpserver {
+
+namespace {
+
+/// One queued solve request. Trivially copyable by design — the channel
+/// ships descriptors, the problem data is shared read-only.
+struct Request {
+  std::int64_t enqueue_ns = 0;
+  std::uint32_t id = 0;
+};
+
+struct ServerCtx {
+  sched::Channel<Request>* chan = nullptr;
+  const bqp::Problem* problem = nullptr;
+  sched::LatencyHistogram* hist = nullptr;
+  std::atomic<std::uint64_t>* completed = nullptr;
+  std::atomic<std::uint64_t>* not_converged = nullptr;
+  int max_iters = 0;
+};
+
+/// Worker ULT: blocks on the channel (true suspension — the GLT_thread
+/// runs other work meanwhile), solves, stamps the latency. Exits when the
+/// channel is closed and drained.
+void worker_main(void* argp) {
+  auto* ctx = static_cast<ServerCtx*>(argp);
+  Request req;
+  while (ctx->chan->recv(req)) {
+    const bqp::Result r =
+        bqp::solve(*ctx->problem, bqp::Mode::sequential, ctx->max_iters);
+    if (!r.converged) {
+      ctx->not_converged->fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::int64_t now = common::now_ns();
+    ctx->hist->record(now > req.enqueue_ns
+                          ? static_cast<std::uint64_t>(now - req.enqueue_ns)
+                          : 0);
+    ctx->completed->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t knob(const char* name, std::int64_t dflt) {
+  return common::env_i64(name, dflt);
+}
+
+}  // namespace
+
+Config config_from_env() {
+  Config c;
+  c.requests = static_cast<int>(knob("GLTO_QPSERVER_REQUESTS", c.requests));
+  c.concurrency =
+      static_cast<int>(knob("GLTO_QPSERVER_CONCURRENCY", c.concurrency));
+  c.queue_depth = static_cast<int>(knob("GLTO_QPSERVER_QUEUE", c.queue_depth));
+  c.n = static_cast<int>(knob("GLTO_QPSERVER_N", c.n));
+  c.tile = static_cast<int>(knob("GLTO_QPSERVER_TILE", c.tile));
+  c.rank = static_cast<int>(knob("GLTO_QPSERVER_RANK", c.rank));
+  c.max_iters = static_cast<int>(knob("GLTO_QPSERVER_ITERS", c.max_iters));
+  c.seed = static_cast<std::uint64_t>(knob("GLTO_QPSERVER_SEED",
+                                           static_cast<std::int64_t>(c.seed)));
+  return c;
+}
+
+Report run(const Config& cfg) {
+  GLTO_CHECK_MSG(glt::initialized(), "qpserver::run requires glt::init");
+  GLTO_CHECK(cfg.requests > 0 && cfg.concurrency > 0 && cfg.queue_depth > 0);
+
+  const bqp::Problem problem =
+      bqp::make_problem(cfg.n, cfg.tile, cfg.rank, cfg.seed);
+  sched::Channel<Request> chan(static_cast<std::size_t>(cfg.queue_depth));
+  auto hist = std::make_unique<sched::LatencyHistogram>();
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> not_converged{0};
+
+  ServerCtx ctx;
+  ctx.chan = &chan;
+  ctx.problem = &problem;
+  ctx.hist = hist.get();
+  ctx.completed = &completed;
+  ctx.not_converged = &not_converged;
+  ctx.max_iters = cfg.max_iters;
+
+  common::Timer timer;
+  std::vector<glt::Ult*> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.concurrency));
+  for (int i = 0; i < cfg.concurrency; ++i) {
+    workers.push_back(glt::ult_create(worker_main, &ctx));
+  }
+
+  // The producer blocks when the queue is full — channel backpressure is
+  // the admission control; a saturated server queues at most queue_depth.
+  for (int i = 0; i < cfg.requests; ++i) {
+    Request req;
+    req.enqueue_ns = common::now_ns();
+    req.id = static_cast<std::uint32_t>(i);
+    const bool sent = chan.send(req);
+    GLTO_CHECK_MSG(sent, "qpserver channel closed while producing");
+  }
+  chan.close();
+  for (glt::Ult* w : workers) glt::ult_join(w);
+
+  Report rep;
+  rep.elapsed_s = timer.elapsed_sec();
+  rep.completed = completed.load(std::memory_order_relaxed);
+  rep.not_converged = not_converged.load(std::memory_order_relaxed);
+  rep.throughput_rps =
+      rep.elapsed_s > 0 ? static_cast<double>(rep.completed) / rep.elapsed_s
+                        : 0.0;
+  rep.p50_us = hist->percentile_ns(50) / 1000;
+  rep.p95_us = hist->percentile_ns(95) / 1000;
+  rep.p99_us = hist->percentile_ns(99) / 1000;
+  rep.max_us = hist->max_ns() / 1000;
+  return rep;
+}
+
+}  // namespace glto::apps::qpserver

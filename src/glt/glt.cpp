@@ -38,6 +38,10 @@ void glt_metrics_provider(void* /*arg*/, sched::MetricsSnapshot& out) {
   out.add("sched.wakes_issued", s.wakes_issued);
   out.add("sched.wakes_spurious", s.wakes_spurious);
   out.add("sched.bulk_deposits", s.bulk_deposits);
+  // Blocking-primitive traffic (sched/sync.hpp): contexts parked on wait
+  // lists, and parked ULTs handed straight back to a worker deque.
+  out.add("sched.suspensions", sched::suspensions());
+  out.add("sched.wakes_direct", sched::wakes_direct());
 }
 
 /// Heap wrapper for backends whose native spawn signature differs from

@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "sched/metrics.hpp"
+#include "sched/sync.hpp"
 
 namespace glto::glt {
 
@@ -140,5 +141,21 @@ struct Stats : sched::StatsSnapshot {
 };
 
 [[nodiscard]] Stats stats();
+
+// ---- GLT synchronization conformance layer -------------------------------
+//
+// The GLT spec's blocking objects (glt_mutex_*, glt_cond_*, glt_barrier_*)
+// map onto the shared sched:: primitives — one implementation under every
+// backend, waiters truly suspended. Exposed here under GLT-style names so
+// raw-backend code (no omp:: facade) writes to the spec's vocabulary;
+// glt::init registers the active backend's SuspendOps, which is what makes
+// these block natively instead of micro-sleeping.
+using mutex = sched::Mutex;         ///< glt_mutex: FIFO-handoff ULT mutex
+using cond = sched::Condvar;        ///< glt_cond: condition variable
+using barrier = sched::Barrier;     ///< glt_barrier: sense-reversing, blocking
+using event = sched::Event;         ///< one-shot wait-queue event
+using latch = sched::CompletionLatch;  ///< counts work down to zero
+template <class T>
+using channel = sched::Channel<T>;  ///< bounded MPMC descriptor channel
 
 }  // namespace glto::glt

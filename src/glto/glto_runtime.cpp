@@ -2,23 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
-#include <thread>
 #include <vector>
 
 #include "common/affinity.hpp"
 #include "common/debug.hpp"
 #include "common/env.hpp"
-#include "common/parker.hpp"
 #include "common/spin.hpp"
+#include "common/time.hpp"
 #include "omp/task_support.hpp"
 #include "sched/chaos.hpp"
 #include "sched/freelist.hpp"
 #include "sched/metrics.hpp"
+#include "sched/sync.hpp"
 #include "sched/trace.hpp"
-#include "sched/watchdog.hpp"
 #include "taskdep/taskdep.hpp"
 
 namespace glto::rt {
@@ -52,10 +50,10 @@ struct Team {
   int level = 0;
   Team* parent = nullptr;
 
-  // Sense-reversing barrier (members yield to the GLT scheduler while
-  // waiting, which is what lets sibling ULTs on one GLT_thread progress).
-  std::atomic<int> barrier_arrived{0};
-  std::atomic<std::uint64_t> barrier_epoch{0};
+  // Blocking team barrier: non-last arrivers park on the wait list (their
+  // GLT_thread runs sibling ULTs meanwhile), the last arriver wakes the
+  // flock through the core's targeted-wake path — no sleep quantum.
+  sched::Barrier barrier;
 
   // single construct arbitration (see single_try()).
   std::atomic<std::uint64_t> single_claimed{0};
@@ -124,75 +122,14 @@ struct MemberArg {
   omp::RegionBody body;
 };
 
-/// Cooperative busy-wait step for GLTO's polling loops (barriers,
-/// taskgroup/gate waits, deferred-child joins). While the executing
-/// GLT_thread has anything else runnable, each step is a plain ULT yield
-/// — the waiter interleaves with real work exactly as before. Once the
-/// local scheduler is dry, further yields are pure context-switch spin
-/// that, on an oversubscribed host, steals timeslices from the very
-/// producers the waiter depends on (the 1-core container turned a 0.7 ms
-/// producer burst into nth × ~4 ms of barrier-spin this way). The waiter
-/// then escalates: brief cpu_relax, a few OS yields, then bounded
-/// micro-sleeps (≤ kSleepCapUs) that release the core outright. The cap
-/// bounds the extra wake-up latency a real multicore barrier can see.
-///
-/// Hardening: the micro-sleeps run through a timed common::Parker wait
-/// (the same primitive the worker loops park on), so every GLTO wait is
-/// deadline-capable — step() clamps its sleep against an optional
-/// deadline and the timed waits (taskwait_for, taskgroup_end_for_us) poll
-/// their condition between bounded parks instead of oversleeping the
-/// caller's budget. Each step is also a chaos suspension point (injected
-/// delays widen race windows), and the object registers itself with the
-/// stall watchdog for its lifetime: a parked WaitBackoff is exactly the
-/// "blocked waiter" half of the quiescent-but-unfinished signal.
-struct WaitBackoff {
-  static constexpr int kSpin = 16;
-  static constexpr int kYield = 24;
-  static constexpr std::int64_t kSleepStepUs = 20;
-  static constexpr std::int64_t kSleepCapUs = 200;
-
-  int idle = 0;
-
-  WaitBackoff() { sched::watchdog_enter_wait(); }
-  ~WaitBackoff() { sched::watchdog_exit_wait(); }
-  WaitBackoff(const WaitBackoff&) = delete;
-  WaitBackoff& operator=(const WaitBackoff&) = delete;
-
-  void step() { step_with_cap(kSleepCapUs); }
-
-  /// Deadline-clamped step: never sleeps past @p deadline. The caller
-  /// still owns the deadline check itself (a step may return early).
-  void step_until(std::chrono::steady_clock::time_point deadline) {
-    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
-                          deadline - std::chrono::steady_clock::now())
-                          .count();
-    if (left <= 0) return;
-    step_with_cap(std::min<std::int64_t>(kSleepCapUs, left));
-  }
-
- private:
-  void step_with_cap(std::int64_t cap_us) {
-    sched::chaos_maybe_delay();
-    if (glt::maybe_work()) {
-      idle = 0;
-      glt::yield();
-      return;
-    }
-    ++idle;
-    if (idle <= kSpin) {
-      common::cpu_relax();
-    } else if (idle <= kYield) {
-      std::this_thread::yield();
-    } else {
-      const std::int64_t us = std::min<std::int64_t>(
-          std::min<std::int64_t>(kSleepStepUs * (idle - kYield), kSleepCapUs),
-          cap_us);
-      parker_.park_for_us(us > 0 ? us : 1);
-    }
-  }
-
-  common::Parker parker_;
-};
+// GLTO's waits no longer poll. Barriers, taskgroup ends, dep gates and
+// critical sections block on the sched:: primitives (Barrier,
+// CompletionLatch, Event, Mutex): the waiter ULT parks on an intrusive
+// wait list and the signaller re-deposits it through the core's
+// targeted-wake path. The one remaining polling wait is the
+// deferred-child join (handles are published by the dependency engine —
+// a foreign completion source with no wait queue) and the timed waits,
+// both of which go through sched::wait / sched::wait_until.
 
 class GltoRuntime;
 
@@ -282,6 +219,7 @@ class GltoRuntime final : public omp::Runtime {
     team.size = nth;
     team.level = new_level;
     team.parent = pctx->team;
+    team.barrier.init(nth);
 
     // §IV-C / §IV-E: outer-level members go one-per-GLT_thread, pinned
     // (exact placement — the §IV-C contract the placement tests enforce);
@@ -433,20 +371,23 @@ class GltoRuntime final : public omp::Runtime {
   void single_done() override { cur()->in_single = false; }
 
   void critical_enter(const void* tag) override {
-    common::SpinLock* lock;
+    sched::Mutex* lock;
     {
       common::SpinGuard g(critical_map_lock_);
       lock = &critical_locks_[tag];
     }
-    // Spin with ULT yields while local work exists; release the core once
-    // the scheduler runs dry (never wedges: the holder runs elsewhere).
-    WaitBackoff wait;
-    while (!lock->try_lock()) wait.step();
+    // Contended entry suspends the ULT; unlock hands the mutex FIFO to
+    // the oldest waiter (no barging past a parked member).
+    lock->lock();
   }
 
   void critical_exit(const void* tag) override {
-    common::SpinGuard g(critical_map_lock_);
-    critical_locks_[tag].unlock();
+    sched::Mutex* lock;
+    {
+      common::SpinGuard g(critical_map_lock_);
+      lock = &critical_locks_[tag];
+    }
+    lock->unlock();
   }
 
   void task(omp::TaskDesc desc, const omp::TaskFlags& flags) override {
@@ -464,10 +405,9 @@ class GltoRuntime final : public omp::Runtime {
         auto sub = dep_engine_.submit(&gate, flags.depend.data(),
                                       flags.depend.size(), dep_domain(c));
         node = sub.node;
-        if (!sub.ready) {
-          WaitBackoff wait;
-          while (!gate.open.load(std::memory_order_acquire)) wait.step();
-        }
+        // Blocks for real: the completing predecessor's thread sets the
+        // event and re-deposits this ULT through the core.
+        if (!sub.ready) gate.ready.wait();
       }
       TaskCtx inline_ctx;
       inline_ctx.team = c->team;
@@ -496,9 +436,7 @@ class GltoRuntime final : public omp::Runtime {
     arg->group = c->group;
     arg->submit_ns =
         sched::profile_task_submit(reinterpret_cast<std::uintptr_t>(arg));
-    if (arg->group != nullptr) {
-      arg->group->pending.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (arg->group != nullptr) arg->group->latch.add(1);
     if (has_deps) {
       // The ULT is NOT created yet: the engine withholds the task until
       // its release counter hits zero, then the completing predecessor's
@@ -568,9 +506,7 @@ class GltoRuntime final : public omp::Runtime {
         arg->rt = this;
         arg->parent = c;
         arg->group = c->group;
-        if (arg->group != nullptr) {
-          arg->group->pending.fetch_add(1, std::memory_order_relaxed);
-        }
+        if (arg->group != nullptr) arg->group->latch.add(1);
         arg->submit_ns = sched::profile_task_submit(
             reinterpret_cast<std::uintptr_t>(arg));
         argv[i] = arg;
@@ -600,9 +536,10 @@ class GltoRuntime final : public omp::Runtime {
     GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
     // Wait only for this group's tasks; their ULT handles stay in
     // c->children and are joined (already Done) at the next taskwait or
-    // the implicit region join.
-    WaitBackoff wait;
-    while (g->pending.load(std::memory_order_acquire) > 0) wait.step();
+    // the implicit region join. Blocks outright: the last finishing
+    // member's count_down wakes this ULT, and the latch's locked
+    // zero-observation protocol makes the delete safe immediately after.
+    g->latch.wait();
     c->group = g->parent;
     delete g;
   }
@@ -611,14 +548,11 @@ class GltoRuntime final : public omp::Runtime {
     TaskCtx* c = cur();
     TgScope* g = c->group;
     GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(timeout_us);
-    WaitBackoff wait;
-    while (g->pending.load(std::memory_order_acquire) > 0) {
-      if (std::chrono::steady_clock::now() >= deadline) {
-        return false;  // group stays active/open: caller cancels + drains
-      }
-      wait.step_until(deadline);
+    // Timed waits poll (there is no timed park on the latch); on timeout
+    // the group stays active/open — the caller cancels + drains it.
+    if (!sched::wait_until([g] { return g->latch.try_wait(); },
+                           common::now_ns() + timeout_us * 1000)) {
+      return false;
     }
     c->group = g->parent;
     delete g;
@@ -640,8 +574,7 @@ class GltoRuntime final : public omp::Runtime {
 
   bool taskwait_for_us(std::int64_t timeout_us) override {
     return join_children_until(cur(), /*timed=*/true,
-                               std::chrono::steady_clock::now() +
-                                   std::chrono::microseconds(timeout_us));
+                               common::now_ns() + timeout_us * 1000);
   }
 
   omp::TaskStats task_stats() override {
@@ -734,9 +667,7 @@ class GltoRuntime final : public omp::Runtime {
     // (joining first would withhold that sibling forever).
     if (a->node != nullptr) a->rt->dep_engine_.complete(a->node);
     join_children(&ctx);
-    if (a->group != nullptr) {
-      a->group->pending.fetch_sub(1, std::memory_order_release);
-    }
+    if (a->group != nullptr) a->group->latch.count_down();
     free_task_arg(a);
   }
 
@@ -806,8 +737,7 @@ class GltoRuntime final : public omp::Runtime {
   static void on_dep_ready(void* payload, taskdep::TaskNode* node) {
     auto* pl = static_cast<DepPayload*>(payload);
     if (pl->kind == DepPayload::Kind::gate) {
-      static_cast<ReadyGate*>(pl)->open.store(true,
-                                              std::memory_order_release);
+      static_cast<ReadyGate*>(pl)->ready.set();
       return;
     }
     auto* arg = static_cast<TaskArg*>(pl);
@@ -833,8 +763,7 @@ class GltoRuntime final : public omp::Runtime {
       if (i < n) {
         auto* pl = static_cast<DepPayload*>(payloads[i]);
         if (pl->kind == DepPayload::Kind::gate) {
-          static_cast<ReadyGate*>(pl)->open.store(
-              true, std::memory_order_release);
+          static_cast<ReadyGate*>(pl)->ready.set();
           continue;
         }
         auto* arg = static_cast<TaskArg*>(pl);
@@ -877,16 +806,22 @@ class GltoRuntime final : public omp::Runtime {
     (void)join_children_until(c, /*timed=*/false, {});
   }
 
-  /// Child join, optionally bounded by @p deadline. Untimed mode joins
-  /// everything (blocking on in-flight children). Timed mode only reaps
-  /// children that have already finished (glt::ult_is_done) — a blocking
-  /// ult_join could overshoot the budget by the child's whole runtime —
-  /// and returns false at the deadline; unfinished children go back into
-  /// c->children and are joined by the next untimed wait, so a timed-out
-  /// join leaves the task tree fully consistent.
-  static bool join_children_until(
-      TaskCtx* c, bool timed, std::chrono::steady_clock::time_point deadline) {
-    WaitBackoff wait;
+  /// Child join, optionally bounded by @p deadline_ns. Untimed mode joins
+  /// everything (blocking on in-flight children — ult_join suspends
+  /// natively in the backend). Timed mode only reaps children that have
+  /// already finished (glt::ult_is_done) — a blocking ult_join could
+  /// overshoot the budget by the child's whole runtime — and returns
+  /// false at the deadline; unfinished children go back into c->children
+  /// and are joined by the next untimed wait, so a timed-out join leaves
+  /// the task tree fully consistent.
+  ///
+  /// This is the one remaining polling wait in GLTO: while `deferred`
+  /// children are withheld by the dependency engine there is no handle to
+  /// join and no wait queue to park on — the WaitEngine steps let the
+  /// predecessors run, then escalate to bounded parks.
+  static bool join_children_until(TaskCtx* c, bool timed,
+                                  std::int64_t deadline_ns) {
+    sched::WaitEngine wait;
     for (;;) {
       std::vector<glt::Ult*> grabbed;
       {
@@ -913,10 +848,7 @@ class GltoRuntime final : public omp::Runtime {
             c->children.insert(c->children.end(), keep.begin(), keep.end());
           }
         }
-        if (progressed) {
-          wait.idle = 0;
-          continue;
-        }
+        if (progressed) continue;
       } else if (c->deferred.load(std::memory_order_acquire) == 0) {
         // A wake-up pushes the child handle *before* decrementing
         // `deferred`, so after reading zero one locked re-check suffices.
@@ -925,8 +857,8 @@ class GltoRuntime final : public omp::Runtime {
         continue;
       }
       if (timed) {
-        if (std::chrono::steady_clock::now() >= deadline) return false;
-        wait.step_until(deadline);
+        if (common::now_ns() >= deadline_ns) return false;
+        wait.step_until(deadline_ns);
       } else {
         wait.step();  // withheld children exist; let predecessors run
       }
@@ -935,18 +867,7 @@ class GltoRuntime final : public omp::Runtime {
 
   static void barrier_wait(Team* t) {
     if (t->size <= 1) return;
-    const std::uint64_t epoch =
-        t->barrier_epoch.load(std::memory_order_acquire);
-    if (t->barrier_arrived.fetch_add(1, std::memory_order_acq_rel) ==
-        t->size - 1) {
-      t->barrier_arrived.store(0, std::memory_order_relaxed);
-      t->barrier_epoch.fetch_add(1, std::memory_order_release);
-    } else {
-      WaitBackoff wait;
-      while (t->barrier_epoch.load(std::memory_order_acquire) == epoch) {
-        wait.step();
-      }
-    }
+    t->barrier.arrive_and_wait();
   }
 
   std::string name_ = "glto";
@@ -960,7 +881,7 @@ class GltoRuntime final : public omp::Runtime {
   taskdep::DepEngine dep_engine_{&GltoRuntime::on_dep_ready};
 
   common::SpinLock critical_map_lock_;
-  std::map<const void*, common::SpinLock> critical_locks_;
+  std::map<const void*, sched::Mutex> critical_locks_;
 };
 
 }  // namespace

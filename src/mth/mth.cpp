@@ -14,6 +14,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/sync.hpp"
 #include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
@@ -27,6 +28,7 @@ enum class Dir : std::uint8_t {
   Spawn,    // parent jumped into a fresh child; child publishes parent
   Yield,    // strand wants back in the run queue
   Block,    // strand waits on a join target
+  BlockExt, // strand parks on a sched::sync primitive (cb decides)
   Migrate,  // strand asks to be requeued on worker 0's pinned slot
   Done,     // strand finished; clean it up
 };
@@ -62,6 +64,10 @@ struct SwitchMsg {
   /// where the message describes the *sender* — the entry recovers its own
   /// identity from here instead of a Spawn payload.
   Strand* resumee = nullptr;
+  // Dir::BlockExt payload: cb runs after the sender's context is saved;
+  // false means the wait condition was already satisfied — re-ready now.
+  sched::SuspendCb cb = nullptr;
+  void* cb_arg = nullptr;
 };
 
 /// Per-worker base-context bookkeeping. The ready queues, freelists, and
@@ -159,6 +165,12 @@ void process_directive(const SwitchMsg& msg, fctx::fcontext_t from) {
       if (!registered) make_ready(msg.self);  // target already finished
       break;
     }
+    case Dir::BlockExt:
+      // sched::sync park: enqueue under the primitive's lock with a
+      // condition re-check (the generic register-or-complete shape).
+      msg.self->ctx = from;
+      if (!msg.cb(msg.cb_arg, msg.self)) make_ready(msg.self);
+      break;
     case Dir::Done:
       fctx::StackPool::global().release(msg.self->stack);
       msg.self->stack = fctx::Stack{};
@@ -343,6 +355,38 @@ void dump_core_state(void* arg) {
   static_cast<sched::WsCore<Strand*>*>(arg)->dump_state("mth");
 }
 
+// ------------------------------------------------- sched::SuspendOps bridge
+
+bool ops_can_suspend() { return g_rt != nullptr && tls.current != nullptr; }
+
+void ops_suspend(sched::SuspendCb cb, void* arg) {
+  SwitchMsg m{Dir::BlockExt, tls.current, nullptr};
+  m.cb = cb;
+  m.cb_arg = arg;
+  leave(m);
+}
+
+/// Re-deposits a strand a sync-primitive signaller owns. make_ready is
+/// wrong here: push_owner assumes a worker-thread caller, but wakers can
+/// be foreign OS threads (rank -1) — core->ready routes that through the
+/// fair queue instead.
+void ops_resume(void* handle) {
+  auto* s = static_cast<Strand*>(handle);
+  if (use_pinned_path(s)) {
+    g_rt->core->push_main(s);
+  } else {
+    g_rt->core->ready(tls_now().rank, /*home_rank=*/0, /*pinned=*/false,
+                      /*fifo=*/false, s);
+  }
+}
+
+void ops_yield() { yield(); }
+bool ops_maybe_work() { return maybe_work(); }
+
+constexpr sched::SuspendOps kSuspendOps{ops_can_suspend, ops_suspend,
+                                        ops_resume, ops_yield,
+                                        ops_maybe_work};
+
 }  // namespace
 
 void init(const Config& cfg_in) {
@@ -377,6 +421,7 @@ void init(const Config& cfg_in) {
   main_strand->stack_region = fctx::os_thread_stack();
   tls.current = main_strand;
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  sched::register_suspend_ops(&kSuspendOps);
   for (int r = 1; r < g_rt->n; ++r) {
     g_rt->threads.emplace_back(worker_main, r);
   }
@@ -394,6 +439,7 @@ void finalize() {
     leave(m);
     GLTO_CHECK(tls.rank == 0);
   }
+  sched::unregister_suspend_ops(&kSuspendOps);
   sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& th : g_rt->threads) th.join();

@@ -367,61 +367,39 @@ void parallel_for_ranges(
 
 // ---- locks ------------------------------------------------------------------
 
-void Lock::set() {
-  Runtime& rt = runtime();
-  for (;;) {
-    if (!locked_.exchange(true, std::memory_order_acquire)) return;
-    while (locked_.load(std::memory_order_relaxed)) rt.yield_hint();
-  }
-}
+void Lock::set() { m_.lock(); }
 
-bool Lock::test() {
-  return !locked_.load(std::memory_order_relaxed) &&
-         !locked_.exchange(true, std::memory_order_acquire);
-}
+bool Lock::test() { return m_.try_lock(); }
 
-void Lock::unset() { locked_.store(false, std::memory_order_release); }
+void Lock::unset() { m_.unlock(); }
 
 void NestLock::set() {
-  Runtime& rt = runtime();
-  const void* self = rt.task_identity();
-  for (;;) {
-    const void* cur = owner_.load(std::memory_order_acquire);
-    if (cur == self) {  // re-entry by the owning task
-      depth_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    const void* expected = nullptr;
-    if (cur == nullptr &&
-        owner_.compare_exchange_weak(expected, self,
-                                     std::memory_order_acquire)) {
-      depth_.store(1, std::memory_order_relaxed);
-      return;
-    }
-    rt.yield_hint();
+  const void* self = runtime().task_identity();
+  if (owner_.load(std::memory_order_acquire) == self) {
+    depth_.fetch_add(1, std::memory_order_relaxed);  // re-entry by the owner
+    return;
   }
+  m_.lock();  // suspends while another task holds it
+  owner_.store(self, std::memory_order_release);
+  depth_.store(1, std::memory_order_relaxed);
 }
 
 bool NestLock::test() {
-  Runtime& rt = runtime();
-  const void* self = rt.task_identity();
-  const void* cur = owner_.load(std::memory_order_acquire);
-  if (cur == self) {
+  const void* self = runtime().task_identity();
+  if (owner_.load(std::memory_order_acquire) == self) {
     depth_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  const void* expected = nullptr;
-  if (cur == nullptr && owner_.compare_exchange_strong(
-                            expected, self, std::memory_order_acquire)) {
-    depth_.store(1, std::memory_order_relaxed);
-    return true;
-  }
-  return false;
+  if (!m_.try_lock()) return false;
+  owner_.store(self, std::memory_order_release);
+  depth_.store(1, std::memory_order_relaxed);
+  return true;
 }
 
 void NestLock::unset() {
   if (depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
     owner_.store(nullptr, std::memory_order_release);
+    m_.unlock();
   }
 }
 

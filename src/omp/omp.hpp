@@ -46,10 +46,30 @@
 #include <thread>
 #include <vector>
 
+#include "common/time.hpp"
 #include "omp/runtime.hpp"
+#include "sched/sync.hpp"
 #include "sched/watchdog.hpp"
 
 namespace glto::omp {
+
+// ---- ULT-native synchronization -----------------------------------------
+//
+// Blocking primitives over the shared scheduling core (sched/sync.hpp),
+// re-exported as the application-facing names. A waiter suspends for
+// real — it parks on the primitive's wait list and the signaller
+// re-deposits it through the core's targeted-wake path; no sleep
+// quantum, no lost wakeups. On contexts that cannot suspend (the
+// pthread runtimes, tasklets, foreign OS threads) the same calls
+// degrade to a work-conserving OS-thread park. Payloads ship by
+// descriptor (channel<T> requires trivially-copyable T) — no
+// std::function anywhere on the signalling path.
+using event = sched::Event;              ///< one-shot wait-queue event
+using mutex = sched::Mutex;              ///< FIFO-handoff ULT mutex
+using scoped_lock = sched::ScopedLock;   ///< RAII guard for omp::mutex
+using condvar = sched::Condvar;          ///< condition variable over omp::mutex
+template <class T>
+using channel = sched::Channel<T>;       ///< bounded MPMC channel
 
 /// The five runtime configurations of the paper's evaluation.
 enum class RuntimeKind : std::uint8_t {
@@ -256,6 +276,7 @@ template <class T>
 struct FutureState {
   std::atomic<int> refs{2};  ///< the future + the task closure
   std::atomic<bool> done{false};
+  sched::Event done_ev;  ///< set after `done`; ULT waiters park on this
   std::exception_ptr error{};
   bool has_value = false;
   alignas(T) unsigned char storage[sizeof(T)];
@@ -273,6 +294,7 @@ template <>
 struct FutureState<void> {
   std::atomic<int> refs{2};
   std::atomic<bool> done{false};
+  sched::Event done_ev;
   std::exception_ptr error{};
   static void unref(FutureState* s) {
     if (s->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete s;
@@ -316,10 +338,20 @@ class future {
     return st_ != nullptr && st_->done.load(std::memory_order_acquire);
   }
 
-  /// Blocks cooperatively until the task completed. Safe to call before
-  /// or after completion; the handle stays valid for get().
+  /// Blocks until the task completed. On a ULT this is a true suspension:
+  /// the waiter parks on the state's event and the completing task hands
+  /// it straight back to a worker deque — no sleep quantum. Contexts that
+  /// cannot suspend (the pthread runtimes, foreign threads) keep the
+  /// cooperative polling rule: taskyield between probes, so the runtimes
+  /// that must drain their own queues while waiting still do. Safe to
+  /// call before or after completion; the handle stays valid for get().
   void wait() {
     if (st_ == nullptr) return;  // moved-from / consumed: nothing to wait on
+    if (st_->done.load(std::memory_order_acquire)) return;
+    if (sched::current_suspend_ops() != nullptr) {
+      st_->done_ev.wait();
+      return;
+    }
     sched::watchdog_enter_wait();
     while (!st_->done.load(std::memory_order_acquire)) {
       if (selected()) {
@@ -329,7 +361,7 @@ class future {
         // one exists — it has no backoff of its own. The polite wait
         // hint honours the configured wait policy, so an empty-queue
         // spin doesn't run hot and starve the member executing the task
-        // on oversubscribed hosts (GLTO: one extra ULT yield, harmless).
+        // on oversubscribed hosts.
         rt.yield_hint();
       } else {
         std::this_thread::yield();
@@ -338,27 +370,28 @@ class future {
     sched::watchdog_exit_wait();
   }
 
-  /// Timed wait: same cooperative progress rule as wait(), bounded by an
-  /// absolute deadline. Returns FutureStatus::ready when the task
-  /// completed, FutureStatus::timeout once @p deadline passed with the
-  /// task still running — the handle stays valid either way (the task
-  /// keeps running after a timeout; wait()/get() can still join it). An
-  /// empty handle reports ready: there is nothing left to wait on.
+  /// Timed wait over sched::wait_until, bounded by an absolute deadline.
+  /// Returns FutureStatus::ready when the task completed,
+  /// FutureStatus::timeout once @p deadline passed with the task still
+  /// running — the handle stays valid either way (the task keeps running
+  /// after a timeout; wait()/get() can still join it). An empty handle
+  /// reports ready: there is nothing left to wait on.
   FutureStatus wait_until(std::chrono::steady_clock::time_point deadline) {
     if (st_ == nullptr) return FutureStatus::ready;
-    while (!st_->done.load(std::memory_order_acquire)) {
-      if (std::chrono::steady_clock::now() >= deadline) {
-        return FutureStatus::timeout;
-      }
-      if (selected()) {
-        Runtime& rt = runtime();
-        rt.taskyield();
-        rt.yield_hint();
-      } else {
-        std::this_thread::yield();
-      }
-    }
-    return FutureStatus::ready;
+    if (st_->done.load(std::memory_order_acquire)) return FutureStatus::ready;
+    const auto left = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    const bool ready = sched::wait_until(
+        [this] {
+          if (st_->done.load(std::memory_order_acquire)) return true;
+          // Keep the pthread runtimes draining their queues between
+          // steps (on GLTO this is one extra cooperative yield).
+          if (selected()) runtime().taskyield();
+          return st_->done.load(std::memory_order_acquire);
+        },
+        common::now_ns() + (left > 0 ? left : 0));
+    return ready ? FutureStatus::ready : FutureStatus::timeout;
   }
 
   /// Relative-timeout form of wait_until.
@@ -418,6 +451,9 @@ template <class F, class... Args>
       st->error = std::current_exception();
     }
     st->done.store(true, std::memory_order_release);
+    // Wake a parked waiter. Set before unref: the waiter's handle holds
+    // the other reference, so the state outlives this set() either way.
+    st->done_ev.set();
     detail::FutureState<R>::unref(st);
   });
   return future<R>(st);
@@ -612,8 +648,9 @@ void parallel_for_ranges(
 
 // ---- locks (omp_lock_t / omp_nest_lock_t) -------------------------------
 
-/// omp_lock_t. Spin-acquires with runtime-appropriate waiting: ULTs yield
-/// to their scheduler, pthreads yield the core.
+/// omp_lock_t over sched::Mutex: a contended set() suspends the calling
+/// ULT (FIFO handoff on unset — no barging); on the pthread runtimes the
+/// OS thread parks, matching omp_set_lock semantics there.
 class Lock {
  public:
   Lock() = default;
@@ -625,10 +662,12 @@ class Lock {
   void unset();                ///< omp_unset_lock
 
  private:
-  std::atomic<bool> locked_{false};
+  sched::Mutex m_;
 };
 
-/// omp_nest_lock_t: re-acquirable by the task that owns it.
+/// omp_nest_lock_t: re-acquirable by the task that owns it. Ownership is
+/// the runtime's task identity; the underlying mutex is held from the
+/// first set() to the matching last unset().
 class NestLock {
  public:
   NestLock() = default;
@@ -643,6 +682,7 @@ class NestLock {
   }
 
  private:
+  sched::Mutex m_;
   std::atomic<const void*> owner_{nullptr};
   std::atomic<int> depth_{0};
 };

@@ -5,16 +5,25 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sched/sync.hpp"
+
 namespace glto::omp::detail {
 
 /// One taskgroup instance. Counts the unfinished tasks its owning task
 /// created inside the group — and only those — so taskgroup_end never
 /// over-waits earlier siblings (the transitive-join deviation exposure:
 /// a taskgroup nested in a depend task must not wait the depend task's
-/// pre-group children). Lives on the taskgroup frame; end waits pending
+/// pre-group children). Lives on the taskgroup frame; end waits the latch
 /// to reach zero before popping it, so tasks never outlive their scope.
+///
+/// The count lives in a CompletionLatch: GLTO's taskgroup_end blocks on
+/// it outright (the waiter ULT parks, the last finishing member wakes it
+/// through the core), while the pthread runtimes keep their helping loops
+/// and poll try_wait() between help-run steps. A task's add(1) is ordered
+/// before its creator's own count_down, so the count cannot hit zero
+/// while group work remains.
 struct TgScope {
-  std::atomic<std::int64_t> pending{0};
+  sched::CompletionLatch latch;
   TgScope* parent = nullptr;
   /// omp::cancel(): set once, checked by every group member task right
   /// before its body runs. A cancelled group still *joins* everything —
@@ -42,9 +51,12 @@ struct DepPayload {
 };
 
 /// Gate an undeferred (if(false)/final) task with deps waits on inline.
+/// GLTO waiters block on the event (true suspension); the pthread
+/// runtimes poll is_set() between help-run steps — set() costs one
+/// uncontended lock round-trip there, once per gated task.
 struct ReadyGate : DepPayload {
   ReadyGate() : DepPayload{Kind::gate} {}
-  std::atomic<bool> open{false};
+  sched::Event ready;
 };
 
 /// Per-worker capacity of the task-record freelists (TaskArg/TaskRec

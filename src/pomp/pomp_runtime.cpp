@@ -434,7 +434,7 @@ class PompRuntime : public omp::Runtime {
         auto sub = dep_engine_.submit(&gate, flags.depend.data(),
                                       flags.depend.size(), dep_domain(c));
         if (!sub.ready) {
-          while (!gate.open.load(std::memory_order_acquire)) {
+          while (!gate.ready.is_set()) {
             if (!try_run_one_task(c->team)) wait_relax();
           }
         }
@@ -452,7 +452,7 @@ class PompRuntime : public omp::Runtime {
     rec->final = flags.final;
     rec->group = c->group;
     if (rec->group != nullptr) {
-      rec->group->pending.fetch_add(1, std::memory_order_relaxed);
+      rec->group->latch.add(1);
     }
     rec->submit_ns =
         sched::profile_task_submit(reinterpret_cast<std::uintptr_t>(rec));
@@ -506,7 +506,7 @@ class PompRuntime : public omp::Runtime {
         rec->final = flags.final;
         rec->group = c->group;
         if (rec->group != nullptr) {
-          rec->group->pending.fetch_add(1, std::memory_order_relaxed);
+          rec->group->latch.add(1);
         }
         rec->submit_ns = sched::profile_task_submit(
             reinterpret_cast<std::uintptr_t>(rec));
@@ -559,7 +559,7 @@ class PompRuntime : public omp::Runtime {
     TgScope* g = c->group;
     GLTO_CHECK_MSG(g != nullptr, "taskgroup_end without taskgroup_begin");
     WatchdogWaitScope wd;
-    while (g->pending.load(std::memory_order_acquire) > 0) {
+    while (!g->latch.try_wait()) {
       if (!try_run_one_task(c->team)) wait_relax();
     }
     c->group = g->parent;
@@ -573,7 +573,7 @@ class PompRuntime : public omp::Runtime {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(timeout_us);
     WatchdogWaitScope wd;
-    while (g->pending.load(std::memory_order_acquire) > 0) {
+    while (!g->latch.try_wait()) {
       if (std::chrono::steady_clock::now() >= deadline) {
         return false;  // group stays active/open: caller cancels + drains
       }
@@ -692,7 +692,7 @@ class PompRuntime : public omp::Runtime {
     }
     t_ctx = saved;
     if (rec->group != nullptr) {
-      rec->group->pending.fetch_sub(1, std::memory_order_release);
+      rec->group->latch.count_down();
     }
     rec->creator->children_outstanding.fetch_sub(1,
                                                  std::memory_order_release);
@@ -733,8 +733,7 @@ class PompRuntime : public omp::Runtime {
   static void on_dep_ready(void* payload, taskdep::TaskNode* node) {
     auto* pl = static_cast<DepPayload*>(payload);
     if (pl->kind == DepPayload::Kind::gate) {
-      static_cast<ReadyGate*>(pl)->open.store(true,
-                                              std::memory_order_release);
+      static_cast<ReadyGate*>(pl)->ready.set();
       return;
     }
     auto* rec = static_cast<TaskRec*>(pl);

@@ -16,6 +16,7 @@
 #include "fctx/fcontext.hpp"
 #include "fctx/stack_pool.hpp"
 #include "sched/freelist.hpp"
+#include "sched/sync.hpp"
 #include "sched/watchdog.hpp"
 #include "sched/ws_core.hpp"
 
@@ -24,7 +25,7 @@ namespace glto::qth {
 namespace {
 
 enum class Kind : std::uint8_t { Qthread, Main };
-enum class Dir : std::uint8_t { Resume, Yield, BlockFeb, Done };
+enum class Dir : std::uint8_t { Resume, Yield, BlockFeb, BlockExt, Done };
 enum class FebOp : std::uint8_t { ReadFF, ReadFE, WriteEF };
 
 struct Thread {
@@ -72,6 +73,11 @@ struct SwitchMsg {
   aligned_t* addr;
   aligned_t* dst;
   aligned_t val;
+  // BlockExt payload (sched::sync primitives): cb runs on the scheduler
+  // after the context is saved; false means the condition was already
+  // satisfied and the thread must be re-readied.
+  sched::SuspendCb cb = nullptr;
+  void* cb_arg = nullptr;
 };
 
 struct Runtime {
@@ -295,6 +301,14 @@ void process_directive(fctx::transfer_t t) {
         push_ready(msg.self, /*fifo=*/false);
       }
       break;
+    case Dir::BlockExt:
+      // sched::sync park; the cb is the register-or-complete of the
+      // generic primitives (enqueue under the primitive's lock with a
+      // condition re-check, exactly the BlockFeb shape above).
+      if (!msg.cb(msg.cb_arg, msg.self)) {
+        push_ready(msg.self, /*fifo=*/false);
+      }
+      break;
     case Dir::Done: {
       Thread* th = msg.self;
       fctx::StackPool::global().release(th->stack);
@@ -395,6 +409,27 @@ void dump_core_state(void* arg) {
   static_cast<sched::WsCore<Thread*>*>(arg)->dump_state("qth");
 }
 
+// ------------------------------------------------- sched::SuspendOps bridge
+
+bool ops_can_suspend() { return g_rt != nullptr && tls.current != nullptr; }
+
+void ops_suspend(sched::SuspendCb cb, void* arg) {
+  SwitchMsg msg{Dir::BlockExt, nullptr, FebOp::ReadFF, nullptr, nullptr, 0,
+                cb, arg};
+  suspend(msg);
+}
+
+void ops_resume(void* handle) {
+  push_ready(static_cast<Thread*>(handle), /*fifo=*/false);
+}
+
+void ops_yield() { yield(); }
+bool ops_maybe_work() { return maybe_work(); }
+
+constexpr sched::SuspendOps kSuspendOps{ops_can_suspend, ops_suspend,
+                                        ops_resume, ops_yield,
+                                        ops_maybe_work};
+
 }  // namespace
 
 void init(const Config& cfg_in) {
@@ -429,6 +464,7 @@ void init(const Config& cfg_in) {
   tls.main_thread = main_th;
   tls.current = main_th;
   if (g_rt->cfg.bind_threads) common::bind_self_to_core(0);
+  sched::register_suspend_ops(&kSuspendOps);
   for (int r = 1; r < g_rt->n; ++r) {
     g_rt->workers.emplace_back(worker_main, r);
   }
@@ -438,6 +474,7 @@ void finalize() {
   GLTO_CHECK_MSG(g_rt != nullptr, "qth::finalize without init");
   GLTO_CHECK_MSG(tls.current == tls.main_thread,
                  "finalize must run on the main context");
+  sched::unregister_suspend_ops(&kSuspendOps);
   sched::watchdog_unregister_dumper(g_rt->watchdog_token);
   g_rt->core->request_shutdown();
   for (auto& w : g_rt->workers) w.join();

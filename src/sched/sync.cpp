@@ -1,0 +1,458 @@
+#include "sched/sync.hpp"
+
+#include <thread>
+
+#include "common/cacheline.hpp"
+#include "common/time.hpp"
+#include "sched/chaos.hpp"
+#include "sched/trace.hpp"
+#include "sched/watchdog.hpp"
+
+namespace glto::sched {
+
+namespace {
+
+// Small fixed registry: one slot per live backend (nested_libraries runs
+// two at once). Slots are CAS-claimed; lookup is a short scan.
+constexpr int kMaxSuspendOps = 4;
+std::atomic<const SuspendOps*> g_ops[kMaxSuspendOps];
+
+std::atomic<std::uint64_t> g_suspensions{0};
+std::atomic<std::uint64_t> g_wakes_direct{0};
+
+/// The fallback parker for contexts that cannot suspend. Thread-local and
+/// immortal (lives as long as the OS thread), so a signaller's unpark()
+/// after the waiter already observed `signaled` lands on live memory; the
+/// stale permit at worst short-circuits that thread's next park — benign,
+/// every park loop rechecks its predicate.
+common::Parker& foreign_parker() {
+  thread_local common::Parker p;
+  return p;
+}
+
+/// Backoff ladder shared by the Parker fallback and the WaitEngine.
+constexpr std::uint32_t kSpinSteps = 16;
+constexpr std::uint32_t kYieldSteps = 24;
+constexpr std::int64_t kSleepStepUs = 20;
+constexpr std::int64_t kSleepCapUs = 200;
+
+/// Bridges a ParkOp through a backend suspend: runs on the scheduler
+/// stack after the waiter's context is saved, with the handle in hand.
+bool park_suspend_cb(void* arg, void* handle) {
+  auto* op = static_cast<sync_detail::ParkOp*>(arg);
+  op->node->handle = handle;
+  op->lock->lock();
+  const bool parked = op->try_enqueue(op);
+  op->lock->unlock();
+  if (parked) {
+    if (op->post_enqueue != nullptr) op->post_enqueue(op);
+    g_suspensions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return parked;
+}
+
+}  // namespace
+
+void register_suspend_ops(const SuspendOps* ops) {
+  for (int i = 0; i < kMaxSuspendOps; ++i) {
+    const SuspendOps* expected = nullptr;
+    if (g_ops[i].compare_exchange_strong(expected, ops,
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+void unregister_suspend_ops(const SuspendOps* ops) {
+  for (int i = 0; i < kMaxSuspendOps; ++i) {
+    const SuspendOps* expected = ops;
+    if (g_ops[i].compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+const SuspendOps* current_suspend_ops() {
+  for (int i = 0; i < kMaxSuspendOps; ++i) {
+    const SuspendOps* o = g_ops[i].load(std::memory_order_acquire);
+    if (o != nullptr && o->can_suspend()) return o;
+  }
+  return nullptr;
+}
+
+std::uint64_t suspensions() {
+  return g_suspensions.load(std::memory_order_relaxed);
+}
+std::uint64_t wakes_direct() {
+  return g_wakes_direct.load(std::memory_order_relaxed);
+}
+
+namespace sync_detail {
+
+bool run_some_work() {
+  // maybe_work is a *probe* ("anything runnable for this thread?") —
+  // the actual execution happens when the caller yields into the
+  // scheduler. True therefore means "yield now and it will count".
+  for (int i = 0; i < kMaxSuspendOps; ++i) {
+    const SuspendOps* o = g_ops[i].load(std::memory_order_acquire);
+    if (o != nullptr && o->maybe_work()) return true;
+  }
+  return false;
+}
+
+void yield_some() {
+  for (int i = 0; i < kMaxSuspendOps; ++i) {
+    const SuspendOps* o = g_ops[i].load(std::memory_order_acquire);
+    if (o != nullptr && o->can_suspend()) {
+      o->yield();
+      return;
+    }
+  }
+  std::this_thread::yield();
+}
+
+bool park_current(ParkOp& op) {
+  WaitNode* n = op.node;
+  if (trace_enabled()) {
+    n->block_ns = static_cast<std::uint64_t>(common::now_ns());
+    trace_emit(TraceKind::ult_block, reinterpret_cast<std::uintptr_t>(n));
+  }
+  chaos_maybe_delay();
+  watchdog_enter_wait();
+  bool parked;
+  const SuspendOps* ops = current_suspend_ops();
+  if (ops != nullptr) {
+    n->ops = ops;
+    ops->suspend(&park_suspend_cb, &op);
+    // Resumed: either the signaller handed us back (signaled set before
+    // the resume) or try_enqueue aborted and the scheduler re-readied us.
+    parked = n->signaled.load(std::memory_order_acquire);
+  } else {
+    // Foreign thread / tasklet / pthread runtime: park the OS thread, but
+    // stay work-conserving — a stackless context blocking on a primitive
+    // must keep its worker draining runnable units or the very unit that
+    // would signal us may never run.
+    common::Parker& p = foreign_parker();
+    n->parker = &p;
+    op.lock->lock();
+    parked = op.try_enqueue(&op);
+    op.lock->unlock();
+    if (parked) {
+      if (op.post_enqueue != nullptr) op.post_enqueue(&op);
+      g_suspensions.fetch_add(1, std::memory_order_relaxed);
+      std::int64_t sleep_us = 0;
+      while (!n->signaled.load(std::memory_order_acquire)) {
+        if (run_some_work()) {
+          // Runnable units exist somewhere: give the schedulers the core
+          // before sleeping (an OS yield — this context cannot switch).
+          std::this_thread::yield();
+          if (n->signaled.load(std::memory_order_acquire)) break;
+        }
+        if (sleep_us < kSleepCapUs) sleep_us += kSleepStepUs;
+        p.park_for_us(sleep_us);
+      }
+    }
+  }
+  watchdog_exit_wait();
+  return parked;
+}
+
+void wake_node(WaitNode* n) {
+  // The node lives on the waiter's stack and dies the instant the waiter
+  // observes `signaled` (fallback) or is dispatched (ULT) — copy every
+  // field first, and make the signaled store the last node access.
+  const SuspendOps* ops = n->ops;
+  void* handle = n->handle;
+  common::Parker* parker = n->parker;
+  if (trace_enabled()) {
+    const std::uint64_t now = static_cast<std::uint64_t>(common::now_ns());
+    const std::uint64_t blocked_us =
+        n->block_ns != 0 && now > n->block_ns ? (now - n->block_ns) / 1000 : 0;
+    trace_emit_at(TraceKind::ult_unblock, now,
+                  reinterpret_cast<std::uintptr_t>(n),
+                  blocked_us > 0xffffffffULL
+                      ? 0xffffffffu
+                      : static_cast<std::uint32_t>(blocked_us));
+  }
+  chaos_maybe_delay();
+  n->signaled.store(true, std::memory_order_release);
+  if (parker != nullptr) {
+    parker->unpark();
+  } else {
+    ops->resume(handle);
+    g_wakes_direct.fetch_add(1, std::memory_order_relaxed);
+  }
+  watchdog_note_progress();
+}
+
+void wake_list(WaitNode* head) {
+  while (head != nullptr) {
+    WaitNode* next = head->next;  // read before the node can die
+    wake_node(head);
+    head = next;
+  }
+}
+
+}  // namespace sync_detail
+
+// ----------------------------------------------------------------- Event
+
+bool Event::enqueue_cb(sync_detail::ParkOp* op) {
+  auto* e = static_cast<Event*>(op->ctx);
+  if (e->set_.load(std::memory_order_relaxed)) return false;
+  e->waiters_.push(op->node);
+  return true;
+}
+
+void Event::set() {
+  WaitNode* chain;
+  {
+    common::SpinGuard g(lock_);
+    set_.store(true, std::memory_order_release);
+    chain = waiters_.detach_all();
+  }
+  sync_detail::wake_list(chain);
+}
+
+void Event::wait() {
+  if (set_.load(std::memory_order_acquire)) return;
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &Event::enqueue_cb;
+  op.ctx = this;
+  sync_detail::park_current(op);
+}
+
+// ----------------------------------------------------------------- Mutex
+
+bool Mutex::enqueue_cb(sync_detail::ParkOp* op) {
+  auto* m = static_cast<Mutex*>(op->ctx);
+  std::uint32_t expected = 0;
+  if (m->state_.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    return false;  // acquired during the re-check; no park
+  }
+  m->waiters_.push(op->node);
+  return true;
+}
+
+void Mutex::lock_slow() {
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &qlock_;
+  op.node = &n;
+  op.try_enqueue = &Mutex::enqueue_cb;
+  op.ctx = this;
+  // Either we parked and a handoff made us the owner, or the re-check
+  // CAS acquired the lock — both ways we own it on return.
+  sync_detail::park_current(op);
+}
+
+void Mutex::unlock() {
+  WaitNode* n;
+  {
+    common::SpinGuard g(qlock_);
+    n = waiters_.pop();
+    if (n == nullptr) {
+      state_.store(0, std::memory_order_release);
+      return;
+    }
+    // Direct handoff: the lock word stays 1 and ownership transfers to
+    // the oldest waiter — a barger spinning on the fast path cannot slip
+    // in between.
+  }
+  sync_detail::wake_node(n);
+}
+
+// --------------------------------------------------------------- Condvar
+
+bool Condvar::enqueue_cb(sync_detail::ParkOp* op) {
+  auto* cv = static_cast<Condvar*>(op->ctx);
+  cv->waiters_.push(op->node);
+  return true;  // a condvar wait always parks
+}
+
+void Condvar::release_mutex_cb(sync_detail::ParkOp* op) {
+  static_cast<Mutex*>(op->ctx2)->unlock();
+}
+
+void Condvar::wait(Mutex& m) {
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &Condvar::enqueue_cb;
+  op.post_enqueue = &Condvar::release_mutex_cb;  // after the node is listed
+  op.ctx = this;
+  op.ctx2 = &m;
+  sync_detail::park_current(op);
+  m.lock();
+}
+
+void Condvar::notify_one() {
+  WaitNode* n;
+  {
+    common::SpinGuard g(lock_);
+    n = waiters_.pop();
+  }
+  if (n != nullptr) sync_detail::wake_node(n);
+}
+
+void Condvar::notify_all() {
+  WaitNode* chain;
+  {
+    common::SpinGuard g(lock_);
+    chain = waiters_.detach_all();
+  }
+  sync_detail::wake_list(chain);
+}
+
+// ------------------------------------------------------- CompletionLatch
+
+bool CompletionLatch::enqueue_cb(sync_detail::ParkOp* op) {
+  auto* l = static_cast<CompletionLatch*>(op->ctx);
+  if (l->count_ == 0) return false;
+  l->waiters_.push(op->node);
+  return true;
+}
+
+void CompletionLatch::add(std::int64_t n) {
+  common::SpinGuard g(lock_);
+  count_ += n;
+}
+
+void CompletionLatch::count_down(std::int64_t n) {
+  WaitNode* chain = nullptr;
+  {
+    common::SpinGuard g(lock_);
+    count_ -= n;
+    if (count_ == 0) chain = waiters_.detach_all();
+  }
+  // Past the unlock we touch only the detached chain: a waiter that
+  // observed zero may already have freed the latch's owner.
+  sync_detail::wake_list(chain);
+}
+
+bool CompletionLatch::try_wait() {
+  common::SpinGuard g(lock_);
+  return count_ == 0;
+}
+
+void CompletionLatch::wait() {
+  if (try_wait()) return;
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &CompletionLatch::enqueue_cb;
+  op.ctx = this;
+  sync_detail::park_current(op);
+}
+
+std::int64_t CompletionLatch::pending() const {
+  common::SpinGuard g(lock_);
+  return count_;
+}
+
+// --------------------------------------------------------------- Barrier
+
+namespace {
+struct BarrierWaitCtx {
+  std::uint64_t my_epoch;
+};
+}  // namespace
+
+bool Barrier::enqueue_cb(sync_detail::ParkOp* op) {
+  auto* b = static_cast<Barrier*>(op->ctx);
+  const auto* w = static_cast<const BarrierWaitCtx*>(op->ctx2);
+  if (b->epoch_ != w->my_epoch) return false;  // cycle completed meanwhile
+  b->waiters_.push(op->node);
+  return true;
+}
+
+bool Barrier::arrive_and_wait() {
+  BarrierWaitCtx w{};
+  lock_.lock();
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++epoch_;
+    WaitNode* chain = waiters_.detach_all();
+    lock_.unlock();
+    sync_detail::wake_list(chain);
+    return true;
+  }
+  w.my_epoch = epoch_;
+  lock_.unlock();
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &Barrier::enqueue_cb;
+  op.ctx = this;
+  op.ctx2 = &w;
+  sync_detail::park_current(op);
+  return false;
+}
+
+// ------------------------------------------------------------ WaitEngine
+
+WaitEngine::WaitEngine() { watchdog_enter_wait(); }
+WaitEngine::~WaitEngine() { watchdog_exit_wait(); }
+
+void WaitEngine::step() {
+  chaos_maybe_delay();
+  if (spins_ < kSpinSteps) {
+    ++spins_;
+    common::cpu_relax();
+    return;
+  }
+  if (sync_detail::run_some_work()) {
+    // Runnable units exist: yield into the scheduler so they actually
+    // execute (on a ULT this context-switches into the work), and
+    // restart the cheap end of the ladder.
+    sync_detail::yield_some();
+    yields_ = 0;
+    sleep_us_ = 0;
+    return;
+  }
+  if (yields_ < kYieldSteps) {
+    ++yields_;
+    sync_detail::yield_some();
+    return;
+  }
+  if (sleep_us_ < kSleepCapUs) sleep_us_ += kSleepStepUs;
+  foreign_parker().park_for_us(sleep_us_);
+}
+
+bool WaitEngine::step_until(std::int64_t deadline_ns) {
+  const std::int64_t now = common::now_ns();
+  if (now >= deadline_ns) return false;
+  chaos_maybe_delay();
+  if (spins_ < kSpinSteps) {
+    ++spins_;
+    common::cpu_relax();
+    return true;
+  }
+  if (sync_detail::run_some_work()) {
+    sync_detail::yield_some();
+    yields_ = 0;
+    sleep_us_ = 0;
+    return true;
+  }
+  if (yields_ < kYieldSteps) {
+    ++yields_;
+    sync_detail::yield_some();
+    return true;
+  }
+  if (sleep_us_ < kSleepCapUs) sleep_us_ += kSleepStepUs;
+  const std::int64_t budget_us = (deadline_ns - now) / 1000;
+  foreign_parker().park_for_us(
+      budget_us < sleep_us_ ? (budget_us > 0 ? budget_us : 1) : sleep_us_);
+  return true;
+}
+
+}  // namespace glto::sched

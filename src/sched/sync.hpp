@@ -1,0 +1,460 @@
+// ULT-native blocking primitives over the shared scheduling core.
+//
+// Every blocking wait in the runtime used to bottom out in bounded
+// micro-sleeps (WaitBackoff, ≤200 µs quantum), which puts a hard floor
+// under wake latency and burns wake tokens on spurious re-probes. The
+// primitives here suspend the waiter for real: it captures its
+// continuation, parks on an intrusive wait list, and the signaller
+// re-deposits it onto a worker deque through the core's targeted-wake
+// path. No sleep quantum, no lost wakeups.
+//
+// Backend coupling is a five-function vtable (SuspendOps) each ULT
+// backend registers at init: `suspend(cb, arg)` switches to the
+// scheduler, runs `cb` there — *after* the waiter's context is fully
+// saved — and `cb` enqueues the waiter under the primitive's lock with a
+// re-check of the wait condition (the same registered-or-complete shape
+// qth's FEB engine uses). `cb` returning false means the condition was
+// already satisfied and the scheduler re-readies the waiter immediately;
+// returning true hands ownership of the handle to the eventual
+// signaller, which resumes it with `resume(handle)`.
+//
+// Contexts that cannot suspend (foreign OS threads, tasklets, the
+// pthread runtimes) fall back to a work-conserving park on the calling
+// thread's Parker: the signaller banks a permit, so the wake is never
+// lost and never waits out a timeout quantum; between parks the waiter
+// drains runnable units via the registered backends' maybe_work so a
+// stackless context blocking on a primitive cannot wedge its worker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/parker.hpp"
+#include "common/spin.hpp"
+
+namespace glto::sched {
+
+// ------------------------------------------------------------ SuspendOps
+
+/// Enqueue-under-lock callback run on the scheduler stack after the
+/// waiter's context is saved. @p handle is the backend's record for the
+/// suspended context. Return true to park (the signaller now owns the
+/// handle and must resume() it exactly once); false to abort the park
+/// (condition already satisfied — the scheduler re-readies the waiter).
+using SuspendCb = bool (*)(void* arg, void* handle);
+
+/// Per-backend suspension vtable. Registered at backend init,
+/// unregistered at finalize; raw-backend users (no glt:: facade) get the
+/// same blocking behaviour, and two live backends (nested_libraries)
+/// each resume their own waiters.
+struct SuspendOps {
+  bool (*can_suspend)();                    ///< caller can capture a continuation
+  void (*suspend)(SuspendCb cb, void* arg); ///< park current ULT via cb
+  void (*resume)(void* handle);             ///< re-deposit a parked handle
+  void (*yield)();                          ///< cooperative yield
+  bool (*maybe_work)();                     ///< probe: anything runnable here?
+};
+
+void register_suspend_ops(const SuspendOps* ops);
+void unregister_suspend_ops(const SuspendOps* ops);
+
+/// The vtable to suspend the *calling context* through: first registered
+/// backend whose can_suspend() is true, nullptr when the caller must use
+/// the Parker fallback.
+[[nodiscard]] const SuspendOps* current_suspend_ops();
+
+/// Counters for the metrics registry: contexts actually parked on a wait
+/// list, and parked contexts handed straight back to a worker deque by a
+/// signaller (as opposed to Parker-fallback wakes).
+[[nodiscard]] std::uint64_t suspensions();
+[[nodiscard]] std::uint64_t wakes_direct();
+
+// -------------------------------------------------------------- WaitNode
+
+/// One parked waiter. Lives on the waiter's stack for the duration of the
+/// wait; the signaller must copy every field it needs into locals before
+/// resuming/unparking, because the node dies the instant the waiter runs.
+struct WaitNode {
+  void* handle = nullptr;             ///< backend record (ULT path)
+  const SuspendOps* ops = nullptr;    ///< backend to resume through
+  common::Parker* parker = nullptr;   ///< fallback path (thread-local, immortal)
+  std::atomic<bool> signaled{false};
+  WaitNode* next = nullptr;
+  std::uint64_t block_ns = 0;         ///< stamped only when tracing is armed
+};
+
+/// Intrusive FIFO of WaitNodes; guarded by the owning primitive's lock.
+struct WaitList {
+  WaitNode* head = nullptr;
+  WaitNode* tail = nullptr;
+
+  void push(WaitNode* n) {
+    n->next = nullptr;
+    if (tail != nullptr) {
+      tail->next = n;
+    } else {
+      head = n;
+    }
+    tail = n;
+  }
+  WaitNode* pop() {
+    WaitNode* n = head;
+    if (n != nullptr) {
+      head = n->next;
+      if (head == nullptr) tail = nullptr;
+    }
+    return n;
+  }
+  /// Unlinks the whole chain (walk via ->next after the lock is dropped).
+  WaitNode* detach_all() {
+    WaitNode* n = head;
+    head = tail = nullptr;
+    return n;
+  }
+  [[nodiscard]] bool empty() const { return head == nullptr; }
+};
+
+namespace sync_detail {
+
+/// One park request. try_enqueue runs with *lock held* and must either
+/// enqueue op->node (return true) or observe the condition satisfied
+/// (return false). post_enqueue — optional — runs after the lock is
+/// released on the parking path only; Condvar uses it to drop the user
+/// mutex once the node is safely enqueued.
+struct ParkOp {
+  common::SpinLock* lock = nullptr;
+  WaitNode* node = nullptr;
+  bool (*try_enqueue)(ParkOp* op) = nullptr;
+  void (*post_enqueue)(ParkOp* op) = nullptr;
+  void* ctx = nullptr;
+  void* ctx2 = nullptr;
+};
+
+/// Blocks the caller until its node is signaled (ULT suspension when the
+/// context supports it, work-conserving Parker park otherwise). Returns
+/// true if the caller actually parked, false if try_enqueue aborted.
+bool park_current(ParkOp& op);
+
+/// Wakes one parked waiter. Must be called with the primitive's lock
+/// *released* and the node already unlinked; reads everything it needs
+/// before the waiter can possibly run.
+void wake_node(WaitNode* n);
+
+/// Wakes a detached chain (detach_all), FIFO order.
+void wake_list(WaitNode* head);
+
+/// Probes the registered backends: true when the calling thread has
+/// runnable units it could reach by yielding (the probe does not execute
+/// anything itself — follow with yield_some()).
+bool run_some_work();
+
+/// Cooperative yield through the best available backend.
+void yield_some();
+
+}  // namespace sync_detail
+
+// ----------------------------------------------------------------- Event
+
+/// One-shot (resettable) wait-queue event: waiters park until set() wakes
+/// the flock. reset() may only be called when no waiter can be in flight.
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void set();
+  void wait();
+  [[nodiscard]] bool is_set() const {
+    return set_.load(std::memory_order_acquire);
+  }
+  void reset() { set_.store(false, std::memory_order_release); }
+
+ private:
+  static bool enqueue_cb(sync_detail::ParkOp* op);
+
+  std::atomic<bool> set_{false};
+  common::SpinLock lock_;
+  WaitList waiters_;
+};
+
+// ----------------------------------------------------------------- Mutex
+
+/// ULT mutex with FIFO handoff. unlock() passes ownership directly to the
+/// oldest waiter (the lock word never goes through 0 while the queue is
+/// non-empty), so a spinning newcomer cannot barge past a parked waiter.
+/// On contexts that cannot suspend, lock() degrades to a Parker park —
+/// the OS thread blocks, matching omp_set_lock semantics there.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    std::uint32_t expected = 0;
+    if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    lock_slow();
+  }
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(
+        expected, 1, std::memory_order_acquire, std::memory_order_relaxed);
+  }
+  void unlock();
+
+ private:
+  friend class Condvar;
+  void lock_slow();
+  static bool enqueue_cb(sync_detail::ParkOp* op);
+
+  std::atomic<std::uint32_t> state_{0};  ///< 0 unlocked, 1 locked
+  common::SpinLock qlock_;
+  WaitList waiters_;
+};
+
+/// RAII guard for sched::Mutex.
+class ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& m) : m_(m) { m_.lock(); }
+  ~ScopedLock() { m_.unlock(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// --------------------------------------------------------------- Condvar
+
+/// Condition variable over sched::Mutex. wait() enqueues the waiter while
+/// the mutex is still held (the release happens after the node is on the
+/// list — on the ULT path, on the scheduler stack), so a notify that is
+/// serialized after the mutex release can never slip between "decide to
+/// wait" and "parked". Spurious wakeups are possible; callers loop on
+/// their predicate as with any condvar.
+class Condvar {
+ public:
+  Condvar() = default;
+  Condvar(const Condvar&) = delete;
+  Condvar& operator=(const Condvar&) = delete;
+
+  void wait(Mutex& m);
+  void notify_one();
+  void notify_all();
+
+ private:
+  static bool enqueue_cb(sync_detail::ParkOp* op);
+  static void release_mutex_cb(sync_detail::ParkOp* op);
+
+  common::SpinLock lock_;
+  WaitList waiters_;
+};
+
+// ------------------------------------------------------- CompletionLatch
+
+/// Counts outstanding work down to zero and wakes the waiters parked on
+/// it. Every transition — including the decrement — happens under one
+/// lock, so a deleter that observes zero through try_wait()/wait() is
+/// serialized after the final count_down()'s unlock, and the decrementer
+/// touches only its detached wake chain afterwards: freeing the latch's
+/// owner right after the wait returns is safe.
+class CompletionLatch {
+ public:
+  CompletionLatch() = default;
+  explicit CompletionLatch(std::int64_t initial) : count_(initial) {}
+  CompletionLatch(const CompletionLatch&) = delete;
+  CompletionLatch& operator=(const CompletionLatch&) = delete;
+
+  void add(std::int64_t n);
+  void count_down(std::int64_t n = 1);
+  /// True when the count is zero (locked read — see class comment).
+  [[nodiscard]] bool try_wait();
+  void wait();
+  /// Racy read for stats/asserts only.
+  [[nodiscard]] std::int64_t pending() const;
+
+ private:
+  static bool enqueue_cb(sync_detail::ParkOp* op);
+
+  mutable common::SpinLock lock_;
+  std::int64_t count_ = 0;
+  WaitList waiters_;
+};
+
+// --------------------------------------------------------------- Barrier
+
+/// Sense-reversing blocking barrier: the first parties-1 arrivers park,
+/// the last arriver advances the epoch and wakes the flock through the
+/// core. Returns true to exactly one arriver per cycle (the "serial"
+/// thread). Reusable immediately — a waiter from the next cycle enqueues
+/// against the new epoch.
+class Barrier {
+ public:
+  Barrier() = default;
+  explicit Barrier(int parties) : parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Set before any arrival of a cycle; not thread-safe against arrivals.
+  void init(int parties) {
+    parties_ = parties;
+    arrived_ = 0;
+  }
+  bool arrive_and_wait();
+
+ private:
+  static bool enqueue_cb(sync_detail::ParkOp* op);
+
+  common::SpinLock lock_;
+  int parties_ = 0;
+  int arrived_ = 0;
+  std::uint64_t epoch_ = 0;
+  WaitList waiters_;
+};
+
+// ----------------------------------------------------- polling wait/until
+
+/// Backoff engine behind sched::wait / sched::wait_until — the one
+/// remaining *polling* wait, for predicates with no wait queue to park on
+/// (timed waits against foreign completion sources). Spins briefly,
+/// yields, drains runnable units, then parks in escalating micro-sleeps
+/// (20 µs … 200 µs). Watchdog-bracketed; chaos-delay aware.
+class WaitEngine {
+ public:
+  WaitEngine();
+  ~WaitEngine();
+  WaitEngine(const WaitEngine&) = delete;
+  WaitEngine& operator=(const WaitEngine&) = delete;
+
+  void step();
+  /// One step that never sleeps past @p deadline_ns (common::now_ns
+  /// clock). Returns false once the deadline has passed.
+  bool step_until(std::int64_t deadline_ns);
+
+ private:
+  std::uint32_t spins_ = 0;
+  std::uint32_t yields_ = 0;
+  std::int64_t sleep_us_ = 0;
+};
+
+/// Polls @p pred to true with adaptive backoff.
+template <typename Pred>
+void wait(Pred&& pred) {
+  if (pred()) return;
+  WaitEngine e;
+  while (!pred()) e.step();
+}
+
+/// Polls @p pred until true or @p deadline_ns (common::now_ns clock).
+/// Returns the predicate's final value — callers' handles stay valid on
+/// timeout; nothing is consumed or invalidated.
+template <typename Pred>
+bool wait_until(Pred&& pred, std::int64_t deadline_ns) {
+  if (pred()) return true;
+  WaitEngine e;
+  while (!pred()) {
+    if (!e.step_until(deadline_ns)) return pred();
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- Channel
+
+/// Bounded MPMC channel for trivially copyable payloads (descriptor-first
+/// discipline: ship a struct of PODs, not an owning object). send blocks
+/// while full, recv blocks while empty; close() wakes everyone — send
+/// returns false after close, recv returns false once closed *and*
+/// drained.
+template <typename T>
+class Channel {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Channel payloads are copied through a ring buffer; ship a "
+                "descriptor, not an owning object");
+
+ public:
+  explicit Channel(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity), cap_(buf_.size()) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  bool send(const T& v) {
+    m_.lock();
+    while (count_ == cap_ && !closed_) not_full_.wait(m_);
+    if (closed_) {
+      m_.unlock();
+      return false;
+    }
+    buf_[(head_ + count_) % cap_] = v;
+    ++count_;
+    m_.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool recv(T& out) {
+    m_.lock();
+    while (count_ == 0 && !closed_) not_empty_.wait(m_);
+    if (count_ == 0) {
+      m_.unlock();
+      return false;  // closed and drained
+    }
+    out = buf_[head_];
+    head_ = (head_ + 1) % cap_;
+    --count_;
+    m_.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking variants: false when the channel is full/empty/closed.
+  bool try_send(const T& v) {
+    ScopedLock g(m_);
+    if (closed_ || count_ == cap_) return false;
+    buf_[(head_ + count_) % cap_] = v;
+    ++count_;
+    not_empty_.notify_one();
+    return true;
+  }
+  bool try_recv(T& out) {
+    ScopedLock g(m_);
+    if (count_ == 0) return false;
+    out = buf_[head_];
+    head_ = (head_ + 1) % cap_;
+    --count_;
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    m_.lock();
+    closed_ = true;
+    m_.unlock();
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() {
+    ScopedLock g(m_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  Mutex m_;
+  Condvar not_full_;
+  Condvar not_empty_;
+  std::vector<T> buf_;
+  std::size_t cap_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace glto::sched

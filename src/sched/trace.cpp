@@ -102,6 +102,8 @@ const char* kind_name(std::uint16_t k) {
     case TraceKind::ult_switch: return "ult_switch";
     case TraceKind::chaos_fault: return "chaos_fault";
     case TraceKind::cancel: return "cancel";
+    case TraceKind::ult_block: return "ult_block";
+    case TraceKind::ult_unblock: return "ult_unblock";
   }
   return "unknown";
 }
@@ -139,6 +141,23 @@ void write_event(std::FILE* f, bool& first, const RingRec& rec,
     std::fprintf(f,
                  "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
                  "\"dur\":%.3f,\"name\":\"task\",\"args\":{\"id\":%" PRIu64
+                 "}}",
+                 first ? "" : ",\n", rec.tid, b_us, dur_us, ev.arg);
+    first = false;
+    return;
+  }
+
+  if (kind == TraceKind::ult_unblock && ev.aux > 0) {
+    // The waker stamped the blocked duration in aux (us); render the
+    // blocked span as a slice ending at the wake, like task_complete.
+    // (The waiter may have migrated OS threads, so per-thread pairing
+    // with the matching ult_block cannot work — the duration rides on
+    // the event instead.)
+    const double dur_us = static_cast<double>(ev.aux);
+    const double b_us = ts_us > dur_us ? ts_us - dur_us : 0.0;
+    std::fprintf(f,
+                 "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"name\":\"blocked\",\"args\":{\"id\":%" PRIu64
                  "}}",
                  first ? "" : ",\n", rec.tid, b_us, dur_us, ev.arg);
     first = false;

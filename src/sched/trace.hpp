@@ -42,6 +42,8 @@ enum class TraceKind : std::uint16_t {
   ult_switch,     // arg=unit id: scheduler dispatched a ULT/strand
   chaos_fault,    // aux=fault class (sched::ChaosPoint value)
   cancel,         // arg=taskgroup/team id: cancellation observed
+  ult_block,      // arg=wait-node id: context parked on a sync primitive
+  ult_unblock,    // arg=wait-node id, aux=blocked duration in us
 };
 
 /// One ring slot. 24 bytes, trivially copyable; written by exactly one
