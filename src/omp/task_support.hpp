@@ -52,8 +52,10 @@ struct DepPayload {
 
 /// Gate an undeferred (if(false)/final) task with deps waits on inline.
 /// GLTO waiters block on the event (true suspension); the pthread
-/// runtimes poll is_set() between help-run steps — set() costs one
-/// uncontended lock round-trip there, once per gated task.
+/// runtimes poll is_set_locked() between help-run steps. The gate is
+/// stack-resident and dies the moment the waiter sees it open, so every
+/// observation that unblocks the waiter must be a locked one (see the
+/// Event destruction protocol) — never gate on the racy is_set().
 struct ReadyGate : DepPayload {
   ReadyGate() : DepPayload{Kind::gate} {}
   sched::Event ready;

@@ -434,7 +434,10 @@ class PompRuntime : public omp::Runtime {
         auto sub = dep_engine_.submit(&gate, flags.depend.data(),
                                       flags.depend.size(), dep_domain(c));
         if (!sub.ready) {
-          while (!gate.ready.is_set()) {
+          // is_set_locked, not is_set: the gate dies with this frame, so
+          // the open observation must serialize past the setter's last
+          // access to it (Event destruction protocol).
+          while (!gate.ready.is_set_locked()) {
             if (!try_run_one_task(c->team)) wait_relax();
           }
         }

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/cacheline.hpp"
+#include "common/debug.hpp"
 #include "common/time.hpp"
 #include "sched/chaos.hpp"
 #include "sched/trace.hpp"
@@ -42,10 +43,16 @@ bool park_suspend_cb(void* arg, void* handle) {
   auto* op = static_cast<sync_detail::ParkOp*>(arg);
   op->node->handle = handle;
   op->lock->lock();
+  // The ParkOp lives on the waiter's stack: the moment the lock below is
+  // released, a signaller can pop the node, wake the waiter on another
+  // worker, and the frame dies — copy everything needed after the unlock
+  // while the lock still pins it.
+  void (*post)(void*) = op->post_enqueue;
+  void* post_arg = op->ctx2;
   const bool parked = op->try_enqueue(op);
   op->lock->unlock();
   if (parked) {
-    if (op->post_enqueue != nullptr) op->post_enqueue(op);
+    if (post != nullptr) post(post_arg);
     g_suspensions.fetch_add(1, std::memory_order_relaxed);
   }
   return parked;
@@ -61,6 +68,10 @@ void register_suspend_ops(const SuspendOps* ops) {
       return;
     }
   }
+  // A full registry means a backend leaked its slot across init/finalize;
+  // dropping the registration silently would degrade every wait on this
+  // backend to the Parker fallback — fail loudly instead.
+  GLTO_CHECK_MSG(false, "suspend-ops registry full: leaked registration?");
 }
 
 void unregister_suspend_ops(const SuspendOps* ops) {
@@ -139,7 +150,9 @@ bool park_current(ParkOp& op) {
     parked = op.try_enqueue(&op);
     op.lock->unlock();
     if (parked) {
-      if (op.post_enqueue != nullptr) op.post_enqueue(&op);
+      // op is this thread's own frame here (we block below until
+      // signaled), so reading it after the unlock is safe on this path.
+      if (op.post_enqueue != nullptr) op.post_enqueue(op.ctx2);
       g_suspensions.fetch_add(1, std::memory_order_relaxed);
       std::int64_t sleep_us = 0;
       while (!n->signaled.load(std::memory_order_acquire)) {
@@ -216,7 +229,13 @@ void Event::set() {
 }
 
 void Event::wait() {
-  if (set_.load(std::memory_order_acquire)) return;
+  // Locked fast path: a waiter is allowed to destroy the Event once
+  // wait() returns, so the set observation must serialize after the
+  // setter's unlock (a racy is_set() here could return while set() is
+  // still touching members). The parked path is safe without this —
+  // wake_list runs past set()'s last member access and touches only the
+  // chain — and the enqueue_cb re-check runs under the same lock.
+  if (is_set_locked()) return;
   WaitNode n;
   sync_detail::ParkOp op;
   op.lock = &lock_;
@@ -276,8 +295,8 @@ bool Condvar::enqueue_cb(sync_detail::ParkOp* op) {
   return true;  // a condvar wait always parks
 }
 
-void Condvar::release_mutex_cb(sync_detail::ParkOp* op) {
-  static_cast<Mutex*>(op->ctx2)->unlock();
+void Condvar::release_mutex_cb(void* ctx2) {
+  static_cast<Mutex*>(ctx2)->unlock();
 }
 
 void Condvar::wait(Mutex& m) {

@@ -123,12 +123,15 @@ namespace sync_detail {
 /// enqueue op->node (return true) or observe the condition satisfied
 /// (return false). post_enqueue — optional — runs after the lock is
 /// released on the parking path only; Condvar uses it to drop the user
-/// mutex once the node is safely enqueued.
+/// mutex once the node is safely enqueued. It receives ctx2 by value,
+/// never the ParkOp: the op lives on the waiter's stack, and once the
+/// lock is released a signaller can wake the waiter and kill the frame —
+/// everything needed post-enqueue is copied out while the lock pins it.
 struct ParkOp {
   common::SpinLock* lock = nullptr;
   WaitNode* node = nullptr;
   bool (*try_enqueue)(ParkOp* op) = nullptr;
-  void (*post_enqueue)(ParkOp* op) = nullptr;
+  void (*post_enqueue)(void* ctx2) = nullptr;
   void* ctx = nullptr;
   void* ctx2 = nullptr;
 };
@@ -160,6 +163,14 @@ void yield_some();
 
 /// One-shot (resettable) wait-queue event: waiters park until set() wakes
 /// the flock. reset() may only be called when no waiter can be in flight.
+///
+/// Destruction protocol (same as CompletionLatch): an observer that may
+/// destroy the Event once it sees it set must observe through a *locked*
+/// read — wait() or is_set_locked() — which serializes after set()'s
+/// unlock, past the setter's last member access (set() touches only the
+/// detached wake chain afterwards). is_set() is the lock-free poll for
+/// observers that do NOT free the Event on a true result; using it as a
+/// delete-gate races with the setter still inside set().
 class Event {
  public:
   Event() = default;
@@ -168,8 +179,15 @@ class Event {
 
   void set();
   void wait();
+  /// Racy poll — never gate destruction on this (see class comment).
   [[nodiscard]] bool is_set() const {
     return set_.load(std::memory_order_acquire);
+  }
+  /// Locked observation for poll-then-destroy sites: true only once the
+  /// setter can no longer touch this Event.
+  [[nodiscard]] bool is_set_locked() const {
+    common::SpinGuard g(lock_);
+    return set_.load(std::memory_order_relaxed);
   }
   void reset() { set_.store(false, std::memory_order_release); }
 
@@ -177,7 +195,7 @@ class Event {
   static bool enqueue_cb(sync_detail::ParkOp* op);
 
   std::atomic<bool> set_{false};
-  common::SpinLock lock_;
+  mutable common::SpinLock lock_;
   WaitList waiters_;
 };
 
@@ -251,7 +269,7 @@ class Condvar {
 
  private:
   static bool enqueue_cb(sync_detail::ParkOp* op);
-  static void release_mutex_cb(sync_detail::ParkOp* op);
+  static void release_mutex_cb(void* ctx2);
 
   common::SpinLock lock_;
   WaitList waiters_;

@@ -150,6 +150,40 @@ TEST_P(SyncBackend, EventWaitFromForeignThread) {
   gg::ult_join(u);
 }
 
+TEST_P(SyncBackend, EventStackGateDestroyOnObserve) {
+  // The ReadyGate pattern: the Event lives on the waiter's stack and dies
+  // the instant the waiter observes it set. Both sanctioned observations
+  // — wait() and an is_set_locked() poll — serialize past the setter's
+  // last access to the Event, so the racing set() never touches a dead
+  // frame (the ASan job instruments ULT stacks and trips on regression).
+  struct Ctx {
+    std::atomic<gg::event*> ev{nullptr};
+    std::atomic<bool> use_poll{false};
+  } ctx;
+  constexpr int kRounds = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    ctx.use_poll.store((r & 1) != 0);
+    auto* waiter = gg::ult_create(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          gg::event gate;  // dies with this frame
+          c->ev.store(&gate, std::memory_order_release);
+          if (c->use_poll.load(std::memory_order_relaxed)) {
+            while (!gate.is_set_locked()) gg::yield();
+          } else {
+            gate.wait();
+          }
+        },
+        &ctx);
+    gg::event* gate;
+    while ((gate = ctx.ev.load(std::memory_order_acquire)) == nullptr)
+      gg::yield();
+    gate->set();  // foreign-thread setter racing the waiter's frame death
+    gg::ult_join(waiter);
+    ctx.ev.store(nullptr);
+  }
+}
+
 TEST_P(SyncBackend, CondvarPredicateLoops) {
   // Classic bounded-buffer handoff through mutex+condvar. Both sides use
   // spurious-safe while-predicate loops; notify_one with one producer and
