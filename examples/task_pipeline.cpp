@@ -21,11 +21,16 @@ namespace o = glto::omp;
 namespace {
 
 /// A work item: smooth a block of a signal (stand-in for any per-block
-/// kernel — image tiles, rows of a matrix, chunks of a log).
+/// kernel — image tiles, rows of a matrix, chunks of a log). The stencil
+/// stays strictly inside [lo, hi): each pass updates the block interior
+/// only, so tasks over disjoint blocks never touch a neighbour block's
+/// boundary element and are independent by construction — no depend
+/// clauses needed, and no write/read overlap for TSan to flag.
 void smooth_block(std::vector<double>& signal, int lo, int hi) {
   for (int pass = 0; pass < 4; ++pass) {
-    for (int i = std::max(1, lo);
-         i < std::min<int>(static_cast<int>(signal.size()) - 1, hi); ++i) {
+    for (int i = std::max(1, lo + 1);
+         i < std::min<int>(static_cast<int>(signal.size()) - 1, hi - 1);
+         ++i) {
       signal[static_cast<std::size_t>(i)] =
           0.25 * signal[static_cast<std::size_t>(i) - 1] +
           0.5 * signal[static_cast<std::size_t>(i)] +

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Proves the -Werror=thread-safety gate is load-bearing, not decorative.
+#
+# The GLTO_* annotation macros (src/common/thread_safety.hpp) expand to
+# nothing under gcc, so a misconfigured CI leg — wrong compiler, flag
+# dropped, macros defined away — would go green while checking nothing.
+# This script compiles a deliberately-broken TU (unguarded access to a
+# GLTO_GUARDED_BY member) and REQUIRES the compile to fail with a
+# thread-safety diagnostic, then compiles the corrected twin and requires
+# it to pass. Run with CXX=clang++ (the analysis is Clang-only).
+set -u
+
+CXX=${CXX:-clang++}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/neg.cpp" <<'EOF'
+#include "common/checked_mutex.hpp"
+struct Counter {
+  glto::common::CheckedMutex m;
+  int n GLTO_GUARDED_BY(m) = 0;
+  int bump() { return ++n; }  // unguarded: the gate must reject this
+};
+int main() {
+  Counter c;
+  return c.bump();
+}
+EOF
+
+if "$CXX" -std=c++17 -I"$ROOT/src" -Werror=thread-safety -fsyntax-only \
+    "$tmp/neg.cpp" 2> "$tmp/neg.log"; then
+  echo "FAIL: unguarded access to a GLTO_GUARDED_BY member compiled clean —" \
+       "the thread-safety gate is not load-bearing" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$tmp/neg.log"; then
+  echo "FAIL: the negative TU failed to compile, but not with a" \
+       "thread-safety diagnostic:" >&2
+  cat "$tmp/neg.log" >&2
+  exit 1
+fi
+
+# Positive control: identical TU with the lock held must pass, proving the
+# failure above came from the analysis and not a broken include path.
+cat > "$tmp/pos.cpp" <<'EOF'
+#include "common/checked_mutex.hpp"
+struct Counter {
+  glto::common::CheckedMutex m;
+  int n GLTO_GUARDED_BY(m) = 0;
+  int bump() {
+    glto::common::CheckedLock lk(m);
+    return ++n;
+  }
+};
+int main() {
+  Counter c;
+  return c.bump();
+}
+EOF
+"$CXX" -std=c++17 -I"$ROOT/src" -Werror=thread-safety -fsyntax-only \
+  "$tmp/pos.cpp"
+
+echo "thread-safety gate OK: unguarded access rejected, guarded accepted"

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Concurrency lint gate for the GLTO runtime (CI: fails the build on hit).
+
+Three rules, all scoped to runtime code under src/ (tests and examples may
+stage races with raw sleeps; the runtime itself must not):
+
+  naked-sleep      std::this_thread::sleep_for / usleep / nanosleep outside
+                   the WaitEngine (src/sched/sync.cpp). A raw sleep parks a
+                   whole OS thread carrying many ULTs: it cannot be cut
+                   short by an unpark, skips the run-some-work rung of the
+                   backoff ladder, and is invisible to the stall watchdog.
+                   Blocking code must go through WaitEngine / Parker.
+                   src/sched/chaos.cpp is allowlisted: its delay injection
+                   exists precisely to simulate an ill-timed preemption.
+
+  raw-pthread      pthread_mutex_* outside the backend directories
+                   (src/abt, src/qth, src/mth). Portable runtime layers
+                   must use sched::Mutex / common::SpinLock /
+                   common::CheckedMutex so lock discipline stays visible
+                   to Clang Thread Safety Analysis and to the ULT
+                   scheduler (a pthread mutex blocks the carrier thread).
+
+  relaxed-handoff  a memory_order_relaxed *store* whose own line or the
+                   comment block immediately above it says "handoff".
+                   A handoff is by definition a publication point: the
+                   receiving side reads fields the handing-off side wrote,
+                   so the store needs release ordering (and under TSan a
+                   relaxed handoff reports as a race on the payload).
+
+Waiver: append `// lint: allow(<rule>) <reason>` to the offending line.
+Waivers are for sites where the flagged pattern is intentional and argued
+in the reason; CI reviews them by grepping this marker.
+
+Usage: scripts/lint_concurrency.py [repo-root]   (exit 1 on any finding)
+"""
+
+import os
+import re
+import sys
+
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
+PTHREAD_RE = re.compile(r"\bpthread_mutex_\w+")
+RELAXED_STORE_RE = re.compile(r"\.store\s*\([^;]*memory_order_relaxed")
+COMMENT_RE = re.compile(r"^\s*(//|/\*|\*)")
+WAIVER_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)\s*\S")
+
+SLEEP_ALLOWLIST = {
+    os.path.join("src", "sched", "sync.cpp"),   # the WaitEngine itself
+    os.path.join("src", "sched", "chaos.cpp"),  # intentional delay injection
+}
+PTHREAD_ALLOW_DIRS = (
+    os.path.join("src", "abt") + os.sep,
+    os.path.join("src", "qth") + os.sep,
+    os.path.join("src", "mth") + os.sep,
+)
+
+EXTS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+
+def comment_block_above(lines, idx):
+    """Contiguous comment lines immediately preceding lines[idx], as text."""
+    out = []
+    j = idx - 1
+    while j >= 0 and COMMENT_RE.match(lines[j]):
+        out.append(lines[j])
+        j -= 1
+    return "\n".join(out)
+
+
+def waived(line, rule):
+    m = WAIVER_RE.search(line)
+    return m is not None and m.group("rule") == rule
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        findings.append((rel, 0, "io", str(e)))
+        return
+
+    in_block_comment = False
+    for i, line in enumerate(lines):
+        # Cheap block-comment tracking: skip lines living inside /* ... */.
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        code = line.split("//", 1)[0]
+        if "/*" in code and "*/" not in code:
+            in_block_comment = True
+        lineno = i + 1
+
+        if (
+            rel not in SLEEP_ALLOWLIST
+            and SLEEP_RE.search(code)
+            and not waived(line, "naked-sleep")
+        ):
+            findings.append((
+                rel, lineno, "naked-sleep",
+                "raw sleep in runtime code: route the wait through "
+                "WaitEngine/Parker (src/sched/sync.cpp) so it can be "
+                "unparked, runs pending work, and stays watchdog-visible",
+            ))
+
+        if (
+            not rel.startswith(PTHREAD_ALLOW_DIRS)
+            and PTHREAD_RE.search(code)
+            and not waived(line, "raw-pthread")
+        ):
+            findings.append((
+                rel, lineno, "raw-pthread",
+                "pthread_mutex_* outside the backends: use sched::Mutex "
+                "(ULT-blocking), common::SpinLock, or common::CheckedMutex "
+                "so lock discipline stays analyzable",
+            ))
+
+        if RELAXED_STORE_RE.search(code) and not waived(line, "relaxed-handoff"):
+            context = line + "\n" + comment_block_above(lines, i)
+            if "handoff" in context.lower():
+                findings.append((
+                    rel, lineno, "relaxed-handoff",
+                    "relaxed store at a site documented as a handoff: a "
+                    "handoff publishes payload the receiver reads, so the "
+                    "store needs memory_order_release",
+                ))
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    scanned = 0
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if not name.endswith(EXTS):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            scanned += 1
+            lint_file(root, rel, findings)
+
+    for rel, lineno, rule, msg in sorted(findings):
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    print(f"lint_concurrency: {scanned} files scanned, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -254,14 +254,24 @@ void Clover::advec_cell(int sweep) {
 
 void Clover::advec_mom(int sweep) {
   // Simplified momentum advection: relax corner velocities toward the
-  // local average (upwind-weighted), preserving boundedness.
+  // local average (upwind-weighted), preserving boundedness. Two regions
+  // (gather the averages into work_, then apply) like the Fortran
+  // original's separate node-flux and velocity kernels: the average reads
+  // the j-1/j+1 neighbours, so a single in-place pass parallelized over
+  // rows would race with the rows updating those neighbours. Phase one
+  // only reads vel; phase two touches row-local cells only.
   Field& vel = sweep == 0 ? xvel1_ : yvel1_;
   rows([&](int j) {
     if (j == 0) return;
     for (int i = 1; i < cfg_.nx; ++i) {
-      const double avg = 0.25 * (vel.at(i - 1, j) + vel.at(i + 1, j) +
-                                 vel.at(i, j - 1) + vel.at(i, j + 1));
-      vel.at(i, j) = 0.98 * vel.at(i, j) + 0.02 * avg;
+      work_.at(i, j) = 0.25 * (vel.at(i - 1, j) + vel.at(i + 1, j) +
+                               vel.at(i, j - 1) + vel.at(i, j + 1));
+    }
+  });
+  rows([&](int j) {
+    if (j == 0) return;
+    for (int i = 1; i < cfg_.nx; ++i) {
+      vel.at(i, j) = 0.98 * vel.at(i, j) + 0.02 * work_.at(i, j);
     }
   });
 }

@@ -62,9 +62,12 @@ void spin_us(std::int64_t us) {
 bool chk_parallel_default() {
   std::atomic<int> members{0};
   int seen_nth = -1;
-  o::parallel([&](int, int nth) {
+  o::parallel([&](int tid, int nth) {
     members.fetch_add(1);
-    seen_nth = nth;
+    // Single writer: every member sees the same nth, but concurrent
+    // stores to one int are still a data race — only member 0 records
+    // it (the region join publishes the write to the reader below).
+    if (tid == 0) seen_nth = nth;
   });
   return members.load() == seen_nth && members.load() >= 1;
 }
@@ -81,9 +84,9 @@ bool chk_parallel_repeated() {
   for (int round = 0; round < 5; ++round) {
     std::atomic<int> members{0};
     int nth_seen = 0;
-    o::parallel([&](int, int nth) {
+    o::parallel([&](int tid, int nth) {
       members.fetch_add(1);
-      nth_seen = nth;
+      if (tid == 0) nth_seen = nth;  // single writer; join publishes
     });
     if (members.load() != nth_seen) return false;
   }
@@ -95,7 +98,7 @@ bool chk_thread_num_bounds() {
   std::atomic<bool> bad{false};
   int nth_seen = 0;
   o::parallel([&](int tid, int nth) {
-    nth_seen = nth;
+    if (tid == 0) nth_seen = nth;  // single writer; join publishes
     if (tid < 0 || tid >= nth || tid >= 64) {
       bad.store(true);
       return;
@@ -471,8 +474,8 @@ bool chk_task_if0() {
 bool chk_task_from_all_members() {
   std::atomic<int> done{0};
   int nth_seen = 0;
-  o::parallel([&](int, int nth) {
-    nth_seen = nth;
+  o::parallel([&](int tid, int nth) {
+    if (tid == 0) nth_seen = nth;  // single writer; join publishes
     for (int i = 0; i < 8; ++i) o::task([&] { done.fetch_add(1); });
     o::taskwait();
   });

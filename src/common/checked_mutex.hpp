@@ -1,0 +1,44 @@
+// An OS mutex the thread-safety analysis can see.
+//
+// libstdc++'s std::mutex carries no capability attributes, so members
+// guarded by one cannot be GLTO_GUARDED_BY-checked. CheckedMutex wraps
+// std::mutex with the annotations (and CheckedLock mirrors
+// std::lock_guard); registry-style subsystems that block — metrics,
+// watchdog — use these so their lock discipline is compiler-enforced like
+// the spinlock-guarded runtime core. It satisfies BasicLockable, so
+// std::condition_variable_any waits on it directly.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_safety.hpp"
+
+namespace glto::common {
+
+class GLTO_CAPABILITY("mutex") CheckedMutex {
+ public:
+  CheckedMutex() = default;
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock() GLTO_ACQUIRE() { m_.lock(); }
+  bool try_lock() GLTO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void unlock() GLTO_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII guard for CheckedMutex (std::lock_guard with annotations).
+class GLTO_SCOPED_CAPABILITY CheckedLock {
+ public:
+  explicit CheckedLock(CheckedMutex& m) GLTO_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~CheckedLock() GLTO_RELEASE() { m_.unlock(); }
+  CheckedLock(const CheckedLock&) = delete;
+  CheckedLock& operator=(const CheckedLock&) = delete;
+
+ private:
+  CheckedMutex& m_;
+};
+
+}  // namespace glto::common

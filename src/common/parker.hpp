@@ -18,7 +18,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "common/checked_mutex.hpp"
+#include "common/thread_safety.hpp"
 
 namespace glto::common {
 
@@ -34,19 +36,8 @@ class Parker {
   /// worker that was between its queue probe and its park, which a
   /// notify-all of current waiters would miss).
   bool park_for_us(std::int64_t us) {
-    std::unique_lock<std::mutex> lk(mutex_);
-    if (permit_) {
-      permit_ = false;
-      return true;
-    }
-    waiters_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait_for(lk, std::chrono::microseconds(us), [&] { return permit_; });
-    waiters_.fetch_sub(1, std::memory_order_relaxed);
-    if (permit_) {
-      permit_ = false;
-      return true;
-    }
-    return false;
+    return park_until(std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(us));
   }
 
   /// Deadline form of park_for_us: blocks until @p deadline or a permit.
@@ -55,26 +46,31 @@ class Parker {
   /// taskwait_for) instead of an accumulation of relative sleeps that
   /// drifts past the caller's budget.
   bool park_until(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lk(mutex_);
+    // Explicit wait loop instead of the predicate overload: a predicate
+    // lambda cannot carry thread-safety attributes in C++17, so reading
+    // permit_ inside one would defeat its GLTO_GUARDED_BY check.
+    mutex_.lock();
     if (permit_) {
       permit_ = false;
+      mutex_.unlock();
       return true;
     }
     waiters_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait_until(lk, deadline, [&] { return permit_; });
-    waiters_.fetch_sub(1, std::memory_order_relaxed);
-    if (permit_) {
-      permit_ = false;
-      return true;
+    while (!permit_) {
+      if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
     }
-    return false;
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    const bool woken = permit_;
+    permit_ = false;
+    mutex_.unlock();
+    return woken;
   }
 
   /// Grants one permit and wakes one parked thread. Never lost: a permit
   /// granted while nobody is parked short-circuits the next park.
   void unpark() {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      CheckedLock lk(mutex_);
       permit_ = true;
     }
     cv_.notify_one();
@@ -85,9 +81,11 @@ class Parker {
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool permit_ = false;  ///< guarded by mutex_
+  CheckedMutex mutex_;
+  // condition_variable_any: waits on the annotated mutex directly (it is
+  // BasicLockable), which keeps the permit_ guard compiler-checked.
+  std::condition_variable_any cv_;
+  bool permit_ GLTO_GUARDED_BY(mutex_) = false;  ///< guarded by mutex_
   std::atomic<int> waiters_{0};
 };
 

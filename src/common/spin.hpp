@@ -9,17 +9,18 @@
 #include <cstdint>
 
 #include "common/cacheline.hpp"
+#include "common/thread_safety.hpp"
 
 namespace glto::common {
 
 /// Test-and-test-and-set spinlock with bounded exponential backoff.
-class SpinLock {
+class GLTO_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() GLTO_ACQUIRE() {
     std::uint32_t backoff = 1;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
@@ -30,22 +31,24 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() GLTO_TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() GLTO_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
 };
 
 /// RAII guard for SpinLock (mirrors std::lock_guard without <mutex>).
-class SpinGuard {
+class GLTO_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(SpinLock& l) : lock_(l) { lock_.lock(); }
-  ~SpinGuard() { lock_.unlock(); }
+  explicit SpinGuard(SpinLock& l) GLTO_ACQUIRE(l) : lock_(l) { lock_.lock(); }
+  ~SpinGuard() GLTO_RELEASE() { lock_.unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 

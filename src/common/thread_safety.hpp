@@ -1,0 +1,41 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// The lock-discipline contract of every annotated type ("waiters_ is
+// guarded by lock_") used to live in comments; these macros make Clang
+// enforce it at compile time (-Werror=thread-safety in the CI clang leg),
+// so a "touched a member after dropping the lock" bug — the PR-8 class of
+// review catch — becomes a build break. GCC does not implement the
+// analysis; everything expands to nothing there, so the annotations are
+// zero-cost and gcc builds are unaffected.
+//
+// Conventions (docs/API.md "Sanitizers & static analysis"):
+//  * Lock types (common::SpinLock, common::CheckedMutex, sched::Mutex) are
+//    GLTO_CAPABILITY; their RAII guards are GLTO_SCOPED_CAPABILITY.
+//  * Every member whose comment says "guarded by X" carries
+//    GLTO_GUARDED_BY(X); the comment stays for human readers.
+//  * Functions that assume a lock is held take GLTO_REQUIRES(lock).
+//  * GLTO_NO_THREAD_SAFETY_ANALYSIS is a last resort for code whose
+//    discipline is real but outside the analysis' model (e.g. a callback
+//    invoked with an aliased lock held through a pointer); each use must
+//    carry a comment saying why the analysis cannot see the guard.
+#pragma once
+
+#if defined(__clang__)
+#define GLTO_TSA_ATTR(x) __attribute__((x))
+#else
+#define GLTO_TSA_ATTR(x)  // no-op: gcc has no thread-safety analysis
+#endif
+
+#define GLTO_CAPABILITY(x) GLTO_TSA_ATTR(capability(x))
+#define GLTO_SCOPED_CAPABILITY GLTO_TSA_ATTR(scoped_lockable)
+#define GLTO_GUARDED_BY(x) GLTO_TSA_ATTR(guarded_by(x))
+#define GLTO_PT_GUARDED_BY(x) GLTO_TSA_ATTR(pt_guarded_by(x))
+#define GLTO_ACQUIRED_BEFORE(...) GLTO_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define GLTO_ACQUIRED_AFTER(...) GLTO_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define GLTO_REQUIRES(...) GLTO_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define GLTO_ACQUIRE(...) GLTO_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define GLTO_RELEASE(...) GLTO_TSA_ATTR(release_capability(__VA_ARGS__))
+#define GLTO_TRY_ACQUIRE(...) GLTO_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define GLTO_EXCLUDES(...) GLTO_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define GLTO_RETURN_CAPABILITY(x) GLTO_TSA_ATTR(lock_returned(x))
+#define GLTO_NO_THREAD_SAFETY_ANALYSIS GLTO_TSA_ATTR(no_thread_safety_analysis)

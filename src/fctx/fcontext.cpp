@@ -34,6 +34,10 @@ StackRegion os_thread_stack() {
     pthread_attr_destroy(&attr);
   }
 #endif
+  // Native-stack contexts (scheduler loops, main ULTs) keep the calling
+  // thread's root fiber as their TSan identity; jumps back to them restore
+  // it even after the context migrated to another worker.
+  r.tsan = tsan_fiber_current();
   return r;
 }
 

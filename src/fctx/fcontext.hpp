@@ -33,6 +33,31 @@ void __asan_unpoison_memory_region(void const volatile* addr,
 }
 #endif
 
+// ThreadSanitizer models every execution context as a "fiber" with its own
+// vector clock. Without the protocol below TSan cannot follow a ULT context
+// switch: it would keep attributing a migrated ULT's accesses to whichever
+// OS thread last announced itself, fabricating races (and masking real
+// ones). Each pooled stack owns a TSan fiber handle, created on acquire and
+// destroyed on recycle; __tsan_switch_to_fiber is called immediately before
+// every jump. The annotations are no-ops in non-TSan builds.
+#if defined(__SANITIZE_THREAD__)
+#define GLTO_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GLTO_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(GLTO_TSAN_FIBERS)
+extern "C" {
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+void* __tsan_get_current_fiber();
+void __tsan_set_fiber_name(void* fiber, const char* name);
+}
+#endif
+
 namespace glto::fctx {
 
 /// Opaque handle to a suspended context (points into its stack).
@@ -58,18 +83,55 @@ fcontext_t make_fcontext(void* sp, std::size_t size, entry_fn fn);
 /// Returns when somebody jumps back, with the peer's context and payload.
 transfer_t jump_fcontext(fcontext_t to, void* data);
 
-/// Stack bounds for ASan fiber bookkeeping: @p bottom is the *lowest*
-/// usable address, @p size the usable byte count. An empty region (the
-/// default) tells ASan "unknown" — legal, but loses precision.
+/// Identity of the context being switched to, for sanitizer bookkeeping:
+/// @p bottom is the *lowest* usable address, @p size the usable byte count
+/// (ASan fiber bounds; an empty region means "unknown" — legal, but loses
+/// precision), and @p tsan is the TSan fiber handle of the context that
+/// runs on this stack (null outside GLTO_TSAN_FIBERS builds).
 struct StackRegion {
   const void* bottom = nullptr;
   std::size_t size = 0;
+  void* tsan = nullptr;
 };
 
 /// Bounds of the calling OS thread's own stack (pthread_getattr_np).
 /// Used for the scheduler loops and main contexts that run on native
-/// thread stacks rather than pooled fiber stacks.
+/// thread stacks rather than pooled fiber stacks. Under TSan the region
+/// also carries the calling thread's root fiber handle, so jumps back to
+/// a native-stack context restore the right TSan identity.
 StackRegion os_thread_stack();
+
+/// Allocates a TSan fiber identity for a context about to live on a pooled
+/// stack (StackPool::acquire calls this; StackPool::release destroys it).
+/// Returns null outside TSan builds.
+inline void* tsan_fiber_create() {
+#if defined(GLTO_TSAN_FIBERS)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+/// Destroys a TSan fiber identity on stack recycle. Must never be called
+/// with the *current* fiber (release a stack only after its occupant has
+/// jumped away for good). Null-safe; no-op outside TSan builds.
+inline void tsan_fiber_destroy(void* fiber) {
+#if defined(GLTO_TSAN_FIBERS)
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+/// The calling context's own TSan fiber handle (the OS thread's root fiber
+/// when called from a native stack). Null outside TSan builds.
+inline void* tsan_fiber_current() {
+#if defined(GLTO_TSAN_FIBERS)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
 
 /// Clears stale ASan shadow from a fiber stack about to be recycled. A
 /// context that finishes by jumping away (every ULT) never returns through
@@ -92,24 +154,37 @@ inline void asan_enter() {
 #endif
 }
 
-/// jump_fcontext with ASan fiber annotations. @p target is the stack
-/// region of the context being resumed. The fake-stack save pointer lives
-/// in THIS frame — on the suspending fiber's own stack — so it travels
-/// with the fiber and is found again no matter which OS thread resumes it.
-/// @p abandon: the calling context never runs again (a Done jump from a
-/// dying fiber); its fake stack is released instead of saved.
+/// jump_fcontext with sanitizer fiber annotations. @p target is the
+/// identity of the context being resumed. The ASan fake-stack save pointer
+/// lives in THIS frame — on the suspending fiber's own stack — so it
+/// travels with the fiber and is found again no matter which OS thread
+/// resumes it. @p abandon: the calling context never runs again (a Done
+/// jump from a dying fiber); its fake stack is released instead of saved.
+///
+/// TSan: __tsan_switch_to_fiber must immediately precede the actual switch
+/// and names the context about to run; flags=0 makes the switch itself a
+/// synchronization point, which is sound because a context switch is
+/// genuinely program-ordered on its OS thread (the jump is a compiler
+/// barrier and no other thread runs either context meanwhile). The dying
+/// side of an abandon jump needs no extra handling here — its fiber is
+/// destroyed later, on StackPool recycle.
 inline transfer_t jump_fcontext_to(fcontext_t to, void* data,
                                    StackRegion target, bool abandon = false) {
+  (void)target;
+  (void)abandon;
 #if defined(GLTO_ASAN_FIBERS)
   void* fake = nullptr;
   __sanitizer_start_switch_fiber(abandon ? nullptr : &fake, target.bottom,
                                  target.size);
+#endif
+#if defined(GLTO_TSAN_FIBERS)
+  if (target.tsan != nullptr) __tsan_switch_to_fiber(target.tsan, 0);
+#endif
+#if defined(GLTO_ASAN_FIBERS)
   transfer_t t = jump_fcontext(to, data);
   __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
   return t;
 #else
-  (void)target;
-  (void)abandon;
   return jump_fcontext(to, data);
 #endif
 }

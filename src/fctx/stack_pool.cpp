@@ -10,6 +10,7 @@
 
 #include "common/debug.hpp"
 #include "common/spin.hpp"
+#include "common/thread_safety.hpp"
 
 namespace glto::fctx {
 
@@ -29,8 +30,10 @@ std::size_t round_up_pages(std::size_t n) {
 
 struct StackPool::Impl {
   glto::common::SpinLock lock;
-  std::vector<void*> free_bases;       // recycled stacks (base addresses)
-  std::vector<void*> all_bases;        // everything mapped, for teardown
+  // recycled stacks (base addresses); guarded by lock
+  std::vector<void*> free_bases GLTO_GUARDED_BY(lock);
+  // everything mapped, for teardown; guarded by lock
+  std::vector<void*> all_bases GLTO_GUARDED_BY(lock);
   std::atomic<std::uint64_t> mapped{0};
   std::atomic<std::uint64_t> cache_hits{0};
   bool per_thread_cache = false;
@@ -79,6 +82,10 @@ Stack StackPool::make_stack(void* base) const {
   s.base = base;
   s.size = stack_size_;
   s.top = static_cast<char*>(base) + page_size() + stack_size_;
+  // Fresh TSan fiber per occupancy: the handle is destroyed on release(),
+  // so a recycled stack never inherits its previous occupant's vector
+  // clock (stale happens-before edges would mask real races).
+  s.tsan = tsan_fiber_create();
   return s;
 }
 
@@ -134,6 +141,7 @@ Stack StackPool::acquire() {
 void StackPool::release(Stack s) {
   if (!s.valid()) return;
   asan_clear_stack(s.region());  // drop poison left by abandoned frames
+  tsan_fiber_destroy(s.tsan);    // retire the occupant's TSan identity
   if (impl_->per_thread_cache &&
       (t_cache.owner == impl_ || t_cache.owner == nullptr)) {
     t_cache.owner = impl_;

@@ -21,12 +21,14 @@ struct Stack {
   void* base = nullptr;   ///< lowest mapped address (guard page)
   void* top = nullptr;    ///< highest usable address; pass to make_fcontext
   std::size_t size = 0;   ///< usable size (excludes the guard page)
+  void* tsan = nullptr;   ///< TSan fiber handle (acquire() → release())
 
   [[nodiscard]] bool valid() const { return base != nullptr; }
 
-  /// Usable range as ASan fiber bounds (see fctx::jump_fcontext_to).
+  /// Context identity for fctx::jump_fcontext_to: the usable range as ASan
+  /// fiber bounds plus the TSan fiber handle.
   [[nodiscard]] StackRegion region() const {
-    return {static_cast<const char*>(top) - size, size};
+    return {static_cast<const char*>(top) - size, size, tsan};
   }
 };
 

@@ -1,0 +1,58 @@
+// Narrowly-scoped ThreadSanitizer happens-before annotations.
+//
+// Doctrine (docs/API.md "Sanitizers & static analysis"):
+//
+//  * A TSan report is first assumed to be a REAL race and fixed in the
+//    code — usually by strengthening a memory order on the publication
+//    side (e.g. the Chase–Lev bottom store) so the happens-before edge
+//    exists for every observer, TSan included.
+//  * Only when a racy access is intentional and provably benign, and the
+//    real synchronization runs through a channel TSan cannot see (an asm
+//    fence, a hardware-ordering argument), may the edge be modeled here
+//    with tsan_release()/tsan_acquire() — and EVERY call site must carry a
+//    comment naming the exact happens-before edge it models.
+//  * Suppression files are never the answer: scripts/tsan.supp is checked
+//    empty by scripts/san_ctest.sh.
+//
+// The wrappers compile to nothing outside -fsanitize=thread builds, so
+// annotated code carries zero release-build cost.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define GLTO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GLTO_TSAN 1
+#endif
+#endif
+
+#if defined(GLTO_TSAN)
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#endif
+
+namespace glto {
+
+/// Models the acquire side of a happens-before edge on @p addr that the
+/// code establishes through means TSan cannot observe. Pair with a
+/// tsan_release() on the publishing side; comment the edge at both sites.
+inline void tsan_acquire(const void* addr) {
+#if defined(GLTO_TSAN)
+  __tsan_acquire(const_cast<void*>(addr));
+#else
+  (void)addr;
+#endif
+}
+
+/// Release side of tsan_acquire(); see that function.
+inline void tsan_release(const void* addr) {
+#if defined(GLTO_TSAN)
+  __tsan_release(const_cast<void*>(addr));
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace glto

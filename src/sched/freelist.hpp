@@ -19,6 +19,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/spin.hpp"
+#include "common/thread_safety.hpp"
 #include "sched/chaos.hpp"
 
 namespace glto::sched {
@@ -118,7 +119,9 @@ class Freelist {
 
   std::vector<PerWorker> lists_;
   common::SpinLock slab_lock_;
-  std::vector<Node*> slab_;
+  std::vector<Node*> slab_ GLTO_GUARDED_BY(slab_lock_);
+  /// Lock-free mirror of slab_.size() so the empty-slab fast path skips
+  /// the lock; refreshed under slab_lock_ after every mutation.
   std::atomic<std::size_t> slab_size_{0};
 };
 

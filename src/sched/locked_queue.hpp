@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/spin.hpp"
+#include "common/thread_safety.hpp"
 
 namespace glto::sched {
 
@@ -61,7 +62,7 @@ class LockedQueue {
 
  private:
   mutable glto::common::SpinLock lock_;
-  std::deque<T> items_;
+  std::deque<T> items_ GLTO_GUARDED_BY(lock_);
 };
 
 /// Bounded lock-protected deque: owner pushes/pops at the back, thieves pop
@@ -106,7 +107,7 @@ class BoundedDeque {
 
  private:
   mutable glto::common::SpinLock lock_;
-  std::deque<T> items_;
+  std::deque<T> items_ GLTO_GUARDED_BY(lock_);
   std::size_t capacity_;
 };
 

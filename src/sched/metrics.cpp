@@ -1,8 +1,8 @@
 #include "sched/metrics.hpp"
 
 #include <cinttypes>
-#include <mutex>
 
+#include "common/checked_mutex.hpp"
 #include "common/env.hpp"
 #include "common/time.hpp"
 #include "sched/chaos.hpp"
@@ -137,11 +137,11 @@ struct Provider {
 };
 
 struct MetricsRegistry {
-  std::mutex m;
-  std::vector<Provider> providers;
-  std::uint64_t next_token = 1;
-  MetricsSnapshot last_delta_base;
-  bool env_resolved = false;
+  common::CheckedMutex m;
+  std::vector<Provider> providers GLTO_GUARDED_BY(m);
+  std::uint64_t next_token GLTO_GUARDED_BY(m) = 1;
+  MetricsSnapshot last_delta_base GLTO_GUARDED_BY(m);
+  bool env_resolved GLTO_GUARDED_BY(m) = false;
 };
 
 MetricsRegistry& mreg() {
@@ -167,7 +167,7 @@ void append_builtin(MetricsSnapshot& out) {
   out.add("chaos.faults_injected", chaos_faults_injected());
 }
 
-MetricsSnapshot snapshot_locked(MetricsRegistry& r) {
+MetricsSnapshot snapshot_locked(MetricsRegistry& r) GLTO_REQUIRES(r.m) {
   MetricsSnapshot out;
   for (const auto& p : r.providers) p.fn(p.arg, out);
   append_builtin(out);
@@ -198,7 +198,7 @@ MetricsSnapshot delta_of(const MetricsSnapshot& cur,
 
 std::uint64_t metrics_register_provider(MetricsProviderFn fn, void* arg) {
   MetricsRegistry& r = mreg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   const std::uint64_t token = r.next_token++;
   r.providers.push_back(Provider{token, fn, arg});
   return token;
@@ -206,7 +206,7 @@ std::uint64_t metrics_register_provider(MetricsProviderFn fn, void* arg) {
 
 void metrics_unregister_provider(std::uint64_t token) {
   MetricsRegistry& r = mreg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   for (auto it = r.providers.begin(); it != r.providers.end(); ++it) {
     if (it->token == token) {
       r.providers.erase(it);
@@ -217,13 +217,13 @@ void metrics_unregister_provider(std::uint64_t token) {
 
 MetricsSnapshot metrics_snapshot() {
   MetricsRegistry& r = mreg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   return snapshot_locked(r);
 }
 
 MetricsSnapshot metrics_delta() {
   MetricsRegistry& r = mreg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   MetricsSnapshot cur = snapshot_locked(r);
   MetricsSnapshot d = delta_of(cur, r.last_delta_base);
   r.last_delta_base = std::move(cur);
@@ -256,7 +256,7 @@ void metrics_dump(std::FILE* out) {
 void metrics_init_from_env() {
   MetricsRegistry& r = mreg();
   {
-    std::lock_guard<std::mutex> lk(r.m);
+    common::CheckedLock lk(r.m);
     if (r.env_resolved) {
       // Re-checked on every runtime select: tracing may have been armed
       // between calls (trace_set_for_testing), keep the implication fresh.

@@ -34,6 +34,7 @@
 
 #include "common/parker.hpp"
 #include "common/spin.hpp"
+#include "common/thread_safety.hpp"
 
 namespace glto::sched {
 
@@ -192,11 +193,15 @@ class Event {
   void reset() { set_.store(false, std::memory_order_release); }
 
  private:
-  static bool enqueue_cb(sync_detail::ParkOp* op);
+  // Runs with lock_ held through the aliased ParkOp::lock pointer (the
+  // park path locks it on the scheduler stack); the analysis cannot
+  // connect the alias to this->lock_.
+  static bool enqueue_cb(sync_detail::ParkOp* op)
+      GLTO_NO_THREAD_SAFETY_ANALYSIS;
 
   std::atomic<bool> set_{false};
   mutable common::SpinLock lock_;
-  WaitList waiters_;
+  WaitList waiters_ GLTO_GUARDED_BY(lock_);
 };
 
 // ----------------------------------------------------------------- Mutex
@@ -206,13 +211,13 @@ class Event {
 /// non-empty), so a spinning newcomer cannot barge past a parked waiter.
 /// On contexts that cannot suspend, lock() degrades to a Parker park —
 /// the OS thread blocks, matching omp_set_lock semantics there.
-class Mutex {
+class GLTO_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() {
+  void lock() GLTO_ACQUIRE() {
     std::uint32_t expected = 0;
     if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
@@ -220,28 +225,30 @@ class Mutex {
     }
     lock_slow();
   }
-  bool try_lock() {
+  bool try_lock() GLTO_TRY_ACQUIRE(true) {
     std::uint32_t expected = 0;
     return state_.compare_exchange_strong(
         expected, 1, std::memory_order_acquire, std::memory_order_relaxed);
   }
-  void unlock();
+  void unlock() GLTO_RELEASE();
 
  private:
   friend class Condvar;
   void lock_slow();
-  static bool enqueue_cb(sync_detail::ParkOp* op);
+  // Runs with qlock_ held through the aliased ParkOp::lock pointer.
+  static bool enqueue_cb(sync_detail::ParkOp* op)
+      GLTO_NO_THREAD_SAFETY_ANALYSIS;
 
   std::atomic<std::uint32_t> state_{0};  ///< 0 unlocked, 1 locked
   common::SpinLock qlock_;
-  WaitList waiters_;
+  WaitList waiters_ GLTO_GUARDED_BY(qlock_);
 };
 
 /// RAII guard for sched::Mutex.
-class ScopedLock {
+class GLTO_SCOPED_CAPABILITY ScopedLock {
  public:
-  explicit ScopedLock(Mutex& m) : m_(m) { m_.lock(); }
-  ~ScopedLock() { m_.unlock(); }
+  explicit ScopedLock(Mutex& m) GLTO_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~ScopedLock() GLTO_RELEASE() { m_.unlock(); }
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;
 
@@ -263,16 +270,24 @@ class Condvar {
   Condvar(const Condvar&) = delete;
   Condvar& operator=(const Condvar&) = delete;
 
-  void wait(Mutex& m);
+  /// REQUIRES(m) enforces the condvar contract at every call site; the
+  /// body is exempt from analysis because its release/reacquire of @p m
+  /// happens through the park protocol (release_mutex_cb fires on the
+  /// scheduler stack after the node is enqueued), which the analysis
+  /// cannot see — it would flag the trailing m.lock() as a double
+  /// acquire.
+  void wait(Mutex& m) GLTO_REQUIRES(m) GLTO_NO_THREAD_SAFETY_ANALYSIS;
   void notify_one();
   void notify_all();
 
  private:
-  static bool enqueue_cb(sync_detail::ParkOp* op);
+  // Runs with lock_ held through the aliased ParkOp::lock pointer.
+  static bool enqueue_cb(sync_detail::ParkOp* op)
+      GLTO_NO_THREAD_SAFETY_ANALYSIS;
   static void release_mutex_cb(void* ctx2);
 
   common::SpinLock lock_;
-  WaitList waiters_;
+  WaitList waiters_ GLTO_GUARDED_BY(lock_);
 };
 
 // ------------------------------------------------------- CompletionLatch
@@ -299,11 +314,13 @@ class CompletionLatch {
   [[nodiscard]] std::int64_t pending() const;
 
  private:
-  static bool enqueue_cb(sync_detail::ParkOp* op);
+  // Runs with lock_ held through the aliased ParkOp::lock pointer.
+  static bool enqueue_cb(sync_detail::ParkOp* op)
+      GLTO_NO_THREAD_SAFETY_ANALYSIS;
 
   mutable common::SpinLock lock_;
-  std::int64_t count_ = 0;
-  WaitList waiters_;
+  std::int64_t count_ GLTO_GUARDED_BY(lock_) = 0;
+  WaitList waiters_ GLTO_GUARDED_BY(lock_);
 };
 
 // --------------------------------------------------------------- Barrier
@@ -320,21 +337,25 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Set before any arrival of a cycle; not thread-safe against arrivals.
+  /// Set before any arrival of a cycle; not thread-safe against arrivals
+  /// (the lock only keeps the member writes analysis-clean and ordered).
   void init(int parties) {
+    common::SpinGuard g(lock_);
     parties_ = parties;
     arrived_ = 0;
   }
   bool arrive_and_wait();
 
  private:
-  static bool enqueue_cb(sync_detail::ParkOp* op);
+  // Runs with lock_ held through the aliased ParkOp::lock pointer.
+  static bool enqueue_cb(sync_detail::ParkOp* op)
+      GLTO_NO_THREAD_SAFETY_ANALYSIS;
 
   common::SpinLock lock_;
-  int parties_ = 0;
-  int arrived_ = 0;
-  std::uint64_t epoch_ = 0;
-  WaitList waiters_;
+  int parties_ GLTO_GUARDED_BY(lock_) = 0;
+  int arrived_ GLTO_GUARDED_BY(lock_) = 0;
+  std::uint64_t epoch_ GLTO_GUARDED_BY(lock_) = 0;
+  WaitList waiters_ GLTO_GUARDED_BY(lock_);
 };
 
 // ----------------------------------------------------- polling wait/until
@@ -468,11 +489,11 @@ class Channel {
   Mutex m_;
   Condvar not_full_;
   Condvar not_empty_;
-  std::vector<T> buf_;
-  std::size_t cap_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool closed_ = false;
+  std::vector<T> buf_ GLTO_GUARDED_BY(m_);
+  std::size_t cap_;  ///< immutable after construction
+  std::size_t head_ GLTO_GUARDED_BY(m_) = 0;
+  std::size_t count_ GLTO_GUARDED_BY(m_) = 0;
+  bool closed_ GLTO_GUARDED_BY(m_) = false;
 };
 
 }  // namespace glto::sched

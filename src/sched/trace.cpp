@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/checked_mutex.hpp"
 #include "common/env.hpp"
 #include "common/time.hpp"
 
@@ -29,14 +30,18 @@ struct RingRec {
 };
 
 struct Registry {
-  std::mutex m;
-  std::vector<RingRec*> rings;
+  common::CheckedMutex m;
+  std::vector<RingRec*> rings GLTO_GUARDED_BY(m);
   std::atomic<std::uint64_t> generation{1};
-  std::size_t ring_events = 0;  // per-ring capacity, power of two
-  std::string path;             // empty → record-only (flight recorder)
-  std::uint64_t epoch_ns = 0;
-  bool env_resolved = false;
-  bool atexit_registered = false;
+  // per-ring capacity, power of two; guarded by m
+  std::size_t ring_events GLTO_GUARDED_BY(m) = 0;
+  // empty → record-only (flight recorder); guarded by m
+  std::string path GLTO_GUARDED_BY(m);
+  // Atomic, not guarded: written once at init (under m), then read on
+  // the lock-free emit fast path by every tracing thread.
+  std::atomic<std::uint64_t> epoch_ns{0};
+  bool env_resolved GLTO_GUARDED_BY(m) = false;
+  bool atexit_registered GLTO_GUARDED_BY(m) = false;
 };
 
 Registry& reg() {
@@ -64,7 +69,7 @@ std::size_t pow2_floor(std::size_t n) {
 /// ring. Caller does NOT hold the registry mutex.
 RingRec* register_current_thread() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   auto* rec = new RingRec;
   rec->ring = new TraceRing(r.ring_events ? r.ring_events : kMinRingEvents);
   rec->tid = static_cast<unsigned>(r.rings.size());
@@ -180,7 +185,8 @@ namespace trace_detail {
 __attribute__((noinline)) void emit_slow(TraceKind k, std::uint64_t arg,
                                          std::uint32_t aux) {
   TraceRing* ring = current_ring_slow();
-  const std::uint64_t ts = common::now_ns() - reg().epoch_ns;
+  const std::uint64_t ts =
+      common::now_ns() - reg().epoch_ns.load(std::memory_order_relaxed);
   ring->emit(k, ts, arg, aux);
 }
 
@@ -188,7 +194,8 @@ __attribute__((noinline)) void emit_slow_at(TraceKind k, std::uint64_t now_ns,
                                             std::uint64_t arg,
                                             std::uint32_t aux) {
   TraceRing* ring = current_ring_slow();
-  const std::uint64_t epoch = reg().epoch_ns;
+  const std::uint64_t epoch =
+      reg().epoch_ns.load(std::memory_order_relaxed);
   ring->emit(k, now_ns > epoch ? now_ns - epoch : 0, arg, aux);
 }
 
@@ -196,10 +203,10 @@ __attribute__((noinline)) void emit_slow_at(TraceKind k, std::uint64_t now_ns,
 
 void trace_init_from_env() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   if (r.env_resolved) return;
   r.env_resolved = true;
-  r.epoch_ns = common::now_ns();
+  r.epoch_ns.store(common::now_ns(), std::memory_order_relaxed);
 
   const std::size_t kb = static_cast<std::size_t>(
       common::env_i64("GLTO_TRACE_RING_KB",
@@ -221,14 +228,14 @@ void trace_thread_label(const char* backend, int rank) {
   if (!trace_enabled()) return;
   current_ring_slow();
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   t_ring.rec->label =
       std::string(backend) + (rank >= 0 ? "-w" + std::to_string(rank) : "");
 }
 
 bool trace_flush(const char* path_override) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   const std::string path = path_override ? path_override : r.path;
   if (path.empty()) return false;
 
@@ -303,11 +310,13 @@ void trace_dump_tail(std::FILE* out, std::size_t max_per_ring) {
   r.m.unlock();
 }
 
-std::uint64_t trace_epoch_ns() { return reg().epoch_ns; }
+std::uint64_t trace_epoch_ns() {
+  return reg().epoch_ns.load(std::memory_order_relaxed);
+}
 
 std::uint64_t trace_events_recorded() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   std::uint64_t total = 0;
   for (const RingRec* rec : r.rings) total += rec->ring->head();
   return total;
@@ -315,7 +324,7 @@ std::uint64_t trace_events_recorded() {
 
 std::uint64_t trace_events_dropped() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   std::uint64_t total = 0;
   for (const RingRec* rec : r.rings) {
     const std::uint64_t head = rec->ring->head();
@@ -329,9 +338,11 @@ void trace_set_for_testing(bool on, const char* path,
                            std::size_t ring_events) {
   Registry& r = reg();
   {
-    std::lock_guard<std::mutex> lk(r.m);
+    common::CheckedLock lk(r.m);
     r.env_resolved = true;
-    if (r.epoch_ns == 0) r.epoch_ns = common::now_ns();
+    if (r.epoch_ns.load(std::memory_order_relaxed) == 0) {
+      r.epoch_ns.store(common::now_ns(), std::memory_order_relaxed);
+    }
     r.path = path ? path : "";
     if (ring_events != 0) r.ring_events = pow2_floor(ring_events);
     if (r.ring_events == 0) r.ring_events = kMinRingEvents;
@@ -341,7 +352,7 @@ void trace_set_for_testing(bool on, const char* path,
 
 void trace_reset_for_testing() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lk(r.m);
+  common::CheckedLock lk(r.m);
   // The reset contract requires emitting threads to be joined, so the
   // discarded rings can actually be freed here (unlike process exit,
   // where they leak by design); the generation bump makes any surviving

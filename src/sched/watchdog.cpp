@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/checked_mutex.hpp"
 #include "common/env.hpp"
 #include "sched/metrics.hpp"
 #include "sched/trace.hpp"
@@ -32,13 +33,15 @@ struct Dumper {
 // Leaked on purpose: the monitor is a detached thread that may outlive
 // static destruction; it must never touch a destroyed global.
 struct WatchdogState {
-  std::mutex m;
-  std::condition_variable cv;
-  std::int64_t window_ms = 0;  ///< 0 = disarmed
-  std::uint64_t generation = 0;
-  bool thread_running = false;
-  std::vector<Dumper> dumpers;
-  std::uint64_t next_token = 1;
+  common::CheckedMutex m;
+  // condition_variable_any: waits on the annotated mutex directly (it is
+  // BasicLockable), keeping the guarded members compiler-checked.
+  std::condition_variable_any cv;
+  std::int64_t window_ms GLTO_GUARDED_BY(m) = 0;  ///< 0 = disarmed
+  std::uint64_t generation GLTO_GUARDED_BY(m) = 0;
+  bool thread_running GLTO_GUARDED_BY(m) = false;
+  std::vector<Dumper> dumpers GLTO_GUARDED_BY(m);
+  std::uint64_t next_token GLTO_GUARDED_BY(m) = 1;
 };
 
 WatchdogState& state() {
@@ -60,7 +63,7 @@ void fire(WatchdogState& s, std::int64_t stalled_ms) {
                    std::memory_order_relaxed)));
   std::vector<Dumper> dumpers;
   {
-    std::lock_guard<std::mutex> lk(s.m);
+    common::CheckedLock lk(s.m);
     dumpers = s.dumpers;
   }
   for (const Dumper& d : dumpers) d.fn(d.arg);
@@ -84,8 +87,11 @@ void monitor_loop() {
   for (;;) {
     std::int64_t window;
     {
-      std::unique_lock<std::mutex> lk(s.m);
-      s.cv.wait(lk, [&] { return s.window_ms > 0; });
+      common::CheckedLock lk(s.m);
+      // Explicit wait loop instead of the predicate overload: a predicate
+      // lambda cannot carry thread-safety attributes in C++17, so reading
+      // window_ms inside one would defeat its GLTO_GUARDED_BY check.
+      while (s.window_ms <= 0) s.cv.wait(s.m);
       if (s.generation != seen_generation) {
         seen_generation = s.generation;
         stalled = false;
@@ -95,7 +101,7 @@ void monitor_loop() {
       window = s.window_ms;
       // Poll at a quarter window so a stall is caught within ~1.25
       // windows worst-case without burning cycles on tight re-checks.
-      s.cv.wait_for(lk,
+      s.cv.wait_for(s.m,
                     std::chrono::milliseconds(window < 4 ? 1 : window / 4));
       if (s.window_ms <= 0 || s.generation != seen_generation) continue;
     }
@@ -129,7 +135,7 @@ void arm(std::int64_t ms) {
   WatchdogState& s = state();
   bool spawn = false;
   {
-    std::lock_guard<std::mutex> lk(s.m);
+    common::CheckedLock lk(s.m);
     s.window_ms = ms;
     ++s.generation;
     if (ms > 0 && !s.thread_running) {
@@ -158,7 +164,7 @@ void watchdog_set_for_testing(std::int64_t ms) {
 
 std::uint64_t watchdog_register_dumper(WatchdogDumpFn fn, void* arg) {
   WatchdogState& s = state();
-  std::lock_guard<std::mutex> lk(s.m);
+  common::CheckedLock lk(s.m);
   const std::uint64_t token = s.next_token++;
   s.dumpers.push_back(Dumper{token, fn, arg});
   return token;
@@ -166,7 +172,7 @@ std::uint64_t watchdog_register_dumper(WatchdogDumpFn fn, void* arg) {
 
 void watchdog_unregister_dumper(std::uint64_t token) {
   WatchdogState& s = state();
-  std::lock_guard<std::mutex> lk(s.m);
+  common::CheckedLock lk(s.m);
   for (auto it = s.dumpers.begin(); it != s.dumpers.end(); ++it) {
     if (it->token == token) {
       s.dumpers.erase(it);

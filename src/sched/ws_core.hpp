@@ -253,7 +253,8 @@ class WsCore {
   /// through the owner-only fair FIFO (the producer-pattern placement the
   /// round-robin ult_create_to path used, minus the per-unit wakes).
   /// `local` publishes everything on the caller's deque with a single
-  /// release fence and wakes idle thieves to pull the batch apart. Victim
+  /// releasing bottom advance and wakes idle thieves to pull the batch
+  /// apart. Victim
   /// count per policy: one → min(team, n); threshold → ⌈n/kBulkWakeGrain⌉
   /// clamped to the team; all → the whole team (broadcast wake).
   void submit_bulk(int caller_rank, const T* items, std::size_t n,

@@ -7,6 +7,7 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/spin.hpp"
+#include "common/thread_safety.hpp"
 #include "sched/metrics.hpp"
 #include "sched/trace.hpp"
 #include "sched/watchdog.hpp"
@@ -38,7 +39,7 @@ struct TaskNode {
   std::atomic<int> refs{1};
   std::atomic<bool> completed{false};
   common::SpinLock lock;               ///< guards successors + completion
-  std::vector<TaskNode*> successors;   ///< each entry holds a ref
+  std::vector<TaskNode*> successors GLTO_GUARDED_BY(lock);  ///< entries hold refs
 };
 
 namespace {
@@ -62,12 +63,12 @@ bool node_retired(const TaskNode* n) {
 
 struct DepEngine::Bucket {
   common::SpinLock lock;
-  std::vector<Cell> cells;
+  std::vector<Cell> cells GLTO_GUARDED_BY(lock);
   /// Occupancy that triggers the next retired-cell sweep. Re-armed after
   /// every sweep to twice the cells that *survived*, so a bucket full of
   /// live (un-retired) cells — a wide in-flight DAG — doubles before it
   /// pays another scan instead of re-scanning on every registration.
-  std::size_t gc_at = kGcWatermark;
+  std::size_t gc_at GLTO_GUARDED_BY(lock) = kGcWatermark;
 };
 
 DepEngine::DepEngine(ReadyFn on_ready, int hash_bits) : on_ready_(on_ready) {

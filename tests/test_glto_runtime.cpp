@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 
 #include "omp/omp.hpp"
@@ -93,9 +94,15 @@ TEST(GltoTasks, ProducerTasksSpreadRoundRobin) {
 }
 
 TEST(GltoTasks, NonProducerTasksStayLocalOnAbt) {
+  // Outside single/master, each member submits its tasks to its own
+  // GLT_thread (§IV-D) rather than round-robin. Under the default
+  // work-stealing dispatch an idle sibling may still *steal* one (the
+  // deposit is local, the execution is best-effort — visible under a
+  // TSan-slowed run), so pin dispatch to the locked per-rank queues,
+  // where placement is owner-only: any off-thread execution would then
+  // prove the dispatch policy itself is wrong.
+  setenv("ABT_DISPATCH", "locked", 1);
   select_glto(o::RuntimeKind::glto_abt, 3);
-  // Outside single/master, each member keeps its own tasks (§IV-D), and
-  // abt has no stealing: a member's tasks execute on its own GLT_thread.
   std::atomic<bool> ok{true};
   o::parallel([&](int tid, int) {
     if (tid == 0) return;  // master's ctx is in_master: dispatch differs
@@ -108,6 +115,7 @@ TEST(GltoTasks, NonProducerTasksStayLocalOnAbt) {
   });
   EXPECT_TRUE(ok.load());
   o::shutdown();
+  unsetenv("ABT_DISPATCH");
 }
 
 TEST(GltoTasks, FinalTasksRunInline) {

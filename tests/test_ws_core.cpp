@@ -242,6 +242,69 @@ TEST(WsCore, ThievesDrainEverythingWhenOwnerStops) {
       << "owner never popped: every item must have left through a steal";
 }
 
+TEST(WsCore, StolenPayloadPlainFieldsArePublished) {
+  // Regression for the Chase–Lev publication protocol: push()/push_n()
+  // must publish the pushed unit's *plain* (non-atomic) fields to thieves
+  // via a release STORE on bottom_, not the Lê et al. release fence +
+  // relaxed store. The fence form is equally correct C++ but invisible to
+  // TSan (gcc's TSan does not model atomic_thread_fence), so every stolen
+  // payload read below would report as a race — the TSan CI leg arms this
+  // test against regressing to the fence form, and the value checks catch
+  // genuine publication bugs on weakly-ordered targets.
+  struct Unit {
+    std::intptr_t a = 0;
+    std::intptr_t b = 0;  // plain fields: only the deque orders them
+  };
+  gs::WsCore<Unit*> core(cfg(2));
+  constexpr std::intptr_t kRounds = 20000;
+  std::vector<Unit> backing(static_cast<std::size_t>(kRounds));
+  std::atomic<bool> done{false};
+  std::atomic<std::intptr_t> stolen_sum{0};
+  std::atomic<std::intptr_t> stolen_count{0};
+  std::thread thief([&] {
+    glto::common::FastRng rng(7);
+    for (;;) {
+      if (Unit* u = core.try_steal(1, rng)) {
+        // Ordered after the owner's plain writes solely by the steal's
+        // acquire loads on the deque indices.
+        EXPECT_EQ(u->b, u->a + 1);
+        stolen_sum.fetch_add(u->a, std::memory_order_relaxed);
+        stolen_count.fetch_add(1, std::memory_order_relaxed);
+      } else if (done.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+  });
+  unsigned tick = 0;
+  std::intptr_t local_sum = 0;
+  std::intptr_t local_count = 0;
+  auto drain_local = [&](Unit* u) {
+    EXPECT_EQ(u->b, u->a + 1);
+    local_sum += u->a;
+    ++local_count;
+  };
+  for (std::intptr_t i = 0; i < kRounds; ++i) {
+    auto& u = backing[static_cast<std::size_t>(i)];
+    u.a = i + 1;
+    u.b = i + 2;
+    if (i % 3 == 0) {
+      Unit* ptr = &u;
+      // Exercise the batch publication (push_n) alongside single pushes.
+      core.submit_bulk(0, &ptr, 1, gs::BulkHint::local);
+    } else {
+      core.submit(0, 0, false, &u);
+    }
+    if (i % 5 == 0) {
+      if (Unit* popped = core.pop_local(0, &tick)) drain_local(popped);
+    }
+  }
+  while (Unit* popped = core.pop_local(0, &tick)) drain_local(popped);
+  done.store(true, std::memory_order_release);
+  thief.join();
+  EXPECT_EQ(local_count + stolen_count.load(), kRounds);
+  EXPECT_EQ(local_sum + stolen_sum.load(), kRounds * (kRounds + 1) / 2);
+}
+
 // ------------------------------------------------------------ wake protocol
 
 TEST(WsCore, WakeOneTargetedWakeReachesParkedOwner) {
