@@ -71,6 +71,25 @@ std::string qp_row_fields(const qp::Report& r, const qp::Config& cfg) {
   return std::string(buf);
 }
 
+std::string over_row_fields(const qp::Report& r, const qp::Config& cfg) {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"offered\": %llu, \"completed\": %llu, \"shed\": %llu, "
+      "\"deadline_missed\": %llu, \"retried\": %llu, \"degraded\": %llu, "
+      "\"goodput_rps\": %.1f, \"deadline_ms\": %d, \"rate_rps\": %.1f, "
+      "\"p99_us\": %llu",
+      static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.deadline_missed),
+      static_cast<unsigned long long>(r.retried),
+      static_cast<unsigned long long>(r.degraded), r.goodput_rps,
+      cfg.deadline_ms, cfg.arrival_rps,
+      static_cast<unsigned long long>(r.p99_us));
+  return std::string(buf);
+}
+
 std::string wake_row_fields(std::int64_t ops, double mean_s,
                             std::uint64_t susp, std::uint64_t direct) {
   char buf[224];
@@ -122,6 +141,50 @@ int main() {
           static_cast<unsigned long long>(last.not_converged));
       gg::finalize();
     }
+  }
+
+  // ---- overload: paced open-loop arrivals against measured capacity,
+  // deadlines armed. Rows record the shed/miss/retry/goodput accounting;
+  // crash-fail only — nothing here asserts on timing.
+  b::print_header("qpserver overload: paced arrivals vs capacity (abt)");
+  {
+    gg::Config gcfg;
+    gcfg.impl = gg::Impl::abt;
+    gcfg.num_threads = threads;
+    gcfg.bind_threads = false;
+    gg::init(gcfg);
+    qp::Config cfg = base;
+    cfg.concurrency = 4;
+    (void)qp::run(cfg);  // warm
+    const qp::Report probe = qp::run(cfg);  // closed loop, no deadline
+    const double cap_rps = probe.goodput_rps > 1.0 ? probe.goodput_rps : 1.0;
+    std::printf("  measured capacity: %.0f req/s (closed loop)\n", cap_rps);
+    constexpr double kMults[] = {0.5, 1.0, 2.0};
+    const char* kNames[] = {"qpserver-over-0.5x", "qpserver-over-1x",
+                            "qpserver-over-2x"};
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      qp::Config ocfg = cfg;
+      ocfg.arrival_rps = cap_rps * kMults[mi];
+      ocfg.deadline_ms = ocfg.deadline_ms > 0 ? ocfg.deadline_ms : 50;
+      ocfg.degrade = true;
+      qp::Report last;
+      // One run per rate: the row's payload is the Report accounting,
+      // not the wall time (a paced run's duration is fixed by the rate).
+      auto st = b::time_runs(1, [&] { last = qp::run(ocfg); });
+      b::print_row_json(kNames[mi], cfg.concurrency, st,
+                        over_row_fields(last, ocfg));
+      std::printf(
+          "    offered=%llu completed=%llu shed=%llu missed=%llu "
+          "retried=%llu degraded=%llu  goodput=%.0f req/s p99=%lluus\n",
+          static_cast<unsigned long long>(last.offered),
+          static_cast<unsigned long long>(last.completed),
+          static_cast<unsigned long long>(last.shed),
+          static_cast<unsigned long long>(last.deadline_missed),
+          static_cast<unsigned long long>(last.retried),
+          static_cast<unsigned long long>(last.degraded), last.goodput_rps,
+          static_cast<unsigned long long>(last.p99_us));
+    }
+    gg::finalize();
   }
 
   // ---- wake-latency microcells: the ≤200 µs sleep-quantum floor is gone.

@@ -1,17 +1,30 @@
 #!/usr/bin/env python3
 """Concurrency lint gate for the GLTO runtime (CI: fails the build on hit).
 
-Three rules, all scoped to runtime code under src/ (tests and examples may
+Four rules, all scoped to runtime code under src/ (tests and examples may
 stage races with raw sleeps; the runtime itself must not):
 
-  naked-sleep      std::this_thread::sleep_for / usleep / nanosleep outside
-                   the WaitEngine (src/sched/sync.cpp). A raw sleep parks a
-                   whole OS thread carrying many ULTs: it cannot be cut
-                   short by an unpark, skips the run-some-work rung of the
-                   backoff ladder, and is invisible to the stall watchdog.
-                   Blocking code must go through WaitEngine / Parker.
+  naked-sleep      std::this_thread::sleep_for / sleep_until / usleep /
+                   nanosleep outside the WaitEngine (src/sched/sync.cpp).
+                   A raw sleep parks a whole OS thread carrying many ULTs:
+                   it cannot be cut short by an unpark, skips the
+                   run-some-work rung of the backoff ladder, and is
+                   invisible to the stall watchdog. Blocking code must go
+                   through WaitEngine / Parker — for retry backoff that
+                   means sched::backoff_until / sched::backoff_for_us,
+                   which drain runnable work and stay watchdog-bracketed.
                    src/sched/chaos.cpp is allowlisted: its delay injection
                    exists precisely to simulate an ill-timed preemption.
+
+  naked-park       a direct Parker .park_for_us( / .park_until( call
+                   outside the wait machinery (src/sched/sync.cpp,
+                   src/sched/ws_core.hpp, src/common/parker.hpp). A bare
+                   park is a sleep with extra steps: it skips the
+                   WaitEngine's work-conserving ladder (run a unit, yield,
+                   then micro-park) and its watchdog bracketing, so an
+                   app-level backoff written this way hides a stall and
+                   wastes the carrier thread. Retry/backoff delays must
+                   call sched::backoff_until / sched::backoff_for_us.
 
   raw-pthread      pthread_mutex_* outside the backend directories
                    (src/abt, src/qth, src/mth). Portable runtime layers
@@ -27,9 +40,11 @@ stage races with raw sleeps; the runtime itself must not):
                    so the store needs release ordering (and under TSan a
                    relaxed handoff reports as a race on the payload).
 
-Waiver: append `// lint: allow(<rule>) <reason>` to the offending line.
-Waivers are for sites where the flagged pattern is intentional and argued
-in the reason; CI reviews them by grepping this marker.
+Waiver: append `// lint: allow(<rule>) <reason>` to the offending line,
+e.g. `p.park_for_us(50);  // lint: allow(naked-park) probe thread, no ULTs`.
+The reason is mandatory — a bare `allow(...)` does not match. Waivers are
+for sites where the flagged pattern is intentional and argued in the
+reason; CI reviews them by grepping this marker.
 
 Usage: scripts/lint_concurrency.py [repo-root]   (exit 1 on any finding)
 """
@@ -38,7 +53,9 @@ import os
 import re
 import sys
 
-SLEEP_RE = re.compile(r"\bsleep_for\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
+SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
+PARK_RE = re.compile(r"\.\s*park_(?:for_us|until)\s*\(")
 PTHREAD_RE = re.compile(r"\bpthread_mutex_\w+")
 RELAXED_STORE_RE = re.compile(r"\.store\s*\([^;]*memory_order_relaxed")
 COMMENT_RE = re.compile(r"^\s*(//|/\*|\*)")
@@ -47,6 +64,11 @@ WAIVER_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)\s*\S")
 SLEEP_ALLOWLIST = {
     os.path.join("src", "sched", "sync.cpp"),   # the WaitEngine itself
     os.path.join("src", "sched", "chaos.cpp"),  # intentional delay injection
+}
+PARK_ALLOWLIST = {
+    os.path.join("src", "sched", "sync.cpp"),     # WaitEngine micro-park rung
+    os.path.join("src", "sched", "ws_core.hpp"),  # scheduler idle parking
+    os.path.join("src", "common", "parker.hpp"),  # the Parker itself
 }
 PTHREAD_ALLOW_DIRS = (
     os.path.join("src", "abt") + os.sep,
@@ -103,6 +125,19 @@ def lint_file(root, rel, findings):
                 "raw sleep in runtime code: route the wait through "
                 "WaitEngine/Parker (src/sched/sync.cpp) so it can be "
                 "unparked, runs pending work, and stays watchdog-visible",
+            ))
+
+        if (
+            rel not in PARK_ALLOWLIST
+            and PARK_RE.search(code)
+            and not waived(line, "naked-park")
+        ):
+            findings.append((
+                rel, lineno, "naked-park",
+                "direct Parker park outside the wait machinery: use "
+                "sched::backoff_until / sched::backoff_for_us (WaitEngine) "
+                "so the delay runs pending work and stays "
+                "watchdog-bracketed",
             ))
 
         if (

@@ -394,7 +394,8 @@ double kkt_residual(const Problem& p, const std::vector<double>& x,
   return worst;
 }
 
-Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
+Result solve(const Problem& p, Mode mode, int max_iters, double tol,
+             const sched::QosContext* qos) {
   const int n = p.n, r = p.rank;
   const auto un = static_cast<std::size_t>(n);
   std::vector<double> x(un), sl(un), su(un), zl(un, 1.0), zu(un, 1.0);
@@ -426,6 +427,14 @@ Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
 
   Result res;
   for (int iter = 1; iter <= max_iters; ++iter) {
+    // Cancellation point (one clock read): an expired request abandons
+    // the solve at the iteration boundary instead of finishing a useless
+    // answer — the caller sees the best iterate so far.
+    if (sched::qos_expired(qos)) {
+      res.deadline_abandoned = true;
+      res.iters = iter - 1;
+      break;
+    }
     apply_h(p, x, hx, sr);
     double mu = 0.0, quick = 0.0;
     for (int i = 0; i < n; ++i) {
@@ -487,8 +496,9 @@ Result solve(const Problem& p, Mode mode, int max_iters, double tol) {
   }
 
   // The loop records iters before taking each step; a run that exhausts
-  // max_iters without converging still took max_iters full steps.
-  if (!res.converged) res.iters = max_iters;
+  // max_iters without converging still took max_iters full steps. An
+  // abandoned solve keeps the true step count recorded at the break.
+  if (!res.converged && !res.deadline_abandoned) res.iters = max_iters;
 
   res.x = std::move(x);
   res.zl = std::move(zl);

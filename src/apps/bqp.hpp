@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/qos.hpp"
+
 namespace glto::apps::bqp {
 
 enum class Mode { sequential, taskdep, taskwait };
@@ -57,11 +59,17 @@ struct Result {
   int iters = 0;
   double kkt = 0.0;  ///< final inf-norm KKT residual
   bool converged = false;
+  bool deadline_abandoned = false;  ///< QoS deadline expired mid-solve
 };
 
 /// Runs the IPM. taskdep/taskwait modes assert a selected omp runtime.
+/// @p qos, when non-null, is polled once per iteration
+/// (omp::cancellation_point-style): an expired deadline abandons the
+/// solve at the next iteration boundary with deadline_abandoned set and
+/// the best iterate so far in x (converged stays false).
 [[nodiscard]] Result solve(const Problem& p, Mode mode, int max_iters = 60,
-                           double tol = 1e-10);
+                           double tol = 1e-10,
+                           const sched::QosContext* qos = nullptr);
 
 /// inf-norm KKT residual of a candidate primal-dual point: stationarity,
 /// box feasibility, multiplier sign, and complementarity.

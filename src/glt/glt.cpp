@@ -42,6 +42,8 @@ void glt_metrics_provider(void* /*arg*/, sched::MetricsSnapshot& out) {
   // lists, and parked ULTs handed straight back to a worker deque.
   out.add("sched.suspensions", sched::suspensions());
   out.add("sched.wakes_direct", sched::wakes_direct());
+  out.add("sched.timed_waits", sched::timed_waits());
+  out.add("sched.timed_wait_timeouts", sched::timed_wait_timeouts());
 }
 
 /// Heap wrapper for backends whose native spawn signature differs from

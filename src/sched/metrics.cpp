@@ -6,6 +6,7 @@
 #include "common/env.hpp"
 #include "common/time.hpp"
 #include "sched/chaos.hpp"
+#include "sched/qos.hpp"
 #include "sched/trace.hpp"
 
 namespace glto::sched {
@@ -165,6 +166,11 @@ void append_builtin(MetricsSnapshot& out) {
   out.add("trace.events_recorded", trace_events_recorded());
   out.add("trace.events_dropped", trace_events_dropped());
   out.add("chaos.faults_injected", chaos_faults_injected());
+  out.add("qos.completed", qos_completed());
+  out.add("qos.shed", qos_shed_total());
+  out.add("qos.deadline_missed", qos_deadline_missed());
+  out.add("qos.retried", qos_retried());
+  out.add("qos.degraded", qos_degraded());
 }
 
 MetricsSnapshot snapshot_locked(MetricsRegistry& r) GLTO_REQUIRES(r.m) {

@@ -1,0 +1,68 @@
+#include "sched/qos.hpp"
+
+#include <atomic>
+
+#include "common/time.hpp"
+#include "sched/trace.hpp"
+
+namespace glto::sched {
+
+namespace {
+
+std::atomic<std::uint64_t> g_completed{0};
+std::atomic<std::uint64_t> g_shed{0};
+std::atomic<std::uint64_t> g_deadline_missed{0};
+std::atomic<std::uint64_t> g_retried{0};
+std::atomic<std::uint64_t> g_degraded{0};
+
+}  // namespace
+
+bool qos_expired(const QosContext* qos) {
+  if (qos == nullptr || qos->deadline_ns == 0) return false;
+  return common::now_ns() >= qos->deadline_ns;
+}
+
+void qos_note_completed() {
+  g_completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void qos_note_shed(std::uint64_t request_id, std::uint32_t attempts) {
+  g_shed.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceKind::qos_shed, request_id, attempts);
+}
+
+void qos_note_deadline_miss(std::uint64_t request_id, QosMissPhase phase) {
+  g_deadline_missed.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceKind::deadline_miss, request_id,
+             static_cast<std::uint32_t>(phase));
+}
+
+void qos_note_retried() { g_retried.fetch_add(1, std::memory_order_relaxed); }
+
+void qos_note_degraded() { g_degraded.fetch_add(1, std::memory_order_relaxed); }
+
+std::uint64_t qos_completed() {
+  return g_completed.load(std::memory_order_relaxed);
+}
+std::uint64_t qos_shed_total() {
+  return g_shed.load(std::memory_order_relaxed);
+}
+std::uint64_t qos_deadline_missed() {
+  return g_deadline_missed.load(std::memory_order_relaxed);
+}
+std::uint64_t qos_retried() {
+  return g_retried.load(std::memory_order_relaxed);
+}
+std::uint64_t qos_degraded() {
+  return g_degraded.load(std::memory_order_relaxed);
+}
+
+void qos_reset_for_testing() {
+  g_completed.store(0, std::memory_order_relaxed);
+  g_shed.store(0, std::memory_order_relaxed);
+  g_deadline_missed.store(0, std::memory_order_relaxed);
+  g_retried.store(0, std::memory_order_relaxed);
+  g_degraded.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace glto::sched

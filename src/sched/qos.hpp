@@ -1,0 +1,64 @@
+// Per-request quality-of-service context: the runtime half of a
+// real-time serving contract. A request carries an absolute deadline and
+// an attempt count through admission, queueing, and the solve itself;
+// long-running compute polls the context (cancellation_point-style) so an
+// expired in-flight request abandons work instead of finishing a useless
+// answer. Global qos.* counters feed the metrics registry — and therefore
+// the watchdog's stall dump — so an overloaded server is diagnosable from
+// a single dump: rising shed/deadline_missed with flat completed is the
+// overload signature.
+#pragma once
+
+#include <cstdint>
+
+namespace glto::sched {
+
+/// POD carried alongside one request. Passed by pointer into compute
+/// loops; nullptr everywhere means "no QoS" and costs one branch.
+struct QosContext {
+  std::int64_t deadline_ns = 0;  ///< absolute, common::now_ns clock; 0 = none
+  std::uint32_t attempt = 0;     ///< admission attempts consumed (0 = first)
+
+  [[nodiscard]] bool has_deadline() const { return deadline_ns != 0; }
+  /// Budget left at @p now_ns; <= 0 once expired. 0 deadline = unbounded
+  /// (callers must check has_deadline() before treating this as a bound).
+  [[nodiscard]] std::int64_t remaining_ns(std::int64_t now_ns) const {
+    return deadline_ns - now_ns;
+  }
+  [[nodiscard]] bool expired(std::int64_t now_ns) const {
+    return deadline_ns != 0 && now_ns >= deadline_ns;
+  }
+};
+
+/// Poll hook for compute loops (one clock read per call): true when @p qos
+/// carries a deadline that has passed. nullptr-safe — a loop can carry
+/// the pointer unconditionally.
+[[nodiscard]] bool qos_expired(const QosContext* qos);
+
+/// Where a deadline miss was detected; recorded in the trace event aux.
+enum class QosMissPhase : std::uint32_t {
+  queued = 1,    ///< expired while waiting in the request queue
+  in_flight = 2, ///< solve abandoned mid-iteration
+  late = 3,      ///< solve finished, but past the deadline
+};
+
+/// Accounting events. completed/shed/deadline_missed are terminal — a
+/// well-behaved server records exactly one of them per offered request;
+/// retried/degraded are incidental and may accompany any outcome.
+void qos_note_completed();
+void qos_note_shed(std::uint64_t request_id, std::uint32_t attempts);
+void qos_note_deadline_miss(std::uint64_t request_id, QosMissPhase phase);
+void qos_note_retried();
+void qos_note_degraded();
+
+/// Counter reads for the metrics registry (qos.* keys).
+[[nodiscard]] std::uint64_t qos_completed();
+[[nodiscard]] std::uint64_t qos_shed_total();
+[[nodiscard]] std::uint64_t qos_deadline_missed();
+[[nodiscard]] std::uint64_t qos_retried();
+[[nodiscard]] std::uint64_t qos_degraded();
+
+/// Zeroes every qos.* counter; test isolation only.
+void qos_reset_for_testing();
+
+}  // namespace glto::sched

@@ -20,6 +20,8 @@ std::atomic<const SuspendOps*> g_ops[kMaxSuspendOps];
 
 std::atomic<std::uint64_t> g_suspensions{0};
 std::atomic<std::uint64_t> g_wakes_direct{0};
+std::atomic<std::uint64_t> g_timed_waits{0};
+std::atomic<std::uint64_t> g_timed_wait_timeouts{0};
 
 /// The fallback parker for contexts that cannot suspend. Thread-local and
 /// immortal (lives as long as the OS thread), so a signaller's unpark()
@@ -97,6 +99,22 @@ std::uint64_t suspensions() {
 }
 std::uint64_t wakes_direct() {
   return g_wakes_direct.load(std::memory_order_relaxed);
+}
+std::uint64_t timed_waits() {
+  return g_timed_waits.load(std::memory_order_relaxed);
+}
+std::uint64_t timed_wait_timeouts() {
+  return g_timed_wait_timeouts.load(std::memory_order_relaxed);
+}
+
+void backoff_until(std::int64_t deadline_ns) {
+  WaitEngine e;
+  while (e.step_until(deadline_ns)) {
+  }
+}
+
+void backoff_for_us(std::int64_t us) {
+  backoff_until(common::now_ns() + us * 1000);
 }
 
 namespace sync_detail {
@@ -207,6 +225,67 @@ void wake_list(WaitNode* head) {
   }
 }
 
+TimedPark timed_park_current(ParkOp& op, std::int64_t deadline_ns) {
+  WaitNode* n = op.node;
+  GLTO_CHECK_MSG(op.cancel_list != nullptr,
+                 "timed park without a cancel list");
+  // A timed waiter never suspends through a backend: nothing would
+  // resume a suspended ULT at the deadline. It enqueues as a
+  // Parker-backed node (wake_node's fallback branch) and polls
+  // `signaled` through the WaitEngine's deadline clamp, which drains
+  // runnable units and yields before it ever micro-parks, so a ULT
+  // caller stays work-conserving while it waits. If the ULT migrates
+  // mid-wait the recorded parker goes stale and a signaller's unpark
+  // lands on the old thread's immortal parker — benign: the waiter
+  // polls, and every park in the ladder is bounded (≤200 µs).
+  n->parker = &foreign_parker();
+  if (trace_enabled()) {
+    n->block_ns = static_cast<std::uint64_t>(common::now_ns());
+    trace_emit(TraceKind::ult_block, reinterpret_cast<std::uintptr_t>(n));
+  }
+  chaos_maybe_delay();
+  op.lock->lock();
+  const bool parked = op.try_enqueue(&op);
+  op.lock->unlock();
+  if (!parked) return TimedPark::aborted;
+  // op is this context's own frame (we do not return before the wait is
+  // resolved), so reading it after the unlock is safe on this path.
+  if (op.post_enqueue != nullptr) op.post_enqueue(op.ctx2);
+  g_timed_waits.fetch_add(1, std::memory_order_relaxed);
+  WaitEngine e;
+  while (!n->signaled.load(std::memory_order_acquire)) {
+    if (e.step_until(deadline_ns)) continue;
+    // Deadline passed: race the signaller for the node under the
+    // primitive's lock. Unlinking wins the timeout; a signaller that
+    // already popped the node wins the wait — it is past the pop and
+    // before its `signaled` store (its last node access), so spin that
+    // bounded window out and honour the signal.
+    op.lock->lock();
+    const bool unlinked = op.cancel_list->remove(n);
+    op.lock->unlock();
+    if (unlinked) {
+      g_timed_wait_timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (trace_enabled()) {
+        const std::uint64_t now = static_cast<std::uint64_t>(common::now_ns());
+        const std::uint64_t blocked_us =
+            n->block_ns != 0 && now > n->block_ns ? (now - n->block_ns) / 1000
+                                                  : 0;
+        trace_emit_at(TraceKind::ult_unblock, now,
+                      reinterpret_cast<std::uintptr_t>(n),
+                      blocked_us > 0xffffffffULL
+                          ? 0xffffffffu
+                          : static_cast<std::uint32_t>(blocked_us));
+      }
+      return TimedPark::timeout;
+    }
+    while (!n->signaled.load(std::memory_order_acquire)) {
+      common::cpu_relax();
+    }
+    break;
+  }
+  return TimedPark::signaled;
+}
+
 }  // namespace sync_detail
 
 // ----------------------------------------------------------------- Event
@@ -245,6 +324,21 @@ void Event::wait() {
   sync_detail::park_current(op);
 }
 
+bool Event::wait_until(std::int64_t deadline_ns) {
+  if (is_set_locked()) return true;
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &Event::enqueue_cb;
+  op.ctx = this;
+  op.cancel_list = &waiters_;
+  // aborted = the enqueue re-check saw the event set; signaled = the
+  // setter woke us. Both are locked observations — safe delete-gates.
+  return sync_detail::timed_park_current(op, deadline_ns) !=
+         sync_detail::TimedPark::timeout;
+}
+
 // ----------------------------------------------------------------- Mutex
 
 bool Mutex::enqueue_cb(sync_detail::ParkOp* op) {
@@ -269,6 +363,23 @@ void Mutex::lock_slow() {
   // Either we parked and a handoff made us the owner, or the re-check
   // CAS acquired the lock — both ways we own it on return.
   sync_detail::park_current(op);
+}
+
+bool Mutex::try_lock_until(std::int64_t deadline_ns) {
+  if (try_lock()) return true;
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &qlock_;
+  op.node = &n;
+  op.try_enqueue = &Mutex::enqueue_cb;
+  op.ctx = this;
+  op.cancel_list = &waiters_;
+  // aborted = the enqueue re-check CAS acquired the lock; signaled = an
+  // unlock() handed ownership to us FIFO-style. A handoff that raced the
+  // timeout resolves as signaled (the cancel unlink lost), so ownership
+  // is never dropped on the floor.
+  return sync_detail::timed_park_current(op, deadline_ns) !=
+         sync_detail::TimedPark::timeout;
 }
 
 void Mutex::unlock() {
@@ -310,6 +421,23 @@ void Condvar::wait(Mutex& m) {
   op.ctx2 = &m;
   sync_detail::park_current(op);
   m.lock();
+}
+
+bool Condvar::wait_until(Mutex& m, std::int64_t deadline_ns) {
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &Condvar::enqueue_cb;
+  op.post_enqueue = &Condvar::release_mutex_cb;  // after the node is listed
+  op.ctx = this;
+  op.ctx2 = &m;
+  op.cancel_list = &waiters_;
+  const sync_detail::TimedPark r =
+      sync_detail::timed_park_current(op, deadline_ns);
+  // The mutex is reacquired on both outcomes; the reacquire is untimed.
+  m.lock();
+  return r != sync_detail::TimedPark::timeout;
 }
 
 void Condvar::notify_one() {
@@ -370,6 +498,22 @@ void CompletionLatch::wait() {
   op.try_enqueue = &CompletionLatch::enqueue_cb;
   op.ctx = this;
   sync_detail::park_current(op);
+}
+
+bool CompletionLatch::wait_until(std::int64_t deadline_ns) {
+  if (try_wait()) return true;
+  WaitNode n;
+  sync_detail::ParkOp op;
+  op.lock = &lock_;
+  op.node = &n;
+  op.try_enqueue = &CompletionLatch::enqueue_cb;
+  op.ctx = this;
+  op.cancel_list = &waiters_;
+  // aborted = the enqueue re-check saw zero; signaled = the final
+  // count_down woke us. Both observations serialize after the
+  // decrementer's unlock, so the destruction protocol holds.
+  return sync_detail::timed_park_current(op, deadline_ns) !=
+         sync_detail::TimedPark::timeout;
 }
 
 std::int64_t CompletionLatch::pending() const {

@@ -73,6 +73,18 @@ void unregister_suspend_ops(const SuspendOps* ops);
 [[nodiscard]] std::uint64_t suspensions();
 [[nodiscard]] std::uint64_t wakes_direct();
 
+/// Deadline-bounded waits entered, and the subset that expired. Exported
+/// as sched.timed_waits / sched.timed_wait_timeouts.
+[[nodiscard]] std::uint64_t timed_waits();
+[[nodiscard]] std::uint64_t timed_wait_timeouts();
+
+/// Work-conserving bounded backoff for retry loops (the lint-sanctioned
+/// replacement for naked sleeps): runs the WaitEngine ladder — spin,
+/// yield, drain runnable units, escalating micro-parks — until
+/// @p deadline_ns (common::now_ns clock) has passed.
+void backoff_until(std::int64_t deadline_ns);
+void backoff_for_us(std::int64_t us);
+
 // -------------------------------------------------------------- WaitNode
 
 /// One parked waiter. Lives on the waiter's stack for the duration of the
@@ -115,6 +127,24 @@ struct WaitList {
     head = tail = nullptr;
     return n;
   }
+  /// Unlinks @p n if it is still queued; false when a signaller already
+  /// popped it. Timed waiters call this under the primitive's lock to
+  /// cancel — the lock arbitrates the timeout-vs-signal race.
+  bool remove(WaitNode* n) {
+    WaitNode* prev = nullptr;
+    for (WaitNode* cur = head; cur != nullptr; prev = cur, cur = cur->next) {
+      if (cur != n) continue;
+      if (prev != nullptr) {
+        prev->next = cur->next;
+      } else {
+        head = cur->next;
+      }
+      if (tail == cur) tail = prev;
+      cur->next = nullptr;
+      return true;
+    }
+    return false;
+  }
   [[nodiscard]] bool empty() const { return head == nullptr; }
 };
 
@@ -135,12 +165,29 @@ struct ParkOp {
   void (*post_enqueue)(void* ctx2) = nullptr;
   void* ctx = nullptr;
   void* ctx2 = nullptr;
+  WaitList* cancel_list = nullptr;  ///< timed waits: list to unlink from
 };
 
 /// Blocks the caller until its node is signaled (ULT suspension when the
 /// context supports it, work-conserving Parker park otherwise). Returns
 /// true if the caller actually parked, false if try_enqueue aborted.
 bool park_current(ParkOp& op);
+
+/// Outcome of a deadline-bounded park.
+enum class TimedPark {
+  aborted,   ///< try_enqueue observed the condition satisfied; never parked
+  signaled,  ///< a signaller detached and woke the node
+  timeout,   ///< deadline passed; the waiter unlinked its own node
+};
+
+/// Deadline-bounded variant of park_current. op.cancel_list must point at
+/// the wait list try_enqueue pushes onto. The waiter never suspends
+/// through a backend (nothing would resume it at the deadline); it
+/// enqueues a Parker-backed node and polls it through the WaitEngine's
+/// deadline clamp, so ULT callers stay work-conserving while they wait.
+/// On timeout the node is unlinked under the primitive's lock; a signal
+/// that already detached the node wins and the call reports `signaled`.
+TimedPark timed_park_current(ParkOp& op, std::int64_t deadline_ns);
 
 /// Wakes one parked waiter. Must be called with the primitive's lock
 /// *released* and the node already unlinked; reads everything it needs
@@ -180,6 +227,13 @@ class Event {
 
   void set();
   void wait();
+  /// Waits until set or @p deadline_ns (common::now_ns clock). Returns
+  /// is_set at return: true on signal, false on timeout. A timeout
+  /// invalidates nothing — the waiter may re-wait, and a set() that lands
+  /// after the timeout is never stranded (the timed-out node is fully
+  /// unlinked before this returns). Both outcomes are locked observations,
+  /// so the destruction protocol above holds for wait_until too.
+  [[nodiscard]] bool wait_until(std::int64_t deadline_ns);
   /// Racy poll — never gate destruction on this (see class comment).
   [[nodiscard]] bool is_set() const {
     return set_.load(std::memory_order_acquire);
@@ -230,6 +284,13 @@ class GLTO_CAPABILITY("mutex") Mutex {
     return state_.compare_exchange_strong(
         expected, 1, std::memory_order_acquire, std::memory_order_relaxed);
   }
+  /// Acquires the mutex or gives up at @p deadline_ns (common::now_ns
+  /// clock). True means the caller owns the mutex. The FIFO-handoff race
+  /// resolves in the lock's favour: if unlock() hands ownership to this
+  /// waiter while it is timing out, the waiter accepts the lock and
+  /// returns true — ownership is never dropped on the floor.
+  [[nodiscard]] bool try_lock_until(std::int64_t deadline_ns)
+      GLTO_TRY_ACQUIRE(true);
   void unlock() GLTO_RELEASE();
 
  private:
@@ -277,6 +338,14 @@ class Condvar {
   /// cannot see — it would flag the trailing m.lock() as a double
   /// acquire.
   void wait(Mutex& m) GLTO_REQUIRES(m) GLTO_NO_THREAD_SAFETY_ANALYSIS;
+  /// wait() with a deadline (common::now_ns clock). Returns false on
+  /// timeout, true when notified; @p m is reacquired before returning in
+  /// *both* cases (the reacquire itself is untimed, as with any condvar).
+  /// Spurious true returns are possible — loop on the predicate and
+  /// re-check it after a false return too, since a notify can land
+  /// between the timeout and the reacquire.
+  [[nodiscard]] bool wait_until(Mutex& m, std::int64_t deadline_ns)
+      GLTO_REQUIRES(m) GLTO_NO_THREAD_SAFETY_ANALYSIS;
   void notify_one();
   void notify_all();
 
@@ -310,6 +379,11 @@ class CompletionLatch {
   /// True when the count is zero (locked read — see class comment).
   [[nodiscard]] bool try_wait();
   void wait();
+  /// Waits for zero until @p deadline_ns (common::now_ns clock). True
+  /// when the count reached zero (a locked observation, so the
+  /// destruction protocol holds); false on timeout — the latch is
+  /// untouched and the caller may re-wait.
+  [[nodiscard]] bool wait_until(std::int64_t deadline_ns);
   /// Racy read for stats/asserts only.
   [[nodiscard]] std::int64_t pending() const;
 
@@ -452,6 +526,61 @@ class Channel {
     return true;
   }
 
+  /// send() with a deadline (common::now_ns clock): false when the
+  /// channel stayed full past @p deadline_ns or was closed — the item was
+  /// never enqueued. The deadline covers the whole operation, including
+  /// the channel-mutex acquire.
+  bool send_until(const T& v, std::int64_t deadline_ns) {
+    if (!m_.try_lock_until(deadline_ns)) return false;
+    while (count_ == cap_ && !closed_) {
+      if (!not_full_.wait_until(m_, deadline_ns)) {
+        // Timed out — but the mutex is reacquired, so re-check before
+        // failing: a slot freed between timeout and reacquire is ours.
+        if (count_ == cap_ && !closed_) {
+          m_.unlock();
+          return false;
+        }
+      }
+    }
+    if (closed_) {
+      m_.unlock();
+      return false;
+    }
+    buf_[(head_ + count_) % cap_] = v;
+    ++count_;
+    m_.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// recv() with a deadline: drains remaining items after close() before
+  /// failing, exactly like recv. A false return consumed nothing — an
+  /// item sent concurrently with the timeout stays in the channel for
+  /// the next receiver.
+  bool recv_until(T& out, std::int64_t deadline_ns) {
+    if (!m_.try_lock_until(deadline_ns)) return false;
+    while (count_ == 0 && !closed_) {
+      if (!not_empty_.wait_until(m_, deadline_ns)) {
+        // Re-check under the reacquired mutex: an item that arrived
+        // between the timeout and the reacquire must not be lost.
+        if (count_ == 0) {
+          m_.unlock();
+          return false;
+        }
+      }
+    }
+    if (count_ == 0) {
+      m_.unlock();
+      return false;  // closed and drained
+    }
+    out = buf_[head_];
+    head_ = (head_ + 1) % cap_;
+    --count_;
+    m_.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
   /// Non-blocking variants: false when the channel is full/empty/closed.
   bool try_send(const T& v) {
     ScopedLock g(m_);
@@ -482,6 +611,12 @@ class Channel {
   [[nodiscard]] bool closed() {
     ScopedLock g(m_);
     return closed_;
+  }
+  /// Queued-item snapshot for admission heuristics — a locked read, but
+  /// stale by the time the caller acts on it.
+  [[nodiscard]] std::size_t size() {
+    ScopedLock g(m_);
+    return count_;
   }
   [[nodiscard]] std::size_t capacity() const { return cap_; }
 

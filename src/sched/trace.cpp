@@ -109,6 +109,8 @@ const char* kind_name(std::uint16_t k) {
     case TraceKind::cancel: return "cancel";
     case TraceKind::ult_block: return "ult_block";
     case TraceKind::ult_unblock: return "ult_unblock";
+    case TraceKind::qos_shed: return "qos_shed";
+    case TraceKind::deadline_miss: return "deadline_miss";
   }
   return "unknown";
 }

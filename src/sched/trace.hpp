@@ -44,6 +44,9 @@ enum class TraceKind : std::uint16_t {
   cancel,         // arg=taskgroup/team id: cancellation observed
   ult_block,      // arg=wait-node id: context parked on a sync primitive
   ult_unblock,    // arg=wait-node id, aux=blocked duration in us
+  qos_shed,       // arg=request id, aux=attempts used before the drop
+  deadline_miss,  // arg=request id, aux=QosMissPhase (1 queued / 2 in-flight
+                  // / 3 finished late)
 };
 
 /// One ring slot. 24 bytes, trivially copyable; written by exactly one

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "apps/qpserver.hpp"
@@ -38,6 +39,7 @@ constexpr int kCondItems = 400;
 constexpr int kPerProducer = 150;
 constexpr int kBarrierRounds = 50;
 constexpr int kBarrierParties = 3;
+constexpr int kTimedRaceRounds = 60;
 }  // namespace
 
 class SyncBackend : public ::testing::TestWithParam<gg::Impl> {
@@ -406,6 +408,260 @@ TEST_P(SyncBackend, WaitUntilDeadlineAndSuccess) {
   EXPECT_TRUE(s::wait_until([&] { return ctx.flag.load(); },
                             glto::common::now_ns() + 10'000'000'000LL));
   gg::ult_join(u);
+}
+
+// ---- timed primitives (PR-10 deadline layer) -----------------------------
+
+TEST_P(SyncBackend, EventWaitUntilTimeoutNeverStrandsLaterSet) {
+  // set() races a short-deadline wait_until round after round. Whichever
+  // side wins, the timed-out node must be fully unlinked (a stranded node
+  // would make the set() touch a dead stack frame — ASan trips), and a
+  // set that lands after the timeout must still satisfy the next waiter.
+  struct Ctx {
+    gg::event ev;
+    std::atomic<int> wakes{0};
+    std::atomic<int> timeouts{0};
+  } ctx;
+  for (int r = 0; r < kTimedRaceRounds; ++r) {
+    auto* racer = gg::ult_create(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          if (c->ev.wait_until(glto::common::now_ns() + 20'000)) {
+            c->wakes.fetch_add(1);
+          } else {
+            c->timeouts.fetch_add(1);
+          }
+        },
+        &ctx);
+    if ((r & 1) != 0) gg::yield();  // vary which side reaches the race first
+    ctx.ev.set();
+    gg::ult_join(racer);
+    // The set is never stranded: an untimed waiter must pass immediately.
+    auto* late = gg::ult_create(
+        [](void* p) { static_cast<Ctx*>(p)->ev.wait(); }, &ctx);
+    gg::ult_join(late);
+    ctx.ev.reset();
+  }
+  EXPECT_EQ(ctx.wakes.load() + ctx.timeouts.load(), kTimedRaceRounds);
+}
+
+TEST_P(SyncBackend, MutexTryLockUntilTimeoutAndHandoffRace) {
+  struct Ctx {
+    gg::mutex m;
+    std::atomic<int> acquired{0};
+    std::atomic<int> timed_out{0};
+  } ctx;
+  // Uncontended: even an already-expired deadline acquires via the fast
+  // path — the deadline bounds waiting, not the attempt itself.
+  ASSERT_TRUE(ctx.m.try_lock_until(glto::common::now_ns()));
+  ctx.m.unlock();
+  for (int r = 0; r < kTimedRaceRounds; ++r) {
+    ctx.m.lock();  // force the timed waiter to park
+    auto* u = gg::ult_create(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          if (c->m.try_lock_until(glto::common::now_ns() + 30'000)) {
+            c->acquired.fetch_add(1);
+            c->m.unlock();
+          } else {
+            c->timed_out.fetch_add(1);
+          }
+        },
+        &ctx);
+    if ((r & 1) != 0) gg::yield();
+    ctx.m.unlock();  // may hand ownership to the waiter mid-timeout
+    gg::ult_join(u);
+    // Whatever the race outcome, ownership was never dropped on the
+    // floor: the mutex must still cycle.
+    ctx.m.lock();
+    ctx.m.unlock();
+  }
+  EXPECT_EQ(ctx.acquired.load() + ctx.timed_out.load(), kTimedRaceRounds);
+}
+
+TEST_P(SyncBackend, CondvarWaitUntilTimesOutAndReacquiresMutex) {
+  struct Ctx {
+    gg::mutex m;
+    gg::cond cv;
+    bool ready = false;  // guarded by m
+    std::atomic<bool> timed_out{false};
+    std::atomic<bool> notified{false};
+  } ctx;
+  auto* t = gg::ult_create(
+      [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        c->m.lock();
+        while (!c->ready) {
+          if (!c->cv.wait_until(c->m, glto::common::now_ns() + 2'000'000)) {
+            // Timed out with the mutex reacquired: mutating guarded state
+            // here is legal, which is the whole point of the contract.
+            c->timed_out.store(true);
+            break;
+          }
+        }
+        c->m.unlock();
+      },
+      &ctx);
+  gg::ult_join(t);
+  EXPECT_TRUE(ctx.timed_out.load());
+  ctx.cv.notify_one();  // no waiters: harmless
+
+  // Signaled case: long deadline, the notify lands first. Drive the
+  // scheduler until the waiter has actually entered its timed park (the
+  // counter advances) so the notify finds it waiting on every backend.
+  const std::uint64_t parked_before = s::timed_waits();
+  auto* u = gg::ult_create(
+      [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        c->m.lock();
+        while (!c->ready) {
+          if (c->cv.wait_until(c->m, glto::common::now_ns() +
+                                         10'000'000'000LL)) {
+            c->notified.store(true);
+          }
+        }
+        c->m.unlock();
+      },
+      &ctx);
+  while (s::timed_waits() == parked_before) gg::yield();
+  ctx.m.lock();
+  ctx.ready = true;
+  ctx.cv.notify_one();
+  ctx.m.unlock();
+  gg::ult_join(u);
+  EXPECT_TRUE(ctx.notified.load());
+}
+
+TEST_P(SyncBackend, LatchWaitUntilTimeoutThenCompletion) {
+  gg::latch l;
+  l.add(1);
+  EXPECT_FALSE(l.wait_until(glto::common::now_ns() + 1'000'000));
+  EXPECT_FALSE(l.try_wait()) << "a timeout leaves the latch untouched";
+  auto* u = gg::ult_create(
+      [](void* p) { static_cast<gg::latch*>(p)->count_down(); }, &l);
+  EXPECT_TRUE(l.wait_until(glto::common::now_ns() + 10'000'000'000LL));
+  EXPECT_TRUE(l.try_wait());
+  gg::ult_join(u);
+  EXPECT_TRUE(l.wait_until(glto::common::now_ns()))
+      << "zero count satisfies even an expired deadline";
+}
+
+TEST_P(SyncBackend, ChannelSendRecvUntilBasicsAndFullTimeout) {
+  gg::channel<int> ch{2};
+  const std::int64_t far = glto::common::now_ns() + 10'000'000'000LL;
+  EXPECT_TRUE(ch.send_until(1, far));
+  EXPECT_TRUE(ch.send_until(2, far));
+  EXPECT_EQ(ch.size(), 2u);
+  // Full: a short-deadline send gives up without disturbing the buffer.
+  EXPECT_FALSE(ch.send_until(3, glto::common::now_ns() + 500'000));
+  EXPECT_EQ(ch.size(), 2u);
+  int v = 0;
+  EXPECT_TRUE(ch.recv_until(v, far));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ch.recv_until(v, far));
+  EXPECT_EQ(v, 2);
+  // Empty: a short-deadline recv times out, consuming nothing.
+  EXPECT_FALSE(ch.recv_until(v, glto::common::now_ns() + 500'000));
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST_P(SyncBackend, ChannelCloseDrainsThenFailsTimed) {
+  // Regression pin for the close contract: try_recv and recv_until drain
+  // buffered items after close() before reporting failure, exactly like
+  // the documented recv drain-then-fail behaviour.
+  gg::channel<int> ch{4};
+  EXPECT_TRUE(ch.send(10));
+  EXPECT_TRUE(ch.send(11));
+  EXPECT_TRUE(ch.send(12));
+  ch.close();
+  EXPECT_FALSE(ch.send_until(13, glto::common::now_ns() + 1'000'000))
+      << "send after close must fail, deadline or not";
+  int v = 0;
+  EXPECT_TRUE(ch.try_recv(v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(ch.recv_until(v, glto::common::now_ns() + 1'000'000));
+  EXPECT_EQ(v, 11);
+  EXPECT_TRUE(ch.recv_until(v, glto::common::now_ns()))
+      << "an expired deadline still drains buffered items";
+  EXPECT_EQ(v, 12);
+  EXPECT_FALSE(ch.recv_until(v, glto::common::now_ns() + 1'000'000));
+  EXPECT_FALSE(ch.try_recv(v));
+}
+
+TEST_P(SyncBackend, ChannelTimedRecvNeverLosesConcurrentItem) {
+  // A recv_until whose deadline races a concurrent send must resolve
+  // exactly-once: either the receiver got the item, or the timeout left
+  // it in the channel for the next receiver. Deadlines cycle from
+  // already-expired to a few multiples of the park quantum to sweep the
+  // race window.
+  struct Ctx {
+    gg::channel<int> ch{1};
+    std::atomic<std::int64_t> deadline_ns{0};
+    std::atomic<bool> got{false};
+  } ctx;
+  for (int r = 0; r < kTimedRaceRounds; ++r) {
+    ctx.deadline_ns.store(glto::common::now_ns() + (r % 4) * 30'000);
+    ctx.got.store(false);
+    auto* u = gg::ult_create(
+        [](void* p) {
+          auto* c = static_cast<Ctx*>(p);
+          int v = -1;
+          if (c->ch.recv_until(v, c->deadline_ns.load())) c->got.store(true);
+        },
+        &ctx);
+    if ((r & 1) != 0) gg::yield();
+    ASSERT_TRUE(ctx.ch.send(r));  // races the receiver's timeout
+    gg::ult_join(u);
+    int v = -1;
+    if (ctx.got.load()) {
+      EXPECT_FALSE(ctx.ch.try_recv(v)) << "round " << r << ": received twice";
+    } else {
+      ASSERT_TRUE(ctx.ch.try_recv(v))
+          << "round " << r << ": timed-out recv lost the item";
+      EXPECT_EQ(v, r);
+    }
+  }
+}
+
+TEST_P(SyncBackend, QpServerOverloadAccountingConserves) {
+  // Overload demo at 2× measured capacity with deadlines armed: every
+  // offered request lands in exactly one terminal bucket, and p99 of the
+  // *completed* requests stays within the deadline budget (histogram
+  // percentile estimates overshoot by ≤12.5%). $GLTO_QPSERVER_SOAK=1
+  // scales the run up for the CI soak leg.
+  namespace qp = glto::apps::qpserver;
+  const bool soak = std::getenv("GLTO_QPSERVER_SOAK") != nullptr;
+  qp::Config cfg;
+  cfg.requests = soak ? 300 : 120;
+  cfg.concurrency = 4;
+  cfg.queue_depth = 8;
+  cfg.n = 16;
+  cfg.tile = 8;
+  cfg.rank = 2;
+  cfg.max_iters = 12;
+  const qp::Report base = qp::run(cfg);  // closed-loop capacity probe
+  ASSERT_EQ(base.completed, static_cast<std::uint64_t>(cfg.requests));
+  ASSERT_EQ(base.shed + base.deadline_missed, 0u)
+      << "no deadline: nothing may shed or expire";
+  const double cap_rps = base.goodput_rps > 1.0 ? base.goodput_rps : 1.0;
+
+  qp::Config over = cfg;
+  over.requests = soak ? 600 : 160;
+  over.arrival_rps = 2.0 * cap_rps;
+  over.deadline_ms = 50;
+  over.retries = 2;
+  over.backoff_us = 100;
+  over.degrade = true;
+  const qp::Report rep = qp::run(over);
+  EXPECT_EQ(rep.offered, static_cast<std::uint64_t>(over.requests));
+  EXPECT_EQ(rep.completed + rep.shed + rep.deadline_missed, rep.offered)
+      << "terminal accounting must conserve: completed=" << rep.completed
+      << " shed=" << rep.shed << " missed=" << rep.deadline_missed;
+  if (rep.completed > 0) {
+    EXPECT_LE(rep.p99_us,
+              static_cast<std::uint64_t>(over.deadline_ms) * 1000 * 9 / 8 + 1)
+        << "completed requests must fit the deadline budget";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, SyncBackend,
